@@ -1,0 +1,83 @@
+//! Criterion benches for the full-electrostatics substrate: FFT scaling,
+//! PME reciprocal evaluation, and PME vs the exact direct k-sum.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use mdcore::prelude::*;
+use pme::ewald::{reciprocal_direct, EwaldParams};
+use pme::fft::{fft_in_place, Complex, Grid3};
+use pme::mesh::{Pme, PmeParams};
+use std::hint::black_box;
+
+fn bench_fft(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fft");
+    for n in [256usize, 4096] {
+        g.throughput(Throughput::Elements(n as u64));
+        g.bench_with_input(BenchmarkId::new("1d", n), &n, |b, &n| {
+            let mut data: Vec<Complex> =
+                (0..n).map(|i| Complex::new((i as f64).sin(), 0.0)).collect();
+            b.iter(|| {
+                fft_in_place(&mut data, false);
+                fft_in_place(&mut data, true);
+                black_box(data[0])
+            });
+        });
+    }
+    for m in [16usize, 32] {
+        g.bench_with_input(BenchmarkId::new("3d", m * m * m), &m, |b, &m| {
+            let mut grid = Grid3::new(m, m, m);
+            for (i, cplx) in grid.data.iter_mut().enumerate() {
+                *cplx = Complex::new((i as f64 * 0.1).sin(), 0.0);
+            }
+            b.iter(|| {
+                grid.fft(false);
+                grid.fft(true);
+                grid.normalize_inverse();
+                black_box(grid.data[0])
+            });
+        });
+    }
+    g.finish();
+}
+
+fn charged_system(n: usize, l: f64) -> (Cell, Vec<Vec3>, Vec<f64>) {
+    let cell = Cell::cube(l);
+    let pos: Vec<Vec3> = (0..n)
+        .map(|i| {
+            let t = i as f64;
+            Vec3::new(
+                (t * 7.93).rem_euclid(l),
+                (t * 5.21 + 1.0).rem_euclid(l),
+                (t * 3.57 + 2.0).rem_euclid(l),
+            )
+        })
+        .collect();
+    let q: Vec<f64> = (0..n).map(|i| if i % 2 == 0 { 0.4 } else { -0.4 }).collect();
+    (cell, pos, q)
+}
+
+fn bench_pme_vs_direct(c: &mut Criterion) {
+    let (cell, pos, q) = charged_system(600, 24.0);
+    let beta = 0.4;
+    let mut g = c.benchmark_group("reciprocal_space");
+    g.sample_size(10);
+    g.bench_function("pme_600_atoms_32mesh", |b| {
+        let mut pme = Pme::new(&cell, PmeParams { beta, order: 4, mesh: [32, 32, 32] });
+        let mut f = vec![Vec3::ZERO; pos.len()];
+        b.iter(|| {
+            f.fill(Vec3::ZERO);
+            black_box(pme.reciprocal(&pos, &q, &mut f).reciprocal)
+        });
+    });
+    g.bench_function("direct_ksum_600_atoms_k8", |b| {
+        let params = EwaldParams { beta, r_cut: 10.0, kmax: 8 };
+        let mut f = vec![Vec3::ZERO; pos.len()];
+        b.iter(|| {
+            f.fill(Vec3::ZERO);
+            black_box(reciprocal_direct(&cell, &pos, &q, &params, &mut f))
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_fft, bench_pme_vs_direct);
+criterion_main!(benches);

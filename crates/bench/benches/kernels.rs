@@ -1,0 +1,124 @@
+//! Criterion benches for the computational kernels: the non-bonded pair
+//! kernels (the 80%+ of MD time), bonded kernels, cell-list construction,
+//! and the exclusion check.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use mdcore::prelude::*;
+use std::hint::black_box;
+
+fn water_system(n_side: usize) -> System {
+    let mut topo = Topology::default();
+    let mut pos = Vec::new();
+    let spacing = 3.1;
+    for ix in 0..n_side {
+        for iy in 0..n_side {
+            for iz in 0..n_side {
+                let base = Vec3::new(
+                    ix as f64 * spacing + 0.4,
+                    iy as f64 * spacing + 0.4,
+                    iz as f64 * spacing + 0.4,
+                );
+                push_water(&mut topo, 0, 1);
+                pos.push(base);
+                pos.push(base + Vec3::new(0.9572, 0.0, 0.0));
+                pos.push(base + Vec3::new(-0.2399, 0.9266, 0.0));
+            }
+        }
+    }
+    let l = n_side as f64 * spacing;
+    System::new(topo, ForceField::biomolecular((l / 2.2).min(10.0)), Cell::cube(l), pos)
+}
+
+fn bench_nonbonded(c: &mut Criterion) {
+    let mut g = c.benchmark_group("nonbonded");
+    for n_side in [4usize, 6, 8] {
+        let sys = water_system(n_side);
+        let n = sys.n_atoms();
+        let lj = sys.lj_types();
+        let q = sys.charges();
+        let ids: Vec<u32> = (0..n as u32).collect();
+        let group = AtomGroup { pos: &sys.positions, ids: &ids, lj: &lj, charge: &q };
+        let pairs = count_self_pairs(group, &sys.cell, sys.forcefield.cutoff);
+        g.throughput(Throughput::Elements(pairs));
+        g.bench_with_input(BenchmarkId::new("nb_self", n), &sys, |b, sys| {
+            let mut forces = vec![Vec3::ZERO; n];
+            b.iter(|| {
+                forces.fill(Vec3::ZERO);
+                black_box(nb_self(
+                    &sys.forcefield,
+                    &sys.exclusions,
+                    group,
+                    &sys.cell,
+                    &mut forces,
+                ))
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_celllist(c: &mut Criterion) {
+    let mut g = c.benchmark_group("celllist");
+    for n_side in [6usize, 10] {
+        let sys = water_system(n_side);
+        g.bench_with_input(
+            BenchmarkId::new("build+pairs", sys.n_atoms()),
+            &sys,
+            |b, sys| {
+                b.iter(|| {
+                    let cl = CellList::build(&sys.cell, &sys.positions, sys.forcefield.cutoff);
+                    black_box(cl.neighbor_pairs(&sys.positions, sys.forcefield.cutoff).len())
+                });
+            },
+        );
+    }
+    g.finish();
+}
+
+fn bench_bonded(c: &mut Criterion) {
+    let sys = water_system(8);
+    let mut forces = vec![Vec3::ZERO; sys.n_atoms()];
+    c.bench_function("bonded/water8", |b| {
+        b.iter(|| {
+            forces.fill(Vec3::ZERO);
+            black_box(compute_bonded(&sys.topology, &sys.cell, &sys.positions, &mut forces))
+        });
+    });
+}
+
+fn bench_exclusions(c: &mut Criterion) {
+    let sys = water_system(8);
+    let ex = &sys.exclusions;
+    c.bench_function("exclusions/kind_lookup", |b| {
+        b.iter(|| {
+            let mut acc = 0u32;
+            for i in (0..sys.n_atoms() as u32).step_by(7) {
+                for j in (0..sys.n_atoms() as u32).step_by(13) {
+                    if ex.kind(i, j) != ExclusionKind::None {
+                        acc += 1;
+                    }
+                }
+            }
+            black_box(acc)
+        });
+    });
+}
+
+fn bench_full_step(c: &mut Criterion) {
+    let mut sys = water_system(6);
+    sys.thermalize(300.0, 1);
+    let mut sim = Simulator::new(&sys, 1.0);
+    c.bench_function("sequential_step/water6", |b| {
+        b.iter(|| black_box(sim.step(&mut sys).total()));
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_nonbonded,
+    bench_celllist,
+    bench_bonded,
+    bench_exclusions,
+    bench_full_step
+);
+criterion_main!(benches);

@@ -1,0 +1,60 @@
+//! Criterion benches for the load-balancing strategies at realistic problem
+//! sizes (ApoA-I on 1024 PEs has ~6,000 migratable computes).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn synthetic_problem(n_pes: usize, n_patches: usize, computes_per_patch: usize) -> lb::LbProblem {
+    let patch_home: Vec<usize> = (0..n_patches).map(|p| p * n_pes / n_patches).collect();
+    let mut computes = Vec::new();
+    for p in 0..n_patches {
+        for k in 0..computes_per_patch {
+            let partner = (p + k + 1) % n_patches;
+            computes.push(lb::ComputeSpec {
+                load: 0.5 + ((p * 7 + k * 13) % 23) as f64 * 0.21,
+                patches: if k == 0 { vec![p] } else { vec![p, partner] },
+            });
+        }
+    }
+    lb::LbProblem { n_pes, background: vec![0.1; n_pes], patch_home, computes }
+}
+
+fn bench_strategies(c: &mut Criterion) {
+    let mut g = c.benchmark_group("lb");
+    g.sample_size(20);
+    for (n_pes, n_patches, cpp) in [(64, 245, 8), (1024, 245, 24)] {
+        let problem = synthetic_problem(n_pes, n_patches, cpp);
+        let n = problem.computes.len();
+        g.bench_with_input(
+            BenchmarkId::new("greedy", format!("{n}obj_{n_pes}pe")),
+            &problem,
+            |b, p| b.iter(|| black_box(lb::greedy(p, lb::GreedyParams::default()))),
+        );
+        let start = lb::round_robin(&problem);
+        g.bench_with_input(
+            BenchmarkId::new("refine", format!("{n}obj_{n_pes}pe")),
+            &problem,
+            |b, p| b.iter(|| black_box(lb::refine(p, &start, lb::RefineParams::default()).1)),
+        );
+    }
+    g.finish();
+}
+
+fn bench_rcb(c: &mut Criterion) {
+    // Patch centres of a 7x7x5 grid, split over 64 parts.
+    let mut points = Vec::new();
+    for z in 0..5 {
+        for y in 0..7 {
+            for x in 0..7 {
+                points.push([x as f64, y as f64, z as f64]);
+            }
+        }
+    }
+    let weights: Vec<f64> = (0..points.len()).map(|i| 1.0 + (i % 5) as f64).collect();
+    c.bench_function("lb/rcb_245_to_64", |b| {
+        b.iter(|| black_box(lb::rcb(&points, &weights, 64)))
+    });
+}
+
+criterion_group!(benches, bench_strategies, bench_rcb);
+criterion_main!(benches);

@@ -1,0 +1,65 @@
+//! Ablations of the design choices DESIGN.md calls out:
+//!
+//! * load-balancing strategy (none / random / round-robin / proxy-unaware
+//!   greedy / greedy / greedy+refine);
+//! * grainsize splitting of face pairs;
+//! * multicast optimization;
+//! * §4.2.2 migratable bonded computes.
+//!
+//! All on ApoA-I / ASCI-Red at 256 and 1024 PEs.
+use charmrt::MulticastMode;
+use namd_core::prelude::*;
+
+fn bench_with(
+    cfg: SimConfig,
+    sys: &mdcore::system::System,
+    decomp: &Decomposition,
+) -> (f64, usize) {
+    let mut engine = Engine::with_decomposition(sys.clone(), decomp.clone(), cfg);
+    let t = engine.run_benchmark().final_time_per_step();
+    (t, engine.proxy_count())
+}
+
+fn main() {
+    let sys = molgen::apoa1_like().build();
+    let machine = machine::presets::asci_red();
+    let base_decomp = build_decomposition(&sys, &SimConfig::new(1, machine));
+
+    for pes in [256usize, 1024, 2048] {
+        println!("=== ApoA-I on ASCI-Red, {pes} PEs ===");
+        println!("--- load-balancing strategy (everything else optimized) ---");
+        for (name, lb) in [
+            ("static (no LB)", LbStrategy::None),
+            ("random", LbStrategy::Random),
+            ("round-robin", LbStrategy::RoundRobin),
+            ("greedy, proxy-unaware", LbStrategy::GreedyNoProxy),
+            ("greedy (paper)", LbStrategy::Greedy),
+            ("greedy + refine (paper)", LbStrategy::GreedyRefine),
+        ] {
+            let mut cfg = SimConfig::new(pes, machine);
+            cfg.lb = lb;
+            cfg.steps_per_phase = 3;
+            let (t, proxies) = bench_with(cfg, &sys, &base_decomp);
+            println!("{name:<26} {:>9.2} ms/step   {proxies:>6} proxies", t * 1e3);
+        }
+
+        println!("--- single-feature ablations (greedy+refine LB) ---");
+        type Tweak = Box<dyn Fn(&mut SimConfig)>;
+        let features: [(&str, Tweak); 4] = [
+            ("all optimizations on", Box::new(|_c: &mut SimConfig| {})),
+            ("no face-pair splitting", Box::new(|c| c.split_face_pairs = false)),
+            ("naive multicast", Box::new(|c| c.multicast = MulticastMode::Naive)),
+            ("non-migratable bonded", Box::new(|c| c.migratable_bonded = false)),
+        ];
+        for (name, tweak) in features {
+            let mut cfg = SimConfig::new(pes, machine);
+            cfg.steps_per_phase = 3;
+            tweak(&mut cfg);
+            // Splitting and bonded migratability change the decomposition.
+            let decomp = build_decomposition(&sys, &cfg);
+            let (t, _) = bench_with(cfg, &sys, &decomp);
+            println!("{name:<26} {:>9.2} ms/step", t * 1e3);
+        }
+        println!();
+    }
+}

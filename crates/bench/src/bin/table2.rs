@@ -1,0 +1,18 @@
+//! Table 2: ApoA-I (92,224 atoms) on the ASCI-Red machine model.
+use namd_bench::paper::TABLE2;
+use namd_bench::speedup::{render_table, run_speedup_table};
+
+fn main() {
+    let pes = [1, 4, 8, 32, 64, 128, 256, 512, 768, 1024, 1536, 2048];
+    let rows = run_speedup_table(
+        &molgen::apoa1_like(),
+        machine::presets::asci_red(),
+        &pes,
+        (1, 1.0),
+        3,
+    );
+    print!(
+        "{}",
+        render_table("Table 2 — ApoA-I simulation (92,224 atoms) on ASCI-Red", &rows, TABLE2)
+    );
+}

@@ -1,0 +1,24 @@
+//! Table 3: BC1 (206,617 atoms) on the ASCI-Red machine model. Speedup is
+//! scaled relative to 2 processors = 2.0, like the paper (the simulation
+//! was too large to run on one node).
+use namd_bench::paper::TABLE3;
+use namd_bench::speedup::{render_table, run_speedup_table};
+
+fn main() {
+    let pes = [2, 4, 8, 32, 64, 128, 256, 512, 768, 1024, 1536, 2048];
+    let rows = run_speedup_table(
+        &molgen::bc1_like(),
+        machine::presets::asci_red(),
+        &pes,
+        (2, 2.0),
+        3,
+    );
+    print!(
+        "{}",
+        render_table(
+            "Table 3 — BC1 simulation (206,617 atoms) on ASCI-Red (speedup rel. 2 PEs = 2.0)",
+            &rows,
+            TABLE3
+        )
+    );
+}

@@ -1,0 +1,19 @@
+//! Table 4: bR (3,762 atoms) on the ASCI-Red machine model — the small
+//! system that stops scaling around 64 processors.
+use namd_bench::paper::TABLE4;
+use namd_bench::speedup::{render_table, run_speedup_table};
+
+fn main() {
+    let pes = [1, 2, 4, 8, 32, 64, 128, 256];
+    let rows = run_speedup_table(
+        &molgen::br_like(),
+        machine::presets::asci_red(),
+        &pes,
+        (1, 1.0),
+        3,
+    );
+    print!(
+        "{}",
+        render_table("Table 4 — bR simulation (3,762 atoms) on ASCI-Red", &rows, TABLE4)
+    );
+}

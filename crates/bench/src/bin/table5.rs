@@ -1,0 +1,23 @@
+//! Table 5: ApoA-I on the Cray T3E-900 model. Speedup is scaled relative to
+//! 4 processors = 4.0, like the paper.
+use namd_bench::paper::TABLE5;
+use namd_bench::speedup::{render_table, run_speedup_table};
+
+fn main() {
+    let pes = [4, 8, 16, 32, 64, 128, 256];
+    let rows = run_speedup_table(
+        &molgen::apoa1_like(),
+        machine::presets::t3e_900(),
+        &pes,
+        (4, 4.0),
+        3,
+    );
+    print!(
+        "{}",
+        render_table(
+            "Table 5 — ApoA-I simulation on the PSC T3E-900 (speedup rel. 4 PEs = 4.0)",
+            &rows,
+            TABLE5
+        )
+    );
+}

@@ -1,0 +1,18 @@
+//! Table 6: ApoA-I on the SGI Origin 2000 model (250 MHz processors).
+use namd_bench::paper::TABLE6;
+use namd_bench::speedup::{render_table, run_speedup_table};
+
+fn main() {
+    let pes = [1, 2, 4, 8, 16, 32, 64, 80];
+    let rows = run_speedup_table(
+        &molgen::apoa1_like(),
+        machine::presets::origin2000(),
+        &pes,
+        (1, 1.0),
+        3,
+    );
+    print!(
+        "{}",
+        render_table("Table 6 — ApoA-I simulation on the NCSA Origin 2000", &rows, TABLE6)
+    );
+}

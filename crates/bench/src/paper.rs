@@ -1,0 +1,128 @@
+//! Reference numbers from the paper's tables, printed beside our measured
+//! values so every harness run is a self-contained paper-vs-measured
+//! comparison.
+
+/// One row of a paper speedup table.
+#[derive(Debug, Clone, Copy)]
+pub struct PaperRow {
+    pub pes: usize,
+    pub sec_per_step: f64,
+    pub speedup: f64,
+    /// GFLOPS where the paper reports it.
+    pub gflops: Option<f64>,
+}
+
+const fn row(pes: usize, sec_per_step: f64, speedup: f64, gflops: f64) -> PaperRow {
+    PaperRow { pes, sec_per_step, speedup, gflops: Some(gflops) }
+}
+
+/// Table 2: ApoA-I (92,224 atoms) on ASCI-Red.
+pub const TABLE2: &[PaperRow] = &[
+    row(1, 57.1, 1.0, 0.0480),
+    row(4, 14.7, 3.9, 0.186),
+    row(8, 7.31, 7.8, 0.375),
+    row(32, 1.9, 30.1, 1.44),
+    row(64, 0.964, 59.2, 2.84),
+    row(128, 0.493, 116.0, 5.56),
+    row(256, 0.259, 221.0, 10.6),
+    row(512, 0.152, 376.0, 18.0),
+    row(768, 0.102, 560.0, 26.9),
+    row(1024, 0.0822, 695.0, 33.3),
+    row(1536, 0.0645, 885.0, 42.5),
+    row(2048, 0.0573, 997.0, 47.8),
+];
+
+/// Table 3: BC1 (206,617 atoms) on ASCI-Red; scaling relative to 2 PEs = 2.0.
+pub const TABLE3: &[PaperRow] = &[
+    row(2, 74.2, 2.0, 0.0933),
+    row(4, 37.8, 3.9, 0.183),
+    row(8, 19.3, 7.7, 0.359),
+    row(32, 4.91, 30.3, 1.41),
+    row(64, 2.49, 59.6, 2.78),
+    row(128, 1.26, 118.0, 5.49),
+    row(256, 0.653, 227.0, 10.6),
+    row(512, 0.352, 422.0, 19.7),
+    row(768, 0.246, 603.0, 28.1),
+    row(1024, 0.192, 773.0, 36.1),
+    row(1536, 0.141, 1052.0, 49.1),
+    row(2048, 0.119, 1252.0, 58.4),
+];
+
+/// Table 4: bR (3,762 atoms) on ASCI-Red (no GFLOPS column in the paper).
+pub const TABLE4: &[PaperRow] = &[
+    PaperRow { pes: 1, sec_per_step: 1.47, speedup: 1.0, gflops: None },
+    PaperRow { pes: 2, sec_per_step: 0.759, speedup: 1.94, gflops: None },
+    PaperRow { pes: 4, sec_per_step: 0.384, speedup: 3.83, gflops: None },
+    PaperRow { pes: 8, sec_per_step: 0.196, speedup: 7.50, gflops: None },
+    PaperRow { pes: 32, sec_per_step: 0.071, speedup: 20.7, gflops: None },
+    PaperRow { pes: 64, sec_per_step: 0.0358, speedup: 41.1, gflops: None },
+    PaperRow { pes: 128, sec_per_step: 0.0299, speedup: 49.2, gflops: None },
+    PaperRow { pes: 256, sec_per_step: 0.0300, speedup: 49.0, gflops: None },
+];
+
+/// Table 5: ApoA-I on the PSC T3E-900; scaling relative to 4 PEs = 4.0.
+pub const TABLE5: &[PaperRow] = &[
+    row(4, 10.7, 4.0, 0.256),
+    row(8, 5.28, 8.1, 0.519),
+    row(16, 2.64, 16.2, 1.04),
+    row(32, 1.35, 31.7, 2.03),
+    row(64, 0.688, 62.2, 3.98),
+    row(128, 0.356, 120.0, 7.69),
+    row(256, 0.185, 231.0, 14.8),
+];
+
+/// Table 6: ApoA-I on the NCSA Origin 2000.
+pub const TABLE6: &[PaperRow] = &[
+    row(1, 24.4, 1.0, 0.112),
+    row(2, 12.5, 1.95, 0.219),
+    row(4, 6.30, 3.89, 0.435),
+    row(8, 3.18, 7.68, 0.862),
+    row(16, 1.60, 15.2, 1.71),
+    row(32, 0.860, 28.4, 3.19),
+    row(64, 0.411, 59.4, 6.67),
+    row(80, 0.349, 70.0, 7.86),
+];
+
+/// Table 1: the performance audit for ApoA-I on 1024 ASCI-Red PEs at an
+/// intermediate optimization stage (ms/step): total, non-bonded, bonds,
+/// integration, overhead, imbalance, idle, receives.
+pub const TABLE1_IDEAL_MS: [f64; 8] = [57.04, 52.44, 3.16, 1.44, 0.0, 0.0, 0.0, 0.0];
+/// Table 1, "Actual" row.
+pub const TABLE1_ACTUAL_MS: [f64; 8] = [86.0, 49.77, 3.9, 3.05, 7.97, 10.45, 9.25, 1.61];
+
+/// Figure 1: largest task grainsize before face-pair splitting, seconds.
+pub const FIG1_MAX_GRAINSIZE_S: f64 = 0.042;
+/// Figure 2 shows the post-splitting maximum near 15 ms.
+pub const FIG2_MAX_GRAINSIZE_S: f64 = 0.015;
+
+/// Find the paper row for a PE count.
+pub fn lookup(table: &[PaperRow], pes: usize) -> Option<&PaperRow> {
+    table.iter().find(|r| r.pes == pes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tables_are_monotone_in_pes() {
+        for t in [TABLE2, TABLE3, TABLE4, TABLE5, TABLE6] {
+            for w in t.windows(2) {
+                assert!(w[0].pes < w[1].pes);
+                assert!(w[0].sec_per_step >= w[1].sec_per_step * 0.95);
+            }
+        }
+    }
+
+    #[test]
+    fn audit_rows_sum() {
+        let sum: f64 = TABLE1_ACTUAL_MS[1..].iter().sum();
+        assert!((sum - TABLE1_ACTUAL_MS[0]).abs() < 0.1, "paper audit sums to {sum}");
+    }
+
+    #[test]
+    fn lookup_finds_rows() {
+        assert!(lookup(TABLE2, 1024).is_some());
+        assert!(lookup(TABLE2, 3).is_none());
+    }
+}

@@ -1,0 +1,203 @@
+//! The data-driven object (chare) abstraction and the execution context
+//! handed to entry methods.
+
+use crate::msg::{empty_payload, ObjId, Payload, Pe, Priority};
+
+/// A data-driven object. All computation happens inside [`Chare::receive`],
+/// triggered by message delivery — the runtime's per-PE scheduler picks the
+/// next available message and invokes the indicated method on the indicated
+/// object, exactly as described in §2.2 of the paper.
+pub trait Chare {
+    /// Handle one message. `entry` selects the method, `payload` carries the
+    /// data; use `ctx` to send messages, declare modeled work, and query the
+    /// runtime.
+    fn receive(&mut self, entry: crate::msg::EntryId, payload: Payload, ctx: &mut Ctx);
+}
+
+/// How a coordinate-style multicast is costed (§4.2.3 of the paper):
+/// the naive path packs and allocates per destination; the optimized path
+/// packs once and reuses the buffer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MulticastMode {
+    /// One user-level allocation+packing per destination message.
+    Naive,
+    /// A single user-level allocation+packing shared by all destinations.
+    Optimized,
+}
+
+/// One outgoing message recorded during an entry-method execution.
+#[derive(Debug)]
+pub(crate) struct OutMsg {
+    pub to: ObjId,
+    pub entry: crate::msg::EntryId,
+    pub bytes: usize,
+    pub priority: Priority,
+    pub payload: Payload,
+    /// Sender-side CPU cost category: position in the multicast, if any.
+    pub pack: PackCost,
+}
+
+/// Sender-side packing cost classification.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum PackCost {
+    /// Standalone message: full pack + send overhead.
+    Single,
+    /// First message of an optimized multicast: pays the one packing.
+    McFirst,
+    /// Subsequent message of an optimized multicast: send overhead only.
+    McRest,
+}
+
+/// Execution context for one entry-method invocation. Collects the work the
+/// method performs and the messages it sends; the engine converts both into
+/// virtual time using the machine model after the handler returns.
+pub struct Ctx {
+    pub(crate) sends: Vec<OutMsg>,
+    pub(crate) work: f64,
+    pub(crate) stop: bool,
+    pe: Pe,
+    now: f64,
+    this: ObjId,
+    n_pes: usize,
+}
+
+impl Ctx {
+    pub(crate) fn new(pe: Pe, now: f64, this: ObjId, n_pes: usize) -> Self {
+        Ctx { sends: Vec::new(), work: 0.0, stop: false, pe, now, this, n_pes }
+    }
+
+    /// Send a message of `bytes` bytes to another object. The payload is
+    /// delivered to the destination's `receive`; `bytes` (not the Rust size
+    /// of the payload) drives the communication cost model.
+    pub fn send(
+        &mut self,
+        to: ObjId,
+        entry: crate::msg::EntryId,
+        bytes: usize,
+        priority: Priority,
+        payload: Payload,
+    ) {
+        self.sends.push(OutMsg { to, entry, bytes, priority, payload, pack: PackCost::Single });
+    }
+
+    /// Send a signal-only message (no payload bytes beyond a header).
+    pub fn signal(&mut self, to: ObjId, entry: crate::msg::EntryId, priority: Priority) {
+        self.send(to, entry, 32, priority, empty_payload());
+    }
+
+    /// Multicast identical data to several destinations. With
+    /// [`MulticastMode::Naive`], every destination pays the full user-level
+    /// allocation and packing cost; with [`MulticastMode::Optimized`] the
+    /// packing is done once (the optimization of §4.2.3). Payloads are
+    /// produced per-destination by `payload` (the DES cannot clone `Any`).
+    pub fn multicast(
+        &mut self,
+        dests: &[ObjId],
+        entry: crate::msg::EntryId,
+        bytes: usize,
+        priority: Priority,
+        mode: MulticastMode,
+        mut payload: impl FnMut(usize) -> Payload,
+    ) {
+        for (k, &to) in dests.iter().enumerate() {
+            let pack = match mode {
+                MulticastMode::Naive => PackCost::Single,
+                MulticastMode::Optimized if k == 0 => PackCost::McFirst,
+                MulticastMode::Optimized => PackCost::McRest,
+            };
+            self.sends.push(OutMsg {
+                to,
+                entry,
+                bytes,
+                priority,
+                payload: payload(k),
+                pack,
+            });
+        }
+    }
+
+    /// Declare that this entry method performed `units` abstract work units
+    /// (≈ non-bonded pair interactions). The engine charges
+    /// `machine.task_time(units)` of virtual CPU time.
+    pub fn add_work(&mut self, units: f64) {
+        debug_assert!(units >= 0.0 && units.is_finite());
+        self.work += units;
+    }
+
+    /// Current virtual time, seconds.
+    pub fn now(&self) -> f64 {
+        self.now
+    }
+
+    /// The PE this handler is executing on.
+    pub fn my_pe(&self) -> Pe {
+        self.pe
+    }
+
+    /// The object currently executing.
+    pub fn this(&self) -> ObjId {
+        self.this
+    }
+
+    /// Number of PEs in the run.
+    pub fn n_pes(&self) -> usize {
+        self.n_pes
+    }
+
+    /// Request that the engine stop after this handler (end of simulation).
+    pub fn stop(&mut self) {
+        self.stop = true;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::msg::{EntryId, PRIO_NORMAL};
+
+    #[test]
+    fn ctx_records_sends_and_work() {
+        let mut ctx = Ctx::new(3, 1.5, ObjId(9), 8);
+        assert_eq!(ctx.my_pe(), 3);
+        assert_eq!(ctx.now(), 1.5);
+        assert_eq!(ctx.this(), ObjId(9));
+        assert_eq!(ctx.n_pes(), 8);
+        ctx.add_work(10.0);
+        ctx.add_work(5.0);
+        assert_eq!(ctx.work, 15.0);
+        ctx.signal(ObjId(1), EntryId(0), PRIO_NORMAL);
+        assert_eq!(ctx.sends.len(), 1);
+        assert_eq!(ctx.sends[0].pack, PackCost::Single);
+    }
+
+    #[test]
+    fn optimized_multicast_marks_first_message() {
+        let mut ctx = Ctx::new(0, 0.0, ObjId(0), 4);
+        let dests = [ObjId(1), ObjId(2), ObjId(3)];
+        ctx.multicast(
+            &dests,
+            EntryId(1),
+            1000,
+            PRIO_NORMAL,
+            MulticastMode::Optimized,
+            |_| crate::msg::empty_payload(),
+        );
+        let packs: Vec<_> = ctx.sends.iter().map(|s| s.pack).collect();
+        assert_eq!(packs, vec![PackCost::McFirst, PackCost::McRest, PackCost::McRest]);
+    }
+
+    #[test]
+    fn naive_multicast_packs_every_message() {
+        let mut ctx = Ctx::new(0, 0.0, ObjId(0), 4);
+        let dests = [ObjId(1), ObjId(2)];
+        ctx.multicast(
+            &dests,
+            EntryId(1),
+            1000,
+            PRIO_NORMAL,
+            MulticastMode::Naive,
+            |_| crate::msg::empty_payload(),
+        );
+        assert!(ctx.sends.iter().all(|s| s.pack == PackCost::Single));
+    }
+}

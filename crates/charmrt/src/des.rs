@@ -1,0 +1,601 @@
+//! The discrete-event execution engine: data-driven objects on `P` virtual
+//! processors, each with a prioritized scheduler queue, costed by a
+//! [`machine::MachineModel`].
+//!
+//! The engine reproduces the Converse/Charm++ execution model of §2.2:
+//! messages are delivered to per-PE prioritized queues; an idle PE's
+//! scheduler repeatedly picks the best available message and invokes the
+//! indicated entry method on the indicated object. Handler CPU time is
+//! `recv_overhead + task_time(declared work) + send costs`, and every
+//! execution is attributed to the summary profile, the optional full trace,
+//! and the load-balancing database.
+//!
+//! Determinism: event ordering is (time, sequence number); all queues break
+//! ties by insertion order, so a run is a pure function of its inputs.
+
+use crate::chare::{Chare, Ctx, PackCost};
+use crate::ldb::LdbDatabase;
+use crate::msg::{EntryId, ObjId, Payload, Pe, Priority};
+use crate::stats::SummaryStats;
+use crate::trace::{Trace, TraceEvent};
+use machine::MachineModel;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// A queued (delivered but not yet executed) message on a PE.
+struct QMsg {
+    priority: Priority,
+    seq: u64,
+    /// Sending object (recorded on the LDB communication graph).
+    #[allow(dead_code)]
+    from: ObjId,
+    to: ObjId,
+    entry: EntryId,
+    bytes: usize,
+    payload: Payload,
+}
+
+impl PartialEq for QMsg {
+    fn eq(&self, other: &Self) -> bool {
+        self.priority == other.priority && self.seq == other.seq
+    }
+}
+impl Eq for QMsg {}
+impl PartialOrd for QMsg {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for QMsg {
+    // BinaryHeap is a max-heap; we want the *smallest* (priority, seq) out
+    // first, so invert the comparison.
+    fn cmp(&self, other: &Self) -> Ordering {
+        (other.priority, other.seq).cmp(&(self.priority, self.seq))
+    }
+}
+
+/// A future event in virtual time.
+struct Event {
+    time: f64,
+    seq: u64,
+    kind: EventKind,
+}
+
+enum EventKind {
+    /// A message reaches a PE's queue.
+    Deliver { pe: Pe, msg: QMsg },
+    /// A PE's scheduler wakes up to run the next queued message.
+    Execute { pe: Pe },
+}
+
+impl PartialEq for Event {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl Eq for Event {}
+impl PartialOrd for Event {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Event {
+    // Min-heap by (time, seq) through inversion.
+    fn cmp(&self, other: &Self) -> Ordering {
+        other
+            .time
+            .partial_cmp(&self.time)
+            .expect("NaN event time")
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+struct PeState {
+    /// Virtual time until which the PE is executing a handler.
+    busy_until: f64,
+    /// Prioritized scheduler queue.
+    queue: BinaryHeap<QMsg>,
+    /// Whether an Execute event is already pending for this PE.
+    execute_scheduled: bool,
+}
+
+/// The engine. See the module docs for the execution model.
+///
+/// ```
+/// use charmrt::{Chare, Ctx, Des, EntryId, Payload, PRIO_NORMAL, empty_payload};
+///
+/// // A chare that does 1000 work units when poked.
+/// struct Worker;
+/// impl Chare for Worker {
+///     fn receive(&mut self, _e: EntryId, _p: Payload, ctx: &mut Ctx) {
+///         ctx.add_work(1000.0);
+///     }
+/// }
+///
+/// let mut des = Des::new(4, machine::presets::asci_red());
+/// let poke = des.register_entry("poke");
+/// let w = des.register(Box::new(Worker), 2, true);
+/// des.inject(w, poke, 0, PRIO_NORMAL, empty_payload());
+/// let makespan = des.run();
+/// assert!(makespan > 0.0);
+/// assert_eq!(des.stats.entry_count[poke.idx()], 1);
+/// ```
+pub struct Des {
+    machine: MachineModel,
+    n_pes: usize,
+    now: f64,
+    seq: u64,
+    events: BinaryHeap<Event>,
+    pes: Vec<PeState>,
+    objects: Vec<Option<Box<dyn Chare>>>,
+    obj_pe: Vec<Pe>,
+    stopped: bool,
+    /// Latest handler completion time (the run's makespan).
+    last_activity: f64,
+    /// Per-PE speed factor (1.0 = nominal). Models heterogeneous or
+    /// externally-loaded processors (workstation clusters, ref [3] of the
+    /// paper): all CPU time on PE p is divided by `pe_speed[p]`.
+    pe_speed: Vec<f64>,
+    /// Summary-profile instrumentation (always on; it is cheap).
+    pub stats: SummaryStats,
+    /// Full event trace (opt-in via [`Des::set_tracing`]).
+    pub trace: Trace,
+    tracing: bool,
+    /// Load-balancing measurement database.
+    pub ldb: LdbDatabase,
+}
+
+impl Des {
+    /// Create an engine with `n_pes` virtual processors costed by `machine`.
+    pub fn new(n_pes: usize, machine: MachineModel) -> Self {
+        assert!(n_pes > 0, "need at least one PE");
+        Des {
+            machine,
+            n_pes,
+            now: 0.0,
+            seq: 0,
+            events: BinaryHeap::new(),
+            pes: (0..n_pes)
+                .map(|_| PeState {
+                    busy_until: 0.0,
+                    queue: BinaryHeap::new(),
+                    execute_scheduled: false,
+                })
+                .collect(),
+            objects: Vec::new(),
+            obj_pe: Vec::new(),
+            stopped: false,
+            last_activity: 0.0,
+            pe_speed: vec![1.0; n_pes],
+            stats: SummaryStats::new(n_pes),
+            trace: Trace::default(),
+            tracing: false,
+            ldb: LdbDatabase::new(n_pes),
+        }
+    }
+
+    /// Number of PEs.
+    pub fn n_pes(&self) -> usize {
+        self.n_pes
+    }
+
+    /// Current virtual time, seconds.
+    pub fn now(&self) -> f64 {
+        self.now
+    }
+
+    /// The machine model in use.
+    pub fn machine(&self) -> &MachineModel {
+        &self.machine
+    }
+
+    /// Register an entry method by name; returns its id.
+    pub fn register_entry(&mut self, name: &str) -> EntryId {
+        self.stats.register_entry(name)
+    }
+
+    /// Register an object on a PE. `migratable` controls whether its load is
+    /// measured per-object (true) or folded into the PE's background load.
+    pub fn register(&mut self, obj: Box<dyn Chare>, pe: Pe, migratable: bool) -> ObjId {
+        assert!(pe < self.n_pes, "PE {pe} out of range ({} PEs)", self.n_pes);
+        let id = ObjId(self.objects.len() as u32);
+        self.objects.push(Some(obj));
+        self.obj_pe.push(pe);
+        self.ldb.on_register(migratable);
+        id
+    }
+
+    /// The PE an object currently lives on.
+    pub fn pe_of(&self, obj: ObjId) -> Pe {
+        self.obj_pe[obj.idx()]
+    }
+
+    /// Current object→PE placement (indexed by `ObjId`).
+    pub fn placement(&self) -> &[Pe] {
+        &self.obj_pe
+    }
+
+    /// Move an object to another PE (between steps; the engine does not
+    /// model migration message cost — the paper likewise excludes the load
+    /// balancer's own cost from per-step times).
+    pub fn migrate(&mut self, obj: ObjId, pe: Pe) {
+        assert!(pe < self.n_pes);
+        self.obj_pe[obj.idx()] = pe;
+    }
+
+    /// Immutable access to a registered object (e.g. to read results out
+    /// after the run). Panics if the object is currently executing.
+    pub fn object(&self, obj: ObjId) -> &dyn Chare {
+        self.objects[obj.idx()].as_deref().expect("object is executing")
+    }
+
+    /// Mutable access to a registered object between runs.
+    pub fn object_mut(&mut self, obj: ObjId) -> &mut dyn Chare {
+        self.objects[obj.idx()].as_deref_mut().expect("object is executing")
+    }
+
+    /// Enable or disable full event tracing.
+    pub fn set_tracing(&mut self, on: bool) {
+        self.tracing = on;
+    }
+
+    /// Set per-PE speed factors (1.0 = nominal; 0.5 = half speed, e.g. a
+    /// workstation shared with an interactive user). All handler CPU time
+    /// on a PE is divided by its factor, so the measurement-based load
+    /// balancer *observes* the slowdown and can adapt to it.
+    pub fn set_pe_speeds(&mut self, speeds: Vec<f64>) {
+        assert_eq!(speeds.len(), self.n_pes);
+        assert!(speeds.iter().all(|&s| s > 0.0), "speeds must be positive");
+        self.pe_speed = speeds;
+    }
+
+    /// Inject a message from "outside" (the driver bootstrap). It is
+    /// delivered at the current virtual time with no communication cost.
+    pub fn inject(
+        &mut self,
+        to: ObjId,
+        entry: EntryId,
+        bytes: usize,
+        priority: Priority,
+        payload: Payload,
+    ) {
+        let pe = self.obj_pe[to.idx()];
+        let msg = QMsg { priority, seq: self.next_seq(), from: to, to, entry, bytes, payload };
+        let t = self.now;
+        self.push_event(t, EventKind::Deliver { pe, msg });
+    }
+
+    fn next_seq(&mut self) -> u64 {
+        self.seq += 1;
+        self.seq
+    }
+
+    fn push_event(&mut self, time: f64, kind: EventKind) {
+        let seq = self.next_seq();
+        self.events.push(Event { time, seq, kind });
+    }
+
+    /// Run until the event queue drains or a handler calls [`Ctx::stop`].
+    /// Returns the final virtual time (when the last handler finished).
+    pub fn run(&mut self) -> f64 {
+        self.stopped = false;
+        while let Some(ev) = self.events.pop() {
+            debug_assert!(ev.time >= self.now - 1e-12, "time went backwards");
+            self.now = ev.time.max(self.now);
+            match ev.kind {
+                EventKind::Deliver { pe, msg } => self.on_deliver(pe, msg),
+                EventKind::Execute { pe } => self.on_execute(pe),
+            }
+            if self.stopped {
+                break;
+            }
+        }
+        self.now = self.now.max(self.last_activity);
+        self.now
+    }
+
+    fn on_deliver(&mut self, pe: Pe, msg: QMsg) {
+        let st = &mut self.pes[pe];
+        st.queue.push(msg);
+        if !st.execute_scheduled {
+            st.execute_scheduled = true;
+            let t = st.busy_until.max(self.now);
+            self.push_event(t, EventKind::Execute { pe });
+        }
+    }
+
+    fn on_execute(&mut self, pe: Pe) {
+        let msg = {
+            let st = &mut self.pes[pe];
+            st.execute_scheduled = false;
+            match st.queue.pop() {
+                Some(m) => m,
+                None => return,
+            }
+        };
+        let start = self.now;
+
+        // The object may have migrated since delivery: forward the message.
+        let home = self.obj_pe[msg.to.idx()];
+        if home != pe {
+            let t = start + self.machine.wire_time(msg.bytes);
+            self.push_event(t, EventKind::Deliver { pe: home, msg });
+            self.reschedule(pe);
+            return;
+        }
+
+        // Run the handler.
+        let mut obj = self.objects[msg.to.idx()].take().expect("re-entrant object execution");
+        let mut ctx = Ctx::new(pe, start, msg.to, self.n_pes);
+        obj.receive(msg.entry, msg.payload, &mut ctx);
+        self.objects[msg.to.idx()] = Some(obj);
+
+        // Cost the execution: receive overhead + declared work + send costs.
+        let mut cpu = self.machine.recv_time() + self.machine.task_time(ctx.work);
+        self.stats.recv_overhead += self.machine.recv_time();
+        let mut send_cpu = 0.0;
+        let mut pack_cpu = 0.0;
+        for s in &ctx.sends {
+            let (pack, send) = match s.pack {
+                PackCost::Single => (self.machine.pack_overhead_s, self.machine.send_time(s.bytes)),
+                PackCost::McFirst => {
+                    (self.machine.pack_overhead_s, self.machine.send_time(s.bytes))
+                }
+                // Buffer reuse: only the fixed per-message overhead remains.
+                PackCost::McRest => (0.0, self.machine.send_overhead_s),
+            };
+            pack_cpu += pack;
+            send_cpu += send;
+        }
+        cpu += send_cpu + pack_cpu;
+        cpu /= self.pe_speed[pe];
+        self.stats.send_overhead += send_cpu;
+        self.stats.pack_time += pack_cpu;
+
+        let end = start + cpu;
+        self.pes[pe].busy_until = end;
+        self.last_activity = self.last_activity.max(end);
+        self.stats.pe_busy[pe] += cpu;
+        self.stats.entry_time[msg.entry.idx()] += cpu;
+        self.stats.entry_count[msg.entry.idx()] += 1;
+        self.stats.msgs_sent += ctx.sends.len() as u64;
+        self.ldb.attribute(msg.to, pe, cpu);
+        if self.tracing {
+            self.trace.record(TraceEvent { pe, obj: msg.to, entry: msg.entry, start, end });
+        }
+
+        // Dispatch the sends: they leave the sender when the handler ends.
+        let stop = ctx.stop;
+        for s in ctx.sends.drain(..) {
+            self.stats.bytes_sent += s.bytes as u64;
+            self.ldb.on_message(msg.to, s.to, s.bytes);
+            let dest_pe = self.obj_pe[s.to.idx()];
+            let arrive = if dest_pe == pe { end } else { end + self.machine.wire_time(s.bytes) };
+            let q = QMsg {
+                priority: s.priority,
+                seq: self.next_seq(),
+                from: msg.to,
+                to: s.to,
+                entry: s.entry,
+                bytes: s.bytes,
+                payload: s.payload,
+            };
+            self.push_event(arrive, EventKind::Deliver { pe: dest_pe, msg: q });
+        }
+
+        if stop {
+            self.stopped = true;
+        }
+        // Wake the scheduler for the next queued message.
+        let st = &mut self.pes[pe];
+        if !st.queue.is_empty() && !st.execute_scheduled {
+            st.execute_scheduled = true;
+            self.push_event(end, EventKind::Execute { pe });
+        }
+    }
+
+    fn reschedule(&mut self, pe: Pe) {
+        let st = &mut self.pes[pe];
+        if !st.queue.is_empty() && !st.execute_scheduled {
+            st.execute_scheduled = true;
+            let t = st.busy_until.max(self.now);
+            self.push_event(t, EventKind::Execute { pe });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::msg::{empty_payload, PRIO_HIGH, PRIO_LOW, PRIO_NORMAL};
+    use machine::presets;
+
+    use std::cell::RefCell;
+    use std::rc::Rc;
+
+    /// A chare that counts invocations and optionally forwards to a peer
+    /// with declared work. Tagged payloads are appended to a shared order
+    /// log so tests can observe scheduling order.
+    struct Node {
+        hits: u32,
+        forward: Option<(ObjId, EntryId)>,
+        work: f64,
+        order: Rc<RefCell<Vec<i32>>>,
+    }
+
+    impl Node {
+        fn new() -> Self {
+            Node { hits: 0, forward: None, work: 0.0, order: Rc::new(RefCell::new(Vec::new())) }
+        }
+    }
+
+    impl Chare for Node {
+        fn receive(&mut self, _entry: EntryId, payload: Payload, ctx: &mut Ctx) {
+            self.hits += 1;
+            if let Ok(tag) = payload.downcast::<i32>() {
+                self.order.borrow_mut().push(*tag);
+            }
+            ctx.add_work(self.work);
+            if let Some((to, e)) = self.forward {
+                ctx.signal(to, e, PRIO_NORMAL);
+            }
+        }
+    }
+
+    #[test]
+    fn message_chain_executes_in_virtual_time() {
+        let mut des = Des::new(2, presets::ideal());
+        let ping = des.register_entry("ping");
+        let b = des.register(Box::new(Node { work: 100.0, ..Node::new() }), 1, true);
+        let a = des.register(
+            Box::new(Node { forward: Some((b, ping)), work: 50.0, ..Node::new() }),
+            0,
+            true,
+        );
+        des.inject(a, ping, 0, PRIO_NORMAL, empty_payload());
+        let t = des.run();
+        // a: 50 µs, then b: 100 µs (ideal machine: 1 µs per work unit).
+        assert!((t - 150e-6).abs() < 1e-12, "final time {t}");
+        assert_eq!(des.stats.entry_count[ping.idx()], 2);
+        assert!((des.stats.pe_busy[0] - 50e-6).abs() < 1e-12);
+        assert!((des.stats.pe_busy[1] - 100e-6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn priorities_order_the_queue() {
+        // Three messages delivered while the PE is busy; the high-priority
+        // one must run first, then normal, then low.
+        let mut des = Des::new(1, presets::ideal());
+        let e = des.register_entry("tagged");
+        let order = Rc::new(RefCell::new(Vec::new()));
+        let sink = des.register(
+            Box::new(Node { work: 10.0, order: order.clone(), ..Node::new() }),
+            0,
+            true,
+        );
+        // All four are delivered (in injection order) before the scheduler
+        // first wakes, so execution orders purely by (priority, arrival):
+        // high first, then the two normals in arrival order, then low.
+        des.inject(sink, e, 0, PRIO_NORMAL, Box::new(1i32));
+        des.inject(sink, e, 0, PRIO_LOW, Box::new(3i32));
+        des.inject(sink, e, 0, PRIO_NORMAL, Box::new(2i32));
+        des.inject(sink, e, 0, PRIO_HIGH, Box::new(0i32));
+        des.run();
+        assert_eq!(*order.borrow(), vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn work_costs_scale_with_machine() {
+        for m in [presets::asci_red(), presets::origin2000()] {
+            let mut des = Des::new(1, m);
+            let e = des.register_entry("w");
+            let o = des.register(Box::new(Node { work: 1e6, ..Node::new() }), 0, true);
+            des.inject(o, e, 0, PRIO_NORMAL, empty_payload());
+            let t = des.run();
+            let expect = m.recv_time() + m.task_time(1e6);
+            assert!((t - expect).abs() < 1e-12, "{}: {t} vs {expect}", m.name);
+        }
+    }
+
+    #[test]
+    fn cross_pe_messages_pay_wire_time() {
+        let m = presets::asci_red();
+        let mut des = Des::new(2, m);
+        let e = des.register_entry("x");
+        let b = des.register(Box::new(Node::new()), 1, true);
+        let a =
+            des.register(Box::new(Node { forward: Some((b, e)), ..Node::new() }), 0, true);
+        des.inject(a, e, 0, PRIO_NORMAL, empty_payload());
+        let t = des.run();
+        // a's handler: recv + send of 32B; then wire; then b's handler: recv.
+        let a_cpu = m.recv_time() + m.pack_overhead_s + m.send_time(32);
+        let expect = a_cpu + m.wire_time(32) + m.recv_time();
+        assert!((t - expect).abs() < 1e-12, "{t} vs {expect}");
+    }
+
+    #[test]
+    fn migration_moves_future_deliveries() {
+        let mut des = Des::new(2, presets::ideal());
+        let e = des.register_entry("m");
+        let o = des.register(Box::new(Node { work: 5.0, ..Node::new() }), 0, true);
+        des.inject(o, e, 0, PRIO_NORMAL, empty_payload());
+        des.run();
+        assert!(des.stats.pe_busy[0] > 0.0);
+        des.migrate(o, 1);
+        let before = des.stats.pe_busy[1];
+        des.inject(o, e, 0, PRIO_NORMAL, empty_payload());
+        des.run();
+        assert!(des.stats.pe_busy[1] > before, "work should land on PE 1 after migration");
+    }
+
+    #[test]
+    fn ldb_attributes_loads() {
+        let mut des = Des::new(2, presets::ideal());
+        let e = des.register_entry("l");
+        let mig = des.register(Box::new(Node { work: 100.0, ..Node::new() }), 0, true);
+        let fixed = des.register(Box::new(Node { work: 200.0, ..Node::new() }), 1, false);
+        des.inject(mig, e, 0, PRIO_NORMAL, empty_payload());
+        des.inject(fixed, e, 0, PRIO_NORMAL, empty_payload());
+        des.run();
+        let snap = des.ldb.snapshot(des.placement());
+        assert!((snap.objects[mig.idx()].load - 100e-6).abs() < 1e-12);
+        assert_eq!(snap.objects[fixed.idx()].load, 0.0);
+        assert!((snap.background[1] - 200e-6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tracing_records_executions() {
+        let mut des = Des::new(1, presets::ideal());
+        let e = des.register_entry("t");
+        let o = des.register(Box::new(Node { work: 50.0, ..Node::new() }), 0, true);
+        des.set_tracing(true);
+        des.inject(o, e, 0, PRIO_NORMAL, empty_payload());
+        des.run();
+        assert_eq!(des.trace.events.len(), 1);
+        let ev = des.trace.events[0];
+        assert_eq!(ev.pe, 0);
+        assert!((ev.duration() - 50e-6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stop_halts_the_engine() {
+        struct Stopper;
+        impl Chare for Stopper {
+            fn receive(&mut self, _e: EntryId, _p: Payload, ctx: &mut Ctx) {
+                ctx.stop();
+            }
+        }
+        let mut des = Des::new(1, presets::ideal());
+        let e = des.register_entry("s");
+        let o = des.register(Box::new(Stopper), 0, true);
+        let n = des.register(Box::new(Node { work: 1e9, ..Node::new() }), 0, true);
+        des.inject(o, e, 0, PRIO_HIGH, empty_payload());
+        des.inject(n, e, 0, PRIO_LOW, empty_payload());
+        des.run();
+        // The big task never ran.
+        assert_eq!(des.stats.entry_count[e.idx()], 1);
+    }
+
+    #[test]
+    fn deterministic_repeat_runs() {
+        let build = || {
+            let mut des = Des::new(4, presets::asci_red());
+            let e = des.register_entry("d");
+            let mut last = None;
+            for pe in 0..4 {
+                let node = Node { forward: last.map(|o| (o, e)), work: 33.0, ..Node::new() };
+                last = Some(des.register(Box::new(node), pe, true));
+            }
+            des.inject(last.unwrap(), e, 64, PRIO_NORMAL, empty_payload());
+            des.run()
+        };
+        assert_eq!(build().to_bits(), build().to_bits());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn register_rejects_bad_pe() {
+        let mut des = Des::new(2, presets::ideal());
+        des.register(Box::new(Node::new()), 5, true);
+    }
+}

@@ -1,0 +1,58 @@
+//! # charmrt — a Charm++/Converse-style message-driven runtime
+//!
+//! The substrate the paper's parallelization rests on (§2): applications are
+//! decomposed into many more *data-driven objects* (chares) than processors;
+//! all communication is object-to-object; a per-PE prioritized scheduler
+//! picks the next available message and invokes the indicated entry method;
+//! the runtime instruments every object and feeds a measurement-based
+//! load-balancing framework that can remap objects between processors.
+//!
+//! ## Execution backend
+//!
+//! The original ran on real MPPs. Here the engine is a deterministic
+//! **discrete-event simulator** ([`Des`]): handlers run immediately (real
+//! Rust code mutating real data), while their *cost* — declared work units
+//! plus per-message send/receive/packing overheads — advances per-PE virtual
+//! clocks under a [`machine::MachineModel`]. Scheduling decisions, queue
+//! priorities, load measurement, and object migration behave exactly as on a
+//! real machine; only wall-clock duration is modeled. This is the standard
+//! substitution for reproducing 2048-processor scheduling research on a
+//! laptop (DESIGN.md §2); a real-threads data-parallel path lives in
+//! `namd-core::parallel`.
+//!
+//! ## Pieces
+//!
+//! * [`chare::Chare`], [`chare::Ctx`] — the object model: receive a message,
+//!   declare work, send messages (including costed naive/optimized
+//!   multicasts, §4.2.3).
+//! * [`des::Des`] — the engine: event loop, per-PE prioritized queues,
+//!   machine-model costing, migration.
+//! * [`stats::SummaryStats`] — per-entry-method summary profiles (§4.1).
+//! * [`trace::Trace`] — Projections-style full traces: grainsize histograms
+//!   (Figs 1-2) and text timelines (Figs 3-4).
+//! * [`ldb`] — the load-balancing measurement database (§3.2).
+
+// Clippy: indexed loops are kept where they mirror the mathematical
+// notation of the kernels and the per-axis geometry code, and chare/builder
+// constructors take positional wiring arguments by design.
+#![allow(clippy::needless_range_loop, clippy::too_many_arguments)]
+#![allow(clippy::field_reassign_with_default)]
+pub mod chare;
+pub mod collectives;
+pub mod des;
+pub mod ldb;
+pub mod msg;
+pub mod stats;
+pub mod threads;
+pub mod trace;
+
+pub use chare::{Chare, Ctx, MulticastMode};
+pub use collectives::{tree_children, tree_depth, tree_parent, TreeNode};
+pub use des::Des;
+pub use ldb::{LdbDatabase, LdbSnapshot, ObjLoad};
+pub use msg::{
+    empty_payload, EntryId, ObjId, Payload, Pe, Priority, PRIO_HIGH, PRIO_LOW, PRIO_NORMAL,
+};
+pub use stats::SummaryStats;
+pub use threads::{SendChare, SendPayload, ThreadCtx, ThreadRuntime};
+pub use trace::{Histogram, Trace, TraceEvent};

@@ -1,0 +1,75 @@
+//! Message and identifier types for the message-driven runtime.
+
+/// A (virtual) processor index.
+pub type Pe = usize;
+
+/// Identifier of a data-driven object (chare) registered with the runtime.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ObjId(pub u32);
+
+impl ObjId {
+    /// Index into runtime tables.
+    #[inline]
+    pub fn idx(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Identifier of an entry method. Entry methods are registered by name so
+/// the summary-profile instrumentation can report per-method times, exactly
+/// like the Charm++ summary profiles described in §4.1 of the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct EntryId(pub u16);
+
+impl EntryId {
+    /// Index into runtime tables.
+    #[inline]
+    pub fn idx(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Message priority: smaller values are scheduled first (like a nice level).
+/// The per-PE scheduler is a prioritized queue, "the scheduler repeatedly
+/// picks the next available message" — ties break by arrival order.
+pub type Priority = i32;
+
+/// Default priority for ordinary messages.
+pub const PRIO_NORMAL: Priority = 0;
+/// Priority for messages on the critical path (e.g. coordinate multicasts).
+pub const PRIO_HIGH: Priority = -10;
+/// Priority for background/bookkeeping messages.
+pub const PRIO_LOW: Priority = 10;
+
+/// Opaque message payload. The DES backend is single-threaded, so payloads
+/// are plain boxed `Any` values that receivers downcast.
+pub type Payload = Box<dyn std::any::Any>;
+
+/// An empty payload for signal-only messages.
+pub fn empty_payload() -> Payload {
+    Box::new(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn obj_and_entry_ids_roundtrip() {
+        assert_eq!(ObjId(7).idx(), 7);
+        assert_eq!(EntryId(3).idx(), 3);
+    }
+
+    #[test]
+    #[allow(clippy::assertions_on_constants)] // documents the convention
+    fn priority_ordering_convention() {
+        assert!(PRIO_HIGH < PRIO_NORMAL);
+        assert!(PRIO_NORMAL < PRIO_LOW);
+    }
+
+    #[test]
+    fn empty_payload_downcasts() {
+        let p = empty_payload();
+        assert!(p.downcast::<()>().is_ok());
+    }
+}

@@ -1,0 +1,175 @@
+//! Summary-profile instrumentation (§4.1, level two).
+//!
+//! Mirrors the Charm++ summary profiles: per-entry-method accumulated
+//! execution time and counts, per-PE busy time, and aggregate communication
+//! overheads. Unlike function-level profiling there are only dozens of entry
+//! methods, so the data stays small and the act of measuring costs nothing
+//! in the virtual-time model.
+
+use crate::msg::EntryId;
+
+/// Accumulated summary statistics for a run (or a measurement window —
+/// see [`SummaryStats::reset`]).
+#[derive(Debug, Clone, Default)]
+pub struct SummaryStats {
+    /// Registered entry-method names, indexed by `EntryId`.
+    pub entry_names: Vec<String>,
+    /// Total handler CPU time per entry method, seconds.
+    pub entry_time: Vec<f64>,
+    /// Invocation count per entry method.
+    pub entry_count: Vec<u64>,
+    /// Busy (handler-executing) time per PE, seconds.
+    pub pe_busy: Vec<f64>,
+    /// Total sender-side message overhead (send + per-byte packing), seconds.
+    pub send_overhead: f64,
+    /// Total user-level allocation/packing time (the multicast cost the
+    /// paper's §4.2.3 halves), seconds.
+    pub pack_time: f64,
+    /// Total receiver-side message overhead, seconds.
+    pub recv_overhead: f64,
+    /// Messages sent.
+    pub msgs_sent: u64,
+    /// Payload bytes sent.
+    pub bytes_sent: u64,
+    /// Virtual time when the current measurement window began.
+    pub window_start: f64,
+}
+
+impl SummaryStats {
+    pub(crate) fn new(n_pes: usize) -> Self {
+        SummaryStats { pe_busy: vec![0.0; n_pes], ..Default::default() }
+    }
+
+    pub(crate) fn register_entry(&mut self, name: &str) -> EntryId {
+        let id = EntryId(self.entry_names.len() as u16);
+        self.entry_names.push(name.to_string());
+        self.entry_time.push(0.0);
+        self.entry_count.push(0);
+        id
+    }
+
+    /// Zero all counters and restart the measurement window at `now`.
+    /// Entry registrations are preserved.
+    pub fn reset(&mut self, now: f64) {
+        self.entry_time.iter_mut().for_each(|t| *t = 0.0);
+        self.entry_count.iter_mut().for_each(|c| *c = 0);
+        self.pe_busy.iter_mut().for_each(|t| *t = 0.0);
+        self.send_overhead = 0.0;
+        self.pack_time = 0.0;
+        self.recv_overhead = 0.0;
+        self.msgs_sent = 0;
+        self.bytes_sent = 0;
+        self.window_start = now;
+    }
+
+    /// Name of an entry method.
+    pub fn entry_name(&self, e: EntryId) -> &str {
+        &self.entry_names[e.idx()]
+    }
+
+    /// Entry id by name, if registered.
+    pub fn entry_by_name(&self, name: &str) -> Option<EntryId> {
+        self.entry_names
+            .iter()
+            .position(|n| n == name)
+            .map(|i| EntryId(i as u16))
+    }
+
+    /// Average busy time across PEs over the window.
+    pub fn avg_busy(&self) -> f64 {
+        if self.pe_busy.is_empty() {
+            0.0
+        } else {
+            self.pe_busy.iter().sum::<f64>() / self.pe_busy.len() as f64
+        }
+    }
+
+    /// Maximum busy time across PEs over the window.
+    pub fn max_busy(&self) -> f64 {
+        self.pe_busy.iter().copied().fold(0.0, f64::max)
+    }
+
+    /// Load imbalance as the paper's audit measures it: the difference
+    /// between maximum and average per-PE load.
+    pub fn imbalance(&self) -> f64 {
+        self.max_busy() - self.avg_busy()
+    }
+
+    /// Per-PE utilization over a window ending at `now`: busy / elapsed.
+    pub fn utilization(&self, now: f64) -> Vec<f64> {
+        let elapsed = (now - self.window_start).max(1e-30);
+        self.pe_busy.iter().map(|b| (b / elapsed).min(1.0)).collect()
+    }
+
+    /// Render a per-entry summary table as text (for examples and debug).
+    pub fn entry_table(&self) -> String {
+        let mut s = String::from("entry-method                        calls     total(s)    avg(ms)\n");
+        for (i, name) in self.entry_names.iter().enumerate() {
+            let c = self.entry_count[i];
+            let t = self.entry_time[i];
+            let avg_ms = if c > 0 { t / c as f64 * 1e3 } else { 0.0 };
+            s.push_str(&format!("{name:<34} {c:>8} {t:>12.4} {avg_ms:>10.4}\n"));
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn register_and_lookup() {
+        let mut s = SummaryStats::new(4);
+        let a = s.register_entry("integrate");
+        let b = s.register_entry("nonbonded");
+        assert_eq!(s.entry_name(a), "integrate");
+        assert_eq!(s.entry_by_name("nonbonded"), Some(b));
+        assert_eq!(s.entry_by_name("missing"), None);
+    }
+
+    #[test]
+    fn imbalance_is_max_minus_avg() {
+        let mut s = SummaryStats::new(4);
+        s.pe_busy = vec![1.0, 2.0, 3.0, 6.0];
+        assert!((s.avg_busy() - 3.0).abs() < 1e-12);
+        assert!((s.max_busy() - 6.0).abs() < 1e-12);
+        assert!((s.imbalance() - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reset_preserves_registrations() {
+        let mut s = SummaryStats::new(2);
+        let a = s.register_entry("x");
+        s.entry_time[a.idx()] = 5.0;
+        s.entry_count[a.idx()] = 3;
+        s.pe_busy[0] = 1.0;
+        s.send_overhead = 0.5;
+        s.reset(10.0);
+        assert_eq!(s.entry_name(a), "x");
+        assert_eq!(s.entry_time[a.idx()], 0.0);
+        assert_eq!(s.entry_count[a.idx()], 0);
+        assert_eq!(s.pe_busy[0], 0.0);
+        assert_eq!(s.send_overhead, 0.0);
+        assert_eq!(s.window_start, 10.0);
+    }
+
+    #[test]
+    fn utilization_is_bounded() {
+        let mut s = SummaryStats::new(2);
+        s.window_start = 0.0;
+        s.pe_busy = vec![0.5, 2.0];
+        let u = s.utilization(1.0);
+        assert!((u[0] - 0.5).abs() < 1e-12);
+        assert_eq!(u[1], 1.0); // clamped
+    }
+
+    #[test]
+    fn table_renders_all_entries() {
+        let mut s = SummaryStats::new(1);
+        s.register_entry("a");
+        s.register_entry("b");
+        let t = s.entry_table();
+        assert!(t.contains('a') && t.contains('b'));
+    }
+}

@@ -1,0 +1,358 @@
+//! A real-threads message-driven executor: Converse's SMP mode.
+//!
+//! The DES backend ([`crate::des::Des`]) simulates virtual processors for
+//! deterministic paper-scale studies; this module actually *runs* a
+//! message-driven object program on OS threads. Each worker owns a disjoint
+//! set of objects and drains a channel of envelopes; handlers execute on
+//! the owning worker (so objects need no internal locking, exactly like
+//! Charm++'s one-chare-one-PE execution), and sends go directly to the
+//! destination worker's queue.
+//!
+//! Termination is quiescence detection, Charm++'s classic utility: a global
+//! in-flight counter is incremented *before* every enqueue and decremented
+//! only after the receiving handler (and the enqueue of everything it sent)
+//! completes, so the counter reads zero only when no message is queued,
+//! in flight, or being processed.
+//!
+//! Unlike the DES, execution order across workers is nondeterministic —
+//! that is the point; programs must be written message-driven, and the
+//! tests check outcomes, not schedules.
+
+use crate::msg::{EntryId, ObjId};
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Payload for the threaded runtime (must cross threads).
+pub type SendPayload = Box<dyn std::any::Any + Send>;
+
+/// A thread-safe data-driven object.
+pub trait SendChare: Send {
+    /// Handle one message; use `ctx` to send further messages.
+    fn receive(&mut self, entry: EntryId, payload: SendPayload, ctx: &mut ThreadCtx);
+}
+
+/// One message envelope.
+struct Envelope {
+    to: ObjId,
+    entry: EntryId,
+    payload: SendPayload,
+}
+
+/// Execution context for threaded handlers: collects sends, which the
+/// worker dispatches after the handler returns.
+pub struct ThreadCtx {
+    sends: Vec<Envelope>,
+    this: ObjId,
+    worker: usize,
+}
+
+impl ThreadCtx {
+    /// Send a message to another object.
+    pub fn send(&mut self, to: ObjId, entry: EntryId, payload: SendPayload) {
+        self.sends.push(Envelope { to, entry, payload });
+    }
+
+    /// The object currently executing.
+    pub fn this(&self) -> ObjId {
+        self.this
+    }
+
+    /// The worker thread index executing this handler.
+    pub fn worker(&self) -> usize {
+        self.worker
+    }
+}
+
+/// Shared runtime state.
+struct Inner {
+    /// Messages enqueued-or-executing; zero ⇒ quiescent.
+    in_flight: AtomicU64,
+    /// Per-entry execution counts (same summary idea as the DES stats).
+    entry_counts: Vec<AtomicU64>,
+    /// Worker input channels.
+    queues: Vec<Sender<Envelope>>,
+    /// Owning worker per object.
+    owner: Vec<usize>,
+}
+
+/// The threaded message-driven runtime.
+pub struct ThreadRuntime {
+    n_workers: usize,
+    /// Objects grouped by owning worker (moved into threads at `run`).
+    objects: Vec<HashMap<u32, Box<dyn SendChare>>>,
+    owner: Vec<usize>,
+    entry_names: Vec<String>,
+    pending_injections: Vec<Envelope>,
+}
+
+impl ThreadRuntime {
+    /// Create a runtime with `n_workers` OS threads.
+    pub fn new(n_workers: usize) -> Self {
+        assert!(n_workers > 0);
+        ThreadRuntime {
+            n_workers,
+            objects: (0..n_workers).map(|_| HashMap::new()).collect(),
+            owner: Vec::new(),
+            entry_names: Vec::new(),
+            pending_injections: Vec::new(),
+        }
+    }
+
+    /// Register an entry method by name.
+    pub fn register_entry(&mut self, name: &str) -> EntryId {
+        let id = EntryId(self.entry_names.len() as u16);
+        self.entry_names.push(name.to_string());
+        id
+    }
+
+    /// Register an object on a worker.
+    pub fn register(&mut self, obj: Box<dyn SendChare>, worker: usize) -> ObjId {
+        assert!(worker < self.n_workers);
+        let id = ObjId(self.owner.len() as u32);
+        self.owner.push(worker);
+        self.objects[worker].insert(id.0, obj);
+        id
+    }
+
+    /// Queue a bootstrap message (delivered when `run` starts).
+    pub fn inject(&mut self, to: ObjId, entry: EntryId, payload: SendPayload) {
+        self.pending_injections.push(Envelope { to, entry, payload });
+    }
+
+    /// Run to quiescence. Returns per-entry execution counts and the
+    /// objects (so results can be read back out).
+    pub fn run(mut self) -> ThreadRunResult {
+        let (senders, receivers): (Vec<Sender<Envelope>>, Vec<Receiver<Envelope>>) =
+            (0..self.n_workers).map(|_| unbounded()).unzip();
+        let inner = Arc::new(Inner {
+            in_flight: AtomicU64::new(0),
+            entry_counts: (0..self.entry_names.len()).map(|_| AtomicU64::new(0)).collect(),
+            queues: senders,
+            owner: self.owner.clone(),
+        });
+
+        // Count and enqueue the injections before any worker starts.
+        for env in self.pending_injections.drain(..) {
+            inner.in_flight.fetch_add(1, Ordering::SeqCst);
+            let w = inner.owner[env.to.idx()];
+            inner.queues[w].send(env).expect("queue open");
+        }
+
+        let mut handles = Vec::new();
+        for (w, rx) in receivers.into_iter().enumerate() {
+            let mut objects = std::mem::take(&mut self.objects[w]);
+            let inner = inner.clone();
+            handles.push(std::thread::spawn(move || {
+                // Drain until the runtime is quiescent. A blocking recv
+                // with timeout lets workers notice global quiescence.
+                loop {
+                    match rx.recv_timeout(std::time::Duration::from_millis(1)) {
+                        Ok(env) => {
+                            let obj = objects
+                                .get_mut(&env.to.0)
+                                .expect("message for object not on this worker");
+                            let mut ctx =
+                                ThreadCtx { sends: Vec::new(), this: env.to, worker: w };
+                            obj.receive(env.entry, env.payload, &mut ctx);
+                            inner.entry_counts[env.entry.idx()]
+                                .fetch_add(1, Ordering::Relaxed);
+                            // Enqueue (and count) everything the handler
+                            // sent before releasing this message's slot, so
+                            // in_flight can never transiently read zero
+                            // while work remains.
+                            for out in ctx.sends.drain(..) {
+                                inner.in_flight.fetch_add(1, Ordering::SeqCst);
+                                let dest = inner.owner[out.to.idx()];
+                                inner.queues[dest].send(out).expect("queue open");
+                            }
+                            inner.in_flight.fetch_sub(1, Ordering::SeqCst);
+                        }
+                        Err(_) => {
+                            if inner.in_flight.load(Ordering::SeqCst) == 0 {
+                                break;
+                            }
+                        }
+                    }
+                }
+                objects
+            }));
+        }
+
+        let mut objects: Vec<HashMap<u32, Box<dyn SendChare>>> = Vec::new();
+        for h in handles {
+            objects.push(h.join().expect("worker panicked"));
+        }
+        ThreadRunResult {
+            entry_counts: inner
+                .entry_counts
+                .iter()
+                .map(|c| c.load(Ordering::Relaxed))
+                .collect(),
+            entry_names: self.entry_names,
+            objects,
+            owner: self.owner,
+        }
+    }
+}
+
+/// The outcome of a threaded run.
+pub struct ThreadRunResult {
+    /// Executions per entry method.
+    pub entry_counts: Vec<u64>,
+    /// Registered entry names.
+    pub entry_names: Vec<String>,
+    objects: Vec<HashMap<u32, Box<dyn SendChare>>>,
+    owner: Vec<usize>,
+}
+
+impl ThreadRunResult {
+    /// Take an object back out of the runtime (for reading results).
+    pub fn take_object(&mut self, id: ObjId) -> Option<Box<dyn SendChare>> {
+        let w = *self.owner.get(id.idx())?;
+        self.objects[w].remove(&id.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    /// Counts hits; optionally forwards `remaining` hops around a ring.
+    struct Hopper {
+        hits: Arc<AtomicUsize>,
+        next: Option<ObjId>,
+        entry: EntryId,
+    }
+
+    impl SendChare for Hopper {
+        fn receive(&mut self, _e: EntryId, payload: SendPayload, ctx: &mut ThreadCtx) {
+            self.hits.fetch_add(1, Ordering::SeqCst);
+            let remaining = *payload.downcast::<u32>().expect("u32 hop count");
+            if remaining > 0 {
+                if let Some(next) = self.next {
+                    ctx.send(next, self.entry, Box::new(remaining - 1));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn ring_message_hops_to_completion() {
+        // Objects are numbered in registration order, so the ring's next
+        // pointers are known up front.
+        let mut rt = ThreadRuntime::new(4);
+        let hop = rt.register_entry("hop");
+        let hits = Arc::new(AtomicUsize::new(0));
+        let n = 8usize;
+        for i in 0..n {
+            let next = ObjId(((i + 1) % n) as u32);
+            let id = rt.register(
+                Box::new(Hopper { hits: hits.clone(), next: Some(next), entry: hop }),
+                i % 4,
+            );
+            assert_eq!(id, ObjId(i as u32));
+        }
+        rt.inject(ObjId(0), hop, Box::new(100u32));
+        let result = rt.run();
+        assert_eq!(hits.load(Ordering::SeqCst), 101);
+        assert_eq!(result.entry_counts[hop.idx()], 101);
+    }
+
+    /// Fans out `width` messages to workers, each of which replies to a sink.
+    struct FanSource {
+        targets: Vec<ObjId>,
+        entry: EntryId,
+    }
+    impl SendChare for FanSource {
+        fn receive(&mut self, _e: EntryId, _p: SendPayload, ctx: &mut ThreadCtx) {
+            for &t in &self.targets {
+                ctx.send(t, self.entry, Box::new(()));
+            }
+        }
+    }
+    struct Echo {
+        sink: ObjId,
+        entry: EntryId,
+    }
+    impl SendChare for Echo {
+        fn receive(&mut self, _e: EntryId, _p: SendPayload, ctx: &mut ThreadCtx) {
+            ctx.send(self.sink, self.entry, Box::new(()));
+        }
+    }
+    struct Sink {
+        count: Arc<AtomicUsize>,
+    }
+    impl SendChare for Sink {
+        fn receive(&mut self, _e: EntryId, _p: SendPayload, _ctx: &mut ThreadCtx) {
+            self.count.fetch_add(1, Ordering::SeqCst);
+        }
+    }
+
+    #[test]
+    fn fan_out_fan_in_reaches_quiescence_with_exact_counts() {
+        let mut rt = ThreadRuntime::new(3);
+        let go = rt.register_entry("go");
+        let echo = rt.register_entry("echo");
+        let done = rt.register_entry("done");
+        let sink_count = Arc::new(AtomicUsize::new(0));
+        let sink = rt.register(Box::new(Sink { count: sink_count.clone() }), 0);
+        let width = 200;
+        let echoes: Vec<ObjId> = (0..width)
+            .map(|i| rt.register(Box::new(Echo { sink, entry: done }), i % 3))
+            .collect();
+        let source = rt.register(Box::new(FanSource { targets: echoes, entry: echo }), 1);
+        rt.inject(source, go, Box::new(()));
+        let mut result = rt.run();
+        assert_eq!(result.entry_counts[echo.idx()], width as u64);
+        assert_eq!(result.entry_counts[done.idx()], width as u64);
+        assert_eq!(sink_count.load(Ordering::SeqCst), width);
+        // The object can also be taken back out after the run.
+        assert!(result.take_object(sink).is_some());
+        assert!(result.take_object(sink).is_none());
+    }
+
+    #[test]
+    fn empty_runtime_terminates() {
+        let rt = ThreadRuntime::new(2);
+        let result = rt.run();
+        assert!(result.entry_counts.is_empty());
+    }
+
+    #[test]
+    fn heavy_cross_worker_traffic_loses_no_messages() {
+        // Every object broadcasts to every other object once; total
+        // executions must be exactly n + n·(n−1).
+        struct Broadcaster {
+            peers: Vec<ObjId>,
+            entry: EntryId,
+            started: bool,
+        }
+        impl SendChare for Broadcaster {
+            fn receive(&mut self, _e: EntryId, _p: SendPayload, ctx: &mut ThreadCtx) {
+                if !self.started {
+                    self.started = true;
+                    for &p in &self.peers {
+                        ctx.send(p, self.entry, Box::new(()));
+                    }
+                }
+            }
+        }
+        let mut rt = ThreadRuntime::new(4);
+        let e = rt.register_entry("bcast");
+        let n = 40u32;
+        for i in 0..n {
+            let peers: Vec<ObjId> = (0..n).filter(|&j| j != i).map(ObjId).collect();
+            rt.register(Box::new(Broadcaster { peers, entry: e, started: false }), i as usize % 4);
+        }
+        for i in 0..n {
+            rt.inject(ObjId(i), e, Box::new(()));
+        }
+        let result = rt.run();
+        // n initial receives trigger n·(n−1) broadcasts, all of which are
+        // received (but do not rebroadcast).
+        assert_eq!(result.entry_counts[e.idx()], (n + n * (n - 1)) as u64);
+    }
+}

@@ -1,0 +1,305 @@
+//! NAMD-style configuration-file parser.
+//!
+//! NAMD is driven by plain-text `key value` configuration files; `namd-rs`
+//! accepts the same shape:
+//!
+//! ```text
+//! # quick water box
+//! system        water
+//! atoms         3000
+//! boxSize       34.0
+//! cutoff        8.0
+//! timestep      1.0
+//! steps         100
+//! temperature   300
+//! thermostat    langevin
+//! langevinGamma 0.01
+//! threads       4
+//! outputName    run1
+//! trajectoryEvery 10
+//! pme           on
+//! pmeSpacing    1.2
+//! mtsFrequency  4
+//! seed          42
+//! ```
+//!
+//! Keys are case-insensitive; `#` starts a comment; later keys override
+//! earlier ones. Unknown keys are errors (typos should not silently
+//! de-configure a simulation).
+
+use std::collections::BTreeMap;
+
+/// Which molecular system to build.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SystemKind {
+    /// Pure water box (`atoms`, `boxSize`).
+    Water,
+    /// The ApoA-I-like benchmark (optionally scaled).
+    Apoa1,
+    /// The BC1-like benchmark (optionally scaled).
+    Bc1,
+    /// The bR-like benchmark (optionally scaled).
+    Br,
+}
+
+/// Thermostat selection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ThermostatKind {
+    None,
+    Berendsen,
+    Langevin,
+}
+
+/// A parsed and validated run configuration.
+#[derive(Debug, Clone)]
+pub struct RunConfig {
+    pub system: SystemKind,
+    /// Benchmark scale factor (fraction of full size), for apoa1/bc1/br.
+    pub scale: f64,
+    /// Atom count for `system water`.
+    pub atoms: usize,
+    /// Cubic box edge for `system water`, Å.
+    pub box_size: f64,
+    pub cutoff: f64,
+    /// Timestep, fs.
+    pub timestep: f64,
+    pub steps: usize,
+    /// Initial/target temperature, K.
+    pub temperature: f64,
+    pub thermostat: ThermostatKind,
+    pub langevin_gamma: f64,
+    pub berendsen_tau: f64,
+    /// Worker threads (1 = sequential path).
+    pub threads: usize,
+    /// Basename for outputs (`<name>.xyz`, `<name>.energies`); empty = none.
+    pub output_name: String,
+    pub trajectory_every: usize,
+    /// Full electrostatics via PME.
+    pub pme: bool,
+    pub pme_spacing: f64,
+    /// Ewald screening parameter β (0 = auto from cutoff).
+    pub ewald_beta: f64,
+    /// r-RESPA outer/inner ratio when PME is on (1 = off).
+    pub mts_frequency: usize,
+    /// Restrain protein atoms to their initial positions.
+    pub restrain_protein: bool,
+    /// Steepest-descent minimization steps before dynamics (0 = none).
+    pub minimize: usize,
+    pub seed: u64,
+}
+
+impl Default for RunConfig {
+    fn default() -> Self {
+        RunConfig {
+            system: SystemKind::Water,
+            scale: 1.0,
+            atoms: 3_000,
+            box_size: 34.0,
+            cutoff: 9.0,
+            timestep: 1.0,
+            steps: 50,
+            temperature: 300.0,
+            thermostat: ThermostatKind::None,
+            langevin_gamma: 0.005,
+            berendsen_tau: 100.0,
+            threads: 1,
+            output_name: String::new(),
+            trajectory_every: 10,
+            pme: false,
+            pme_spacing: 1.2,
+            ewald_beta: 0.0,
+            mts_frequency: 1,
+            restrain_protein: false,
+            minimize: 0,
+            seed: 7,
+        }
+    }
+}
+
+/// Parse a configuration file's text. Returns the config or a message
+/// naming the offending line.
+pub fn parse(text: &str) -> Result<RunConfig, String> {
+    let mut kv: BTreeMap<String, (String, usize)> = BTreeMap::new();
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let mut it = line.split_whitespace();
+        let key = it.next().unwrap().to_ascii_lowercase();
+        let value: String = it.collect::<Vec<_>>().join(" ");
+        if value.is_empty() {
+            return Err(format!("line {}: key '{key}' has no value", lineno + 1));
+        }
+        kv.insert(key, (value, lineno + 1));
+    }
+
+    let mut cfg = RunConfig::default();
+    for (key, (value, lineno)) in kv {
+        let err = |what: &str| format!("line {lineno}: {what}");
+        let parse_f64 = |v: &str| {
+            v.parse::<f64>()
+                .map_err(|_| format!("line {lineno}: '{v}' is not a number"))
+        };
+        let parse_usize = |v: &str| {
+            v.parse::<usize>()
+                .map_err(|_| format!("line {lineno}: '{v}' is not an integer"))
+        };
+        let parse_bool = |v: &str| match v.to_ascii_lowercase().as_str() {
+            "on" | "yes" | "true" | "1" => Ok(true),
+            "off" | "no" | "false" | "0" => Ok(false),
+            other => Err(format!("line {lineno}: '{other}' is not on/off")),
+        };
+        match key.as_str() {
+            "system" => {
+                cfg.system = match value.to_ascii_lowercase().as_str() {
+                    "water" => SystemKind::Water,
+                    "apoa1" | "apoa-i" => SystemKind::Apoa1,
+                    "bc1" => SystemKind::Bc1,
+                    "br" | "bacteriorhodopsin" => SystemKind::Br,
+                    other => return Err(err(&format!("unknown system '{other}'"))),
+                }
+            }
+            "scale" => cfg.scale = parse_f64(&value)?,
+            "atoms" => cfg.atoms = parse_usize(&value)?,
+            "boxsize" => cfg.box_size = parse_f64(&value)?,
+            "cutoff" => cfg.cutoff = parse_f64(&value)?,
+            "timestep" => cfg.timestep = parse_f64(&value)?,
+            "steps" => cfg.steps = parse_usize(&value)?,
+            "temperature" => cfg.temperature = parse_f64(&value)?,
+            "thermostat" => {
+                cfg.thermostat = match value.to_ascii_lowercase().as_str() {
+                    "none" | "off" => ThermostatKind::None,
+                    "berendsen" => ThermostatKind::Berendsen,
+                    "langevin" => ThermostatKind::Langevin,
+                    other => return Err(err(&format!("unknown thermostat '{other}'"))),
+                }
+            }
+            "langevingamma" => cfg.langevin_gamma = parse_f64(&value)?,
+            "berendsentau" => cfg.berendsen_tau = parse_f64(&value)?,
+            "threads" => cfg.threads = parse_usize(&value)?,
+            "outputname" => cfg.output_name = value,
+            "trajectoryevery" => cfg.trajectory_every = parse_usize(&value)?,
+            "pme" => cfg.pme = parse_bool(&value)?,
+            "pmespacing" => cfg.pme_spacing = parse_f64(&value)?,
+            "ewaldbeta" => cfg.ewald_beta = parse_f64(&value)?,
+            "mtsfrequency" => cfg.mts_frequency = parse_usize(&value)?,
+            "restrainprotein" => cfg.restrain_protein = parse_bool(&value)?,
+            "minimize" => cfg.minimize = parse_usize(&value)?,
+            "seed" => cfg.seed = parse_usize(&value)? as u64,
+            other => return Err(err(&format!("unknown key '{other}'"))),
+        }
+    }
+    validate(&cfg)?;
+    Ok(cfg)
+}
+
+fn validate(cfg: &RunConfig) -> Result<(), String> {
+    if !(cfg.scale > 0.0 && cfg.scale <= 1.0) {
+        return Err(format!("scale must be in (0, 1], got {}", cfg.scale));
+    }
+    if cfg.cutoff <= 0.0 || cfg.timestep <= 0.0 {
+        return Err("cutoff and timestep must be positive".into());
+    }
+    if cfg.threads == 0 {
+        return Err("threads must be at least 1".into());
+    }
+    if cfg.system == SystemKind::Water && cfg.box_size < 2.0 * cfg.cutoff {
+        return Err(format!(
+            "boxSize {} too small for cutoff {} (need ≥ 2×cutoff)",
+            cfg.box_size, cfg.cutoff
+        ));
+    }
+    if cfg.mts_frequency == 0 {
+        return Err("mtsFrequency must be at least 1".into());
+    }
+    if cfg.pme && cfg.mts_frequency > 8 {
+        return Err("mtsFrequency above 8 is unstable; choose 1-8".into());
+    }
+    if cfg.thermostat == ThermostatKind::Langevin && (cfg.threads > 1 || cfg.pme) {
+        return Err(
+            "thermostat langevin runs on the sequential cutoff driver only              (threads 1, pme off); use berendsen for multicore or PME runs"
+                .into(),
+        );
+    }
+    if cfg.pme && cfg.threads > 1 {
+        return Err("pme runs use the sequential full-electrostatics driver; set threads 1".into());
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_a_full_config() {
+        let cfg = parse(
+            "# demo\n\
+             system apoa1\n\
+             scale 0.25   # quarter size\n\
+             cutoff 12\n\
+             timestep 0.5\n\
+             steps 20\n\
+             thermostat berendsen\n\
+             pme on\n\
+             mtsFrequency 4\n",
+        )
+        .unwrap();
+        assert_eq!(cfg.system, SystemKind::Apoa1);
+        assert_eq!(cfg.scale, 0.25);
+        assert_eq!(cfg.thermostat, ThermostatKind::Berendsen);
+        assert!(cfg.pme);
+        assert_eq!(cfg.mts_frequency, 4);
+    }
+
+    #[test]
+    fn defaults_fill_missing_keys() {
+        let cfg = parse("system water\n").unwrap();
+        assert_eq!(cfg.atoms, 3_000);
+        assert_eq!(cfg.thermostat, ThermostatKind::None);
+        assert!(!cfg.pme);
+    }
+
+    #[test]
+    fn unknown_key_is_an_error_with_line_number() {
+        let e = parse("system water\ncutoof 12\n").unwrap_err();
+        assert!(e.contains("line 2"), "{e}");
+        assert!(e.contains("cutoof"), "{e}");
+    }
+
+    #[test]
+    fn bad_values_are_rejected() {
+        assert!(parse("steps many\n").unwrap_err().contains("not an integer"));
+        assert!(parse("pme maybe\n").unwrap_err().contains("on/off"));
+        assert!(parse("system unobtainium\n").unwrap_err().contains("unknown system"));
+    }
+
+    #[test]
+    fn validation_catches_inconsistencies() {
+        assert!(parse("scale 1.5\n").unwrap_err().contains("scale"));
+        assert!(parse("threads 0\n").unwrap_err().contains("threads"));
+        assert!(parse("system water\nboxSize 10\ncutoff 9\n")
+            .unwrap_err()
+            .contains("too small"));
+        // Driver/thermostat combinations that would silently misbehave are
+        // rejected up front.
+        assert!(parse("thermostat langevin\nthreads 2\n")
+            .unwrap_err()
+            .contains("sequential"));
+        assert!(parse("pme on\nthreads 4\n").unwrap_err().contains("threads 1"));
+    }
+
+    #[test]
+    fn case_insensitive_keys_and_comments() {
+        let cfg = parse("SYSTEM BR\nTimeStep 2.0 # big\n").unwrap();
+        assert_eq!(cfg.system, SystemKind::Br);
+        assert_eq!(cfg.timestep, 2.0);
+    }
+
+    #[test]
+    fn later_keys_override_earlier() {
+        let cfg = parse("steps 10\nsteps 99\n").unwrap();
+        assert_eq!(cfg.steps, 99);
+    }
+}

@@ -1,0 +1,16 @@
+//! # namd-cli — the `namd-rs` command-line front end
+//!
+//! NAMD is driven by plain-text configuration files; this crate provides
+//! the same experience for the reproduction: [`config`] parses a NAMD-style
+//! `key value` config, [`runner`] executes it on the sequential, multicore,
+//! or full-electrostatics (PME + r-RESPA) driver, with optional thermostats
+//! and XYZ trajectory output. The `namd-rs` binary adds `run`, `info`,
+//! `bench` (DES scaling sweeps), and `sample-config` subcommands.
+
+// Clippy: indexed loops are kept where they mirror the mathematical
+// notation of the kernels and the per-axis geometry code, and chare/builder
+// constructors take positional wiring arguments by design.
+#![allow(clippy::needless_range_loop, clippy::too_many_arguments)]
+#![allow(clippy::field_reassign_with_default)]
+pub mod config;
+pub mod runner;

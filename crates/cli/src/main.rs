@@ -1,0 +1,214 @@
+//! `namd-rs` — command-line front end for the NAMD SC2000 reproduction.
+//!
+//! ```text
+//! namd-rs run <config-file>        run an MD simulation from a config file
+//! namd-rs info <config-file>       parse + describe a config without running
+//! namd-rs bench <system> [opts]    DES scaling benchmark (virtual PEs)
+//!     --machine asci_red|t3e|origin|cluster
+//!     --pes 1,8,64,256
+//!     --steps N
+//! namd-rs sample-config            print an annotated example config
+//! ```
+
+use namd_cli::config::parse;
+use namd_cli::runner;
+use namd_core::prelude::*;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let code = match args.first().map(String::as_str) {
+        Some("run") => cmd_run(&args[1..]),
+        Some("info") => cmd_info(&args[1..]),
+        Some("bench") => cmd_bench(&args[1..]),
+        Some("sample-config") => {
+            print!("{}", SAMPLE);
+            0
+        }
+        _ => {
+            eprintln!(
+                "usage: namd-rs <run|info|bench|sample-config> ...\n\
+                 try `namd-rs sample-config > demo.conf && namd-rs run demo.conf`"
+            );
+            2
+        }
+    };
+    std::process::exit(code);
+}
+
+const SAMPLE: &str = "\
+# namd-rs sample configuration
+system        water      # water | apoa1 | bc1 | br
+atoms         1500       # water only
+boxSize       26.0       # water only, Å
+#scale        0.1        # benchmark systems: fraction of full size
+cutoff        8.0
+timestep      1.0        # fs
+steps         100
+temperature   300
+minimize      0          # steepest-descent steps before dynamics
+thermostat    berendsen  # none | berendsen | langevin (langevin: threads 1)
+berendsenTau  100
+threads       2
+outputName    demo       # writes demo.xyz
+trajectoryEvery 10
+pme           off        # full electrostatics (particle-mesh Ewald)
+#pmeSpacing   1.2
+#mtsFrequency 4          # r-RESPA: PME every 4th step
+seed          42
+";
+
+fn load(path: &str) -> Result<namd_cli::config::RunConfig, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    parse(&text)
+}
+
+fn cmd_run(args: &[String]) -> i32 {
+    let Some(path) = args.first() else {
+        eprintln!("usage: namd-rs run <config-file>");
+        return 2;
+    };
+    match load(path) {
+        Ok(cfg) => match runner::run(&cfg, &mut std::io::stdout()) {
+            Ok(_) => 0,
+            Err(e) => {
+                eprintln!("run failed: {e}");
+                1
+            }
+        },
+        Err(e) => {
+            eprintln!("config error: {e}");
+            1
+        }
+    }
+}
+
+fn cmd_info(args: &[String]) -> i32 {
+    let Some(path) = args.first() else {
+        eprintln!("usage: namd-rs info <config-file>");
+        return 2;
+    };
+    match load(path) {
+        Ok(cfg) => {
+            let sys = runner::build_system(&cfg);
+            println!("config: {cfg:#?}");
+            println!(
+                "system: {} atoms, {} bonds, {} angles, {} dihedrals, {} impropers, {} restraints",
+                sys.n_atoms(),
+                sys.topology.bonds.len(),
+                sys.topology.angles.len(),
+                sys.topology.dihedrals.len(),
+                sys.topology.impropers.len(),
+                sys.topology.restraints.len(),
+            );
+            let decomp = build_decomposition(
+                &sys,
+                &SimConfig::new(1, machine::presets::generic_cluster()),
+            );
+            println!(
+                "decomposition: {} patches ({}x{}x{}), {} compute objects",
+                decomp.grid.n_patches(),
+                decomp.grid.dims[0],
+                decomp.grid.dims[1],
+                decomp.grid.dims[2],
+                decomp.computes.len()
+            );
+            0
+        }
+        Err(e) => {
+            eprintln!("config error: {e}");
+            1
+        }
+    }
+}
+
+fn cmd_bench(args: &[String]) -> i32 {
+    let Some(system) = args.first() else {
+        eprintln!("usage: namd-rs bench <apoa1|bc1|br> [--machine M] [--pes LIST] [--steps N] [--scale F]");
+        return 2;
+    };
+    let mut machine = machine::presets::asci_red();
+    let mut pes: Vec<usize> = vec![1, 8, 64, 256];
+    let mut steps = 3usize;
+    let mut scale = 1.0f64;
+    let mut it = args[1..].iter();
+    while let Some(a) = it.next() {
+        let value = |it: &mut std::slice::Iter<String>| -> Option<String> {
+            it.next().cloned()
+        };
+        match a.as_str() {
+            "--machine" => match value(&mut it).as_deref() {
+                Some("asci_red") => machine = machine::presets::asci_red(),
+                Some("t3e") => machine = machine::presets::t3e_900(),
+                Some("origin") => machine = machine::presets::origin2000(),
+                Some("cluster") => machine = machine::presets::generic_cluster(),
+                other => {
+                    eprintln!("unknown machine {other:?}");
+                    return 2;
+                }
+            },
+            "--pes" => {
+                let Some(v) = value(&mut it) else {
+                    eprintln!("--pes needs a list");
+                    return 2;
+                };
+                match v.split(',').map(|s| s.trim().parse::<usize>()).collect() {
+                    Ok(list) => pes = list,
+                    Err(_) => {
+                        eprintln!("bad --pes list '{v}'");
+                        return 2;
+                    }
+                }
+            }
+            "--steps" => match value(&mut it).and_then(|v| v.parse().ok()) {
+                Some(n) => steps = n,
+                None => {
+                    eprintln!("bad --steps");
+                    return 2;
+                }
+            },
+            "--scale" => match value(&mut it).and_then(|v| v.parse().ok()) {
+                Some(f) => scale = f,
+                None => {
+                    eprintln!("bad --scale");
+                    return 2;
+                }
+            },
+            other => {
+                eprintln!("unknown option {other}");
+                return 2;
+            }
+        }
+    }
+    let bench = match system.as_str() {
+        "apoa1" => molgen::apoa1_like(),
+        "bc1" => molgen::bc1_like(),
+        "br" => molgen::br_like(),
+        other => {
+            eprintln!("unknown benchmark system '{other}'");
+            return 2;
+        }
+    };
+    let bench = if scale < 1.0 { bench.scaled(scale) } else { bench };
+    println!("benchmark {} ({} atoms) on {}", bench.name, bench.n_atoms, machine.name);
+    let sys = bench.build();
+    let decomp = build_decomposition(&sys, &SimConfig::new(1, machine));
+    println!(
+        "{} patches, {} computes, ideal 1-PE step {:.3} s",
+        decomp.grid.n_patches(),
+        decomp.computes.len(),
+        decomp.ideal_step_time(&machine)
+    );
+    // Speedup scaled relative to the first PE count in the sweep (the
+    // paper's own convention for systems too large to run on one node).
+    println!("PEs      s/step   speedup");
+    let mut base: Option<f64> = None;
+    for &p in &pes {
+        let mut cfg = SimConfig::new(p, machine);
+        cfg.steps_per_phase = steps;
+        let mut e = Engine::with_decomposition(sys.clone(), decomp.clone(), cfg);
+        let t = e.run_benchmark().final_time_per_step();
+        let b = *base.get_or_insert(t * pes[0] as f64);
+        println!("{p:>4} {t:>11.4} {:>9.1}", b / t);
+    }
+    0
+}

@@ -1,0 +1,303 @@
+//! Turns a parsed [`RunConfig`] into an actual simulation run.
+
+use crate::config::{RunConfig, SystemKind, ThermostatKind};
+use mdcore::prelude::*;
+use mdcore::thermostat::{Berendsen, Langevin};
+use namd_core::parallel::ParallelSim;
+use pme::md::MtsSimulator;
+use std::io::Write;
+
+/// Summary of a finished run (also printed step-by-step as it goes).
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    pub n_atoms: usize,
+    pub steps: usize,
+    /// Total energy at the first and last recorded step.
+    pub e_first: f64,
+    pub e_last: f64,
+    pub final_temperature: f64,
+    pub wall_seconds: f64,
+    pub trajectory_frames: usize,
+}
+
+/// Build the molecular system a config describes.
+pub fn build_system(cfg: &RunConfig) -> System {
+    let mut system = match cfg.system {
+        SystemKind::Water => molgen::SystemBuilder::new(molgen::SystemSpec {
+            name: "water",
+            box_lengths: Vec3::splat(cfg.box_size),
+            target_atoms: cfg.atoms - cfg.atoms % 3,
+            protein_chains: 0,
+            protein_chain_len: 0,
+            lipid_slab: None,
+            cutoff: cfg.cutoff,
+            seed: cfg.seed,
+        })
+        .build(),
+        SystemKind::Apoa1 | SystemKind::Bc1 | SystemKind::Br => {
+            let bench = match cfg.system {
+                SystemKind::Apoa1 => molgen::apoa1_like(),
+                SystemKind::Bc1 => molgen::bc1_like(),
+                _ => molgen::br_like(),
+            };
+            let bench = if cfg.scale < 1.0 { bench.scaled(cfg.scale) } else { bench };
+            let builder = molgen::SystemBuilder::new(bench.spec().clone());
+            if cfg.restrain_protein {
+                builder.build_restrained()
+            } else {
+                builder.build()
+            }
+        }
+    };
+    if cfg.pme {
+        let beta = if cfg.ewald_beta > 0.0 {
+            cfg.ewald_beta
+        } else {
+            // erfc(β·r_cut) ≈ 1e-6 heuristic.
+            (1e6f64).ln().sqrt() / cfg.cutoff
+        };
+        system.forcefield = system.forcefield.clone().with_ewald(beta);
+    }
+    system.thermalize(cfg.temperature, cfg.seed);
+    system
+}
+
+/// Execute the run, streaming a one-line-per-step energy log to `log`.
+pub fn run(cfg: &RunConfig, log: &mut dyn Write) -> std::io::Result<RunReport> {
+    let mut system = build_system(cfg);
+    let n_atoms = system.n_atoms();
+    if cfg.minimize > 0 {
+        let r = mdcore::minimize::minimize(&mut system, cfg.minimize, 5.0);
+        writeln!(
+            log,
+            "minimized: {:.1} -> {:.1} kcal/mol over {} evaluations (max force {:.1})",
+            r.e_initial, r.e_final, r.evaluations, r.max_force
+        )?;
+    }
+    writeln!(
+        log,
+        "namd-rs: {} atoms, cutoff {} Å, dt {} fs, {} steps, {} threads{}",
+        n_atoms,
+        cfg.cutoff,
+        cfg.timestep,
+        cfg.steps,
+        cfg.threads,
+        if cfg.pme { ", PME on" } else { "" }
+    )?;
+
+    let mut xyz = if cfg.output_name.is_empty() {
+        None
+    } else {
+        let file = std::fs::File::create(format!("{}.xyz", cfg.output_name))?;
+        Some(XyzWriter::from_system(std::io::BufWriter::new(file), &system))
+    };
+
+    let berendsen = Berendsen { target_k: cfg.temperature, tau_fs: cfg.berendsen_tau };
+    let mut langevin = match cfg.thermostat {
+        ThermostatKind::Langevin => Some(Langevin::new(
+            &system,
+            cfg.temperature,
+            cfg.langevin_gamma,
+            cfg.timestep,
+            cfg.seed,
+        )),
+        _ => None,
+    };
+
+    enum Driver {
+        Sequential(Simulator),
+        Threads(Box<ParallelSim>),
+        FullElectro(Box<MtsSimulator>),
+    }
+    // PME runs use the MTS driver (k = 1 reduces to velocity Verlet);
+    // Langevin runs use the thermostat's own integrator.
+    let mut driver = if cfg.pme {
+        Driver::FullElectro(Box::new(MtsSimulator::new(
+            &system,
+            cfg.pme_spacing,
+            cfg.timestep,
+            cfg.mts_frequency,
+        )))
+    } else if cfg.threads > 1 {
+        Driver::Threads(Box::new(ParallelSim::new(
+            system.clone(),
+            cfg.threads,
+            cfg.timestep,
+        )))
+    } else {
+        Driver::Sequential(Simulator::new(&system, cfg.timestep))
+    };
+
+    writeln!(log, "step      potential        kinetic          total     temp(K)")?;
+    let start = std::time::Instant::now();
+    let mut e_first = f64::NAN;
+    let mut e_last = f64::NAN;
+    let mut frames = 0usize;
+    for step in 0..cfg.steps {
+        let (potential, kinetic) = match &mut driver {
+            Driver::Sequential(sim) => {
+                let e = if let Some(l) = &mut langevin {
+                    l.step(&mut system)
+                } else {
+                    let e = sim.step(&mut system);
+                    if cfg.thermostat == ThermostatKind::Berendsen {
+                        berendsen.apply(&mut system, cfg.timestep);
+                    }
+                    e
+                };
+                (e.potential(), e.kinetic)
+            }
+            Driver::Threads(par) => {
+                let e = par.step();
+                if cfg.thermostat == ThermostatKind::Berendsen {
+                    berendsen.apply(&mut par.system, cfg.timestep);
+                }
+                (e.potential(), e.kinetic)
+            }
+            Driver::FullElectro(mts) => {
+                let e = mts.outer_step(&mut system);
+                if cfg.thermostat == ThermostatKind::Berendsen {
+                    berendsen.apply(&mut system, cfg.timestep);
+                }
+                (e.potential(), e.kinetic)
+            }
+        };
+        let total = potential + kinetic;
+        if step == 0 {
+            e_first = total;
+        }
+        e_last = total;
+        let temp = match &driver {
+            Driver::Threads(par) => par.system.temperature(),
+            _ => system.temperature(),
+        };
+        writeln!(log, "{step:>4} {potential:>14.2} {kinetic:>14.2} {total:>14.2} {temp:>10.1}")?;
+        if let Some(w) = &mut xyz {
+            if step % cfg.trajectory_every.max(1) == 0 {
+                let pos = match &driver {
+                    Driver::Threads(par) => &par.system.positions,
+                    _ => &system.positions,
+                };
+                w.write_frame(pos, &format!("step {step}"))?;
+                frames += 1;
+            }
+        }
+    }
+    let wall = start.elapsed().as_secs_f64();
+    let final_temperature = match &driver {
+        Driver::Threads(par) => par.system.temperature(),
+        _ => system.temperature(),
+    };
+    writeln!(
+        log,
+        "done: {:.2} s wall ({:.1} ms/step){}",
+        wall,
+        wall / cfg.steps.max(1) as f64 * 1e3,
+        if frames > 0 { format!(", {frames} trajectory frames") } else { String::new() }
+    )?;
+    Ok(RunReport {
+        n_atoms,
+        steps: cfg.steps,
+        e_first,
+        e_last,
+        final_temperature,
+        wall_seconds: wall,
+        trajectory_frames: frames,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::parse;
+
+    #[test]
+    fn water_run_executes_and_conserves() {
+        let cfg = parse(
+            "system water\natoms 600\nboxSize 20\ncutoff 6\ntimestep 0.5\nsteps 30\n",
+        )
+        .unwrap();
+        let mut log = Vec::new();
+        let report = run(&cfg, &mut log).unwrap();
+        assert_eq!(report.n_atoms, 600);
+        let drift = (report.e_last - report.e_first).abs() / report.e_first.abs().max(1.0);
+        assert!(drift < 2e-2, "NVE drift {drift}");
+        let text = String::from_utf8(log).unwrap();
+        assert!(text.lines().count() > 30);
+    }
+
+    #[test]
+    fn langevin_run_heats_a_cold_system() {
+        let cfg = parse(
+            "system water\natoms 300\nboxSize 20\ncutoff 6\ntimestep 1.0\nsteps 120\n\
+             temperature 250\nthermostat langevin\nlangevinGamma 0.02\n",
+        )
+        .unwrap();
+        // Zero the velocities by building cold, then let the thermostat heat.
+        let mut log = Vec::new();
+        let report = run(&cfg, &mut log).unwrap();
+        assert!(
+            report.final_temperature > 100.0,
+            "thermostat failed to heat: {}",
+            report.final_temperature
+        );
+    }
+
+    #[test]
+    fn minimization_precedes_dynamics() {
+        let cfg = parse(
+            "system water\natoms 300\nboxSize 20\ncutoff 6\nsteps 10\nminimize 50\n",
+        )
+        .unwrap();
+        let mut log = Vec::new();
+        let report = run(&cfg, &mut log).unwrap();
+        let text = String::from_utf8(log).unwrap();
+        assert!(text.contains("minimized:"), "{text}");
+        assert!(report.e_last.is_finite());
+    }
+
+    #[test]
+    fn multicore_run_works() {
+        let cfg = parse(
+            "system br\nscale 0.3\ntimestep 0.5\nsteps 5\nthreads 2\n",
+        )
+        .unwrap();
+        let mut log = Vec::new();
+        let report = run(&cfg, &mut log).unwrap();
+        assert!(report.n_atoms > 500);
+        assert!(report.e_last.is_finite());
+    }
+
+    #[test]
+    fn pme_run_works() {
+        let cfg = parse(
+            "system water\natoms 450\nboxSize 20\ncutoff 7\ntimestep 0.5\nsteps 8\n\
+             pme on\nmtsFrequency 2\n",
+        )
+        .unwrap();
+        let mut log = Vec::new();
+        let report = run(&cfg, &mut log).unwrap();
+        assert!(report.e_last.is_finite());
+        let text = String::from_utf8(log).unwrap();
+        assert!(text.contains("PME on"));
+    }
+
+    #[test]
+    fn trajectory_output_writes_frames() {
+        let dir = std::env::temp_dir().join("namd_rs_test_traj");
+        let _ = std::fs::create_dir_all(&dir);
+        let name = dir.join("t1");
+        let cfg = parse(&format!(
+            "system water\natoms 90\nboxSize 16\ncutoff 5\nsteps 10\n\
+             outputName {}\ntrajectoryEvery 2\n",
+            name.display()
+        ))
+        .unwrap();
+        let mut log = Vec::new();
+        let report = run(&cfg, &mut log).unwrap();
+        assert_eq!(report.trajectory_frames, 5);
+        let xyz = std::fs::read_to_string(format!("{}.xyz", name.display())).unwrap();
+        assert!(xyz.starts_with("90\n"));
+        let _ = std::fs::remove_file(format!("{}.xyz", name.display()));
+    }
+}

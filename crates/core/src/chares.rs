@@ -1,0 +1,696 @@
+//! The chare implementations: home patches, proxy patches, compute objects,
+//! and the completion reducer (§3.1).
+//!
+//! Per-step protocol (all message-driven, no barriers):
+//!
+//! 1. A home patch *publishes* its coordinates: one multicast to its proxy
+//!    patches (§4.2.3's costed naive/optimized multicast) and ready-signals
+//!    to co-located computes.
+//! 2. A proxy receives the coordinates and ready-signals the computes on its
+//!    processor.
+//! 3. A compute that has heard from all of its (1 or 2+) patches self-enqueues
+//!    an execute message; the execution runs the force kernels (or replays
+//!    counted work), then sends one force message per involved patch to that
+//!    patch's local representative (home patch or proxy).
+//! 4. A proxy that has collected all local force contributions sends one
+//!    combined force message to the home patch.
+//! 5. A home patch that has collected everything self-enqueues *integrate*:
+//!    velocity-Verlet update, then publish the next step's coordinates (this
+//!    is the entry method the multicast optimization halves), or report
+//!    completion to the reducer after the final step.
+
+use crate::config::ForceMode;
+use crate::costmodel;
+use crate::decomp::{ComputeKind, PatchArrays};
+use crate::patchgrid::PatchId;
+use crate::state::Shared;
+use charmrt::{empty_payload, Chare, Ctx, EntryId, MulticastMode, ObjId, Payload, PRIO_HIGH, PRIO_NORMAL};
+use mdcore::bonded::{angle_force, bond_force, dihedral_force, improper_force, restraint_force};
+use mdcore::forcefield::units;
+use mdcore::nonbonded::{nb_pair_ranged, nb_self_ranged};
+use std::rc::Rc;
+
+/// Entry-method ids shared by all chares, registered once per engine run.
+#[derive(Debug, Clone, Copy)]
+pub struct Entries {
+    /// Home patch: bootstrap / begin step 0.
+    pub start: EntryId,
+    /// Home patch: a force contribution arrived.
+    pub patch_forces: EntryId,
+    /// Home patch: integrate + publish (self-enqueued).
+    pub integrate: EntryId,
+    /// Proxy: coordinates arrived from home.
+    pub proxy_coords: EntryId,
+    /// Proxy: a local force contribution arrived.
+    pub proxy_forces: EntryId,
+    /// Compute: one of my patches is ready.
+    pub ready: EntryId,
+    /// Compute: execute (self-enqueued once all patches are ready).
+    pub exec_self: EntryId,
+    /// Compute: execute for pair computes.
+    pub exec_pair: EntryId,
+    /// Compute: execute for intra-patch bonded computes.
+    pub exec_bonded: EntryId,
+    /// Compute: execute for inter-patch bonded computes.
+    pub exec_bonded_inter: EntryId,
+    /// Reducer: one patch finished all steps.
+    pub done: EntryId,
+    /// PME slab: a patch's charge contribution arrived.
+    pub slab_charge: EntryId,
+    /// PME slab: a transpose block arrived from another slab.
+    pub slab_transpose: EntryId,
+}
+
+impl Entries {
+    /// Register all entry methods on an engine.
+    pub fn register(des: &mut charmrt::Des) -> Entries {
+        Entries {
+            start: des.register_entry("PatchStart"),
+            patch_forces: des.register_entry("PatchRecvForces"),
+            integrate: des.register_entry("Integrate"),
+            proxy_coords: des.register_entry("ProxyRecvCoords"),
+            proxy_forces: des.register_entry("ProxyRecvForces"),
+            ready: des.register_entry("ComputeReady"),
+            exec_self: des.register_entry("NonbondedSelf"),
+            exec_pair: des.register_entry("NonbondedPair"),
+            exec_bonded: des.register_entry("BondedIntra"),
+            exec_bonded_inter: des.register_entry("BondedInter"),
+            done: des.register_entry("Done"),
+            slab_charge: des.register_entry("PmeSlabCharges"),
+            slab_transpose: des.register_entry("PmeSlabFft"),
+        }
+    }
+
+    /// Entry ids attributable to the modeled PME pipeline.
+    pub fn pme_entries(&self) -> [EntryId; 2] {
+        [self.slab_charge, self.slab_transpose]
+    }
+
+    /// The entry ids that represent non-bonded work (for Figures 1-2).
+    pub fn nonbonded(&self) -> [EntryId; 2] {
+        [self.exec_self, self.exec_pair]
+    }
+}
+
+/// Static per-run parameters shared by the patch/compute chares.
+#[derive(Debug, Clone, Copy)]
+pub struct RunParams {
+    pub n_steps: usize,
+    pub dt_fs: f64,
+    pub force_mode: ForceMode,
+    pub multicast: MulticastMode,
+    /// PME cadence: reciprocal space evaluated on steps where
+    /// `step % pme_every == 0`; 0 disables PME.
+    pub pme_every: usize,
+}
+
+/// A home patch: owns a cube of space and its atoms; integrates them.
+pub struct HomePatch {
+    pub patch: PatchId,
+    shared: Rc<Shared>,
+    entries: Entries,
+    params: RunParams,
+    /// Proxy patch objects to multicast coordinates to.
+    proxies: Vec<ObjId>,
+    /// Co-located computes to ready-signal on publish.
+    local_computes: Vec<ObjId>,
+    /// Force messages expected per step (co-located computes needing this
+    /// patch + one combined message per proxy).
+    expected: usize,
+    received: usize,
+    step: usize,
+    reducer: ObjId,
+    /// Whether the velocity half-kick from the previous step is pending.
+    started: bool,
+    /// PME: the slab object this patch contributes charges to.
+    slab: Option<ObjId>,
+}
+
+impl HomePatch {
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        patch: PatchId,
+        shared: Rc<Shared>,
+        entries: Entries,
+        params: RunParams,
+        proxies: Vec<ObjId>,
+        local_computes: Vec<ObjId>,
+        expected: usize,
+        reducer: ObjId,
+        slab: Option<ObjId>,
+    ) -> Self {
+        HomePatch {
+            patch,
+            shared,
+            entries,
+            params,
+            proxies,
+            local_computes,
+            expected,
+            received: 0,
+            step: 0,
+            reducer,
+            started: false,
+            slab,
+        }
+    }
+
+    /// Is PME evaluated on the *current* step?
+    fn pme_step(&self) -> bool {
+        self.slab.is_some()
+            && self.params.pme_every > 0
+            && self.step.is_multiple_of(self.params.pme_every)
+    }
+
+    /// Force/potential messages expected for the current step.
+    fn expected_now(&self) -> usize {
+        self.expected + usize::from(self.pme_step())
+    }
+
+    fn n_atoms(&self) -> usize {
+        self.shared.decomp.grid.atoms[self.patch].len()
+    }
+
+    /// Send this step's coordinates to proxies and co-located computes; on
+    /// PME steps, also spread charges and ship them to this patch's slab.
+    fn publish(&self, ctx: &mut Ctx) {
+        let bytes = self.n_atoms() * costmodel::BYTES_PER_ATOM;
+        ctx.multicast(
+            &self.proxies,
+            self.entries.proxy_coords,
+            bytes,
+            PRIO_HIGH,
+            self.params.multicast,
+            |_| empty_payload(),
+        );
+        for &c in &self.local_computes {
+            ctx.signal(c, self.entries.ready, PRIO_NORMAL);
+        }
+        if self.pme_step() {
+            // Charge spreading (half of WORK_PME_PER_ATOM; gathering happens
+            // at integration) and the charge-grid message to the slab.
+            ctx.add_work(self.n_atoms() as f64 * costmodel::WORK_PME_PER_ATOM * 0.5);
+            ctx.send(
+                self.slab.expect("pme_step implies slab"),
+                self.entries.slab_charge,
+                bytes,
+                PRIO_NORMAL,
+                empty_payload(),
+            );
+        }
+    }
+
+    /// Velocity-Verlet update for this patch's atoms (Real mode).
+    fn integrate_real(&mut self, ctx: &mut Ctx) {
+        let shared = self.shared.clone();
+        let mut st = shared.state.borrow_mut();
+        let atoms = &self.shared.decomp.grid.atoms[self.patch];
+        let dt = self.params.dt_fs;
+        let last = self.step + 1 == self.params.n_steps;
+
+        let mut kinetic = 0.0;
+        for &a in atoms {
+            let i = a as usize;
+            let m = st.system.topology.atoms[i].mass;
+            let acc = st.forces[i] * (units::ACCEL / m);
+            // Complete the previous step's second half-kick.
+            if self.started {
+                st.system.velocities[i] += acc * (0.5 * dt);
+            }
+            let v = st.system.velocities[i];
+            kinetic += 0.5 * m * v.norm2() * units::KE;
+            if !last {
+                // First half-kick and drift of the next step.
+                st.system.velocities[i] += acc * (0.5 * dt);
+                let vnew = st.system.velocities[i];
+                st.system.positions[i] = st.system.cell.wrap(st.system.positions[i] + vnew * dt);
+            }
+            st.forces[i] = mdcore::vec3::Vec3::ZERO;
+        }
+        st.energies[self.step].kinetic += kinetic;
+        drop(st);
+        let _ = ctx;
+    }
+}
+
+impl Chare for HomePatch {
+    fn receive(&mut self, entry: EntryId, _payload: Payload, ctx: &mut Ctx) {
+        if entry == self.entries.start {
+            // Bootstrap: publish step-0 coordinates.
+            self.publish(ctx);
+        } else if entry == self.entries.patch_forces {
+            self.received += 1;
+            debug_assert!(self.received <= self.expected_now());
+            if self.received == self.expected_now() {
+                self.received = 0;
+                // Integration is its own entry method so the trace and the
+                // audit see it separately from cheap force receives.
+                ctx.signal(ctx.this(), self.entries.integrate, PRIO_HIGH);
+            }
+        } else if entry == self.entries.integrate {
+            ctx.add_work(self.n_atoms() as f64 * costmodel::WORK_PER_ATOM_INTEGRATION);
+            if self.pme_step() {
+                // Gather reciprocal-space forces from the potential grid.
+                ctx.add_work(self.n_atoms() as f64 * costmodel::WORK_PME_PER_ATOM * 0.5);
+            }
+            if self.params.force_mode == ForceMode::Real {
+                self.integrate_real(ctx);
+            }
+            self.started = true;
+            self.step += 1;
+            if self.step < self.params.n_steps {
+                self.publish(ctx);
+            } else {
+                ctx.signal(self.reducer, self.entries.done, PRIO_NORMAL);
+            }
+        } else {
+            unreachable!("HomePatch got unexpected entry {entry:?}");
+        }
+    }
+}
+
+/// A proxy patch: stands in for a remote home patch on this processor.
+pub struct ProxyPatch {
+    pub patch: PatchId,
+    entries: Entries,
+    home: ObjId,
+    /// Computes on this PE that need this patch.
+    local_computes: Vec<ObjId>,
+    /// Force contributions expected per step (= local_computes needing it).
+    expected: usize,
+    received: usize,
+    /// Bytes of a combined force message (patch atoms × per-atom bytes).
+    force_bytes: usize,
+    /// Unpacking cost per coordinate message, work units.
+    unpack_work: f64,
+}
+
+impl ProxyPatch {
+    pub fn new(
+        patch: PatchId,
+        entries: Entries,
+        home: ObjId,
+        local_computes: Vec<ObjId>,
+        expected: usize,
+        n_atoms: usize,
+    ) -> Self {
+        ProxyPatch {
+            patch,
+            entries,
+            home,
+            local_computes,
+            expected,
+            received: 0,
+            force_bytes: n_atoms * costmodel::BYTES_PER_ATOM,
+            unpack_work: n_atoms as f64 * 0.3,
+        }
+    }
+}
+
+impl Chare for ProxyPatch {
+    fn receive(&mut self, entry: EntryId, _payload: Payload, ctx: &mut Ctx) {
+        if entry == self.entries.proxy_coords {
+            ctx.add_work(self.unpack_work);
+            for &c in &self.local_computes {
+                ctx.signal(c, self.entries.ready, PRIO_NORMAL);
+            }
+        } else if entry == self.entries.proxy_forces {
+            self.received += 1;
+            debug_assert!(self.received <= self.expected);
+            if self.received == self.expected {
+                self.received = 0;
+                ctx.add_work(self.unpack_work);
+                ctx.send(
+                    self.home,
+                    self.entries.patch_forces,
+                    self.force_bytes,
+                    PRIO_HIGH,
+                    empty_payload(),
+                );
+            }
+        } else {
+            unreachable!("ProxyPatch got unexpected entry {entry:?}");
+        }
+    }
+}
+
+/// A compute object: non-bonded self/pair piece or bonded intra/inter.
+pub struct ComputeChare {
+    /// Index into `decomp.computes`.
+    pub index: usize,
+    shared: Rc<Shared>,
+    entries: Entries,
+    params: RunParams,
+    /// Per required patch: the representative object on this PE to send the
+    /// force contribution to (home patch if co-located, else proxy), the
+    /// entry to invoke on it (`patch_forces` vs `proxy_forces`), and the
+    /// byte size of that contribution.
+    targets: Vec<(ObjId, EntryId, usize)>,
+    expected: usize,
+    received: usize,
+    step: usize,
+    /// Multiplier on the counted work (slow load drift, §3.2).
+    work_scale: f64,
+    /// Scheduler priority of this compute's execution (remote-feeding
+    /// computes run first when `SimConfig::prioritize_remote` is on).
+    exec_priority: charmrt::Priority,
+}
+
+impl ComputeChare {
+    pub fn new(
+        index: usize,
+        shared: Rc<Shared>,
+        entries: Entries,
+        params: RunParams,
+        targets: Vec<(ObjId, EntryId, usize)>,
+        work_scale: f64,
+        exec_priority: charmrt::Priority,
+    ) -> Self {
+        let expected = shared.decomp.computes[index].patches.len();
+        ComputeChare {
+            index,
+            shared,
+            entries,
+            params,
+            targets,
+            expected,
+            received: 0,
+            step: 0,
+            work_scale,
+            exec_priority,
+        }
+    }
+
+    /// The execute entry for this compute's kind.
+    fn exec_entry(&self) -> EntryId {
+        match self.shared.decomp.computes[self.index].kind {
+            ComputeKind::SelfNb { .. } => self.entries.exec_self,
+            ComputeKind::PairNb { .. } => self.entries.exec_pair,
+            ComputeKind::BondedIntra { .. } => self.entries.exec_bonded,
+            ComputeKind::BondedInter { .. } => self.entries.exec_bonded_inter,
+        }
+    }
+
+    /// Run the real force kernels and scatter into the shared force array.
+    fn execute_real(&mut self, ctx: &mut Ctx) {
+        let shared = self.shared.clone();
+        let spec = &shared.decomp.computes[self.index];
+        let mut st = shared.state.borrow_mut();
+        let st = &mut *st;
+        let cell = st.system.cell;
+        let step = self.step;
+
+        match &spec.kind {
+            ComputeKind::SelfNb { patch } => {
+                let arrays = PatchArrays::gather(&st.system, &shared.decomp.grid.atoms[*patch]);
+                let mut f = vec![mdcore::vec3::Vec3::ZERO; arrays.pos.len()];
+                let res = nb_self_ranged(
+                    &st.system.forcefield,
+                    &st.system.exclusions,
+                    arrays.group(),
+                    &cell,
+                    spec.outer.clone(),
+                    &mut f,
+                );
+                for (k, &a) in arrays.ids.iter().enumerate() {
+                    st.forces[a as usize] += f[k];
+                }
+                st.energies[step].e_lj += res.e_lj;
+                st.energies[step].e_elec += res.e_elec;
+                st.energies[step].pairs += res.pairs;
+                ctx.add_work(costmodel::nonbonded_work(res.pairs, spec.candidates));
+            }
+            ComputeKind::PairNb { a, b } => {
+                let ga = PatchArrays::gather(&st.system, &shared.decomp.grid.atoms[*a]);
+                let gb = PatchArrays::gather(&st.system, &shared.decomp.grid.atoms[*b]);
+                let mut fa = vec![mdcore::vec3::Vec3::ZERO; ga.pos.len()];
+                let mut fb = vec![mdcore::vec3::Vec3::ZERO; gb.pos.len()];
+                let res = nb_pair_ranged(
+                    &st.system.forcefield,
+                    &st.system.exclusions,
+                    ga.group(),
+                    gb.group(),
+                    &cell,
+                    spec.outer.clone(),
+                    &mut fa,
+                    &mut fb,
+                );
+                for (k, &atom) in ga.ids.iter().enumerate() {
+                    st.forces[atom as usize] += fa[k];
+                }
+                for (k, &atom) in gb.ids.iter().enumerate() {
+                    st.forces[atom as usize] += fb[k];
+                }
+                st.energies[step].e_lj += res.e_lj;
+                st.energies[step].e_elec += res.e_elec;
+                st.energies[step].pairs += res.pairs;
+                ctx.add_work(costmodel::nonbonded_work(res.pairs, spec.candidates));
+            }
+            ComputeKind::BondedIntra { .. } | ComputeKind::BondedInter { .. } => {
+                let terms = spec.terms.as_ref().expect("bonded compute without terms");
+                let topo = &st.system.topology;
+                let pos = &st.system.positions;
+                let forces = &mut st.forces;
+                let acc = &mut st.energies[step];
+                for &bi in &terms.bonds {
+                    let b = &topo.bonds[bi as usize];
+                    let (e, fa, fb) =
+                        bond_force(&cell, pos[b.a as usize], pos[b.b as usize], b.k, b.r0);
+                    acc.e_bond += e;
+                    forces[b.a as usize] += fa;
+                    forces[b.b as usize] += fb;
+                }
+                for &ai in &terms.angles {
+                    let t = &topo.angles[ai as usize];
+                    let (e, fa, fb, fc) = angle_force(
+                        &cell,
+                        pos[t.a as usize],
+                        pos[t.b as usize],
+                        pos[t.c as usize],
+                        t.k,
+                        t.theta0,
+                    );
+                    acc.e_angle += e;
+                    forces[t.a as usize] += fa;
+                    forces[t.b as usize] += fb;
+                    forces[t.c as usize] += fc;
+                }
+                for &di in &terms.dihedrals {
+                    let d = &topo.dihedrals[di as usize];
+                    let (e, f) = dihedral_force(
+                        &cell,
+                        pos[d.a as usize],
+                        pos[d.b as usize],
+                        pos[d.c as usize],
+                        pos[d.d as usize],
+                        d.k,
+                        d.n,
+                        d.delta,
+                    );
+                    acc.e_dihedral += e;
+                    forces[d.a as usize] += f[0];
+                    forces[d.b as usize] += f[1];
+                    forces[d.c as usize] += f[2];
+                    forces[d.d as usize] += f[3];
+                }
+                for &ii in &terms.impropers {
+                    let d = &topo.impropers[ii as usize];
+                    let (e, f) = improper_force(
+                        &cell,
+                        pos[d.a as usize],
+                        pos[d.b as usize],
+                        pos[d.c as usize],
+                        pos[d.d as usize],
+                        d.k,
+                        d.psi0,
+                    );
+                    acc.e_improper += e;
+                    forces[d.a as usize] += f[0];
+                    forces[d.b as usize] += f[1];
+                    forces[d.c as usize] += f[2];
+                    forces[d.d as usize] += f[3];
+                }
+                for &ri in &terms.restraints {
+                    let r = &topo.restraints[ri as usize];
+                    let (e, f) = restraint_force(&cell, pos[r.atom as usize], r.target, r.k);
+                    acc.e_restraint += e;
+                    forces[r.atom as usize] += f;
+                }
+                ctx.add_work(terms.work());
+            }
+        }
+    }
+}
+
+impl Chare for ComputeChare {
+    fn receive(&mut self, entry: EntryId, _payload: Payload, ctx: &mut Ctx) {
+        if entry == self.entries.ready {
+            self.received += 1;
+            debug_assert!(self.received <= self.expected);
+            if self.received == self.expected {
+                self.received = 0;
+                ctx.signal(ctx.this(), self.exec_entry(), self.exec_priority);
+            }
+        } else if entry == self.exec_entry() {
+            match self.params.force_mode {
+                ForceMode::Real => self.execute_real(ctx),
+                ForceMode::Counted => ctx
+                    .add_work(self.shared.decomp.computes[self.index].work * self.work_scale),
+            }
+            self.step += 1;
+            for &(target, entry, bytes) in &self.targets {
+                ctx.send(target, entry, bytes, PRIO_HIGH, empty_payload());
+            }
+        } else {
+            unreachable!("ComputeChare got unexpected entry {entry:?}");
+        }
+    }
+}
+
+/// A PME slab object: owns a contiguous block of the reciprocal-space mesh
+/// (§1's "grid-based component"). Per PME step it collects charge-grid
+/// contributions from its patches, exchanges transpose blocks with every
+/// other slab (the all-to-all that limits FFT scalability), performs its
+/// share of the 3-D FFT + influence multiply, and returns potential blocks
+/// to its patches. Non-migratable — its placement is fixed like NAMD's
+/// other grid infrastructure.
+pub struct SlabChare {
+    shared: Rc<Shared>,
+    entries: Entries,
+    params: RunParams,
+    /// All other slab objects (transpose partners).
+    peers: Vec<ObjId>,
+    /// Patches assigned to this slab: (home patch object, potential bytes).
+    patches: Vec<(ObjId, usize)>,
+    /// Work units for this slab's share of the FFT pipeline per evaluation.
+    fft_work: f64,
+    /// Bytes per transpose message.
+    transpose_bytes: usize,
+    charges_received: usize,
+    transposes_received: usize,
+    /// PME rounds this slab has completed (tracks the step for energies).
+    rounds: usize,
+}
+
+impl SlabChare {
+    pub fn new(
+        shared: Rc<Shared>,
+        entries: Entries,
+        params: RunParams,
+        peers: Vec<ObjId>,
+        patches: Vec<(ObjId, usize)>,
+        fft_work: f64,
+        transpose_bytes: usize,
+    ) -> Self {
+        SlabChare {
+            shared,
+            entries,
+            params,
+            peers,
+            patches,
+            fft_work,
+            transpose_bytes,
+            charges_received: 0,
+            transposes_received: 0,
+            rounds: 0,
+        }
+    }
+}
+
+impl Chare for SlabChare {
+    fn receive(&mut self, entry: EntryId, _payload: Payload, ctx: &mut Ctx) {
+        if entry == self.entries.slab_charge {
+            self.charges_received += 1;
+            debug_assert!(self.charges_received <= self.patches.len());
+            if self.charges_received == self.patches.len() {
+                self.charges_received = 0;
+                // First FFT stage over the slab's planes, then the
+                // transpose all-to-all.
+                ctx.add_work(self.fft_work * 0.5);
+                for &p in &self.peers {
+                    ctx.send(
+                        p,
+                        self.entries.slab_transpose,
+                        self.transpose_bytes,
+                        PRIO_NORMAL,
+                        empty_payload(),
+                    );
+                }
+                // A lone slab (n_slabs == 1) has no peers: complete locally.
+                if self.peers.is_empty() {
+                    self.finish(ctx);
+                }
+            }
+        } else if entry == self.entries.slab_transpose {
+            self.transposes_received += 1;
+            debug_assert!(self.transposes_received <= self.peers.len());
+            if self.transposes_received == self.peers.len() {
+                self.transposes_received = 0;
+                self.finish(ctx);
+            }
+        } else {
+            unreachable!("SlabChare got unexpected entry {entry:?}");
+        }
+    }
+}
+
+impl SlabChare {
+    /// Remaining FFT stages + influence multiply, then return the potential
+    /// blocks to this slab's patches. In Real force mode, the *first* slab
+    /// to finish a PME round evaluates the actual reciprocal-space physics
+    /// (by then every patch has published this step's coordinates, since
+    /// all slabs' charge collections feed the transposes).
+    fn finish(&mut self, ctx: &mut Ctx) {
+        ctx.add_work(self.fft_work * 0.5);
+        if let Some(pr) = &self.shared.pme_real {
+            let mut pr = pr.borrow_mut();
+            if pr.rounds_done == self.rounds {
+                pr.rounds_done += 1;
+                let step = self.rounds * self.params.pme_every.max(1);
+                let shared = self.shared.clone();
+                let mut st = shared.state.borrow_mut();
+                let st = &mut *st;
+                let pr = &mut *pr;
+                let recip =
+                    pr.solver.reciprocal(&st.system.positions, &pr.charges, &mut st.forces);
+                let corr_ex = pme::ewald::exclusion_correction(
+                    &st.system.cell,
+                    &st.system.positions,
+                    &pr.charges,
+                    &st.system.exclusions,
+                    &pr.ewald,
+                    &mut st.forces,
+                );
+                let corr_self = pme::ewald::self_energy(&pr.charges, &pr.ewald);
+                if step < st.energies.len() {
+                    st.energies[step].e_elec += recip.reciprocal + corr_ex + corr_self;
+                }
+            }
+        }
+        self.rounds += 1;
+        for &(patch, bytes) in &self.patches {
+            ctx.send(patch, self.entries.patch_forces, bytes, PRIO_HIGH, empty_payload());
+        }
+    }
+}
+
+/// Counts patch completions; stops the engine when all patches finish.
+pub struct Reducer {
+    expected: usize,
+    received: usize,
+}
+
+impl Reducer {
+    pub fn new(expected: usize) -> Self {
+        Reducer { expected, received: 0 }
+    }
+}
+
+impl Chare for Reducer {
+    fn receive(&mut self, _entry: EntryId, _payload: Payload, ctx: &mut Ctx) {
+        self.received += 1;
+        if self.received == self.expected {
+            ctx.stop();
+        }
+    }
+}

@@ -1,0 +1,178 @@
+//! Simulation configuration for the parallel engine.
+
+use charmrt::MulticastMode;
+use machine::MachineModel;
+
+/// How compute objects obtain the work they declare to the runtime.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ForceMode {
+    /// Execute the real mdcore force kernels every step (positions evolve,
+    /// energies are exact). Used for validation and small systems.
+    Real,
+    /// Count each compute's cutoff pairs once at decomposition time and
+    /// replay the counts as declared work (the principle of persistence:
+    /// object loads change only slowly, so a few-step timing window sees
+    /// constant loads). Positions do not evolve. Used for the paper-scale
+    /// benchmark tables, where recomputing 60M pair interactions per
+    /// simulated step per PE-count would dominate wall time without
+    /// changing any scheduling behaviour.
+    Counted,
+}
+
+/// Which load-balancing pipeline the engine runs (§3.2 / ablations).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LbStrategy {
+    /// Keep the initial static (upstream-rule) placement.
+    None,
+    /// Pseudo-random placement of migratable computes.
+    Random,
+    /// Round-robin placement of migratable computes.
+    RoundRobin,
+    /// Paper's greedy, but blind to patch/proxy locations.
+    GreedyNoProxy,
+    /// The paper's measurement-based greedy strategy.
+    Greedy,
+    /// Distributed neighbour-diffusion strategy (§2.2's distributed
+    /// alternative).
+    Diffusion,
+    /// Greedy followed by a refinement pass — the full §3.2 pipeline.
+    GreedyRefine,
+}
+
+/// Modeled full-electrostatics (PME) configuration for the DES engine.
+/// The physics lives in the `pme` crate; the engine models its parallel
+/// cost: per-patch spread/gather work, slab-decomposed FFT objects, the
+/// charge/potential messages, and the slab-transpose all-to-all.
+#[derive(Debug, Clone, Copy)]
+pub struct PmeSimConfig {
+    /// Maximum mesh spacing, Å (the mesh per axis is the next power of two
+    /// of box/spacing — matching `pme::mesh::PmeParams::for_cell`).
+    pub mesh_spacing: f64,
+    /// Evaluate the reciprocal sum every this many steps (multiple
+    /// timestepping; 1 = every step).
+    pub every: usize,
+    /// Number of slab objects the mesh is decomposed into.
+    pub slabs: usize,
+}
+
+impl Default for PmeSimConfig {
+    fn default() -> Self {
+        PmeSimConfig { mesh_spacing: 1.2, every: 4, slabs: 64 }
+    }
+}
+
+/// Tunables for one parallel simulation.
+#[derive(Debug, Clone)]
+pub struct SimConfig {
+    /// Number of (virtual) processors.
+    pub n_pes: usize,
+    /// Machine performance model.
+    pub machine: MachineModel,
+    /// Patch side margin beyond the cutoff, Å (NAMD's "slightly larger than
+    /// the cutoff radius").
+    pub patch_margin: f64,
+    /// Real kernels vs counted-work replay.
+    pub force_mode: ForceMode,
+    /// Timestep for Real mode, fs.
+    pub dt_fs: f64,
+    /// Split self computes into pieces of at most this many atoms
+    /// (grainsize control for within-cube work; always on in NAMD).
+    pub self_split_atoms: usize,
+    /// Split face-adjacent pair computes (§4.2.1's fix for the bimodal
+    /// grainsize distribution). When false, Figure 1's 40+ ms tasks appear.
+    pub split_face_pairs: bool,
+    /// Atom budget per face-pair piece when splitting.
+    pub pair_split_atoms: usize,
+    /// Counted-mode grainsize target, work units per piece: splitting also
+    /// ensures no self or face-pair piece exceeds this much counted work
+    /// (≈11 ms on the ASCI-Red model at the 12,000 default — the "divide
+    /// work into pieces ... around 5-15 ms" rule of the paper's conclusion).
+    pub target_grain_work: f64,
+    /// Coordinate multicast costing (§4.2.3).
+    pub multicast: MulticastMode,
+    /// Execute computes that feed *remote* patches at higher priority, so
+    /// their force messages enter the network while local-only work still
+    /// overlaps the wait — NAMD's prioritized execution of remote work
+    /// (the "adaptive overlap" §2.2 credits to data-driven execution).
+    pub prioritize_remote: bool,
+    /// Make intra-cube bonded computes migratable (§4.2.2's optimization).
+    pub migratable_bonded: bool,
+    /// Load-balancing pipeline.
+    pub lb: LbStrategy,
+    /// Steps per measurement/benchmark phase.
+    pub steps_per_phase: usize,
+    /// Record full Projections-style traces.
+    pub tracing: bool,
+    /// Model full electrostatics (PME) on top of the cutoff computation.
+    pub pme: Option<PmeSimConfig>,
+    /// Per-PE speed factors (1.0 = nominal) — heterogeneous or externally
+    /// loaded processors, the workstation-cluster scenario of the paper's
+    /// ref \[3\]. Empty = homogeneous.
+    pub pe_speeds: Vec<f64>,
+    /// Slow load drift per phase (Counted mode): each compute's work
+    /// performs a multiplicative random walk with this relative step,
+    /// modeling "the slow large-scale movements of atoms in the
+    /// simulation" (§3.2). 0 disables drift.
+    pub load_drift: f64,
+}
+
+impl SimConfig {
+    /// A sensible default configuration for `n_pes` PEs on `machine`,
+    /// with every paper optimization enabled.
+    pub fn new(n_pes: usize, machine: MachineModel) -> Self {
+        SimConfig {
+            n_pes,
+            machine,
+            patch_margin: 3.5,
+            force_mode: ForceMode::Counted,
+            dt_fs: 1.0,
+            self_split_atoms: 160,
+            split_face_pairs: true,
+            pair_split_atoms: 112,
+            target_grain_work: 12_000.0,
+            multicast: MulticastMode::Optimized,
+            prioritize_remote: true,
+            migratable_bonded: true,
+            lb: LbStrategy::GreedyRefine,
+            steps_per_phase: 3,
+            tracing: false,
+            pme: None,
+            pe_speeds: Vec::new(),
+            load_drift: 0.0,
+        }
+    }
+
+    /// The configuration NAMD had *before* the §4.2 optimizations: no
+    /// face-pair splitting, naive multicast, non-migratable bonded work.
+    pub fn unoptimized(n_pes: usize, machine: MachineModel) -> Self {
+        SimConfig {
+            split_face_pairs: false,
+            multicast: MulticastMode::Naive,
+            migratable_bonded: false,
+            ..SimConfig::new(n_pes, machine)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use machine::presets;
+
+    #[test]
+    fn default_config_enables_all_optimizations() {
+        let c = SimConfig::new(64, presets::asci_red());
+        assert!(c.split_face_pairs);
+        assert_eq!(c.multicast, MulticastMode::Optimized);
+        assert!(c.migratable_bonded);
+        assert_eq!(c.lb, LbStrategy::GreedyRefine);
+    }
+
+    #[test]
+    fn unoptimized_disables_them() {
+        let c = SimConfig::unoptimized(64, presets::asci_red());
+        assert!(!c.split_face_pairs);
+        assert_eq!(c.multicast, MulticastMode::Naive);
+        assert!(!c.migratable_bonded);
+    }
+}

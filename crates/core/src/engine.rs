@@ -1,0 +1,757 @@
+//! The parallel simulation engine: builds the decomposition, places objects,
+//! runs measurement phases on the DES, and drives the three-stage
+//! load-balancing pipeline of §3.2.
+//!
+//! A *phase* is a fresh engine instantiation (reducer + home patches +
+//! proxies + computes for the current placement) run for a fixed number of
+//! timesteps. Between phases the load balancer consumes the measured object
+//! loads and produces a new placement; proxies are rebuilt for the new
+//! placement exactly as NAMD "moves the objects, constructs new proxies as
+//! necessary, and resumes the simulation".
+
+use crate::chares::{ComputeChare, Entries, HomePatch, ProxyPatch, Reducer, RunParams};
+use crate::config::{ForceMode, LbStrategy, SimConfig};
+use crate::costmodel;
+use crate::decomp::{self, Decomposition};
+use crate::state::{Shared, SimState, StepAcc};
+use charmrt::{empty_payload, Des, ObjId, Pe, SummaryStats, Trace, PRIO_NORMAL};
+use mdcore::prelude::*;
+use std::collections::BTreeMap;
+use std::rc::Rc;
+
+/// Measurements from one phase.
+#[derive(Debug, Clone)]
+pub struct PhaseResult {
+    /// Virtual seconds per timestep (makespan / steps).
+    pub time_per_step: f64,
+    /// Phase makespan, virtual seconds.
+    pub total_time: f64,
+    pub n_steps: usize,
+    /// Summary profile for the phase.
+    pub stats: SummaryStats,
+    /// Full trace if tracing was enabled.
+    pub trace: Option<Trace>,
+    /// Measured load per compute (seconds over the phase), indexed like
+    /// `decomp.computes`. Non-migratable computes report 0 here (their time
+    /// is in `background`).
+    pub compute_loads: Vec<f64>,
+    /// Per-PE background load over the phase.
+    pub background: Vec<f64>,
+    /// Per-step energies (Real mode only; empty in Counted mode).
+    pub energies: Vec<StepAcc>,
+    /// Entry ids for interpreting `stats`/`trace`.
+    pub entries: Entries,
+}
+
+/// A full benchmark run: one phase per LB stage.
+#[derive(Debug, Clone)]
+pub struct BenchmarkRun {
+    pub phases: Vec<PhaseResult>,
+    /// Objects migrated at each LB stage.
+    pub migrations: Vec<usize>,
+}
+
+impl BenchmarkRun {
+    /// The post-load-balancing steady-state step time.
+    pub fn final_time_per_step(&self) -> f64 {
+        self.phases.last().expect("at least one phase").time_per_step
+    }
+
+    /// The step time before any load balancing.
+    pub fn initial_time_per_step(&self) -> f64 {
+        self.phases.first().expect("at least one phase").time_per_step
+    }
+}
+
+/// The parallel MD engine.
+pub struct Engine {
+    pub config: SimConfig,
+    pub shared: Rc<Shared>,
+    /// Home PE of each patch (static for a run; from RCB).
+    pub patch_pe: Vec<Pe>,
+    /// Current PE of each compute.
+    pub placement: Vec<Pe>,
+    /// Per-compute load-drift multipliers (Counted mode; all 1.0 without
+    /// drift).
+    pub drift: Vec<f64>,
+    /// Deterministic RNG state for the drift random walk.
+    drift_rng: u64,
+}
+
+impl Engine {
+    /// Build the decomposition and the initial static placement:
+    /// patches via recursive coordinate bisection (weights = atom counts),
+    /// computes on the home PE of their first patch — "distributed to a
+    /// processor owning at least one home patch".
+    pub fn new(system: System, config: SimConfig) -> Engine {
+        let decomp = decomp::build(&system, &config);
+        Engine::with_decomposition(system, decomp, config)
+    }
+
+    /// Like [`Engine::new`] but reusing a prebuilt decomposition — the
+    /// decomposition (and its pair counting) is independent of the PE count,
+    /// so scaling sweeps build it once and share it across configurations.
+    pub fn with_decomposition(
+        system: System,
+        decomp: Decomposition,
+        config: SimConfig,
+    ) -> Engine {
+        assert!(decomp.grid.n_patches() > 0, "decomposition must cover the system");
+        let (patch_pe, placement) = Self::static_placement(&decomp, config.n_pes);
+        let n = system.n_atoms();
+        // Real force mode + full electrostatics: the slab chares evaluate
+        // the actual PME reciprocal sum (requires an Ewald-mode force field
+        // so the real-space kernels use erfc screening).
+        let pme_real = match (&config.force_mode, config.pme) {
+            (ForceMode::Real, Some(p)) => {
+                let beta = system.forcefield.ewald_beta.expect(
+                    "Real-mode PME needs ForceField::with_ewald (erfc real space)",
+                );
+                let params =
+                    pme::mesh::PmeParams::for_cell(&system.cell, beta, p.mesh_spacing);
+                Some(std::cell::RefCell::new(crate::state::PmeReal {
+                    solver: pme::mesh::Pme::new(&system.cell, params),
+                    ewald: pme::ewald::EwaldParams {
+                        beta,
+                        r_cut: system.forcefield.cutoff,
+                        kmax: 0,
+                    },
+                    charges: system.charges(),
+                    rounds_done: 0,
+                }))
+            }
+            _ => None,
+        };
+        let shared = Rc::new(Shared {
+            state: std::cell::RefCell::new(SimState {
+                system,
+                forces: vec![Vec3::ZERO; n],
+                energies: Vec::new(),
+            }),
+            decomp,
+            pme_real,
+        });
+        let n_computes = shared.decomp.computes.len();
+        Engine {
+            config,
+            shared,
+            patch_pe,
+            placement,
+            drift: vec![1.0; n_computes],
+            drift_rng: 0x5EED_5EED,
+        }
+    }
+
+    /// Advance the slow load drift by one phase: every compute's work
+    /// multiplier takes a step of a multiplicative random walk with relative
+    /// standard deviation `config.load_drift`, clamped to [0.25, 4].
+    pub fn advance_load_drift(&mut self) {
+        let sigma = self.config.load_drift;
+        if sigma <= 0.0 {
+            return;
+        }
+        for d in &mut self.drift {
+            // SplitMix64 → approximately N(0,1) via sum of uniforms.
+            let mut g = 0.0;
+            for _ in 0..4 {
+                self.drift_rng = self.drift_rng.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = self.drift_rng;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                z ^= z >> 31;
+                g += (z as f64 / u64::MAX as f64) - 0.5;
+            }
+            let noise = g * (12.0f64 / 4.0).sqrt(); // var(U-½)=1/12, 4 summed
+            *d = (*d * (1.0 + sigma * noise)).clamp(0.25, 4.0);
+        }
+    }
+
+    /// The initial static placement: patches via RCB (atom-count weights),
+    /// computes on the home PE of their first patch.
+    fn static_placement(decomp: &Decomposition, n_pes: usize) -> (Vec<Pe>, Vec<Pe>) {
+        let centers: Vec<[f64; 3]> = (0..decomp.grid.n_patches())
+            .map(|p| {
+                let c = decomp.grid.center(p);
+                [c.x, c.y, c.z]
+            })
+            .collect();
+        let weights = decomp.grid.patch_weights();
+        let patch_pe = lb::rcb(&centers, &weights, n_pes);
+        let placement: Vec<Pe> =
+            decomp.computes.iter().map(|c| patch_pe[c.patches[0]]).collect();
+        (patch_pe, placement)
+    }
+
+    /// Atom migration between measurement phases: re-bin every atom into
+    /// its current patch and rebuild the compute objects (NAMD performs the
+    /// same migration at pairlist updates, where the patch margin has been
+    /// consumed by atomic motion). Placements reset to the static rule —
+    /// the next load-balancing cycle re-optimizes them, exactly as the
+    /// periodic refinement of §3.2 "account\[s\] for the slow changes of the
+    /// simulation".
+    pub fn migrate_atoms(&mut self) {
+        let shared = Rc::get_mut(&mut self.shared)
+            .expect("migrate_atoms must run between phases (no live engine objects)");
+        let decomp = decomp::build(&shared.state.get_mut().system, &self.config);
+        shared.decomp = decomp;
+        let (patch_pe, placement) = Self::static_placement(&shared.decomp, self.config.n_pes);
+        self.patch_pe = patch_pe;
+        self.placement = placement;
+    }
+
+    /// The decomposition (read-only).
+    pub fn decomp(&self) -> &Decomposition {
+        &self.shared.decomp
+    }
+
+    /// Run one phase of `n_steps` timesteps under the current placement.
+    pub fn run_phase(&mut self, n_steps: usize) -> PhaseResult {
+        assert!(n_steps > 0);
+        let cfg = &self.config;
+        let decomp = &self.shared.decomp;
+        let n_patches = decomp.grid.n_patches();
+        let n_computes = decomp.computes.len();
+
+        if cfg.force_mode == ForceMode::Real {
+            self.shared.state.borrow_mut().energies = vec![StepAcc::default(); n_steps];
+        }
+
+        let mut des = Des::new(cfg.n_pes, cfg.machine);
+        let entries = Entries::register(&mut des);
+        des.set_tracing(cfg.tracing);
+        if !cfg.pe_speeds.is_empty() {
+            des.set_pe_speeds(cfg.pe_speeds.clone());
+        }
+
+        let params = RunParams {
+            n_steps,
+            dt_fs: cfg.dt_fs,
+            force_mode: cfg.force_mode,
+            multicast: cfg.multicast,
+            pme_every: cfg.pme.map_or(0, |p| p.every.max(1)),
+        };
+
+        // ---- Deterministic object-id layout -------------------------------
+        // reducer = 0; patch p = 1+p; proxy k = 1+P+k; compute j = 1+P+NP+j.
+        let mut proxy_keys: std::collections::BTreeSet<(usize, Pe)> = Default::default();
+        for (j, c) in decomp.computes.iter().enumerate() {
+            let pe = self.placement[j];
+            for &p in &c.patches {
+                if self.patch_pe[p] != pe {
+                    proxy_keys.insert((p, pe));
+                }
+            }
+        }
+        // Number proxies in sorted key order so ids match registration order.
+        let proxy_index: BTreeMap<(usize, Pe), usize> =
+            proxy_keys.into_iter().enumerate().map(|(k, key)| (key, k)).collect();
+        let n_proxies = proxy_index.len();
+        let reducer_id = ObjId(0);
+        let patch_id = |p: usize| ObjId(1 + p as u32);
+        let proxy_id = |k: usize| ObjId(1 + n_patches as u32 + k as u32);
+        let compute_id = |j: usize| ObjId(1 + (n_patches + n_proxies) as u32 + j as u32);
+
+        // Local compute lists per (patch, pe).
+        let mut local: BTreeMap<(usize, Pe), Vec<ObjId>> = BTreeMap::new();
+        for (j, c) in decomp.computes.iter().enumerate() {
+            let pe = self.placement[j];
+            for &p in &c.patches {
+                local.entry((p, pe)).or_default().push(compute_id(j));
+            }
+        }
+        // Proxies per patch (sorted by PE via BTreeMap ordering).
+        let mut patch_proxies: Vec<Vec<ObjId>> = vec![Vec::new(); n_patches];
+        for (&(p, _pe), &k) in &proxy_index {
+            patch_proxies[p].push(proxy_id(k));
+        }
+
+        // ---- PME slab plan (ids follow the computes) -----------------------
+        // Patches need their slab's ObjId at construction time, so the slab
+        // layout is computed here and the objects registered after the
+        // computes.
+        struct SlabPlan {
+            n_slabs: usize,
+            fft_per_slab: f64,
+            transpose_bytes: usize,
+            id_base: usize,
+        }
+        let slab_plan = cfg.pme.map(|pme| {
+            let n_slabs = pme.slabs.clamp(1, n_patches);
+            let mesh_dim = |l: f64| {
+                ((l / pme.mesh_spacing).ceil() as usize).next_power_of_two().max(4)
+            };
+            let cell = decomp.grid.cell;
+            let mesh_points =
+                mesh_dim(cell.lengths.x) * mesh_dim(cell.lengths.y) * mesh_dim(cell.lengths.z);
+            SlabPlan {
+                n_slabs,
+                fft_per_slab: costmodel::fft_work(mesh_points) / n_slabs as f64,
+                transpose_bytes: (mesh_points / (n_slabs * n_slabs).max(1))
+                    * costmodel::BYTES_PER_MESH_POINT,
+                id_base: 1 + n_patches + n_proxies + n_computes,
+            }
+        });
+        let slab_of_patch = |p: usize| {
+            slab_plan
+                .as_ref()
+                .map(|sp| ObjId((sp.id_base + p % sp.n_slabs) as u32))
+        };
+
+        // ---- Register objects in id order ---------------------------------
+        let reg = des.register(Box::new(Reducer::new(n_patches)), 0, false);
+        assert_eq!(reg, reducer_id);
+
+        for p in 0..n_patches {
+            let home_pe = self.patch_pe[p];
+            let locals = local.get(&(p, home_pe)).cloned().unwrap_or_default();
+            let expected = locals.len() + patch_proxies[p].len();
+            let obj = HomePatch::new(
+                p,
+                self.shared.clone(),
+                entries,
+                params,
+                patch_proxies[p].clone(),
+                locals,
+                expected,
+                reducer_id,
+                slab_of_patch(p),
+            );
+            let id = des.register(Box::new(obj), home_pe, false);
+            assert_eq!(id, patch_id(p));
+        }
+
+        for (&(p, pe), &k) in &proxy_index {
+            let locals = local.get(&(p, pe)).cloned().unwrap_or_default();
+            let expected = locals.len();
+            debug_assert!(expected > 0, "proxy with no local computes");
+            let obj = ProxyPatch::new(
+                p,
+                entries,
+                patch_id(p),
+                locals,
+                expected,
+                decomp.grid.atoms[p].len(),
+            );
+            let id = des.register(Box::new(obj), pe, false);
+            assert_eq!(id, proxy_id(k));
+        }
+
+        for (j, c) in decomp.computes.iter().enumerate() {
+            let pe = self.placement[j];
+            let targets: Vec<(ObjId, charmrt::EntryId, usize)> = c
+                .patches
+                .iter()
+                .map(|&p| {
+                    let bytes = decomp.grid.atoms[p].len() * costmodel::BYTES_PER_ATOM;
+                    if self.patch_pe[p] == pe {
+                        (patch_id(p), entries.patch_forces, bytes)
+                    } else {
+                        let k = proxy_index[&(p, pe)];
+                        (proxy_id(k), entries.proxy_forces, bytes)
+                    }
+                })
+                .collect();
+            // A compute "feeds remote patches" when any force target is a
+            // proxy (its results must cross the network before some patch
+            // can integrate).
+            let feeds_remote =
+                targets.iter().any(|&(_, e, _)| e == entries.proxy_forces)
+                    || c.patches.iter().any(|&p| self.patch_pe[p] != pe);
+            let exec_priority = if cfg.prioritize_remote && feeds_remote {
+                charmrt::PRIO_HIGH
+            } else {
+                charmrt::PRIO_NORMAL
+            };
+            let obj = ComputeChare::new(
+                j,
+                self.shared.clone(),
+                entries,
+                params,
+                targets,
+                self.drift[j],
+                exec_priority,
+            );
+            let id = des.register(Box::new(obj), pe, c.migratable);
+            assert_eq!(id, compute_id(j));
+        }
+
+        // ---- PME slab objects (full electrostatics, modeled) --------------
+        if let Some(sp) = &slab_plan {
+            let slab_id = |k: usize| ObjId((sp.id_base + k) as u32);
+            for k in 0..sp.n_slabs {
+                let peers: Vec<ObjId> =
+                    (0..sp.n_slabs).filter(|&j| j != k).map(slab_id).collect();
+                let patches: Vec<(ObjId, usize)> = (0..n_patches)
+                    .filter(|p| p % sp.n_slabs == k)
+                    .map(|p| {
+                        (patch_id(p), decomp.grid.atoms[p].len() * costmodel::BYTES_PER_ATOM)
+                    })
+                    .collect();
+                debug_assert!(!patches.is_empty());
+                let obj = crate::chares::SlabChare::new(
+                    self.shared.clone(),
+                    entries,
+                    params,
+                    peers,
+                    patches,
+                    sp.fft_per_slab,
+                    sp.transpose_bytes,
+                );
+                let id = des.register(Box::new(obj), k % cfg.n_pes, false);
+                assert_eq!(id, slab_id(k));
+            }
+        }
+
+        // ---- Bootstrap and run --------------------------------------------
+        for p in 0..n_patches {
+            des.inject(patch_id(p), entries.start, 0, PRIO_NORMAL, empty_payload());
+        }
+        let total_time = des.run();
+
+        // ---- Harvest measurements -----------------------------------------
+        let snapshot = des.ldb.snapshot(des.placement());
+        let compute_loads: Vec<f64> = (0..n_computes)
+            .map(|j| snapshot.objects[compute_id(j).idx()].load)
+            .collect();
+        let energies = if cfg.force_mode == ForceMode::Real {
+            std::mem::take(&mut self.shared.state.borrow_mut().energies)
+        } else {
+            Vec::new()
+        };
+
+        PhaseResult {
+            time_per_step: total_time / n_steps as f64,
+            total_time,
+            n_steps,
+            stats: des.stats.clone(),
+            trace: if cfg.tracing { Some(std::mem::take(&mut des.trace)) } else { None },
+            compute_loads,
+            background: snapshot.background,
+            energies,
+            entries,
+        }
+    }
+
+    /// Build the LB problem from a phase's measurements. Returns the problem
+    /// and the mapping from problem compute index to engine compute index.
+    pub fn lb_problem(&self, measured: &PhaseResult) -> (lb::LbProblem, Vec<usize>) {
+        let decomp = &self.shared.decomp;
+        let mut computes = Vec::new();
+        let mut map = Vec::new();
+        for (j, c) in decomp.computes.iter().enumerate() {
+            if c.migratable {
+                computes.push(lb::ComputeSpec {
+                    load: measured.compute_loads[j],
+                    patches: c.patches.clone(),
+                });
+                map.push(j);
+            }
+        }
+        (
+            lb::LbProblem {
+                n_pes: self.config.n_pes,
+                background: measured.background.clone(),
+                patch_home: self.patch_pe.clone(),
+                computes,
+            },
+            map,
+        )
+    }
+
+    /// Apply an assignment produced for [`Engine::lb_problem`]'s problem.
+    /// Returns the number of computes that moved.
+    pub fn apply_assignment(&mut self, map: &[usize], assignment: &[Pe]) -> usize {
+        assert_eq!(map.len(), assignment.len());
+        let mut moved = 0;
+        for (k, &j) in map.iter().enumerate() {
+            if self.placement[j] != assignment[k] {
+                self.placement[j] = assignment[k];
+                moved += 1;
+            }
+        }
+        moved
+    }
+
+    /// The greedy strategy's assignment for the measured loads, per the
+    /// configured [`LbStrategy`]. Returns `None` for `LbStrategy::None`.
+    fn strategy_assignment(
+        &self,
+        problem: &lb::LbProblem,
+        current: &[Pe],
+    ) -> Option<Vec<Pe>> {
+        match self.config.lb {
+            LbStrategy::None => None,
+            LbStrategy::Random => Some(lb::random_assign(problem, 0xC0FFEE)),
+            LbStrategy::RoundRobin => Some(lb::round_robin(problem)),
+            LbStrategy::GreedyNoProxy => Some(lb::greedy_no_proxy(problem)),
+            LbStrategy::Greedy => Some(lb::greedy(problem, lb::GreedyParams::default())),
+            LbStrategy::Diffusion => {
+                Some(lb::diffusion(problem, &current.to_vec(), lb::DiffusionParams::default()))
+            }
+            LbStrategy::GreedyRefine => {
+                let g = lb::greedy(problem, lb::GreedyParams::default());
+                let _ = current;
+                Some(g)
+            }
+        }
+    }
+
+    /// Run the full measurement → balance → refine pipeline (§3.2):
+    ///
+    /// 1. a phase under the initial static placement (measurement window);
+    /// 2. the configured strategy remaps migratable computes; another phase
+    ///    measures the new communication-perturbed loads;
+    /// 3. for [`LbStrategy::GreedyRefine`], a refinement pass fixes the
+    ///    residual imbalance and a final phase measures steady state.
+    pub fn run_benchmark(&mut self) -> BenchmarkRun {
+        let steps = self.config.steps_per_phase;
+        let mut phases = Vec::new();
+        let mut migrations = Vec::new();
+
+        let r0 = self.run_phase(steps);
+        phases.push(r0);
+
+        if self.config.lb == LbStrategy::None {
+            return BenchmarkRun { phases, migrations };
+        }
+
+        // First LB cycle on measured loads.
+        let (problem, map) = self.lb_problem(phases.last().unwrap());
+        let current: Vec<Pe> = map.iter().map(|&j| self.placement[j]).collect();
+        if let Some(assignment) = self.strategy_assignment(&problem, &current) {
+            migrations.push(self.apply_assignment(&map, &assignment));
+            phases.push(self.run_phase(steps));
+        }
+
+        // Second cycle: refinement only (GreedyRefine), on re-measured loads.
+        if self.config.lb == LbStrategy::GreedyRefine {
+            let (problem, map) = self.lb_problem(phases.last().unwrap());
+            let current: Vec<Pe> = map.iter().map(|&j| self.placement[j]).collect();
+            let (refined, _) = lb::refine(&problem, &current, lb::RefineParams::default());
+            migrations.push(self.apply_assignment(&map, &refined));
+            phases.push(self.run_phase(steps));
+        }
+
+        BenchmarkRun { phases, migrations }
+    }
+
+    /// A long-horizon run reproducing §3.2's closing loop: the full initial
+    /// pipeline (measure → greedy → re-measure → refine), then `cycles`
+    /// further measurement phases under slow load drift, refining after each
+    /// when `refine_periodically` is set. Returns the per-cycle step times.
+    pub fn run_long(&mut self, cycles: usize, refine_periodically: bool) -> Vec<f64> {
+        let initial = self.run_benchmark();
+        let mut times = vec![initial.final_time_per_step()];
+        for _ in 0..cycles {
+            self.advance_load_drift();
+            let r = self.run_phase(self.config.steps_per_phase);
+            if refine_periodically {
+                let (problem, map) = self.lb_problem(&r);
+                let current: Vec<Pe> = map.iter().map(|&j| self.placement[j]).collect();
+                let (refined, _) = lb::refine(&problem, &current, lb::RefineParams::default());
+                self.apply_assignment(&map, &refined);
+                // The refined placement's steady-state time.
+                let r2 = self.run_phase(self.config.steps_per_phase);
+                times.push(r2.time_per_step);
+            } else {
+                times.push(r.time_per_step);
+            }
+        }
+        times
+    }
+
+    /// Number of proxy patches the current placement requires — one per
+    /// (patch, PE) pair where a compute on that PE needs a remote patch.
+    /// The quantity the greedy strategy's proxy-awareness minimizes.
+    pub fn proxy_count(&self) -> usize {
+        let mut proxies = std::collections::BTreeSet::new();
+        for (j, c) in self.shared.decomp.computes.iter().enumerate() {
+            let pe = self.placement[j];
+            for &p in &c.patches {
+                if self.patch_pe[p] != pe {
+                    proxies.insert((p, pe));
+                }
+            }
+        }
+        proxies.len()
+    }
+
+    /// Modeled GFLOPS at a given per-step time, rated the paper's way:
+    /// single-processor FLOP count per step divided by parallel step time.
+    pub fn gflops(&self, time_per_step: f64) -> f64 {
+        let work =
+            self.decomp().total_compute_work() + self.decomp().total_integration_work();
+        costmodel::flops(work) / time_per_step / 1e9
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SimConfig;
+    use machine::presets;
+
+    fn small_system() -> System {
+        molgen::SystemBuilder::new(molgen::SystemSpec {
+            name: "engine-test",
+            box_lengths: Vec3::new(36.0, 36.0, 36.0),
+            target_atoms: 4200,
+            protein_chains: 1,
+            protein_chain_len: 60,
+            lipid_slab: None,
+            cutoff: 8.0,
+            seed: 11,
+        })
+        .build()
+    }
+
+    #[test]
+    fn phase_runs_and_measures() {
+        let mut cfg = SimConfig::new(8, presets::asci_red());
+        cfg.steps_per_phase = 2;
+        let mut eng = Engine::new(small_system(), cfg);
+        let r = eng.run_phase(2);
+        assert!(r.time_per_step > 0.0 && r.time_per_step.is_finite());
+        // Integration ran once per patch per step.
+        let n_patches = eng.decomp().grid.n_patches();
+        assert_eq!(
+            r.stats.entry_count[r.entries.integrate.idx()],
+            (n_patches * 2) as u64
+        );
+        // Every migratable compute accumulated some load.
+        for (j, c) in eng.decomp().computes.iter().enumerate() {
+            if c.migratable && c.work > 0.0 {
+                assert!(r.compute_loads[j] > 0.0, "compute {j} has zero load");
+            }
+        }
+    }
+
+    #[test]
+    fn single_pe_time_matches_ideal_plus_overhead() {
+        let mut cfg = SimConfig::new(1, presets::asci_red());
+        cfg.steps_per_phase = 1;
+        let mut eng = Engine::new(small_system(), cfg);
+        let ideal = eng.decomp().ideal_step_time(&presets::asci_red());
+        let r = eng.run_phase(1);
+        assert!(r.time_per_step >= ideal, "cannot beat ideal");
+        // The test system is tiny (4,200 atoms at an 8 Å cutoff), so local
+        // messaging overhead is a visible fraction of the step; on ApoA-I
+        // scale the 1-PE overhead is ~7%.
+        assert!(
+            r.time_per_step < 1.35 * ideal,
+            "1-PE overhead too big: {} vs ideal {ideal}",
+            r.time_per_step
+        );
+    }
+
+    #[test]
+    fn more_pes_is_faster() {
+        let sys = small_system();
+        let mut times = Vec::new();
+        for n_pes in [1usize, 4, 16] {
+            let mut cfg = SimConfig::new(n_pes, presets::asci_red());
+            cfg.steps_per_phase = 2;
+            let mut eng = Engine::new(sys.clone(), cfg);
+            let run = eng.run_benchmark();
+            times.push(run.final_time_per_step());
+        }
+        assert!(times[1] < times[0], "4 PEs not faster than 1: {times:?}");
+        assert!(times[2] < times[1], "16 PEs not faster than 4: {times:?}");
+    }
+
+    #[test]
+    fn load_balancing_improves_step_time() {
+        let mut cfg = SimConfig::new(12, presets::asci_red());
+        cfg.steps_per_phase = 2;
+        let mut eng = Engine::new(small_system(), cfg);
+        let run = eng.run_benchmark();
+        assert_eq!(run.phases.len(), 3); // initial, greedy, refine
+        assert!(
+            run.final_time_per_step() <= run.initial_time_per_step() * 1.02,
+            "LB should not hurt: {} -> {}",
+            run.initial_time_per_step(),
+            run.final_time_per_step()
+        );
+    }
+
+    #[test]
+    fn deterministic_benchmark() {
+        let run = |seed_sys: System| {
+            let mut cfg = SimConfig::new(6, presets::asci_red());
+            cfg.steps_per_phase = 2;
+            Engine::new(seed_sys, cfg).run_benchmark().final_time_per_step()
+        };
+        let a = run(small_system());
+        let b = run(small_system());
+        assert_eq!(a.to_bits(), b.to_bits());
+    }
+
+    #[test]
+    fn real_mode_conserves_energy() {
+        let mut sys = small_system();
+        sys.thermalize(100.0, 3);
+        let mut cfg = SimConfig::new(4, presets::ideal());
+        cfg.force_mode = ForceMode::Real;
+        cfg.dt_fs = 0.5;
+        let mut eng = Engine::new(sys, cfg);
+        let r = eng.run_phase(40);
+        assert_eq!(r.energies.len(), 40);
+        let e0 = r.energies[2].total();
+        let e1 = r.energies[39].total();
+        let drift = (e1 - e0).abs() / e0.abs().max(1.0);
+        assert!(drift < 1e-2, "parallel NVE drift {drift}: {e0} -> {e1}");
+    }
+
+    #[test]
+    fn real_mode_matches_sequential_trajectory() {
+        let mut sys = small_system();
+        sys.thermalize(150.0, 5);
+        let seq_sys = sys.clone();
+
+        // Parallel: 3 steps of velocity Verlet on the DES.
+        let mut cfg = SimConfig::new(5, presets::ideal());
+        cfg.force_mode = ForceMode::Real;
+        cfg.dt_fs = 1.0;
+        let mut eng = Engine::new(sys, cfg);
+        let r = eng.run_phase(3);
+
+        // Sequential reference. A 3-step parallel phase performs 3 force
+        // evaluations but only 2 position updates (the final integrate does
+        // not drift), so run the sequential simulator for 2 steps.
+        let mut seq = seq_sys;
+        let mut sim = mdcore::sim::Simulator::new(&seq, 1.0);
+        let seq_energies: Vec<_> = (0..2).map(|_| sim.step(&mut seq)).collect();
+
+        // Parallel step s evaluates the configuration after s position
+        // updates, i.e. sequential step s's potential (parallel step 0 is
+        // the initial configuration, which the Simulator never reports).
+        for s in 1..3 {
+            let par = r.energies[s].potential();
+            let seq_e = seq_energies[s - 1].potential();
+            let tol = 1e-6 * seq_e.abs().max(1.0);
+            assert!(
+                (par - seq_e).abs() < tol,
+                "step {s}: parallel {par} vs sequential {seq_e}"
+            );
+        }
+
+        // Positions after the phase match the sequential trajectory after
+        // 2 updates; verify a sample of atoms.
+        let st = eng.shared.state.borrow();
+        for i in (0..st.system.n_atoms()).step_by(97) {
+            let d = (st.system.positions[i] - seq.positions[i]).norm();
+            assert!(d < 1e-6, "atom {i} diverged by {d}");
+        }
+    }
+
+    #[test]
+    fn gflops_is_sane() {
+        let mut cfg = SimConfig::new(4, presets::asci_red());
+        cfg.steps_per_phase = 1;
+        let mut eng = Engine::new(small_system(), cfg);
+        let r = eng.run_phase(1);
+        let g = eng.gflops(r.time_per_step);
+        // 4 PEs at 48 MFLOPS each ⇒ at most ~0.19 GFLOPS.
+        assert!(g > 0.0 && g < 0.2, "gflops {g}");
+    }
+}

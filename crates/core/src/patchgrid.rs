@@ -1,0 +1,322 @@
+//! The spatial patch grid: cubes slightly larger than the cutoff radius.
+//!
+//! "The variant of spatial decomposition we propose uses cubes whose
+//! dimensions are slightly larger than the cutoff radius. Thus, atoms in one
+//! cube need to interact only with their neighboring cubes; there are 26
+//! such neighboring cubes."
+
+use mdcore::prelude::*;
+
+/// Identifier of a patch (a cube of space).
+pub type PatchId = usize;
+
+/// The grid of patches laid over the simulation cell.
+#[derive(Debug, Clone)]
+pub struct PatchGrid {
+    /// Patches along each axis.
+    pub dims: [usize; 3],
+    /// The simulation cell the grid covers.
+    pub cell: Cell,
+    /// Atom indices owned by each patch.
+    pub atoms: Vec<Vec<u32>>,
+}
+
+impl PatchGrid {
+    /// Build the grid with patch side ≥ `cutoff + margin` and assign every
+    /// atom to its patch. Panics if the box is smaller than one patch side
+    /// on any axis (at least one patch always exists).
+    pub fn build(cell: &Cell, positions: &[Vec3], cutoff: f64, margin: f64) -> Self {
+        assert!(cutoff > 0.0 && margin >= 0.0);
+        let side = cutoff + margin;
+        let mut dims = [1usize; 3];
+        for a in 0..3 {
+            dims[a] = ((cell.lengths.axis(a) / side).floor() as usize).max(1);
+        }
+        let mut grid = PatchGrid {
+            dims,
+            cell: *cell,
+            atoms: vec![Vec::new(); dims[0] * dims[1] * dims[2]],
+        };
+        grid.assign(positions);
+        grid
+    }
+
+    /// (Re)assign all atoms to patches from scratch — used at startup and
+    /// at atom-migration points between measurement phases.
+    pub fn assign(&mut self, positions: &[Vec3]) {
+        for v in &mut self.atoms {
+            v.clear();
+        }
+        for (i, &p) in positions.iter().enumerate() {
+            let pid = self.patch_of(p);
+            self.atoms[pid].push(i as u32);
+        }
+    }
+
+    /// Total number of patches.
+    pub fn n_patches(&self) -> usize {
+        self.atoms.len()
+    }
+
+    /// Patch containing a position (wrapped into the cell).
+    pub fn patch_of(&self, p: Vec3) -> PatchId {
+        let f = self.cell.fractional(self.cell.wrap(p));
+        let mut idx = [0usize; 3];
+        for a in 0..3 {
+            let v = (f.axis(a) * self.dims[a] as f64).floor() as isize;
+            idx[a] = v.clamp(0, self.dims[a] as isize - 1) as usize;
+        }
+        self.index(idx)
+    }
+
+    /// Linear index from 3-D patch coordinates.
+    pub fn index(&self, c: [usize; 3]) -> PatchId {
+        c[0] + self.dims[0] * (c[1] + self.dims[1] * c[2])
+    }
+
+    /// 3-D coordinates of a patch.
+    pub fn coords(&self, p: PatchId) -> [usize; 3] {
+        [
+            p % self.dims[0],
+            (p / self.dims[0]) % self.dims[1],
+            p / (self.dims[0] * self.dims[1]),
+        ]
+    }
+
+    /// Geometric centre of a patch (for RCB placement).
+    pub fn center(&self, p: PatchId) -> Vec3 {
+        let c = self.coords(p);
+        let mut v = Vec3::ZERO;
+        for a in 0..3 {
+            let side = self.cell.lengths.axis(a) / self.dims[a] as f64;
+            *v.axis_mut(a) = self.cell.origin.axis(a) + (c[a] as f64 + 0.5) * side;
+        }
+        v
+    }
+
+    /// The (up to) 26 distinct neighbouring patches of `p`, honouring
+    /// periodicity. On small grids several offsets can alias to the same
+    /// neighbour; duplicates and self are removed.
+    pub fn neighbors(&self, p: PatchId) -> Vec<PatchId> {
+        let c = self.coords(p);
+        let mut out = Vec::with_capacity(26);
+        for dz in -1isize..=1 {
+            for dy in -1isize..=1 {
+                for dx in -1isize..=1 {
+                    if (dx, dy, dz) == (0, 0, 0) {
+                        continue;
+                    }
+                    if let Some(n) = self.offset(c, [dx, dy, dz]) {
+                        if n != p && !out.contains(&n) {
+                            out.push(n);
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Unordered neighbouring patch pairs `(a, b)` with `a < b`, each listed
+    /// exactly once — one non-bonded pair compute is created per entry.
+    pub fn neighbor_pairs(&self) -> Vec<(PatchId, PatchId)> {
+        let mut pairs = Vec::new();
+        for p in 0..self.n_patches() {
+            for n in self.neighbors(p) {
+                if p < n {
+                    pairs.push((p, n));
+                }
+            }
+        }
+        pairs
+    }
+
+    /// Neighbour patch at `c + off`, wrapped on periodic axes; `None` when
+    /// the offset walks off an open boundary.
+    pub fn offset(&self, c: [usize; 3], off: [isize; 3]) -> Option<PatchId> {
+        let mut idx = [0usize; 3];
+        for a in 0..3 {
+            let d = self.dims[a] as isize;
+            let v = c[a] as isize + off[a];
+            if self.cell.periodic[a] {
+                idx[a] = v.rem_euclid(d) as usize;
+            } else if v < 0 || v >= d {
+                return None;
+            } else {
+                idx[a] = v as usize;
+            }
+        }
+        Some(self.index(idx))
+    }
+
+    /// True when patches `a` and `b` share a face (their coordinate offset
+    /// has exactly one non-zero component) — these pair computes carry the
+    /// most work and are the splitting targets of §4.2.1.
+    pub fn face_adjacent(&self, a: PatchId, b: PatchId) -> bool {
+        let ca = self.coords(a);
+        let cb = self.coords(b);
+        let mut nonzero = 0;
+        for ax in 0..3 {
+            let d = ca[ax].abs_diff(cb[ax]);
+            let dim = self.dims[ax];
+            // Wrapped distance on periodic axes.
+            let dist = if self.cell.periodic[ax] { d.min(dim - d) } else { d };
+            match dist {
+                0 => {}
+                1 => nonzero += 1,
+                _ => return false,
+            }
+        }
+        nonzero == 1
+    }
+
+    /// Count of atoms in each patch (the RCB weights).
+    pub fn patch_weights(&self) -> Vec<f64> {
+        self.atoms.iter().map(|a| a.len() as f64).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn uniform_positions(n: usize, l: f64) -> Vec<Vec3> {
+        (0..n)
+            .map(|i| {
+                let t = i as f64;
+                Vec3::new(
+                    (t * 7.93).rem_euclid(l),
+                    (t * 5.21).rem_euclid(l),
+                    (t * 3.57).rem_euclid(l),
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn apoa1_grid_shape() {
+        let cell = Cell::periodic(Vec3::ZERO, Vec3::new(112.0, 112.0, 84.0));
+        let grid = PatchGrid::build(&cell, &[], 12.0, 3.5);
+        assert_eq!(grid.dims, [7, 7, 5]);
+        assert_eq!(grid.n_patches(), 245);
+    }
+
+    #[test]
+    fn every_atom_is_assigned_exactly_once() {
+        let cell = Cell::cube(62.0);
+        let pos = uniform_positions(500, 62.0);
+        let grid = PatchGrid::build(&cell, &pos, 12.0, 3.5);
+        let mut seen = vec![false; 500];
+        for patch in &grid.atoms {
+            for &a in patch {
+                assert!(!seen[a as usize], "atom {a} in two patches");
+                seen[a as usize] = true;
+            }
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn atoms_live_in_their_patch_bounds() {
+        let cell = Cell::cube(62.0);
+        let pos = uniform_positions(300, 62.0);
+        let grid = PatchGrid::build(&cell, &pos, 12.0, 3.5);
+        let side = 62.0 / grid.dims[0] as f64;
+        for p in 0..grid.n_patches() {
+            let c = grid.coords(p);
+            for &a in &grid.atoms[p] {
+                let q = cell.wrap(pos[a as usize]);
+                for ax in 0..3 {
+                    let lo = c[ax] as f64 * side;
+                    let hi = lo + side;
+                    let v = q.axis(ax);
+                    assert!(
+                        v >= lo - 1e-9 && v < hi + 1e-9,
+                        "atom {a} at {v} outside patch [{lo},{hi})"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn periodic_grid_has_26_neighbors() {
+        let cell = Cell::periodic(Vec3::ZERO, Vec3::new(112.0, 112.0, 84.0));
+        let grid = PatchGrid::build(&cell, &[], 12.0, 3.5);
+        for p in 0..grid.n_patches() {
+            assert_eq!(grid.neighbors(p).len(), 26, "patch {p}");
+        }
+    }
+
+    #[test]
+    fn neighbor_pairs_are_13_per_patch_on_big_grids() {
+        // 26 neighbours / 2 = 13 unordered pairs per patch on average.
+        let cell = Cell::periodic(Vec3::ZERO, Vec3::new(112.0, 112.0, 84.0));
+        let grid = PatchGrid::build(&cell, &[], 12.0, 3.5);
+        let pairs = grid.neighbor_pairs();
+        assert_eq!(pairs.len(), grid.n_patches() * 13);
+        // And with self computes that's the paper's "14 times the number of
+        // cubes" compute-object count.
+        assert_eq!(pairs.len() + grid.n_patches(), grid.n_patches() * 14);
+    }
+
+    #[test]
+    fn open_boundary_corner_has_7_neighbors() {
+        let cell = Cell::open(Vec3::ZERO, Vec3::splat(62.0));
+        let grid = PatchGrid::build(&cell, &[], 12.0, 3.5);
+        // Corner patch (0,0,0): 7 neighbours in an open box.
+        let corner = grid.index([0, 0, 0]);
+        assert_eq!(grid.neighbors(corner).len(), 7);
+    }
+
+    #[test]
+    fn small_grid_deduplicates_aliases() {
+        // 2 patches per axis with periodicity: ±1 alias to the same patch.
+        let cell = Cell::cube(32.0);
+        let grid = PatchGrid::build(&cell, &[], 12.0, 3.5);
+        assert_eq!(grid.dims, [2, 2, 2]);
+        for p in 0..8 {
+            let n = grid.neighbors(p);
+            assert_eq!(n.len(), 7, "every other patch exactly once: {n:?}");
+        }
+    }
+
+    #[test]
+    fn face_adjacency() {
+        let cell = Cell::periodic(Vec3::ZERO, Vec3::new(112.0, 112.0, 84.0));
+        let grid = PatchGrid::build(&cell, &[], 12.0, 3.5);
+        let a = grid.index([2, 2, 2]);
+        assert!(grid.face_adjacent(a, grid.index([3, 2, 2])));
+        assert!(grid.face_adjacent(a, grid.index([2, 1, 2])));
+        assert!(!grid.face_adjacent(a, grid.index([3, 3, 2]))); // edge
+        assert!(!grid.face_adjacent(a, grid.index([3, 3, 3]))); // corner
+        assert!(!grid.face_adjacent(a, a));
+        // Wrap-around face adjacency.
+        let edge = grid.index([0, 0, 0]);
+        assert!(grid.face_adjacent(edge, grid.index([6, 0, 0])));
+    }
+
+    #[test]
+    fn reassign_moves_atoms() {
+        let cell = Cell::cube(62.0);
+        let mut pos = uniform_positions(50, 62.0);
+        let mut grid = PatchGrid::build(&cell, &pos, 12.0, 3.5);
+        let before = grid.patch_of(pos[0]);
+        // Move atom 0 to the far corner.
+        pos[0] = Vec3::new(60.0, 60.0, 60.0);
+        grid.assign(&pos);
+        let after = grid.patch_of(pos[0]);
+        assert_ne!(before, after);
+        assert!(grid.atoms[after].contains(&0));
+        assert!(!grid.atoms[before].contains(&0));
+    }
+
+    #[test]
+    fn centers_are_inside_cell() {
+        let cell = Cell::periodic(Vec3::ZERO, Vec3::new(112.0, 112.0, 84.0));
+        let grid = PatchGrid::build(&cell, &[], 12.0, 3.5);
+        for p in 0..grid.n_patches() {
+            assert!(cell.contains(grid.center(p)));
+        }
+    }
+}

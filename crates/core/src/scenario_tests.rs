@@ -1,0 +1,280 @@
+//! Engine scenario tests: the modeled full-electrostatics (PME) pipeline,
+//! heterogeneous processors (workstation-cluster adaptation, paper ref [3]),
+//! and the distributed diffusion strategy.
+
+use crate::config::{PmeSimConfig, SimConfig};
+use crate::engine::Engine;
+use machine::presets;
+use mdcore::prelude::*;
+
+fn system() -> System {
+    molgen::SystemBuilder::new(molgen::SystemSpec {
+        name: "pme-engine",
+        box_lengths: Vec3::new(36.0, 36.0, 36.0),
+        target_atoms: 4_200,
+        protein_chains: 1,
+        protein_chain_len: 60,
+        lipid_slab: None,
+        cutoff: 8.0,
+        seed: 17,
+    })
+    .build()
+}
+
+#[test]
+fn pme_protocol_completes_and_costs_time() {
+    let sys = system();
+    let machine = presets::asci_red();
+    let time_with = |pme: Option<PmeSimConfig>| {
+        let mut cfg = SimConfig::new(16, machine);
+        cfg.pme = pme;
+        cfg.steps_per_phase = 4;
+        let mut e = Engine::new(sys.clone(), cfg);
+        e.run_phase(4).time_per_step
+    };
+    let without = time_with(None);
+    let every_step = time_with(Some(PmeSimConfig { every: 1, ..Default::default() }));
+    let mts = time_with(Some(PmeSimConfig { every: 4, ..Default::default() }));
+    assert!(every_step > without, "PME must cost time: {without} vs {every_step}");
+    assert!(
+        mts < every_step,
+        "multiple timestepping must amortize the grid cost: {mts} vs {every_step}"
+    );
+    // The grid component is a small fraction of the step, as the paper says.
+    assert!(
+        every_step < 1.6 * without,
+        "PME should be a modest fraction: {without} -> {every_step}"
+    );
+}
+
+#[test]
+fn pme_entries_show_up_in_the_profile() {
+    let sys = system();
+    let mut cfg = SimConfig::new(8, presets::asci_red());
+    cfg.pme = Some(PmeSimConfig { every: 2, slabs: 8, ..Default::default() });
+    cfg.steps_per_phase = 4;
+    let mut e = Engine::new(sys, cfg);
+    let r = e.run_phase(4);
+    // 4 steps at every=2 → PME fired on steps 0 and 2: slabs got charges
+    // from every patch twice.
+    let n_patches = e.decomp().grid.n_patches();
+    let charges = r.stats.entry_count[r.entries.slab_charge.idx()];
+    assert_eq!(charges, 2 * n_patches as u64);
+    let fft_time = r.stats.entry_time[r.entries.slab_transpose.idx()];
+    assert!(fft_time > 0.0);
+}
+
+#[test]
+fn pme_run_is_deterministic_and_lb_compatible() {
+    let run = || {
+        let mut cfg = SimConfig::new(12, presets::t3e_900());
+        cfg.pme = Some(PmeSimConfig::default());
+        cfg.steps_per_phase = 4;
+        let mut e = Engine::new(system(), cfg);
+        e.run_benchmark().final_time_per_step().to_bits()
+    };
+    assert_eq!(run(), run());
+}
+
+#[test]
+fn single_slab_degenerate_case_works() {
+    let mut cfg = SimConfig::new(4, presets::ideal());
+    cfg.pme = Some(PmeSimConfig { slabs: 1, every: 1, ..Default::default() });
+    cfg.steps_per_phase = 2;
+    let mut e = Engine::new(system(), cfg);
+    let r = e.run_phase(2);
+    assert!(r.time_per_step.is_finite() && r.time_per_step > 0.0);
+}
+
+#[test]
+fn lb_adapts_to_straggler_pes() {
+    // Workstation-cluster scenario (paper ref [3]): a quarter of the PEs
+    // run at half speed. The measurement-based balancer observes the
+    // inflated object times on slow PEs and sheds work from them.
+    use crate::config::LbStrategy;
+    let sys = system();
+    let machine = presets::asci_red();
+    let n_pes = 16;
+    let mut speeds = vec![1.0; n_pes];
+    for s in speeds.iter_mut().take(4) {
+        *s = 0.5;
+    }
+    let run_with = |lb: LbStrategy| {
+        let mut cfg = SimConfig::new(n_pes, machine);
+        cfg.pe_speeds = speeds.clone();
+        cfg.lb = lb;
+        cfg.steps_per_phase = 3;
+        let mut e = Engine::new(sys.clone(), cfg);
+        e.run_benchmark().final_time_per_step()
+    };
+    let static_t = run_with(LbStrategy::None);
+    let greedy_t = run_with(LbStrategy::GreedyRefine);
+    assert!(
+        greedy_t < 0.9 * static_t,
+        "LB should adapt to stragglers: static {static_t} vs greedy {greedy_t}"
+    );
+}
+
+#[test]
+fn diffusion_strategy_runs_and_helps() {
+    use crate::config::LbStrategy;
+    let sys = system();
+    let run_with = |lb: LbStrategy| {
+        let mut cfg = SimConfig::new(16, presets::asci_red());
+        cfg.lb = lb;
+        cfg.steps_per_phase = 3;
+        let mut e = Engine::new(sys.clone(), cfg);
+        e.run_benchmark().final_time_per_step()
+    };
+    let none = run_with(LbStrategy::None);
+    let diff = run_with(LbStrategy::Diffusion);
+    let greedy = run_with(LbStrategy::GreedyRefine);
+    assert!(diff < none, "diffusion should beat static: {diff} vs {none}");
+    // Centralized greedy with refinement is at least as good.
+    assert!(greedy <= diff * 1.05, "greedy {greedy} vs diffusion {diff}");
+}
+
+#[test]
+fn atom_migration_between_phases_preserves_physics() {
+    use crate::config::ForceMode;
+    // Real-mode dynamics hot enough that atoms cross patch boundaries, an
+    // atom migration, then more dynamics: the partition must stay exact and
+    // the energy continuous across the migration.
+    let mut sys = system();
+    sys.thermalize(300.0, 23);
+    let mut cfg = SimConfig::new(6, presets::ideal());
+    cfg.force_mode = ForceMode::Real;
+    cfg.dt_fs = 1.0;
+    let mut engine = Engine::new(sys, cfg);
+
+    let r1 = engine.run_phase(10);
+    let e_before = r1.energies.last().unwrap().total();
+
+    engine.migrate_atoms();
+    // Partition invariant after migration.
+    let total: usize = engine.decomp().grid.atoms.iter().map(Vec::len).sum();
+    assert_eq!(total, engine.shared.state.borrow().system.n_atoms());
+
+    let r2 = engine.run_phase(10);
+    let e_after = r2.energies.first().unwrap().total();
+    let rel = (e_after - e_before).abs() / e_before.abs().max(1.0);
+    assert!(rel < 2e-2, "energy jumped across migration: {e_before} -> {e_after}");
+}
+
+#[test]
+fn periodic_refinement_tracks_slow_load_drift() {
+    // §3.2's last paragraph: "Periodically thereafter, the refinement
+    // procedure is repeated to account for the slow changes of the
+    // simulation." Under a drifting load, periodic refinement must hold the
+    // step time near its post-LB level while a frozen placement degrades.
+    let sys = system();
+    let run_with = |refine: bool| {
+        let mut cfg = SimConfig::new(16, presets::asci_red());
+        cfg.steps_per_phase = 2;
+        cfg.load_drift = 0.25;
+        let mut e = Engine::new(sys.clone(), cfg);
+        e.run_long(6, refine)
+    };
+    let with_refine = run_with(true);
+    let frozen = run_with(false);
+    // Same drift sequence (deterministic RNG), so the comparison is paired.
+    let last_refined = *with_refine.last().unwrap();
+    let last_frozen = *frozen.last().unwrap();
+    assert!(
+        last_refined < last_frozen,
+        "periodic refinement should track drift: {last_refined} vs frozen {last_frozen}"
+    );
+    // And the refined trajectory stays within a modest band of its start.
+    let start = with_refine[0];
+    assert!(
+        last_refined < 1.6 * start,
+        "refined run degraded too much: {start} -> {last_refined}"
+    );
+}
+
+#[test]
+fn load_drift_is_deterministic_and_bounded() {
+    let sys = system();
+    let mut cfg = SimConfig::new(4, presets::ideal());
+    cfg.load_drift = 0.5;
+    let mut a = Engine::new(sys.clone(), cfg.clone());
+    let mut b = Engine::new(sys, cfg);
+    for _ in 0..20 {
+        a.advance_load_drift();
+        b.advance_load_drift();
+    }
+    assert_eq!(a.drift, b.drift);
+    assert!(a.drift.iter().all(|&d| (0.25..=4.0).contains(&d)));
+    // The walk actually moved.
+    assert!(a.drift.iter().any(|&d| (d - 1.0).abs() > 0.05));
+}
+
+#[test]
+fn remote_priority_helps_at_scale() {
+    // NAMD runs computes that feed remote patches first, so force messages
+    // overlap local-only work. At communication-bound PE counts the
+    // prioritization should not hurt and typically helps.
+    let sys = system();
+    let time_with = |on: bool| {
+        let mut cfg = SimConfig::new(48, presets::asci_red());
+        cfg.prioritize_remote = on;
+        cfg.steps_per_phase = 3;
+        let mut e = Engine::new(sys.clone(), cfg);
+        e.run_benchmark().final_time_per_step()
+    };
+    let with = time_with(true);
+    let without = time_with(false);
+    assert!(
+        with <= without * 1.05,
+        "remote prioritization should not hurt: {with} vs {without}"
+    );
+}
+
+#[test]
+fn real_mode_pme_matches_sequential_full_electrostatics() {
+    use crate::config::ForceMode;
+    // The DES engine in Real mode with full electrostatics must compute the
+    // same step-0 potential as the sequential pme::md path on the same
+    // Ewald-mode system.
+    let beta = 0.45;
+    let mut sys = molgen::SystemBuilder::new(molgen::SystemSpec {
+        name: "pme-real",
+        box_lengths: Vec3::new(24.0, 24.0, 24.0),
+        target_atoms: 900,
+        protein_chains: 0,
+        protein_chain_len: 0,
+        lipid_slab: None,
+        cutoff: 8.0,
+        seed: 8,
+    })
+    .build();
+    sys.forcefield = sys.forcefield.clone().with_ewald(beta);
+    sys.thermalize(100.0, 8);
+
+    // Sequential reference.
+    let mut full = pme::md::FullElectrostatics::new(&sys, 1.0);
+    let mut f = vec![Vec3::ZERO; sys.n_atoms()];
+    let e_ref = full.compute_forces(&sys, &mut f);
+
+    // DES engine, Real mode, PME every step, 4 slabs.
+    let mut cfg = SimConfig::new(4, presets::ideal());
+    cfg.force_mode = ForceMode::Real;
+    cfg.pme = Some(crate::config::PmeSimConfig { every: 1, slabs: 4, mesh_spacing: 1.0 });
+    let mut engine = Engine::new(sys, cfg);
+    let r = engine.run_phase(2);
+
+    let got = r.energies[0].potential();
+    let want = e_ref.potential();
+    let tol = 2e-2 * want.abs().max(1.0);
+    assert!(
+        (got - want).abs() < tol,
+        "step-0 potential: DES {got} vs sequential {want}"
+    );
+    // Dynamics with PME forces conserve energy decently over a short run.
+    let e1 = r.energies[0].total();
+    let e2 = r.energies[1].total();
+    assert!(
+        (e2 - e1).abs() < 0.05 * e1.abs().max(1.0),
+        "one-step energy jump: {e1} -> {e2}"
+    );
+}

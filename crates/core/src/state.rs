@@ -1,0 +1,114 @@
+//! Shared simulation state for the DES backend.
+//!
+//! The DES is single-threaded: handlers run to completion in event order, so
+//! the molecular data lives in one `RefCell` shared by all chares. The
+//! message protocol (coordinates → computes → forces → integration) provides
+//! exactly the ordering guarantees a distributed NAMD run has, so reads and
+//! writes through this shared state are always protocol-ordered; only the
+//! *transport* of the data is virtual.
+
+use crate::decomp::Decomposition;
+use mdcore::prelude::*;
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// Per-step energy accumulator (Real force mode only).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct StepAcc {
+    pub e_lj: f64,
+    pub e_elec: f64,
+    pub e_bond: f64,
+    pub e_angle: f64,
+    pub e_dihedral: f64,
+    pub e_improper: f64,
+    pub e_restraint: f64,
+    pub kinetic: f64,
+    pub pairs: u64,
+}
+
+impl StepAcc {
+    /// Total potential energy.
+    pub fn potential(&self) -> f64 {
+        self.e_lj
+            + self.e_elec
+            + self.e_bond
+            + self.e_angle
+            + self.e_dihedral
+            + self.e_improper
+            + self.e_restraint
+    }
+
+    /// Total energy.
+    pub fn total(&self) -> f64 {
+        self.potential() + self.kinetic
+    }
+}
+
+/// Mutable simulation state shared by all chares.
+#[derive(Debug)]
+pub struct SimState {
+    pub system: System,
+    /// Force accumulator, indexed by atom id. Zeroed per-patch after each
+    /// integration.
+    pub forces: Vec<Vec3>,
+    /// Per-step energy records (Real mode).
+    pub energies: Vec<StepAcc>,
+}
+
+/// Real-physics PME solver shared by the slab chares (Real force mode with
+/// full electrostatics): the actual reciprocal-space evaluation runs once
+/// per PME step, triggered by the first slab to finish its transposes.
+pub struct PmeReal {
+    pub solver: pme::mesh::Pme,
+    pub ewald: pme::ewald::EwaldParams,
+    pub charges: Vec<f64>,
+    /// PME rounds whose physics has been computed.
+    pub rounds_done: usize,
+}
+
+/// Everything chares share: the mutable state plus the immutable
+/// decomposition.
+pub struct Shared {
+    pub state: RefCell<SimState>,
+    pub decomp: Decomposition,
+    /// Present only in Real mode with full electrostatics.
+    pub pme_real: Option<RefCell<PmeReal>>,
+}
+
+impl Shared {
+    /// Package a system and its decomposition for a run of `n_steps`.
+    pub fn new(system: System, decomp: Decomposition, n_steps: usize) -> Rc<Shared> {
+        let n = system.n_atoms();
+        Rc::new(Shared {
+            state: RefCell::new(SimState {
+                system,
+                forces: vec![Vec3::ZERO; n],
+                energies: vec![StepAcc::default(); n_steps],
+            }),
+            decomp,
+            pme_real: None,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn step_acc_totals() {
+        let acc = StepAcc {
+            e_lj: 1.0,
+            e_elec: 2.0,
+            e_bond: 3.0,
+            e_angle: 4.0,
+            e_dihedral: 5.0,
+            e_improper: 6.0,
+            e_restraint: 1.5,
+            kinetic: 7.0,
+            pairs: 9,
+        };
+        assert_eq!(acc.potential(), 22.5);
+        assert_eq!(acc.total(), 29.5);
+    }
+}

@@ -1,0 +1,80 @@
+//! Ablation baselines: strategies the paper's greedy+refine pipeline is
+//! compared against in the benchmark harness.
+
+use crate::{Assignment, LbProblem};
+
+/// Round-robin by compute index — communication-oblivious, load-oblivious.
+pub fn round_robin(problem: &LbProblem) -> Assignment {
+    (0..problem.computes.len()).map(|i| i % problem.n_pes).collect()
+}
+
+/// Pseudo-random assignment (deterministic given `seed`), the classic
+/// "throw darts" baseline.
+pub fn random_assign(problem: &LbProblem, seed: u64) -> Assignment {
+    // SplitMix64 — tiny, deterministic, no dependency.
+    let mut state = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut next = move || {
+        state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    };
+    (0..problem.computes.len())
+        .map(|_| (next() % problem.n_pes as u64) as usize)
+        .collect()
+}
+
+/// The greedy strategy with the proxy-related criteria disabled: still
+/// biggest-first onto the least-loaded PE, but blind to where patch data
+/// lives. Used to measure what proxy-awareness buys (§3.2's second and
+/// third destination criteria).
+pub fn greedy_no_proxy(problem: &LbProblem) -> Assignment {
+    crate::greedy::greedy(
+        problem,
+        crate::greedy::GreedyParams { proxy_aware: false, ..Default::default() },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::{imbalance_ratio, proxy_count};
+    use crate::testutil::synthetic;
+
+    #[test]
+    fn round_robin_uses_all_pes() {
+        let p = synthetic(4, 16);
+        let a = round_robin(&p);
+        for pe in 0..4 {
+            assert!(a.contains(&pe));
+        }
+    }
+
+    #[test]
+    fn random_is_deterministic_per_seed() {
+        let p = synthetic(8, 40);
+        assert_eq!(random_assign(&p, 1), random_assign(&p, 1));
+        assert_ne!(random_assign(&p, 1), random_assign(&p, 2));
+        assert!(random_assign(&p, 1).iter().all(|&pe| pe < 8));
+    }
+
+    #[test]
+    fn greedy_no_proxy_balances_but_costs_proxies() {
+        let p = synthetic(8, 64);
+        let np = greedy_no_proxy(&p);
+        // Load balance should still be decent...
+        assert!(imbalance_ratio(&p, &np) < 1.3);
+        // ...but the proxy-aware version needs no more proxies.
+        let aware = crate::greedy::greedy(&p, Default::default());
+        assert!(proxy_count(&p, &aware) <= proxy_count(&p, &np));
+    }
+
+    #[test]
+    fn random_is_usually_worse_than_greedy() {
+        let p = synthetic(8, 64);
+        let g = crate::greedy::greedy(&p, Default::default());
+        let r = random_assign(&p, 7);
+        assert!(imbalance_ratio(&p, &g) <= imbalance_ratio(&p, &r));
+    }
+}

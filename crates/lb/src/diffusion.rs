@@ -1,0 +1,164 @@
+//! A distributed (neighbourhood-diffusion) load-balancing strategy.
+//!
+//! §2.2: "A distributed strategy does not collect all information in one
+//! place; instead it may choose to communicate with neighboring processors,
+//! to exchange information and then to exchange objects." This module
+//! simulates that protocol faithfully: PEs sit on a ring, and in each
+//! synchronous round every processor only looks at its immediate
+//! neighbours' loads and offloads objects to the lighter one. No global
+//! view is ever constructed — which is exactly why it converges more slowly
+//! than the centralized greedy strategy (the trade-off the paper points at
+//! when it notes centralized strategies are affordable because "the load
+//! balance does not change significantly for a long period of time").
+
+use crate::metrics::pe_loads;
+use crate::{Assignment, LbProblem};
+
+/// Tunables for [`diffusion`].
+#[derive(Debug, Clone, Copy)]
+pub struct DiffusionParams {
+    /// Synchronous neighbour-exchange rounds.
+    pub rounds: usize,
+    /// Fraction of the load difference a PE tries to ship per round.
+    pub transfer_fraction: f64,
+}
+
+impl Default for DiffusionParams {
+    fn default() -> Self {
+        DiffusionParams { rounds: 32, transfer_fraction: 0.5 }
+    }
+}
+
+/// Run the diffusion strategy from `current`. Only migratable-compute
+/// assignments change (the problem's computes are all assumed migratable,
+/// as the engine filters them already).
+pub fn diffusion(
+    problem: &LbProblem,
+    current: &Assignment,
+    params: DiffusionParams,
+) -> Assignment {
+    problem.validate().expect("invalid LB problem");
+    assert_eq!(current.len(), problem.computes.len());
+    let n = problem.n_pes;
+    if n <= 1 {
+        return current.clone();
+    }
+    let mut assignment = current.clone();
+    let mut loads = pe_loads(problem, &assignment);
+    // Per-PE object lists, kept sorted by load ascending so we can ship the
+    // smallest objects first (minimizes overshoot).
+    let mut owned: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for (c, &pe) in assignment.iter().enumerate() {
+        owned[pe].push(c);
+    }
+
+    for round in 0..params.rounds {
+        // Alternate exchange direction each round so load can travel both
+        // ways around the ring.
+        let dir = if round % 2 == 0 { 1 } else { n - 1 };
+        let mut moved_any = false;
+        for pe in 0..n {
+            let neighbor = (pe + dir) % n;
+            if neighbor == pe {
+                continue;
+            }
+            let diff = loads[pe] - loads[neighbor];
+            if diff <= 0.0 {
+                continue;
+            }
+            let mut budget = diff * params.transfer_fraction;
+            // Ship smallest-first while they fit in the budget.
+            owned[pe].sort_by(|&a, &b| {
+                problem.computes[a]
+                    .load
+                    .partial_cmp(&problem.computes[b].load)
+                    .unwrap()
+                    .then(a.cmp(&b))
+            });
+            let mut kept = Vec::with_capacity(owned[pe].len());
+            let mut shipped = Vec::new();
+            for &c in &owned[pe] {
+                let l = problem.computes[c].load;
+                if l <= budget {
+                    budget -= l;
+                    shipped.push(c);
+                } else {
+                    kept.push(c);
+                }
+            }
+            if !shipped.is_empty() {
+                moved_any = true;
+                for &c in &shipped {
+                    assignment[c] = neighbor;
+                    loads[pe] -= problem.computes[c].load;
+                    loads[neighbor] += problem.computes[c].load;
+                }
+                owned[pe] = kept;
+                owned[neighbor].extend(shipped);
+            }
+        }
+        if !moved_any {
+            break;
+        }
+    }
+    assignment
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::imbalance_ratio;
+    use crate::testutil::synthetic;
+
+    #[test]
+    fn diffusion_reduces_a_hot_spot() {
+        let p = synthetic(8, 48);
+        let all_zero = vec![0usize; p.computes.len()];
+        let before = imbalance_ratio(&p, &all_zero);
+        let after_a = diffusion(&p, &all_zero, DiffusionParams::default());
+        let after = imbalance_ratio(&p, &after_a);
+        assert!(after < 0.5 * before, "diffusion didn't spread the load: {before} -> {after}");
+    }
+
+    #[test]
+    fn diffusion_never_worsens() {
+        let p = synthetic(6, 36);
+        let rr: Vec<usize> = (0..p.computes.len()).map(|i| i % p.n_pes).collect();
+        let before = imbalance_ratio(&p, &rr);
+        let a = diffusion(&p, &rr, DiffusionParams::default());
+        let after = imbalance_ratio(&p, &a);
+        assert!(after <= before + 1e-9, "{before} -> {after}");
+    }
+
+    #[test]
+    fn converges_slower_than_centralized_greedy() {
+        // The motivating trade-off: with few rounds, diffusion lags greedy.
+        let p = synthetic(16, 64);
+        let all_zero = vec![0usize; p.computes.len()];
+        let few_rounds =
+            diffusion(&p, &all_zero, DiffusionParams { rounds: 2, transfer_fraction: 0.5 });
+        let greedy = crate::greedy::greedy(&p, Default::default());
+        assert!(
+            imbalance_ratio(&p, &greedy) < imbalance_ratio(&p, &few_rounds),
+            "greedy {} vs 2-round diffusion {}",
+            imbalance_ratio(&p, &greedy),
+            imbalance_ratio(&p, &few_rounds)
+        );
+    }
+
+    #[test]
+    fn single_pe_is_identity() {
+        let p = synthetic(1, 8);
+        let current = vec![0usize; p.computes.len()];
+        assert_eq!(diffusion(&p, &current, DiffusionParams::default()), current);
+    }
+
+    #[test]
+    fn deterministic() {
+        let p = synthetic(8, 40);
+        let start: Vec<usize> = (0..p.computes.len()).map(|i| (i * 3) % 8).collect();
+        let a = diffusion(&p, &start, DiffusionParams::default());
+        let b = diffusion(&p, &start, DiffusionParams::default());
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,270 @@
+//! The paper's centralized greedy strategy (§3.2).
+//!
+//! > * Select the biggest (longest-executing) compute object.
+//! > * Select a destination processor for the compute object such that:
+//! >   - Adding this compute object will not overload the processor much
+//! >     (an overload threshold permits some overload).
+//! >   - The compute object will utilize as many home patches as possible.
+//! >   - The assignment will create as few new proxy patches as possible.
+//! >   - Among multiple processors selected by the above criteria, select
+//! >     the least loaded processor as the destination processor.
+//! > * Assign the compute object to the selected processor: add its load,
+//! >   record the creation of new proxies so that future compute objects may
+//! >   also use the proxy. Repeat until all compute objects are assigned.
+
+use crate::{Assignment, LbProblem};
+use std::collections::BTreeSet;
+
+/// Tunables for [`greedy`].
+#[derive(Debug, Clone, Copy)]
+pub struct GreedyParams {
+    /// A PE is an acceptable destination while
+    /// `load + compute ≤ overload_factor × avg_load`.
+    pub overload_factor: f64,
+    /// Whether the proxy-related criteria (home-patch utilization, new-proxy
+    /// minimization) participate. Disabled by the `greedy_no_proxy` ablation.
+    pub proxy_aware: bool,
+}
+
+impl Default for GreedyParams {
+    fn default() -> Self {
+        GreedyParams { overload_factor: 1.10, proxy_aware: true }
+    }
+}
+
+/// Book-keeping shared by [`greedy`] and [`crate::refine`]: which PEs hold
+/// which patches (home or proxy).
+#[derive(Debug, Clone)]
+pub(crate) struct ProxyTable {
+    /// (patch, pe) pairs where the patch's data is available.
+    avail: BTreeSet<(usize, usize)>,
+}
+
+impl ProxyTable {
+    /// Start from home placements plus the proxies implied by an existing
+    /// assignment (empty assignment = homes only).
+    pub(crate) fn new(problem: &LbProblem, assignment: &[usize]) -> Self {
+        let mut avail = BTreeSet::new();
+        for (patch, &pe) in problem.patch_home.iter().enumerate() {
+            avail.insert((patch, pe));
+        }
+        for (c, &pe) in problem.computes.iter().zip(assignment.iter()) {
+            for &p in &c.patches {
+                avail.insert((p, pe));
+            }
+        }
+        ProxyTable { avail }
+    }
+
+    /// Number of `compute`'s patches *not* yet available on `pe`.
+    pub(crate) fn new_proxies(&self, patches: &[usize], pe: usize) -> usize {
+        patches.iter().filter(|&&p| !self.avail.contains(&(p, pe))).count()
+    }
+
+    /// Record that `pe` now holds (proxies of) all `patches`.
+    pub(crate) fn add(&mut self, patches: &[usize], pe: usize) {
+        for &p in patches {
+            self.avail.insert((p, pe));
+        }
+    }
+}
+
+/// Pick the best destination for a compute per the paper's criteria.
+/// `loads` are current per-PE totals. Returns the chosen PE.
+pub(crate) fn pick_destination(
+    problem: &LbProblem,
+    loads: &[f64],
+    proxies: &ProxyTable,
+    patches: &[usize],
+    load: f64,
+    limit: f64,
+    proxy_aware: bool,
+    allowed: impl Fn(usize) -> bool,
+) -> Option<usize> {
+    // Candidate ranking key: fewer new proxies is better, more home patches
+    // is better, lower load is better. The paper lists home-patch
+    // utilization before proxy minimization; for computes (≤2 patches) the
+    // two orderings only differ when trading a home patch against an
+    // existing proxy, and NAMD's implementation treats "uses home patch" as
+    // the stronger preference — we follow the paper's listed order.
+    let mut best: Option<(usize, (i64, i64, f64))> = None;
+    let mut best_overloaded: Option<(usize, f64)> = None;
+    for pe in 0..problem.n_pes {
+        if !allowed(pe) {
+            continue;
+        }
+        // Track the least-loaded PE as a fallback if everyone is overloaded.
+        if best_overloaded.is_none_or(|(_, l)| loads[pe] < l) {
+            best_overloaded = Some((pe, loads[pe]));
+        }
+        if loads[pe] + load > limit {
+            continue;
+        }
+        let homes = patches.iter().filter(|&&p| problem.patch_home[p] == pe).count() as i64;
+        let new_prox = proxies.new_proxies(patches, pe) as i64;
+        let key = if proxy_aware {
+            (-homes, new_prox, loads[pe])
+        } else {
+            (0, 0, loads[pe])
+        };
+        if best
+            .as_ref()
+            .is_none_or(|(_, bk)| key.partial_cmp(bk).unwrap() == std::cmp::Ordering::Less)
+        {
+            best = Some((pe, key));
+        }
+    }
+    best.map(|(pe, _)| pe).or(best_overloaded.map(|(pe, _)| pe))
+}
+
+/// Run the paper's greedy strategy from scratch. Returns the assignment.
+///
+/// ```
+/// use lb::{greedy, ComputeSpec, GreedyParams, LbProblem};
+///
+/// let problem = LbProblem {
+///     n_pes: 2,
+///     background: vec![0.0, 0.0],
+///     patch_home: vec![0, 1],
+///     computes: vec![
+///         ComputeSpec { load: 3.0, patches: vec![0] },
+///         ComputeSpec { load: 1.0, patches: vec![1] },
+///         ComputeSpec { load: 2.0, patches: vec![0, 1] },
+///     ],
+/// };
+/// let assignment = greedy(&problem, GreedyParams::default());
+/// assert_eq!(assignment.len(), 3);
+/// assert!(lb::imbalance_ratio(&problem, &assignment) < 1.5);
+/// ```
+pub fn greedy(problem: &LbProblem, params: GreedyParams) -> Assignment {
+    problem.validate().expect("invalid LB problem");
+    let avg = problem.avg_load();
+    let limit = params.overload_factor * avg;
+
+    let mut order: Vec<usize> = (0..problem.computes.len()).collect();
+    // Biggest first; ties by index for determinism.
+    order.sort_by(|&a, &b| {
+        problem.computes[b]
+            .load
+            .partial_cmp(&problem.computes[a].load)
+            .unwrap()
+            .then(a.cmp(&b))
+    });
+
+    let mut loads = problem.background.clone();
+    loads.resize(problem.n_pes, 0.0);
+    let mut proxies = ProxyTable::new(problem, &[]);
+    let mut assignment = vec![usize::MAX; problem.computes.len()];
+
+    for ci in order {
+        let c = &problem.computes[ci];
+        let pe = pick_destination(
+            problem,
+            &loads,
+            &proxies,
+            &c.patches,
+            c.load,
+            limit,
+            params.proxy_aware,
+            |_| true,
+        )
+        .expect("at least one PE exists");
+        assignment[ci] = pe;
+        loads[pe] += c.load;
+        proxies.add(&c.patches, pe);
+    }
+    assignment
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::{imbalance_ratio, proxy_count};
+    use crate::testutil::synthetic;
+
+    #[test]
+    fn greedy_balances_synthetic_load() {
+        let p = synthetic(8, 40);
+        let a = greedy(&p, GreedyParams::default());
+        let r = imbalance_ratio(&p, &a);
+        assert!(r < 1.25, "imbalance ratio {r}");
+        // Every compute got a PE.
+        assert!(a.iter().all(|&pe| pe < p.n_pes));
+    }
+
+    #[test]
+    fn greedy_beats_round_robin_on_skewed_load() {
+        let mut p = synthetic(6, 30);
+        // Skew: make a handful of computes dominant.
+        for i in 0..5 {
+            p.computes[i * 7].load = 10.0;
+        }
+        let rr: Vec<usize> = (0..p.computes.len()).map(|i| i % p.n_pes).collect();
+        let g = greedy(&p, GreedyParams::default());
+        assert!(
+            imbalance_ratio(&p, &g) < imbalance_ratio(&p, &rr),
+            "greedy {} vs rr {}",
+            imbalance_ratio(&p, &g),
+            imbalance_ratio(&p, &rr)
+        );
+    }
+
+    #[test]
+    fn proxy_awareness_reduces_proxies() {
+        let p = synthetic(8, 64);
+        let aware = greedy(&p, GreedyParams::default());
+        let unaware = greedy(&p, GreedyParams { proxy_aware: false, ..Default::default() });
+        let (pa, pu) = (proxy_count(&p, &aware), proxy_count(&p, &unaware));
+        assert!(pa <= pu, "proxy-aware {pa} vs unaware {pu}");
+    }
+
+    #[test]
+    fn biggest_object_placed_first_lands_on_least_loaded() {
+        // One huge compute and two PEs with asymmetric background: the huge
+        // compute must go to the lighter PE.
+        let p = LbProblem {
+            n_pes: 2,
+            background: vec![5.0, 0.0],
+            patch_home: vec![0, 1],
+            computes: vec![
+                crate::ComputeSpec { load: 8.0, patches: vec![0] },
+                crate::ComputeSpec { load: 0.1, patches: vec![1] },
+            ],
+        };
+        let a = greedy(&p, GreedyParams::default());
+        assert_eq!(a[0], 1);
+    }
+
+    #[test]
+    fn overloaded_everywhere_falls_back_to_least_loaded() {
+        // Single PE twice over the threshold: still must assign everything.
+        let p = LbProblem {
+            n_pes: 1,
+            background: vec![0.0],
+            patch_home: vec![0],
+            computes: vec![
+                crate::ComputeSpec { load: 100.0, patches: vec![0] },
+                crate::ComputeSpec { load: 100.0, patches: vec![0] },
+            ],
+        };
+        let a = greedy(&p, GreedyParams::default());
+        assert_eq!(a, vec![0, 0]);
+    }
+
+    #[test]
+    fn deterministic() {
+        let p = synthetic(16, 100);
+        assert_eq!(greedy(&p, GreedyParams::default()), greedy(&p, GreedyParams::default()));
+    }
+
+    #[test]
+    fn proxy_table_tracks_availability() {
+        let p = synthetic(4, 8);
+        let mut t = ProxyTable::new(&p, &[]);
+        // Patch 0 homed on PE 0.
+        assert_eq!(t.new_proxies(&[0], 0), 0);
+        assert_eq!(t.new_proxies(&[0], 1), 1);
+        t.add(&[0], 1);
+        assert_eq!(t.new_proxies(&[0], 1), 0);
+    }
+}

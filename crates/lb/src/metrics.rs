@@ -1,0 +1,101 @@
+//! Quality metrics for assignments: load imbalance, proxy counts, and
+//! communication cost — the three quantities the paper's strategy trades off.
+
+use crate::{Assignment, LbProblem};
+use std::collections::BTreeSet;
+
+/// Total load per PE under an assignment (background + assigned computes).
+pub fn pe_loads(problem: &LbProblem, assignment: &Assignment) -> Vec<f64> {
+    assert_eq!(assignment.len(), problem.computes.len());
+    let mut loads = problem.background.clone();
+    loads.resize(problem.n_pes, 0.0);
+    for (c, &pe) in problem.computes.iter().zip(assignment.iter()) {
+        assert!(pe < problem.n_pes, "assignment references invalid PE {pe}");
+        loads[pe] += c.load;
+    }
+    loads
+}
+
+/// Max/avg load ratio; 1.0 is perfect balance.
+pub fn imbalance_ratio(problem: &LbProblem, assignment: &Assignment) -> f64 {
+    let loads = pe_loads(problem, assignment);
+    let avg = loads.iter().sum::<f64>() / problem.n_pes.max(1) as f64;
+    if avg <= 0.0 {
+        1.0
+    } else {
+        loads.iter().copied().fold(0.0, f64::max) / avg
+    }
+}
+
+/// Number of proxy patches an assignment requires: for every patch needed by
+/// a compute on a PE other than the patch's home, one proxy per (patch, PE).
+pub fn proxy_count(problem: &LbProblem, assignment: &Assignment) -> usize {
+    let mut proxies: BTreeSet<(usize, usize)> = BTreeSet::new();
+    for (c, &pe) in problem.computes.iter().zip(assignment.iter()) {
+        for &p in &c.patches {
+            if problem.patch_home[p] != pe {
+                proxies.insert((p, pe));
+            }
+        }
+    }
+    proxies.len()
+}
+
+/// A simple communication-cost proxy: every proxy patch costs one coordinate
+/// message and one force message per step.
+pub fn comm_cost(problem: &LbProblem, assignment: &Assignment) -> usize {
+    2 * proxy_count(problem, assignment)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ComputeSpec;
+
+    fn tiny() -> LbProblem {
+        LbProblem {
+            n_pes: 2,
+            background: vec![0.5, 0.0],
+            patch_home: vec![0, 1],
+            computes: vec![
+                ComputeSpec { load: 1.0, patches: vec![0] },
+                ComputeSpec { load: 2.0, patches: vec![0, 1] },
+            ],
+        }
+    }
+
+    #[test]
+    fn loads_sum_background_and_computes() {
+        let p = tiny();
+        let loads = pe_loads(&p, &vec![0, 1]);
+        assert_eq!(loads, vec![1.5, 2.0]);
+    }
+
+    #[test]
+    fn imbalance_of_perfect_split() {
+        let p = tiny();
+        // Total = 3.5, avg 1.75; assignment [0,1]: max 2.0 → ratio 8/7.
+        let r = imbalance_ratio(&p, &vec![0, 1]);
+        assert!((r - 2.0 / 1.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn proxies_counted_per_patch_pe_pair() {
+        let p = tiny();
+        // Self compute for patch 0 on PE 0: no proxy. Pair compute on PE 1:
+        // needs patch 0 remotely → one proxy.
+        assert_eq!(proxy_count(&p, &vec![0, 1]), 1);
+        // Pair compute moved to PE 0: needs patch 1 remotely.
+        assert_eq!(proxy_count(&p, &vec![0, 0]), 1);
+        // Both on PE 1: patch 0 needed twice on PE 1, still a single proxy.
+        assert_eq!(proxy_count(&p, &vec![1, 1]), 1);
+        assert_eq!(comm_cost(&p, &vec![1, 1]), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid PE")]
+    fn rejects_out_of_range_assignment() {
+        let p = tiny();
+        pe_loads(&p, &vec![0, 9]);
+    }
+}

@@ -1,0 +1,174 @@
+//! Recursive coordinate bisection for the initial static placement.
+//!
+//! "When a simulation begins, patches are distributed according to a
+//! recursive coordinate bisection scheme, so that each processor receives a
+//! number of neighboring patches. When there are more processors than
+//! patches, this method reduces to a simple round-robin distribution."
+
+/// Partition weighted 3-D points into `n_parts` spatially-compact parts.
+/// Returns `part[i]` for each point. Parts are contiguous ranges of the
+/// recursion, so neighbouring points tend to share a part.
+pub fn rcb(points: &[[f64; 3]], weights: &[f64], n_parts: usize) -> Vec<usize> {
+    assert_eq!(points.len(), weights.len());
+    assert!(n_parts > 0);
+    let mut part = vec![0usize; points.len()];
+    if points.len() <= n_parts {
+        // Round-robin degenerate case (more parts than points).
+        for (i, p) in part.iter_mut().enumerate() {
+            *p = i % n_parts;
+        }
+        return part;
+    }
+    let mut idx: Vec<usize> = (0..points.len()).collect();
+    split(points, weights, &mut idx, 0, n_parts, &mut part);
+    part
+}
+
+/// Recursively split `idx` (a scratch permutation of point indices) into
+/// parts `[first_part, first_part + n_parts)`.
+fn split(
+    points: &[[f64; 3]],
+    weights: &[f64],
+    idx: &mut [usize],
+    first_part: usize,
+    n_parts: usize,
+    out: &mut [usize],
+) {
+    if n_parts == 1 {
+        for &i in idx.iter() {
+            out[i] = first_part;
+        }
+        return;
+    }
+    // Longest axis of the bounding box of these points.
+    let mut lo = [f64::INFINITY; 3];
+    let mut hi = [f64::NEG_INFINITY; 3];
+    for &i in idx.iter() {
+        for a in 0..3 {
+            lo[a] = lo[a].min(points[i][a]);
+            hi[a] = hi[a].max(points[i][a]);
+        }
+    }
+    let axis = (0..3)
+        .max_by(|&a, &b| (hi[a] - lo[a]).partial_cmp(&(hi[b] - lo[b])).unwrap())
+        .unwrap();
+
+    idx.sort_by(|&a, &b| {
+        points[a][axis]
+            .partial_cmp(&points[b][axis])
+            .unwrap()
+            .then(a.cmp(&b))
+    });
+
+    // Split part counts in half; split weight proportionally.
+    let left_parts = n_parts / 2;
+    let right_parts = n_parts - left_parts;
+    let total_w: f64 = idx.iter().map(|&i| weights[i]).sum();
+    let target = total_w * left_parts as f64 / n_parts as f64;
+
+    let mut acc = 0.0;
+    let mut cut = 0;
+    for (k, &i) in idx.iter().enumerate() {
+        // Keep at least one point per side when possible.
+        if acc >= target && k > 0 {
+            break;
+        }
+        acc += weights[i];
+        cut = k + 1;
+    }
+    // Guarantee both sides can host their part counts.
+    cut = cut.clamp(left_parts.min(idx.len() - 1), idx.len() - right_parts.min(idx.len() - 1));
+    let (l, r) = idx.split_at_mut(cut);
+    split(points, weights, l, first_part, left_parts, out);
+    split(points, weights, r, first_part + left_parts, right_parts, out);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid(nx: usize, ny: usize, nz: usize) -> Vec<[f64; 3]> {
+        let mut v = Vec::new();
+        for z in 0..nz {
+            for y in 0..ny {
+                for x in 0..nx {
+                    v.push([x as f64, y as f64, z as f64]);
+                }
+            }
+        }
+        v
+    }
+
+    #[test]
+    fn all_parts_are_used_and_balanced() {
+        let pts = grid(7, 7, 5); // the ApoA-I patch grid
+        let w = vec![1.0; pts.len()];
+        for n_parts in [2, 3, 8, 16, 32] {
+            let part = rcb(&pts, &w, n_parts);
+            let mut counts = vec![0usize; n_parts];
+            for &p in &part {
+                counts[p] += 1;
+            }
+            assert!(counts.iter().all(|&c| c > 0), "{n_parts} parts: {counts:?}");
+            let max = *counts.iter().max().unwrap();
+            let min = *counts.iter().min().unwrap();
+            assert!(
+                max <= 2 * min + 2,
+                "{n_parts} parts badly balanced: {counts:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn weighted_split_respects_weights() {
+        // Two heavy points on the left, many light on the right: with two
+        // parts, the heavy side should get fewer points.
+        let mut pts = vec![[0.0, 0.0, 0.0], [1.0, 0.0, 0.0]];
+        let mut w = vec![50.0, 50.0];
+        for i in 0..20 {
+            pts.push([10.0 + i as f64, 0.0, 0.0]);
+            w.push(1.0);
+        }
+        let part = rcb(&pts, &w, 2);
+        assert_eq!(part[0], part[1], "heavy points together");
+        let heavy_part = part[0];
+        let heavy_count = part.iter().filter(|&&p| p == heavy_part).count();
+        assert!(heavy_count <= 4, "heavy side has {heavy_count} points");
+    }
+
+    #[test]
+    fn more_parts_than_points_round_robins() {
+        let pts = grid(2, 2, 1); // 4 points
+        let w = vec![1.0; 4];
+        let part = rcb(&pts, &w, 10);
+        assert_eq!(part, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn parts_are_spatially_compact() {
+        // With a 8x1x1 line and 4 parts, each part should be a contiguous
+        // pair of adjacent points.
+        let pts = grid(8, 1, 1);
+        let w = vec![1.0; 8];
+        let part = rcb(&pts, &w, 4);
+        for i in 0..7 {
+            // Adjacent points are in the same or neighbouring parts.
+            let d = part[i].abs_diff(part[i + 1]);
+            assert!(d <= 1, "parts not contiguous: {part:?}");
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        let pts = grid(5, 4, 3);
+        let w: Vec<f64> = (0..pts.len()).map(|i| 1.0 + (i % 3) as f64).collect();
+        assert_eq!(rcb(&pts, &w, 7), rcb(&pts, &w, 7));
+    }
+
+    #[test]
+    fn single_part() {
+        let pts = grid(3, 3, 3);
+        let w = vec![1.0; 27];
+        assert!(rcb(&pts, &w, 1).iter().all(|&p| p == 0));
+    }
+}

@@ -1,0 +1,167 @@
+//! The refinement pass (§3.2).
+//!
+//! > Immediately after assigning the compute objects ... a refinement
+//! > algorithm further reduces the load imbalance, by tolerating the
+//! > creation of additional proxy patches. The refinement algorithm is
+//! > almost identical to the initial procedure, except that the overload
+//! > threshold is smaller, only compute objects from overloaded processors
+//! > are considered for migration, and only underloaded processors are
+//! > considered as destinations.
+
+use crate::greedy::{pick_destination, ProxyTable};
+use crate::metrics::pe_loads;
+use crate::{Assignment, LbProblem};
+
+/// Tunables for [`refine`].
+#[derive(Debug, Clone, Copy)]
+pub struct RefineParams {
+    /// A PE counts as overloaded above `overload_factor × avg` (tighter than
+    /// the greedy pass's threshold).
+    pub overload_factor: f64,
+    /// Safety bound on migration rounds.
+    pub max_moves: usize,
+}
+
+impl Default for RefineParams {
+    fn default() -> Self {
+        RefineParams { overload_factor: 1.03, max_moves: 10_000 }
+    }
+}
+
+/// Refine an existing assignment in place-style (returns the new one).
+/// Also returns the number of objects migrated — the paper observes that a
+/// second LB cycle performs "only a few additional object migrations".
+pub fn refine(
+    problem: &LbProblem,
+    current: &Assignment,
+    params: RefineParams,
+) -> (Assignment, usize) {
+    problem.validate().expect("invalid LB problem");
+    assert_eq!(current.len(), problem.computes.len());
+    let avg = problem.avg_load();
+    let limit = params.overload_factor * avg;
+
+    let mut assignment = current.clone();
+    let mut loads = pe_loads(problem, &assignment);
+    let mut proxies = ProxyTable::new(problem, &assignment);
+    let mut moves = 0usize;
+
+    // Process overloaded PEs, heaviest first, until nothing changes.
+    loop {
+        if moves >= params.max_moves {
+            break;
+        }
+        // Most-overloaded PE.
+        let src = match (0..problem.n_pes)
+            .filter(|&pe| loads[pe] > limit)
+            .max_by(|&a, &b| loads[a].partial_cmp(&loads[b]).unwrap())
+        {
+            Some(pe) => pe,
+            None => break,
+        };
+        // Biggest compute currently on src (consider biggest first, like the
+        // initial pass).
+        let mut cands: Vec<usize> = (0..assignment.len()).filter(|&i| assignment[i] == src).collect();
+        cands.sort_by(|&a, &b| {
+            problem.computes[b]
+                .load
+                .partial_cmp(&problem.computes[a].load)
+                .unwrap()
+                .then(a.cmp(&b))
+        });
+        let mut moved = false;
+        for ci in cands {
+            let c = &problem.computes[ci];
+            // Only underloaded destinations, and the move must help: the
+            // destination stays under the limit.
+            let dest = pick_destination(
+                problem,
+                &loads,
+                &proxies,
+                &c.patches,
+                c.load,
+                limit,
+                true,
+                |pe| pe != src && loads[pe] < avg,
+            );
+            if let Some(pe) = dest {
+                // pick_destination may fall back to an overloaded PE; verify.
+                if loads[pe] + c.load <= limit {
+                    assignment[ci] = pe;
+                    loads[src] -= c.load;
+                    loads[pe] += c.load;
+                    proxies.add(&c.patches, pe);
+                    moves += 1;
+                    moved = true;
+                    break;
+                }
+            }
+        }
+        if !moved {
+            break; // the overloaded PE cannot shed anything that fits
+        }
+    }
+    (assignment, moves)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::greedy::{greedy, GreedyParams};
+    use crate::metrics::imbalance_ratio;
+    use crate::testutil::synthetic;
+
+    #[test]
+    fn refine_never_worsens_imbalance() {
+        let p = synthetic(8, 48);
+        let rr: Vec<usize> = (0..p.computes.len()).map(|i| i % p.n_pes).collect();
+        let before = imbalance_ratio(&p, &rr);
+        let (after_a, _) = refine(&p, &rr, RefineParams::default());
+        let after = imbalance_ratio(&p, &after_a);
+        assert!(after <= before + 1e-12, "refine worsened: {before} -> {after}");
+    }
+
+    #[test]
+    fn refine_fixes_a_hot_spot() {
+        let p = synthetic(4, 24);
+        // Everything on PE 0.
+        let all_zero = vec![0usize; p.computes.len()];
+        let before = imbalance_ratio(&p, &all_zero);
+        let (a, moves) = refine(&p, &all_zero, RefineParams::default());
+        let after = imbalance_ratio(&p, &a);
+        assert!(moves > 0);
+        assert!(after < before * 0.5, "hot spot not fixed: {before} -> {after}");
+    }
+
+    #[test]
+    fn refine_after_greedy_makes_few_moves() {
+        let p = synthetic(8, 64);
+        let g = greedy(&p, GreedyParams::default());
+        let (_, moves) = refine(&p, &g, RefineParams::default());
+        // The paper: a refinement pass after the greedy pass migrates only a
+        // few objects.
+        assert!(
+            moves <= p.computes.len() / 4,
+            "refine moved {moves} of {} computes",
+            p.computes.len()
+        );
+    }
+
+    #[test]
+    fn balanced_input_is_a_fixed_point() {
+        let p = synthetic(4, 32);
+        let g = greedy(&p, GreedyParams::default());
+        let (r1, _) = refine(&p, &g, RefineParams::default());
+        let (r2, moves2) = refine(&p, &r1, RefineParams::default());
+        assert_eq!(r1, r2);
+        assert_eq!(moves2, 0);
+    }
+
+    #[test]
+    fn respects_max_moves() {
+        let p = synthetic(4, 40);
+        let all_zero = vec![0usize; p.computes.len()];
+        let (_, moves) = refine(&p, &all_zero, RefineParams { max_moves: 3, ..Default::default() });
+        assert!(moves <= 3);
+    }
+}

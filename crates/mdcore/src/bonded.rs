@@ -1,0 +1,507 @@
+//! Bonded (covalent) force kernels: 2-body bonds, 3-body angles, 4-body
+//! dihedrals and impropers.
+//!
+//! Each kernel takes atom positions, applies minimum-image convention through
+//! the simulation [`Cell`] (bonds may straddle the periodic boundary once
+//! coordinates are wrapped), and returns the term energy together with the
+//! force on each participating atom. Callers scatter the forces — this lets
+//! the parallel engine's bonded compute objects use the same kernels on
+//! gathered proxy data.
+
+use crate::pbc::Cell;
+use crate::topology::Topology;
+use crate::vec3::Vec3;
+
+/// Energy breakdown of the bonded terms, kcal/mol.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct BondedEnergy {
+    pub bond: f64,
+    pub angle: f64,
+    pub dihedral: f64,
+    pub improper: f64,
+    pub restraint: f64,
+}
+
+impl BondedEnergy {
+    /// Sum of all bonded contributions.
+    pub fn total(&self) -> f64 {
+        self.bond + self.angle + self.dihedral + self.improper + self.restraint
+    }
+
+    /// Accumulate another breakdown.
+    pub fn add(&mut self, o: BondedEnergy) {
+        self.bond += o.bond;
+        self.angle += o.angle;
+        self.dihedral += o.dihedral;
+        self.improper += o.improper;
+        self.restraint += o.restraint;
+    }
+}
+
+/// Harmonic bond `E = k (r - r0)²`. Returns `(E, f_a, f_b)`.
+#[inline]
+pub fn bond_force(cell: &Cell, pa: Vec3, pb: Vec3, k: f64, r0: f64) -> (f64, Vec3, Vec3) {
+    let d = cell.min_image(pa, pb);
+    let r = d.norm();
+    if r < 1e-10 {
+        // Coincident atoms: force direction undefined; report energy only.
+        return (k * r0 * r0, Vec3::ZERO, Vec3::ZERO);
+    }
+    let dr = r - r0;
+    let e = k * dr * dr;
+    // F_a = -dE/dr · r̂ = -2 k dr · d/r
+    let fa = d * (-2.0 * k * dr / r);
+    (e, fa, -fa)
+}
+
+/// Harmonic angle `E = k (θ - θ0)²` with central atom `b`.
+/// Returns `(E, f_a, f_b, f_c)`.
+#[inline]
+pub fn angle_force(
+    cell: &Cell,
+    pa: Vec3,
+    pb: Vec3,
+    pc: Vec3,
+    k: f64,
+    theta0: f64,
+) -> (f64, Vec3, Vec3, Vec3) {
+    let rij = cell.min_image(pa, pb);
+    let rkj = cell.min_image(pc, pb);
+    let lij = rij.norm();
+    let lkj = rkj.norm();
+    if lij < 1e-10 || lkj < 1e-10 {
+        return (0.0, Vec3::ZERO, Vec3::ZERO, Vec3::ZERO);
+    }
+    let c = (rij.dot(rkj) / (lij * lkj)).clamp(-1.0, 1.0);
+    let theta = c.acos();
+    let dtheta = theta - theta0;
+    let e = k * dtheta * dtheta;
+    let de_dtheta = 2.0 * k * dtheta;
+
+    let s = (1.0 - c * c).max(1e-12).sqrt();
+    // ∇_a cosθ = rkj/(lij·lkj) − cosθ·rij/lij² ; F_a = (dE/dθ / sinθ)·∇_a c
+    let coeff = de_dtheta / s;
+    let fa = (rkj / (lij * lkj) - rij * (c / (lij * lij))) * coeff;
+    let fc = (rij / (lij * lkj) - rkj * (c / (lkj * lkj))) * coeff;
+    let fb = -(fa + fc);
+    (e, fa, fb, fc)
+}
+
+/// Signed dihedral angle φ for the atom sequence a-b-c-d and the gradient
+/// pieces needed for forces. Returns `(phi, grad_a, grad_b, grad_c, grad_d)`
+/// where `grad_i = ∂φ/∂r_i`.
+#[inline]
+fn dihedral_angle_grad(
+    cell: &Cell,
+    pa: Vec3,
+    pb: Vec3,
+    pc: Vec3,
+    pd: Vec3,
+) -> Option<(f64, Vec3, Vec3, Vec3, Vec3)> {
+    let b1 = cell.min_image(pb, pa);
+    let b2 = cell.min_image(pc, pb);
+    let b3 = cell.min_image(pd, pc);
+    let n1 = b1.cross(b2);
+    let n2 = b2.cross(b3);
+    let n1sq = n1.norm2();
+    let n2sq = n2.norm2();
+    let lb2 = b2.norm();
+    if n1sq < 1e-14 || n2sq < 1e-14 || lb2 < 1e-10 {
+        return None; // collinear — dihedral undefined
+    }
+    let phi = (n1.cross(n2).dot(b2) / lb2).atan2(n1.dot(n2));
+
+    let ga = n1 * (-lb2 / n1sq);
+    let gd = n2 * (lb2 / n2sq);
+    let t = b1.dot(b2) / (lb2 * lb2);
+    let s = b3.dot(b2) / (lb2 * lb2);
+    let gb = ga * (-(1.0 + t)) + gd * s;
+    let gc = ga * t - gd * (1.0 + s);
+    Some((phi, ga, gb, gc, gd))
+}
+
+/// Periodic dihedral `E = k (1 + cos(n φ − δ))`. Returns `(E, [f; 4])`.
+#[inline]
+pub fn dihedral_force(
+    cell: &Cell,
+    pa: Vec3,
+    pb: Vec3,
+    pc: Vec3,
+    pd: Vec3,
+    k: f64,
+    n: u8,
+    delta: f64,
+) -> (f64, [Vec3; 4]) {
+    match dihedral_angle_grad(cell, pa, pb, pc, pd) {
+        None => (0.0, [Vec3::ZERO; 4]),
+        Some((phi, ga, gb, gc, gd)) => {
+            let nf = n as f64;
+            let e = k * (1.0 + (nf * phi - delta).cos());
+            let de_dphi = -k * nf * (nf * phi - delta).sin();
+            (
+                e,
+                [ga * -de_dphi, gb * -de_dphi, gc * -de_dphi, gd * -de_dphi],
+            )
+        }
+    }
+}
+
+/// Harmonic improper `E = k (ψ − ψ0)²` where ψ is the dihedral angle of the
+/// a-b-c-d sequence; the difference is wrapped into (−π, π]. Returns
+/// `(E, [f; 4])`.
+#[inline]
+pub fn improper_force(
+    cell: &Cell,
+    pa: Vec3,
+    pb: Vec3,
+    pc: Vec3,
+    pd: Vec3,
+    k: f64,
+    psi0: f64,
+) -> (f64, [Vec3; 4]) {
+    match dihedral_angle_grad(cell, pa, pb, pc, pd) {
+        None => (0.0, [Vec3::ZERO; 4]),
+        Some((psi, ga, gb, gc, gd)) => {
+            let mut dpsi = psi - psi0;
+            while dpsi > std::f64::consts::PI {
+                dpsi -= 2.0 * std::f64::consts::PI;
+            }
+            while dpsi <= -std::f64::consts::PI {
+                dpsi += 2.0 * std::f64::consts::PI;
+            }
+            let e = k * dpsi * dpsi;
+            let de = 2.0 * k * dpsi;
+            (e, [ga * -de, gb * -de, gc * -de, gd * -de])
+        }
+    }
+}
+
+/// Harmonic positional restraint `E = k·|r − r₀|²` (minimum-image).
+/// Returns `(E, f)`.
+#[inline]
+pub fn restraint_force(cell: &Cell, p: Vec3, target: Vec3, k: f64) -> (f64, Vec3) {
+    let d = cell.min_image(p, target);
+    let e = k * d.norm2();
+    (e, d * (-2.0 * k))
+}
+
+/// Evaluate every bonded term of a topology, accumulating forces into
+/// `forces` (indexed by atom id). The sequential reference path; the parallel
+/// engine splits the same terms across bonded compute objects.
+pub fn compute_bonded(
+    topo: &Topology,
+    cell: &Cell,
+    pos: &[Vec3],
+    forces: &mut [Vec3],
+) -> BondedEnergy {
+    assert_eq!(pos.len(), topo.n_atoms());
+    assert_eq!(forces.len(), topo.n_atoms());
+    let mut e = BondedEnergy::default();
+    for b in &topo.bonds {
+        let (eb, fa, fb) = bond_force(cell, pos[b.a as usize], pos[b.b as usize], b.k, b.r0);
+        e.bond += eb;
+        forces[b.a as usize] += fa;
+        forces[b.b as usize] += fb;
+    }
+    for t in &topo.angles {
+        let (ea, fa, fb, fc) = angle_force(
+            cell,
+            pos[t.a as usize],
+            pos[t.b as usize],
+            pos[t.c as usize],
+            t.k,
+            t.theta0,
+        );
+        e.angle += ea;
+        forces[t.a as usize] += fa;
+        forces[t.b as usize] += fb;
+        forces[t.c as usize] += fc;
+    }
+    for d in &topo.dihedrals {
+        let (ed, f) = dihedral_force(
+            cell,
+            pos[d.a as usize],
+            pos[d.b as usize],
+            pos[d.c as usize],
+            pos[d.d as usize],
+            d.k,
+            d.n,
+            d.delta,
+        );
+        e.dihedral += ed;
+        forces[d.a as usize] += f[0];
+        forces[d.b as usize] += f[1];
+        forces[d.c as usize] += f[2];
+        forces[d.d as usize] += f[3];
+    }
+    for d in &topo.impropers {
+        let (ei, f) = improper_force(
+            cell,
+            pos[d.a as usize],
+            pos[d.b as usize],
+            pos[d.c as usize],
+            pos[d.d as usize],
+            d.k,
+            d.psi0,
+        );
+        e.improper += ei;
+        forces[d.a as usize] += f[0];
+        forces[d.b as usize] += f[1];
+        forces[d.c as usize] += f[2];
+        forces[d.d as usize] += f[3];
+    }
+    for r in &topo.restraints {
+        let (er, f) = restraint_force(cell, pos[r.atom as usize], r.target, r.k);
+        e.restraint += er;
+        forces[r.atom as usize] += f;
+    }
+    e
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const PI: f64 = std::f64::consts::PI;
+
+    fn open_cell() -> Cell {
+        Cell::open(Vec3::splat(-100.0), Vec3::splat(200.0))
+    }
+
+    #[test]
+    fn bond_at_equilibrium_has_no_force() {
+        let cell = open_cell();
+        let (e, fa, fb) = bond_force(&cell, Vec3::ZERO, Vec3::new(1.5, 0.0, 0.0), 300.0, 1.5);
+        assert!(e.abs() < 1e-12);
+        assert!(fa.norm() < 1e-12);
+        assert!(fb.norm() < 1e-12);
+    }
+
+    #[test]
+    fn stretched_bond_pulls_atoms_together() {
+        let cell = open_cell();
+        let (e, fa, fb) = bond_force(&cell, Vec3::ZERO, Vec3::new(2.0, 0.0, 0.0), 300.0, 1.5);
+        assert!((e - 300.0 * 0.25).abs() < 1e-12);
+        assert!(fa.x > 0.0, "atom a pulled toward b");
+        assert!((fa + fb).norm() < 1e-12);
+    }
+
+    #[test]
+    fn bond_across_periodic_boundary() {
+        let cell = Cell::cube(10.0);
+        // 1.4 Å apart through the boundary (0.3 → -1.1 via the image of 8.9).
+        let (e, fa, _) = bond_force(
+            &cell,
+            Vec3::new(0.3, 0.0, 0.0),
+            Vec3::new(8.9, 0.0, 0.0),
+            100.0,
+            1.5,
+        );
+        assert!((e - 100.0 * 0.01).abs() < 1e-9, "energy {e}");
+        // Bond is compressed: atoms pushed apart; a at 0.3 pushed away from
+        // the image of b at -0.1, i.e. +x.
+        assert!(fa.x > 0.0);
+    }
+
+    #[test]
+    fn angle_at_equilibrium_no_force() {
+        let cell = open_cell();
+        let theta0 = 104.52_f64.to_radians();
+        let pa = Vec3::new(theta0.cos(), theta0.sin(), 0.0);
+        let (e, fa, fb, fc) = angle_force(
+            &cell,
+            pa,
+            Vec3::ZERO,
+            Vec3::new(1.0, 0.0, 0.0),
+            55.0,
+            theta0,
+        );
+        assert!(e.abs() < 1e-12);
+        assert!(fa.norm() < 1e-9);
+        assert!(fb.norm() < 1e-9);
+        assert!(fc.norm() < 1e-9);
+    }
+
+    #[test]
+    fn angle_forces_sum_to_zero_and_match_fd() {
+        let cell = open_cell();
+        let pa = Vec3::new(0.2, 1.1, -0.3);
+        let pb = Vec3::new(0.0, 0.0, 0.1);
+        let pc = Vec3::new(1.3, -0.2, 0.4);
+        let (_, fa, fb, fc) = angle_force(&cell, pa, pb, pc, 40.0, 1.8);
+        assert!((fa + fb + fc).norm() < 1e-10, "net force must vanish");
+
+        // Finite-difference check on atom a, x-component.
+        let h = 1e-6;
+        let e = |p: Vec3| angle_force(&cell, p, pb, pc, 40.0, 1.8).0;
+        let fd = -(e(pa + Vec3::new(h, 0.0, 0.0)) - e(pa - Vec3::new(h, 0.0, 0.0))) / (2.0 * h);
+        assert!((fd - fa.x).abs() < 1e-5, "fd {fd} vs analytic {}", fa.x);
+    }
+
+    #[test]
+    fn dihedral_angle_known_geometries() {
+        let cell = open_cell();
+        // Trans (φ = π): a and d on opposite sides.
+        let pa = Vec3::new(-1.0, 1.0, 0.0);
+        let pb = Vec3::new(-1.0, 0.0, 0.0);
+        let pc = Vec3::new(1.0, 0.0, 0.0);
+        let pd = Vec3::new(1.0, -1.0, 0.0);
+        let (phi, ..) = dihedral_angle_grad(&cell, pa, pb, pc, pd).unwrap();
+        assert!((phi.abs() - PI).abs() < 1e-9, "trans: {phi}");
+
+        // Cis (φ = 0): a and d on the same side.
+        let pd_cis = Vec3::new(1.0, 1.0, 0.0);
+        let (phi0, ..) = dihedral_angle_grad(&cell, pa, pb, pc, pd_cis).unwrap();
+        assert!(phi0.abs() < 1e-9, "cis: {phi0}");
+
+        // +90°.
+        let pd_90 = Vec3::new(1.0, 0.0, 1.0);
+        let (phi90, ..) = dihedral_angle_grad(&cell, pa, pb, pc, pd_90).unwrap();
+        assert!((phi90.abs() - PI / 2.0).abs() < 1e-9, "90°: {phi90}");
+    }
+
+    #[test]
+    fn dihedral_forces_match_finite_difference() {
+        let cell = open_cell();
+        let pts = [
+            Vec3::new(-1.1, 0.9, 0.2),
+            Vec3::new(-0.9, 0.0, -0.1),
+            Vec3::new(0.8, 0.1, 0.0),
+            Vec3::new(1.2, -0.7, 0.9),
+        ];
+        let (k, n, delta) = (2.5, 3u8, 0.6);
+        let (_, forces) = dihedral_force(&cell, pts[0], pts[1], pts[2], pts[3], k, n, delta);
+        // Net force and net torque must vanish.
+        let net: Vec3 = forces.iter().copied().sum();
+        assert!(net.norm() < 1e-10, "net dihedral force {net:?}");
+
+        let h = 1e-6;
+        for atom in 0..4 {
+            for axis in 0..3 {
+                let mut plus = pts;
+                *plus[atom].axis_mut(axis) += h;
+                let mut minus = pts;
+                *minus[atom].axis_mut(axis) -= h;
+                let ep = dihedral_force(&cell, plus[0], plus[1], plus[2], plus[3], k, n, delta).0;
+                let em =
+                    dihedral_force(&cell, minus[0], minus[1], minus[2], minus[3], k, n, delta).0;
+                let fd = -(ep - em) / (2.0 * h);
+                let analytic = forces[atom].axis(axis);
+                assert!(
+                    (fd - analytic).abs() < 1e-4,
+                    "atom {atom} axis {axis}: fd {fd} vs analytic {analytic}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn improper_forces_match_finite_difference() {
+        let cell = open_cell();
+        let pts = [
+            Vec3::new(0.0, 0.0, 0.3),
+            Vec3::new(1.2, 0.1, 0.0),
+            Vec3::new(-0.5, 1.0, 0.0),
+            Vec3::new(-0.6, -1.1, 0.1),
+        ];
+        let (k, psi0) = (20.0, 0.1);
+        let (_, forces) = improper_force(&cell, pts[0], pts[1], pts[2], pts[3], k, psi0);
+        let net: Vec3 = forces.iter().copied().sum();
+        assert!(net.norm() < 1e-10);
+
+        let h = 1e-6;
+        for atom in 0..4 {
+            let mut plus = pts;
+            plus[atom].x += h;
+            let mut minus = pts;
+            minus[atom].x -= h;
+            let ep = improper_force(&cell, plus[0], plus[1], plus[2], plus[3], k, psi0).0;
+            let em = improper_force(&cell, minus[0], minus[1], minus[2], minus[3], k, psi0).0;
+            let fd = -(ep - em) / (2.0 * h);
+            assert!(
+                (fd - forces[atom].x).abs() < 1e-4,
+                "atom {atom}: fd {fd} vs analytic {}",
+                forces[atom].x
+            );
+        }
+    }
+
+    #[test]
+    fn restraint_pulls_back_and_matches_fd() {
+        let cell = Cell::cube(20.0);
+        let target = Vec3::new(5.0, 5.0, 5.0);
+        let p = Vec3::new(6.0, 5.5, 4.0);
+        let (e, f) = restraint_force(&cell, p, target, 3.0);
+        assert!((e - 3.0 * 2.25).abs() < 1e-12);
+        // Force points from p back toward the target.
+        assert!(f.dot(target - p) > 0.0);
+        // Finite differences.
+        let h = 1e-6;
+        for axis in 0..3 {
+            let mut pp = p;
+            *pp.axis_mut(axis) += h;
+            let mut pm = p;
+            *pm.axis_mut(axis) -= h;
+            let fd = -(restraint_force(&cell, pp, target, 3.0).0
+                - restraint_force(&cell, pm, target, 3.0).0)
+                / (2.0 * h);
+            assert!((fd - f.axis(axis)).abs() < 1e-5);
+        }
+        // At the anchor: no energy, no force.
+        let (e0, f0) = restraint_force(&cell, target, target, 3.0);
+        assert_eq!(e0, 0.0);
+        assert_eq!(f0, Vec3::ZERO);
+    }
+
+    #[test]
+    fn restraint_uses_minimum_image() {
+        let cell = Cell::cube(10.0);
+        // p and target 1 Å apart through the boundary.
+        let (e, f) = restraint_force(&cell, Vec3::new(9.7, 0.0, 0.0), Vec3::new(0.7, 0.0, 0.0), 2.0);
+        assert!((e - 2.0).abs() < 1e-9, "energy {e}");
+        assert!(f.x > 0.0, "pulled forward through the boundary: {f:?}");
+    }
+
+    #[test]
+    fn collinear_dihedral_is_graceful() {
+        let cell = open_cell();
+        let (e, f) = dihedral_force(
+            &cell,
+            Vec3::ZERO,
+            Vec3::new(1.0, 0.0, 0.0),
+            Vec3::new(2.0, 0.0, 0.0),
+            Vec3::new(3.0, 0.0, 0.0),
+            1.0,
+            2,
+            0.0,
+        );
+        assert_eq!(e, 0.0);
+        assert_eq!(f, [Vec3::ZERO; 4]);
+    }
+
+    #[test]
+    fn compute_bonded_accumulates_all_terms() {
+        use crate::topology::{Atom, push_water};
+        let cell = Cell::cube(20.0);
+        let mut topo = Topology::default();
+        push_water(&mut topo, 0, 1);
+        topo.atoms.push(Atom { mass: 12.0, charge: 0.0, lj_type: 2 });
+        // Slightly perturbed water + a free atom.
+        let pos = vec![
+            Vec3::new(5.0, 5.0, 5.0),
+            Vec3::new(5.99, 5.0, 5.0),
+            Vec3::new(4.8, 5.9, 5.0),
+            Vec3::new(1.0, 1.0, 1.0),
+        ];
+        let mut f = vec![Vec3::ZERO; 4];
+        let e = compute_bonded(&topo, &cell, &pos, &mut f);
+        assert!(e.bond > 0.0);
+        assert!(e.angle >= 0.0);
+        assert_eq!(e.dihedral, 0.0);
+        // Free atom untouched.
+        assert_eq!(f[3], Vec3::ZERO);
+        // Momentum conservation over the bonded terms.
+        let net: Vec3 = f.iter().copied().sum();
+        assert!(net.norm() < 1e-10);
+    }
+}

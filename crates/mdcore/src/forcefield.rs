@@ -1,0 +1,288 @@
+//! Force-field parameters and cutoff smoothing functions.
+//!
+//! Non-bonded interactions are 12-6 Lennard-Jones plus Coulomb. Like NAMD's
+//! cutoff simulations (the paper's benchmarks all use a 12 Å cutoff), the LJ
+//! term is smoothed to zero with the CHARMM *switching* function between
+//! `switch_dist` and `cutoff`, and the electrostatic term is damped with the
+//! *shifting* function `(1 - r²/rc²)²`, so both energy and force go to zero
+//! continuously at the cutoff — a requirement for energy conservation.
+
+/// Units and physical constants (AKMA-style unit system).
+///
+/// * length — Å
+/// * energy — kcal/mol
+/// * mass — amu
+/// * time — fs
+/// * charge — elementary charges
+pub mod units {
+    /// Converts (kcal/mol/Å) / amu to Å/fs² (acceleration).
+    pub const ACCEL: f64 = 4.184e-4;
+    /// Converts amu·(Å/fs)² to kcal/mol (kinetic energy), = 1/ACCEL.
+    pub const KE: f64 = 1.0 / ACCEL;
+    /// Boltzmann constant, kcal/(mol·K).
+    pub const K_B: f64 = 0.001_987_204_1;
+    /// Coulomb constant e²/(4πε₀) in kcal·Å/mol.
+    pub const COULOMB: f64 = 332.063_71;
+    /// Scaling applied to 1-4 electrostatic interactions (CHARMM default 1.0,
+    /// AMBER-style 1/1.2; we adopt the common 1.0 for electrostatics and
+    /// scale LJ instead — see [`super::ForceField::scale14`]).
+    pub const DEFAULT_SCALE14: f64 = 0.5;
+}
+
+/// Per-type Lennard-Jones parameters (CHARMM convention: `rmin2` is half the
+/// distance at the potential minimum; ε is the well depth).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LjType {
+    /// Well depth ε, kcal/mol (positive).
+    pub epsilon: f64,
+    /// R_min/2, Å.
+    pub rmin_half: f64,
+}
+
+/// Pre-combined LJ pair coefficients: `E = a/r¹² - b/r⁶`.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct LjPair {
+    pub a: f64,
+    pub b: f64,
+}
+
+impl LjPair {
+    /// Combine two LJ types with Lorentz-Berthelot (CHARMM arithmetic-mean
+    /// rmin, geometric-mean ε) rules.
+    pub fn combine(i: LjType, j: LjType) -> LjPair {
+        let eps = (i.epsilon * j.epsilon).sqrt();
+        let rmin = i.rmin_half + j.rmin_half;
+        let r6 = rmin.powi(6);
+        LjPair { a: eps * r6 * r6, b: 2.0 * eps * r6 }
+    }
+}
+
+/// Complete non-bonded parameter set with a precomputed type-pair table.
+#[derive(Debug, Clone)]
+pub struct ForceField {
+    /// LJ type definitions.
+    pub types: Vec<LjType>,
+    /// Dense `n_types × n_types` combined table, row-major.
+    table: Vec<LjPair>,
+    /// Cutoff radius r_c, Å.
+    pub cutoff: f64,
+    /// Switching inner radius r_s (LJ smoothing starts here), Å.
+    pub switch_dist: f64,
+    /// Scale factor applied to 1-4 non-bonded interactions.
+    pub scale14: f64,
+    /// When set, the electrostatic term uses the Ewald real-space form
+    /// `erfc(β r)/r` (full electrostatics, to be completed by a
+    /// reciprocal-space solver such as `pme`) instead of the shifted cutoff
+    /// Coulomb. With Ewald, 1-4 electrostatics stays at full strength
+    /// (CHARMM convention); `scale14` then applies to LJ only.
+    pub ewald_beta: Option<f64>,
+}
+
+impl ForceField {
+    /// Build a force field from LJ types with the given cutoff and switching
+    /// distance. Panics if `switch_dist >= cutoff` or either is non-positive.
+    pub fn new(types: Vec<LjType>, cutoff: f64, switch_dist: f64) -> Self {
+        assert!(cutoff > 0.0, "cutoff must be positive");
+        assert!(
+            switch_dist > 0.0 && switch_dist < cutoff,
+            "switch_dist must lie in (0, cutoff); got {switch_dist} vs cutoff {cutoff}"
+        );
+        let n = types.len();
+        let mut table = vec![LjPair::default(); n * n];
+        for i in 0..n {
+            for j in 0..n {
+                table[i * n + j] = LjPair::combine(types[i], types[j]);
+            }
+        }
+        ForceField {
+            types,
+            table,
+            cutoff,
+            switch_dist,
+            scale14: units::DEFAULT_SCALE14,
+            ewald_beta: None,
+        }
+    }
+
+    /// Standard benchmark parameterization: a small set of types covering
+    /// water O/H and generic protein/lipid heavy atoms, 12 Å cutoff, 10 Å
+    /// switch — matching the paper's simulation parameters.
+    pub fn biomolecular(cutoff: f64) -> Self {
+        let types = vec![
+            // 0: water oxygen (TIP3P)
+            LjType { epsilon: 0.1521, rmin_half: 1.7682 },
+            // 1: water hydrogen
+            LjType { epsilon: 0.046, rmin_half: 0.2245 },
+            // 2: protein backbone carbon-like
+            LjType { epsilon: 0.11, rmin_half: 2.0 },
+            // 3: protein polar atom (N/O-like)
+            LjType { epsilon: 0.17, rmin_half: 1.77 },
+            // 4: lipid tail carbon-like
+            LjType { epsilon: 0.078, rmin_half: 2.05 },
+        ];
+        ForceField::new(types, cutoff, cutoff - 2.0)
+    }
+
+    /// Combined LJ coefficients for a pair of LJ types.
+    #[inline]
+    pub fn lj(&self, ti: u16, tj: u16) -> LjPair {
+        self.table[ti as usize * self.types.len() + tj as usize]
+    }
+
+    /// Squared cutoff, handy in kernels.
+    #[inline]
+    pub fn cutoff2(&self) -> f64 {
+        self.cutoff * self.cutoff
+    }
+
+    /// CHARMM switching function value and its derivative factor at squared
+    /// distance `r2`. Returns `(s, ds_dr_over_r)` where the smoothed energy
+    /// is `E·s` and the extra force term uses `E·ds_dr_over_r`.
+    ///
+    /// For `r ≤ r_s`: s = 1, ds = 0. For `r ≥ r_c`: s = 0.
+    #[inline]
+    pub fn switching(&self, r2: f64) -> (f64, f64) {
+        let rc2 = self.cutoff * self.cutoff;
+        let rs2 = self.switch_dist * self.switch_dist;
+        if r2 <= rs2 {
+            (1.0, 0.0)
+        } else if r2 >= rc2 {
+            (0.0, 0.0)
+        } else {
+            let denom = (rc2 - rs2).powi(3);
+            let u = rc2 - r2;
+            let s = u * u * (rc2 + 2.0 * r2 - 3.0 * rs2) / denom;
+            // ds/d(r²) = [ -2u(rc² + 2r² - 3 rs²) + 2 u² ] / denom
+            //          = 2u[ u - (rc² + 2r² - 3 rs²) ] / denom
+            //          = 2u[ 3 rs² - 3 r² ] / denom = -6u (r² - rs²)/denom
+            let ds_dr2 = -6.0 * u * (r2 - rs2) / denom;
+            (s, ds_dr2)
+        }
+    }
+
+    /// Enable Ewald real-space electrostatics with screening parameter β.
+    pub fn with_ewald(mut self, beta: f64) -> Self {
+        assert!(beta > 0.0);
+        self.ewald_beta = Some(beta);
+        self
+    }
+
+    /// Electrostatic shifting function `(1 - r²/rc²)²` and its derivative
+    /// with respect to `r²`.
+    #[inline]
+    pub fn shifting(&self, r2: f64) -> (f64, f64) {
+        let rc2 = self.cutoff * self.cutoff;
+        if r2 >= rc2 {
+            return (0.0, 0.0);
+        }
+        let u = 1.0 - r2 / rc2;
+        (u * u, -2.0 * u / rc2)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lj_combine_minimum_location() {
+        // For identical types, minimum of a/r^12 - b/r^6 sits at rmin = 2*rmin_half
+        // with depth -ε.
+        let t = LjType { epsilon: 0.2, rmin_half: 1.5 };
+        let p = LjPair::combine(t, t);
+        let rmin: f64 = 3.0;
+        let e_min = p.a / rmin.powi(12) - p.b / rmin.powi(6);
+        assert!((e_min - (-0.2)).abs() < 1e-12, "depth {e_min}");
+        // Derivative at minimum ~ 0.
+        let h = 1e-6;
+        let e1 = p.a / (rmin + h).powi(12) - p.b / (rmin + h).powi(6);
+        let e0 = p.a / (rmin - h).powi(12) - p.b / (rmin - h).powi(6);
+        assert!(((e1 - e0) / (2.0 * h)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn combining_is_symmetric() {
+        let a = LjType { epsilon: 0.1, rmin_half: 1.2 };
+        let b = LjType { epsilon: 0.3, rmin_half: 2.1 };
+        assert_eq!(LjPair::combine(a, b), LjPair::combine(b, a));
+        let ff = ForceField::new(vec![a, b], 12.0, 10.0);
+        assert_eq!(ff.lj(0, 1), ff.lj(1, 0));
+    }
+
+    #[test]
+    fn switching_boundary_values() {
+        let ff = ForceField::biomolecular(12.0);
+        let (s_in, d_in) = ff.switching(9.0 * 9.0);
+        assert_eq!((s_in, d_in), (1.0, 0.0));
+        let (s_out, d_out) = ff.switching(12.5 * 12.5);
+        assert_eq!((s_out, d_out), (0.0, 0.0));
+        // Continuity at the edges.
+        let (s_a, _) = ff.switching(10.0f64.powi(2) + 1e-9);
+        assert!((s_a - 1.0).abs() < 1e-6);
+        let (s_b, _) = ff.switching(12.0f64.powi(2) - 1e-9);
+        assert!(s_b.abs() < 1e-6);
+    }
+
+    #[test]
+    fn switching_is_monotone_decreasing() {
+        let ff = ForceField::biomolecular(12.0);
+        let mut prev = 1.0;
+        let mut r = 10.0;
+        while r < 12.0 {
+            let (s, _) = ff.switching(r * r);
+            assert!(s <= prev + 1e-12, "switching not monotone at r={r}");
+            assert!((0.0..=1.0).contains(&s));
+            prev = s;
+            r += 0.01;
+        }
+    }
+
+    #[test]
+    fn switching_derivative_matches_finite_difference() {
+        let ff = ForceField::biomolecular(12.0);
+        for r in [10.2, 10.9, 11.5, 11.9] {
+            let r2 = r * r;
+            let h = 1e-6;
+            let (s_p, _) = ff.switching(r2 + h);
+            let (s_m, _) = ff.switching(r2 - h);
+            let fd = (s_p - s_m) / (2.0 * h);
+            let (_, d) = ff.switching(r2);
+            assert!((fd - d).abs() < 1e-5, "r={r}: fd {fd} vs analytic {d}");
+        }
+    }
+
+    #[test]
+    fn shifting_derivative_matches_finite_difference() {
+        let ff = ForceField::biomolecular(12.0);
+        for r in [2.0, 5.0, 9.0, 11.5] {
+            let r2: f64 = r * r;
+            let h = 1e-6;
+            let (s_p, _) = ff.shifting(r2 + h);
+            let (s_m, _) = ff.shifting(r2 - h);
+            let fd = (s_p - s_m) / (2.0 * h);
+            let (_, d) = ff.shifting(r2);
+            assert!((fd - d).abs() < 1e-5, "r={r}: fd {fd} vs analytic {d}");
+        }
+    }
+
+    #[test]
+    fn shifting_zero_at_cutoff() {
+        let ff = ForceField::biomolecular(12.0);
+        let (s, _) = ff.shifting(144.0);
+        assert_eq!(s, 0.0);
+        let (s0, _) = ff.shifting(0.0);
+        assert!((s0 - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "switch_dist")]
+    fn rejects_bad_switch_dist() {
+        ForceField::new(vec![LjType { epsilon: 0.1, rmin_half: 1.0 }], 10.0, 10.0);
+    }
+
+    #[test]
+    fn kinetic_units_roundtrip() {
+        // accel * ke == 1 by construction.
+        assert!((units::ACCEL * units::KE - 1.0).abs() < 1e-15);
+    }
+}

@@ -1,0 +1,141 @@
+//! Energy minimization: steepest descent with adaptive step size.
+//!
+//! Generated or experimental structures start with strained contacts;
+//! production MD always minimizes before dynamics (NAMD's `minimize`
+//! command). This is the standard robust scheme: step along the force,
+//! grow the step on success, shrink and retry on an energy increase.
+
+use crate::sim::compute_forces;
+use crate::system::System;
+use crate::vec3::Vec3;
+
+/// Result of a minimization run.
+#[derive(Debug, Clone, Copy)]
+pub struct MinimizeResult {
+    /// Potential energy before, kcal/mol.
+    pub e_initial: f64,
+    /// Potential energy after, kcal/mol.
+    pub e_final: f64,
+    /// Largest force component after, kcal/mol/Å.
+    pub max_force: f64,
+    /// Force evaluations performed.
+    pub evaluations: usize,
+}
+
+/// Steepest-descent minimization for at most `max_steps` accepted moves or
+/// until the maximum per-atom force drops below `f_tol` (kcal/mol/Å).
+pub fn minimize(system: &mut System, max_steps: usize, f_tol: f64) -> MinimizeResult {
+    let n = system.n_atoms();
+    let mut forces = vec![Vec3::ZERO; n];
+    let mut e = compute_forces(system, &mut forces).potential();
+    let e_initial = e;
+    let mut evaluations = 1;
+    // Initial displacement cap, Å.
+    let mut step = 0.01;
+    let mut best_positions = system.positions.clone();
+
+    for _ in 0..max_steps {
+        let fmax = forces.iter().map(|f| f.norm()).fold(0.0, f64::max);
+        if fmax < f_tol {
+            break;
+        }
+        // Move along the force, capping the largest displacement at `step`.
+        let scale = step / fmax;
+        for (p, f) in system.positions.iter_mut().zip(&forces) {
+            *p = system.cell.wrap(*p + *f * scale);
+        }
+        let e_new = compute_forces(system, &mut forces).potential();
+        evaluations += 1;
+        if e_new < e {
+            e = e_new;
+            best_positions.clone_from(&system.positions);
+            step = (step * 1.2).min(0.5);
+        } else {
+            // Reject: restore and shrink the step.
+            system.positions.clone_from(&best_positions);
+            compute_forces(system, &mut forces);
+            evaluations += 1;
+            step *= 0.5;
+            if step < 1e-7 {
+                break;
+            }
+        }
+    }
+    let max_force = forces.iter().map(|f| f.norm()).fold(0.0, f64::max);
+    MinimizeResult { e_initial, e_final: e, max_force, evaluations }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::forcefield::ForceField;
+    use crate::pbc::Cell;
+    use crate::sim::Simulator;
+    use crate::topology::{push_water, Topology};
+
+    fn strained_water_box() -> System {
+        let mut topo = Topology::default();
+        let mut pos = Vec::new();
+        // Deliberately compressed lattice and distorted geometries.
+        for i in 0..27 {
+            let x = (i % 3) as f64 * 2.9 + 0.4;
+            let y = ((i / 3) % 3) as f64 * 2.9 + 0.4;
+            let z = (i / 9) as f64 * 2.9 + 0.4;
+            push_water(&mut topo, 0, 1);
+            pos.push(Vec3::new(x, y, z));
+            pos.push(Vec3::new(x + 1.15, y, z)); // stretched O-H
+            pos.push(Vec3::new(x - 0.1, y + 0.8, z)); // squeezed O-H
+        }
+        System::new(topo, ForceField::biomolecular(4.2), Cell::cube(8.7), pos)
+    }
+
+    #[test]
+    fn minimization_lowers_energy_and_forces() {
+        let mut sys = strained_water_box();
+        let r = minimize(&mut sys, 300, 1.0);
+        assert!(r.e_final < r.e_initial, "{} -> {}", r.e_initial, r.e_final);
+        assert!(
+            r.e_final < 0.5 * r.e_initial.abs().max(1.0) + r.e_initial,
+            "insufficient relaxation: {} -> {}",
+            r.e_initial,
+            r.e_final
+        );
+        assert!(r.max_force < 60.0, "max force after minimization {}", r.max_force);
+    }
+
+    #[test]
+    fn minimized_system_runs_stable_nve_at_1fs() {
+        let mut sys = strained_water_box();
+        minimize(&mut sys, 300, 1.0);
+        sys.thermalize(150.0, 4);
+        let mut sim = Simulator::new(&sys, 1.0);
+        let energies = sim.run(&mut sys, 60);
+        let e0 = energies[2].total();
+        let e1 = energies.last().unwrap().total();
+        let drift = (e1 - e0).abs() / e0.abs().max(1.0);
+        assert!(drift < 1e-2, "post-minimization drift {drift}");
+    }
+
+    #[test]
+    fn converged_system_stops_early() {
+        let mut sys = strained_water_box();
+        minimize(&mut sys, 500, 1.0);
+        // A second call with a loose tolerance should converge immediately.
+        let r = minimize(&mut sys, 500, 100.0);
+        assert!(r.evaluations <= 2, "used {} evaluations", r.evaluations);
+        assert!((r.e_final - r.e_initial).abs() < 1e-9);
+    }
+
+    #[test]
+    fn never_raises_the_energy() {
+        let mut sys = strained_water_box();
+        let e0 = {
+            let mut f = vec![Vec3::ZERO; sys.n_atoms()];
+            compute_forces(&sys, &mut f).potential()
+        };
+        for _ in 0..5 {
+            let r = minimize(&mut sys, 40, 0.0);
+            assert!(r.e_final <= e0 + 1e-9);
+        }
+    }
+}

@@ -1,0 +1,567 @@
+//! Non-bonded (Lennard-Jones + electrostatic) pairwise force kernels.
+//!
+//! These kernels are the computational heart of the simulation — the paper
+//! reports that non-bonded work makes up eighty percent or more of the total
+//! computation. They are written to be callable both by the sequential
+//! reference simulator and by the parallel engine's *compute objects*:
+//! a *self* kernel for all pairs within one group of atoms, and a *pair*
+//! kernel for all cross pairs between two groups (two neighbouring patches).
+//!
+//! Exclusion checking happens inside the kernel, exactly as the paper
+//! describes ("these pairs must be detected as a part of the normal pairwise
+//! force computation"), via sorted per-atom exclusion lists.
+
+use crate::erf::{erfc, TWO_OVER_SQRT_PI};
+use crate::forcefield::{units, ForceField};
+use crate::pbc::Cell;
+use crate::topology::{AtomId, ExclusionKind, Exclusions};
+use crate::vec3::Vec3;
+
+/// Approximate floating-point operations per evaluated atom pair inside the
+/// cutoff. Used to produce GFLOPS ratings the same way the paper does
+/// (hardware-counter op count per step / time per step); counted from the
+/// kernel arithmetic below (distance 8, LJ 10, Coulomb+shift 12, switching 9,
+/// force accumulation ~6).
+pub const FLOPS_PER_PAIR: f64 = 45.0;
+
+/// A borrowed, struct-of-arrays view of one group of atoms, as a patch hands
+/// it to a compute object.
+#[derive(Debug, Clone, Copy)]
+pub struct AtomGroup<'a> {
+    /// Positions, Å.
+    pub pos: &'a [Vec3],
+    /// Global atom ids (for exclusion lookup).
+    pub ids: &'a [AtomId],
+    /// LJ type per atom.
+    pub lj: &'a [u16],
+    /// Charge per atom, e.
+    pub charge: &'a [f64],
+}
+
+impl<'a> AtomGroup<'a> {
+    /// Number of atoms in the group. Panics in debug builds if the parallel
+    /// arrays disagree.
+    pub fn len(&self) -> usize {
+        debug_assert_eq!(self.pos.len(), self.ids.len());
+        debug_assert_eq!(self.pos.len(), self.lj.len());
+        debug_assert_eq!(self.pos.len(), self.charge.len());
+        self.pos.len()
+    }
+
+    /// True when the group has no atoms.
+    pub fn is_empty(&self) -> bool {
+        self.pos.is_empty()
+    }
+}
+
+/// Result of a non-bonded kernel invocation.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct NbResult {
+    /// Lennard-Jones energy, kcal/mol.
+    pub e_lj: f64,
+    /// Electrostatic energy, kcal/mol.
+    pub e_elec: f64,
+    /// Number of pairs evaluated inside the cutoff (excluded pairs are
+    /// detected but not counted — they do no force arithmetic).
+    pub pairs: u64,
+}
+
+impl NbResult {
+    /// Total non-bonded energy.
+    pub fn energy(&self) -> f64 {
+        self.e_lj + self.e_elec
+    }
+
+    /// Accumulate another result.
+    pub fn add(&mut self, o: NbResult) {
+        self.e_lj += o.e_lj;
+        self.e_elec += o.e_elec;
+        self.pairs += o.pairs;
+    }
+}
+
+/// Evaluate one atom pair at squared distance `r2` (already known to be
+/// inside the cutoff). Returns `(e_lj, e_elec, f_over_r)` where the force on
+/// atom *i* is `f_over_r * (r_i - r_j)`.
+#[inline]
+fn eval_pair(ff: &ForceField, lj_a: f64, lj_b: f64, qq: f64, r2: f64, scale: f64) -> (f64, f64, f64) {
+    let inv_r2 = 1.0 / r2;
+    let inv_r6 = inv_r2 * inv_r2 * inv_r2;
+    let inv_r12 = inv_r6 * inv_r6;
+
+    // Raw LJ energy and its derivative w.r.t. r².
+    let e_lj_raw = lj_a * inv_r12 - lj_b * inv_r6;
+    let de_lj_dr2 = (-6.0 * lj_a * inv_r12 + 3.0 * lj_b * inv_r6) * inv_r2;
+
+    // Switching applied to LJ.
+    let (sw, dsw_dr2) = ff.switching(r2);
+    let e_lj = scale * sw * e_lj_raw;
+    let de_lj = scale * (dsw_dr2 * e_lj_raw + sw * de_lj_dr2);
+
+    let inv_r = inv_r2.sqrt();
+    let (e_elec, de_elec) = match ff.ewald_beta {
+        None => {
+            // Coulomb with shifting (cutoff simulation).
+            let e_c_raw = units::COULOMB * qq * inv_r;
+            let de_c_dr2 = -0.5 * e_c_raw * inv_r2;
+            let (sh, dsh_dr2) = ff.shifting(r2);
+            (scale * sh * e_c_raw, scale * (dsh_dr2 * e_c_raw + sh * de_c_dr2))
+        }
+        Some(beta) => {
+            // Ewald real-space: E = C·qq·erfc(βr)/r; 1-4 pairs keep full
+            // electrostatics under Ewald (the scale applies to LJ above).
+            let r = r2.sqrt();
+            let c = units::COULOMB * qq;
+            let e = c * erfc(beta * r) * inv_r;
+            // dE/d(r²) = −½ [ erfc(βr)/r² + 2β/√π·e^{−β²r²}/r ] · C·qq / r ·r ...
+            // derived: dE/dr = −C·qq·[erfc(βr)/r² + 2β/√π·e^{−β²r²}/r];
+            // dE/d(r²) = dE/dr / (2r).
+            let de_dr = -c * (erfc(beta * r) * inv_r2
+                + beta * TWO_OVER_SQRT_PI * (-beta * beta * r2).exp() * inv_r);
+            (e, de_dr / (2.0 * r))
+        }
+    };
+
+    // F_i = -dE/dr · r̂ = -2 dE/d(r²) · (r_i - r_j).
+    let f_over_r = -2.0 * (de_lj + de_elec);
+    (e_lj, e_elec, f_over_r)
+}
+
+/// All-pairs non-bonded interactions *within* one atom group (the work of a
+/// "self" compute object). `forces` must be the same length as the group and
+/// is accumulated into. Pairs are ranged `lo..hi` over the outer index so
+/// that a self compute can be *split* into several objects for grainsize
+/// control (§4.2.1 of the paper): the union of `(0..k), (k..n)` ranges covers
+/// exactly the full triangle.
+pub fn nb_self_ranged(
+    ff: &ForceField,
+    ex: &Exclusions,
+    g: AtomGroup,
+    cell: &Cell,
+    outer: std::ops::Range<usize>,
+    forces: &mut [Vec3],
+) -> NbResult {
+    assert_eq!(forces.len(), g.len(), "forces buffer must match group size");
+    let cutoff2 = ff.cutoff2();
+    let mut res = NbResult::default();
+    for i in outer {
+        let pi = g.pos[i];
+        let idi = g.ids[i];
+        let qi = g.charge[i];
+        let ti = g.lj[i];
+        let mut fi = Vec3::ZERO;
+        for j in (i + 1)..g.len() {
+            let d = cell.min_image(pi, g.pos[j]);
+            let r2 = d.norm2();
+            if r2 >= cutoff2 {
+                continue;
+            }
+            let scale = match ex.kind(idi, g.ids[j]) {
+                ExclusionKind::Full => continue,
+                ExclusionKind::Scaled14 => ff.scale14,
+                ExclusionKind::None => 1.0,
+            };
+            let lj = ff.lj(ti, g.lj[j]);
+            let (e_lj, e_el, fr) = eval_pair(ff, lj.a, lj.b, qi * g.charge[j], r2, scale);
+            res.e_lj += e_lj;
+            res.e_elec += e_el;
+            res.pairs += 1;
+            let f = d * fr;
+            fi += f;
+            forces[j] -= f;
+        }
+        forces[i] += fi;
+    }
+    res
+}
+
+/// Convenience wrapper: full self interaction (outer range = all atoms).
+pub fn nb_self(
+    ff: &ForceField,
+    ex: &Exclusions,
+    g: AtomGroup,
+    cell: &Cell,
+    forces: &mut [Vec3],
+) -> NbResult {
+    let n = g.len();
+    nb_self_ranged(ff, ex, g, cell, 0..n, forces)
+}
+
+/// All cross-pair interactions between two disjoint atom groups (the work of
+/// a "pair" compute object between two neighbouring patches). `fa`/`fb`
+/// accumulate forces on groups `a`/`b` respectively. The outer loop over `a`
+/// is ranged for grainsize splitting of face pairs.
+pub fn nb_pair_ranged(
+    ff: &ForceField,
+    ex: &Exclusions,
+    a: AtomGroup,
+    b: AtomGroup,
+    cell: &Cell,
+    outer: std::ops::Range<usize>,
+    fa: &mut [Vec3],
+    fb: &mut [Vec3],
+) -> NbResult {
+    assert_eq!(fa.len(), a.len(), "fa buffer must match group a");
+    assert_eq!(fb.len(), b.len(), "fb buffer must match group b");
+    let cutoff2 = ff.cutoff2();
+    let mut res = NbResult::default();
+    for i in outer {
+        let pi = a.pos[i];
+        let idi = a.ids[i];
+        let qi = a.charge[i];
+        let ti = a.lj[i];
+        let mut fi = Vec3::ZERO;
+        for j in 0..b.len() {
+            let d = cell.min_image(pi, b.pos[j]);
+            let r2 = d.norm2();
+            if r2 >= cutoff2 {
+                continue;
+            }
+            let scale = match ex.kind(idi, b.ids[j]) {
+                ExclusionKind::Full => continue,
+                ExclusionKind::Scaled14 => ff.scale14,
+                ExclusionKind::None => 1.0,
+            };
+            let lj = ff.lj(ti, b.lj[j]);
+            let (e_lj, e_el, fr) = eval_pair(ff, lj.a, lj.b, qi * b.charge[j], r2, scale);
+            res.e_lj += e_lj;
+            res.e_elec += e_el;
+            res.pairs += 1;
+            let f = d * fr;
+            fi += f;
+            fb[j] -= f;
+        }
+        fa[i] += fi;
+    }
+    res
+}
+
+/// Convenience wrapper: full pair interaction.
+pub fn nb_pair(
+    ff: &ForceField,
+    ex: &Exclusions,
+    a: AtomGroup,
+    b: AtomGroup,
+    cell: &Cell,
+    fa: &mut [Vec3],
+    fb: &mut [Vec3],
+) -> NbResult {
+    let n = a.len();
+    nb_pair_ranged(ff, ex, a, b, cell, 0..n, fa, fb)
+}
+
+/// Evaluate non-bonded interactions over an explicit pair list (as produced
+/// by [`crate::celllist::CellList::neighbor_pairs`]). Atom arrays are indexed
+/// by global atom id. Used by the sequential reference simulator.
+pub fn nb_pairlist(
+    ff: &ForceField,
+    ex: &Exclusions,
+    pos: &[Vec3],
+    lj: &[u16],
+    charge: &[f64],
+    pairs: &[(u32, u32)],
+    cell: &Cell,
+    forces: &mut [Vec3],
+) -> NbResult {
+    let cutoff2 = ff.cutoff2();
+    let mut res = NbResult::default();
+    for &(i, j) in pairs {
+        let (i, j) = (i as usize, j as usize);
+        let d = cell.min_image(pos[i], pos[j]);
+        let r2 = d.norm2();
+        if r2 >= cutoff2 {
+            continue;
+        }
+        let scale = match ex.kind(i as AtomId, j as AtomId) {
+            ExclusionKind::Full => continue,
+            ExclusionKind::Scaled14 => ff.scale14,
+            ExclusionKind::None => 1.0,
+        };
+        let ljp = ff.lj(lj[i], lj[j]);
+        let (e_lj, e_el, fr) = eval_pair(ff, ljp.a, ljp.b, charge[i] * charge[j], r2, scale);
+        res.e_lj += e_lj;
+        res.e_elec += e_el;
+        res.pairs += 1;
+        let f = d * fr;
+        forces[i] += f;
+        forces[j] -= f;
+    }
+    res
+}
+
+/// Count cross pairs inside the cutoff between two groups without computing
+/// forces — used by the parallel engine's cost model to size compute objects.
+pub fn count_pairs(a: AtomGroup, b: AtomGroup, cell: &Cell, cutoff: f64) -> u64 {
+    let cutoff2 = cutoff * cutoff;
+    let mut n = 0;
+    for i in 0..a.len() {
+        for j in 0..b.len() {
+            if cell.dist2(a.pos[i], b.pos[j]) < cutoff2 {
+                n += 1;
+            }
+        }
+    }
+    n
+}
+
+/// Count unique pairs inside the cutoff within one group.
+pub fn count_self_pairs(g: AtomGroup, cell: &Cell, cutoff: f64) -> u64 {
+    let cutoff2 = cutoff * cutoff;
+    let mut n = 0;
+    for i in 0..g.len() {
+        for j in (i + 1)..g.len() {
+            if cell.dist2(g.pos[i], g.pos[j]) < cutoff2 {
+                n += 1;
+            }
+        }
+    }
+    n
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::{Atom, Bond, Topology};
+
+    fn two_atom_setup(r: f64) -> (ForceField, Exclusions, Vec<Vec3>, Vec<AtomId>, Vec<u16>, Vec<f64>) {
+        let ff = ForceField::biomolecular(12.0);
+        let ex = Exclusions::none(2);
+        let pos = vec![Vec3::ZERO, Vec3::new(r, 0.0, 0.0)];
+        (ff, ex, pos, vec![0, 1], vec![0, 0], vec![-0.5, 0.5])
+    }
+
+    fn group<'a>(
+        pos: &'a [Vec3],
+        ids: &'a [AtomId],
+        lj: &'a [u16],
+        q: &'a [f64],
+    ) -> AtomGroup<'a> {
+        AtomGroup { pos, ids, lj, charge: q }
+    }
+
+    #[test]
+    fn newtons_third_law_self() {
+        let (ff, ex, pos, ids, lj, q) = two_atom_setup(3.1);
+        let cell = Cell::cube(50.0);
+        let mut f = vec![Vec3::ZERO; 2];
+        let r = nb_self(&ff, &ex, group(&pos, &ids, &lj, &q), &cell, &mut f);
+        assert_eq!(r.pairs, 1);
+        assert!((f[0] + f[1]).norm() < 1e-12, "forces must cancel: {f:?}");
+        assert!(f[0].norm() > 0.0);
+    }
+
+    #[test]
+    fn force_is_minus_gradient() {
+        // Finite-difference check across representative separations,
+        // including inside the switching region.
+        let cell = Cell::cube(100.0);
+        for r in [2.8, 3.5, 5.0, 9.0, 10.5, 11.5] {
+            let (ff, ex, _, ids, lj, q) = two_atom_setup(r);
+            let energy = |x: f64| {
+                let pos = vec![Vec3::ZERO, Vec3::new(x, 0.0, 0.0)];
+                let mut f = vec![Vec3::ZERO; 2];
+                nb_self(&ff, &ex, group(&pos, &ids, &lj, &q), &cell, &mut f).energy()
+            };
+            let h = 1e-6;
+            let fd = -(energy(r + h) - energy(r - h)) / (2.0 * h); // force on atom1 along +x
+            let pos = vec![Vec3::ZERO, Vec3::new(r, 0.0, 0.0)];
+            let mut f = vec![Vec3::ZERO; 2];
+            nb_self(&ff, &ex, group(&pos, &ids, &lj, &q), &cell, &mut f);
+            let analytic = f[1].x;
+            let tol = 1e-5 * (1.0 + fd.abs());
+            assert!(
+                (fd - analytic).abs() < tol,
+                "r={r}: finite-diff {fd} vs analytic {analytic}"
+            );
+        }
+    }
+
+    #[test]
+    fn energy_and_force_vanish_at_cutoff() {
+        let (ff, ex, _, ids, lj, q) = two_atom_setup(0.0);
+        let cell = Cell::cube(100.0);
+        let pos = vec![Vec3::ZERO, Vec3::new(11.999999, 0.0, 0.0)];
+        let mut f = vec![Vec3::ZERO; 2];
+        let r = nb_self(&ff, &ex, group(&pos, &ids, &lj, &q), &cell, &mut f);
+        assert!(r.energy().abs() < 1e-6, "energy at cutoff: {}", r.energy());
+        assert!(f[1].norm() < 1e-4, "force at cutoff: {:?}", f[1]);
+
+        let pos2 = vec![Vec3::ZERO, Vec3::new(12.000001, 0.0, 0.0)];
+        let mut f2 = vec![Vec3::ZERO; 2];
+        let r2 = nb_self(&ff, &ex, group(&pos2, &ids, &lj, &q), &cell, &mut f2);
+        assert_eq!(r2.pairs, 0);
+        assert_eq!(r2.energy(), 0.0);
+    }
+
+    #[test]
+    fn excluded_pair_contributes_nothing() {
+        let mut topo = Topology::default();
+        topo.atoms = vec![
+            Atom { mass: 12.0, charge: -0.5, lj_type: 0 },
+            Atom { mass: 12.0, charge: 0.5, lj_type: 0 },
+        ];
+        topo.bonds.push(Bond { a: 0, b: 1, k: 300.0, r0: 1.5 });
+        let ex = Exclusions::from_topology(&topo);
+        let ff = ForceField::biomolecular(12.0);
+        let cell = Cell::cube(50.0);
+        let pos = vec![Vec3::ZERO, Vec3::new(1.5, 0.0, 0.0)];
+        let ids = vec![0, 1];
+        let lj = vec![0, 0];
+        let q = vec![-0.5, 0.5];
+        let mut f = vec![Vec3::ZERO; 2];
+        let r = nb_self(&ff, &ex, group(&pos, &ids, &lj, &q), &cell, &mut f);
+        assert_eq!(r.pairs, 0);
+        assert_eq!(r.energy(), 0.0);
+        assert_eq!(f[0], Vec3::ZERO);
+    }
+
+    #[test]
+    fn scaled14_is_scaled() {
+        // Chain 0-1-2-3: pair (0,3) is 1-4.
+        let mut topo = Topology::default();
+        topo.atoms = vec![Atom { mass: 12.0, charge: 0.3, lj_type: 0 }; 4];
+        for i in 0..3u32 {
+            topo.bonds.push(Bond { a: i, b: i + 1, k: 300.0, r0: 1.5 });
+        }
+        let ex = Exclusions::from_topology(&topo);
+        let mut ff = ForceField::biomolecular(12.0);
+        let cell = Cell::cube(100.0);
+        // Place only atoms 0 and 3 near each other; 1,2 far away on open axis.
+        let pos = vec![
+            Vec3::ZERO,
+            Vec3::new(30.0, 0.0, 0.0),
+            Vec3::new(30.0, 30.0, 0.0),
+            Vec3::new(4.0, 0.0, 0.0),
+        ];
+        let ids: Vec<AtomId> = (0..4).collect();
+        let lj = vec![0u16; 4];
+        let q = vec![0.3; 4];
+        let mut f = vec![Vec3::ZERO; 4];
+        let scaled = nb_self(&ff, &ex, group(&pos, &ids, &lj, &q), &cell, &mut f);
+        assert_eq!(scaled.pairs, 1);
+
+        // With scale14 = 1.0 the energy should be 1/scale14 times larger.
+        ff.scale14 = 1.0;
+        let mut f1 = vec![Vec3::ZERO; 4];
+        let unscaled = nb_self(&ff, &ex, group(&pos, &ids, &lj, &q), &cell, &mut f1);
+        assert!(
+            (scaled.energy() - 0.5 * unscaled.energy()).abs() < 1e-12,
+            "scaled {} vs unscaled {}",
+            scaled.energy(),
+            unscaled.energy()
+        );
+    }
+
+    #[test]
+    fn pair_kernel_matches_self_kernel_decomposition() {
+        // Self interaction of a combined group == self(A) + self(B) + pair(A,B).
+        let ff = ForceField::biomolecular(12.0);
+        let cell = Cell::cube(40.0);
+        let n = 20;
+        // Deterministic pseudo-random positions.
+        let pos: Vec<Vec3> = (0..n)
+            .map(|i| {
+                let x = (i as f64 * 7.13) % 20.0;
+                let y = (i as f64 * 3.77 + 1.0) % 20.0;
+                let z = (i as f64 * 5.41 + 2.0) % 20.0;
+                Vec3::new(x, y, z)
+            })
+            .collect();
+        let ids: Vec<AtomId> = (0..n as u32).collect();
+        let lj = vec![0u16; n];
+        let q: Vec<f64> = (0..n).map(|i| if i % 2 == 0 { 0.3 } else { -0.3 }).collect();
+        let ex = Exclusions::none(n);
+
+        let mut f_all = vec![Vec3::ZERO; n];
+        let all = nb_self(&ff, &ex, group(&pos, &ids, &lj, &q), &cell, &mut f_all);
+
+        let k = 8;
+        let (pa, pb) = pos.split_at(k);
+        let (ia, ib) = ids.split_at(k);
+        let (la, lbt) = lj.split_at(k);
+        let (qa, qb) = q.split_at(k);
+        let ga = group(pa, ia, la, qa);
+        let gb = group(pb, ib, lbt, qb);
+        let mut fa = vec![Vec3::ZERO; k];
+        let mut fb = vec![Vec3::ZERO; n - k];
+        let mut total = NbResult::default();
+        total.add(nb_self(&ff, &ex, ga, &cell, &mut fa));
+        total.add(nb_self(&ff, &ex, gb, &cell, &mut fb));
+        total.add(nb_pair(&ff, &ex, ga, gb, &cell, &mut fa, &mut fb));
+
+        assert_eq!(total.pairs, all.pairs);
+        assert!((total.energy() - all.energy()).abs() < 1e-9);
+        for i in 0..k {
+            assert!((fa[i] - f_all[i]).norm() < 1e-9);
+        }
+        for j in 0..n - k {
+            assert!((fb[j] - f_all[k + j]).norm() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn ranged_self_partitions_cover_triangle() {
+        let ff = ForceField::biomolecular(12.0);
+        let cell = Cell::cube(30.0);
+        let n = 15;
+        let pos: Vec<Vec3> = (0..n)
+            .map(|i| Vec3::new((i as f64 * 2.3) % 15.0, (i as f64 * 1.7) % 15.0, 0.0))
+            .collect();
+        let ids: Vec<AtomId> = (0..n as u32).collect();
+        let lj = vec![0u16; n];
+        let q = vec![0.1; n];
+        let ex = Exclusions::none(n);
+        let g = group(&pos, &ids, &lj, &q);
+
+        let mut f_full = vec![Vec3::ZERO; n];
+        let full = nb_self(&ff, &ex, g, &cell, &mut f_full);
+
+        let mut f_split = vec![Vec3::ZERO; n];
+        let mut acc = NbResult::default();
+        for range in [0..5, 5..11, 11..n] {
+            acc.add(nb_self_ranged(&ff, &ex, g, &cell, range, &mut f_split));
+        }
+        assert_eq!(acc.pairs, full.pairs);
+        assert!((acc.energy() - full.energy()).abs() < 1e-10);
+        for i in 0..n {
+            assert!((f_split[i] - f_full[i]).norm() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn pair_counting_matches_kernel() {
+        let ff = ForceField::biomolecular(12.0);
+        let cell = Cell::cube(30.0);
+        let n = 12;
+        let pos: Vec<Vec3> = (0..n)
+            .map(|i| Vec3::new((i as f64 * 4.1) % 25.0, (i as f64 * 2.9) % 25.0, 1.0))
+            .collect();
+        let ids: Vec<AtomId> = (0..n as u32).collect();
+        let lj = vec![0u16; n];
+        let q = vec![0.0; n];
+        let ex = Exclusions::none(n);
+        let g = group(&pos, &ids, &lj, &q);
+        let mut f = vec![Vec3::ZERO; n];
+        let r = nb_self(&ff, &ex, g, &cell, &mut f);
+        assert_eq!(r.pairs, count_self_pairs(g, &cell, ff.cutoff));
+    }
+
+    #[test]
+    fn minimum_image_interaction_across_boundary() {
+        let ff = ForceField::biomolecular(12.0);
+        let cell = Cell::cube(20.0);
+        // Atoms at opposite faces, 4 Å apart through the boundary — past the
+        // LJ minimum (~3.5 Å for type 0), so opposite charges attract.
+        let pos = vec![Vec3::new(0.5, 0.0, 0.0), Vec3::new(16.5, 0.0, 0.0)];
+        let ids = vec![0, 1];
+        let lj = vec![0u16, 0];
+        let q = vec![0.2, -0.2];
+        let ex = Exclusions::none(2);
+        let mut f = vec![Vec3::ZERO; 2];
+        let r = nb_self(&ff, &ex, group(&pos, &ids, &lj, &q), &cell, &mut f);
+        assert_eq!(r.pairs, 1);
+        // Opposite charges 2 Å apart attract: force on atom0 points toward
+        // the boundary (negative x).
+        assert!(f[0].x < 0.0, "expected attraction across boundary, f0={:?}", f[0]);
+    }
+}

@@ -1,0 +1,215 @@
+//! Verlet pair lists with a reuse margin.
+//!
+//! NAMD's patches are "slightly larger than the cutoff radius" for exactly
+//! this reason: building neighbour structures with a margin (`pairlistdist`
+//! in NAMD's configuration language) lets them be *reused* for many steps,
+//! until some atom has moved half the margin. This module provides the
+//! sequential analogue: a pair list built at `cutoff + margin` that stays
+//! valid while `max_i |r_i − r_i^{build}| < margin/2`, with the exact
+//! distance check still applied per pair at evaluation time.
+
+use crate::celllist::CellList;
+use crate::pbc::Cell;
+use crate::vec3::Vec3;
+
+/// A reusable Verlet pair list.
+#[derive(Debug, Clone)]
+pub struct PairList {
+    /// Unordered candidate pairs within `cutoff + margin` at build time.
+    pairs: Vec<(u32, u32)>,
+    /// Positions at build time (for displacement tracking).
+    ref_positions: Vec<Vec3>,
+    /// The interaction cutoff, Å.
+    pub cutoff: f64,
+    /// The safety margin, Å.
+    pub margin: f64,
+    /// Number of rebuilds performed (diagnostics).
+    pub rebuilds: usize,
+}
+
+impl PairList {
+    /// Build a fresh pair list.
+    pub fn build(cell: &Cell, positions: &[Vec3], cutoff: f64, margin: f64) -> Self {
+        assert!(cutoff > 0.0 && margin >= 0.0);
+        let cl = CellList::build(cell, positions, cutoff + margin);
+        let pairs = cl.neighbor_pairs(positions, cutoff + margin);
+        PairList {
+            pairs,
+            ref_positions: positions.to_vec(),
+            cutoff,
+            margin,
+            rebuilds: 1,
+        }
+    }
+
+    /// The candidate pairs (within `cutoff + margin` at build time).
+    pub fn pairs(&self) -> &[(u32, u32)] {
+        &self.pairs
+    }
+
+    /// True while the list is guaranteed complete: no atom has moved more
+    /// than half the margin since the build, so no pair can have entered
+    /// the cutoff without being a candidate.
+    pub fn is_valid(&self, cell: &Cell, positions: &[Vec3]) -> bool {
+        let limit2 = (self.margin / 2.0) * (self.margin / 2.0);
+        positions
+            .iter()
+            .zip(&self.ref_positions)
+            .all(|(&p, &r)| cell.dist2(p, r) <= limit2)
+    }
+
+    /// Rebuild if stale; returns whether a rebuild happened.
+    pub fn refresh(&mut self, cell: &Cell, positions: &[Vec3]) -> bool {
+        if self.is_valid(cell, positions) {
+            return false;
+        }
+        let cl = CellList::build(cell, positions, self.cutoff + self.margin);
+        self.pairs = cl.neighbor_pairs(positions, self.cutoff + self.margin);
+        self.ref_positions.clear();
+        self.ref_positions.extend_from_slice(positions);
+        self.rebuilds += 1;
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeSet;
+
+    fn scatter(n: usize, l: f64) -> Vec<Vec3> {
+        (0..n)
+            .map(|i| {
+                let t = i as f64;
+                Vec3::new(
+                    (t * 7.93).rem_euclid(l),
+                    (t * 5.21 + 2.0).rem_euclid(l),
+                    (t * 3.57 + 4.0).rem_euclid(l),
+                )
+            })
+            .collect()
+    }
+
+    fn exact_pairs(cell: &Cell, pos: &[Vec3], cutoff: f64) -> BTreeSet<(u32, u32)> {
+        let mut out = BTreeSet::new();
+        for i in 0..pos.len() {
+            for j in (i + 1)..pos.len() {
+                if cell.dist2(pos[i], pos[j]) < cutoff * cutoff {
+                    out.insert((i as u32, j as u32));
+                }
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn candidates_cover_all_cutoff_pairs() {
+        let cell = Cell::cube(30.0);
+        let pos = scatter(120, 30.0);
+        let pl = PairList::build(&cell, &pos, 8.0, 2.0);
+        let candidates: BTreeSet<_> = pl.pairs().iter().copied().collect();
+        for p in exact_pairs(&cell, &pos, 8.0) {
+            assert!(candidates.contains(&p), "missing pair {p:?}");
+        }
+    }
+
+    #[test]
+    fn stays_valid_under_small_motion_and_complete() {
+        let cell = Cell::cube(30.0);
+        let mut pos = scatter(100, 30.0);
+        let pl = PairList::build(&cell, &pos, 8.0, 2.0);
+        // Move every atom by 0.9 Å (< margin/2 = 1.0).
+        for (i, p) in pos.iter_mut().enumerate() {
+            let dir = Vec3::new(
+                ((i * 37) % 7) as f64 - 3.0,
+                ((i * 17) % 5) as f64 - 2.0,
+                ((i * 11) % 3) as f64 - 1.0,
+            );
+            let dir = dir.normalized().unwrap_or(Vec3::new(1.0, 0.0, 0.0));
+            *p = cell.wrap(*p + dir * 0.9);
+        }
+        assert!(pl.is_valid(&cell, &pos));
+        // Even after the motion, the stale candidate list still contains
+        // every true cutoff pair — the margin guarantee.
+        let candidates: BTreeSet<_> = pl.pairs().iter().copied().collect();
+        for p in exact_pairs(&cell, &pos, 8.0) {
+            assert!(candidates.contains(&p), "margin guarantee violated for {p:?}");
+        }
+    }
+
+    #[test]
+    fn invalidates_after_large_motion() {
+        let cell = Cell::cube(30.0);
+        let mut pos = scatter(50, 30.0);
+        let mut pl = PairList::build(&cell, &pos, 8.0, 2.0);
+        pos[7] = cell.wrap(pos[7] + Vec3::new(1.5, 0.0, 0.0)); // > margin/2
+        assert!(!pl.is_valid(&cell, &pos));
+        assert!(pl.refresh(&cell, &pos));
+        assert_eq!(pl.rebuilds, 2);
+        assert!(pl.is_valid(&cell, &pos));
+    }
+
+    #[test]
+    fn refresh_is_a_noop_when_valid() {
+        let cell = Cell::cube(25.0);
+        let pos = scatter(40, 25.0);
+        let mut pl = PairList::build(&cell, &pos, 7.0, 1.5);
+        assert!(!pl.refresh(&cell, &pos));
+        assert_eq!(pl.rebuilds, 1);
+    }
+
+    #[test]
+    fn zero_margin_is_exact_but_always_fragile() {
+        let cell = Cell::cube(25.0);
+        let mut pos = scatter(40, 25.0);
+        let pl = PairList::build(&cell, &pos, 7.0, 0.0);
+        let exact = exact_pairs(&cell, &pos, 7.0);
+        let candidates: BTreeSet<_> = pl.pairs().iter().copied().collect();
+        assert_eq!(candidates, exact);
+        // Any motion at all invalidates a zero-margin list.
+        pos[0] += Vec3::new(0.01, 0.0, 0.0);
+        assert!(!pl.is_valid(&cell, &pos));
+    }
+
+    #[test]
+    fn pairlist_dynamics_match_fresh_lists() {
+        // Run short dynamics evaluating forces from a reused pair list and
+        // compare against per-step fresh cell lists.
+        use crate::forcefield::ForceField;
+        use crate::nonbonded::nb_pairlist;
+        use crate::topology::{push_water, Exclusions, Topology};
+
+        let mut topo = Topology::default();
+        let mut positions = Vec::new();
+        for i in 0..27 {
+            let x = (i % 3) as f64 * 3.3 + 0.9;
+            let y = ((i / 3) % 3) as f64 * 3.3 + 0.9;
+            let z = (i / 9) as f64 * 3.3 + 0.9;
+            push_water(&mut topo, 0, 1);
+            positions.push(Vec3::new(x, y, z));
+            positions.push(Vec3::new(x + 0.9572, y, z));
+            positions.push(Vec3::new(x - 0.24, y + 0.93, z));
+        }
+        let cell = Cell::cube(9.9);
+        let ff = ForceField::biomolecular(4.5);
+        let ex = Exclusions::from_topology(&topo);
+        let lj: Vec<u16> = topo.atoms.iter().map(|a| a.lj_type).collect();
+        let q: Vec<f64> = topo.atoms.iter().map(|a| a.charge).collect();
+
+        let pl = PairList::build(&cell, &positions, 4.5, 1.0);
+        let mut f_list = vec![Vec3::ZERO; positions.len()];
+        let e_list =
+            nb_pairlist(&ff, &ex, &positions, &lj, &q, pl.pairs(), &cell, &mut f_list);
+
+        let fresh = CellList::build(&cell, &positions, 4.5).neighbor_pairs(&positions, 4.5);
+        let mut f_fresh = vec![Vec3::ZERO; positions.len()];
+        let e_fresh =
+            nb_pairlist(&ff, &ex, &positions, &lj, &q, &fresh, &cell, &mut f_fresh);
+
+        assert_eq!(e_list.pairs, e_fresh.pairs);
+        assert!((e_list.energy() - e_fresh.energy()).abs() < 1e-10);
+        for i in 0..positions.len() {
+            assert!((f_list[i] - f_fresh[i]).norm() < 1e-10);
+        }
+    }
+}

@@ -1,0 +1,188 @@
+//! Orthorhombic periodic boundary conditions.
+//!
+//! Biomolecular benchmark systems (ApoA-I, BC1, bR) are simulated in
+//! rectangular solvent boxes; NAMD's patch grid is laid over exactly such a
+//! cell. We support orthorhombic cells only — sufficient for every system the
+//! paper evaluates — plus a non-periodic mode used by isolated test systems.
+
+use crate::vec3::Vec3;
+
+/// An orthorhombic simulation cell with origin at `origin` and edge lengths
+/// `lengths`; optionally periodic per-axis.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Cell {
+    /// Lower corner of the cell (Å).
+    pub origin: Vec3,
+    /// Edge lengths along x, y, z (Å).
+    pub lengths: Vec3,
+    /// Whether each axis wraps periodically.
+    pub periodic: [bool; 3],
+}
+
+impl Cell {
+    /// A fully periodic cell with the given origin and edge lengths.
+    pub fn periodic(origin: Vec3, lengths: Vec3) -> Self {
+        assert!(
+            lengths.x > 0.0 && lengths.y > 0.0 && lengths.z > 0.0,
+            "cell edge lengths must be positive, got {lengths:?}"
+        );
+        Cell { origin, lengths, periodic: [true; 3] }
+    }
+
+    /// A fully periodic cube of edge `l` with origin at zero.
+    pub fn cube(l: f64) -> Self {
+        Cell::periodic(Vec3::ZERO, Vec3::splat(l))
+    }
+
+    /// A non-periodic (open boundary) cell. `origin`/`lengths` still define
+    /// the bounding region used for spatial decomposition.
+    pub fn open(origin: Vec3, lengths: Vec3) -> Self {
+        assert!(
+            lengths.x > 0.0 && lengths.y > 0.0 && lengths.z > 0.0,
+            "cell edge lengths must be positive, got {lengths:?}"
+        );
+        Cell { origin, lengths, periodic: [false; 3] }
+    }
+
+    /// Volume of the cell in Å³.
+    pub fn volume(&self) -> f64 {
+        self.lengths.x * self.lengths.y * self.lengths.z
+    }
+
+    /// Minimum-image displacement `a - b`.
+    ///
+    /// For periodic axes the component is folded into `[-L/2, L/2)`; for open
+    /// axes it is the plain difference.
+    #[inline]
+    pub fn min_image(&self, a: Vec3, b: Vec3) -> Vec3 {
+        let mut d = a - b;
+        for ax in 0..3 {
+            if self.periodic[ax] {
+                let l = self.lengths.axis(ax);
+                let c = d.axis_mut(ax);
+                *c -= l * (*c / l).round();
+            }
+        }
+        d
+    }
+
+    /// Squared minimum-image distance between `a` and `b`.
+    #[inline]
+    pub fn dist2(&self, a: Vec3, b: Vec3) -> f64 {
+        self.min_image(a, b).norm2()
+    }
+
+    /// Wrap a position into the primary cell `[origin, origin + lengths)`
+    /// along periodic axes; open axes are left untouched.
+    #[inline]
+    pub fn wrap(&self, p: Vec3) -> Vec3 {
+        let mut q = p;
+        for ax in 0..3 {
+            if self.periodic[ax] {
+                let l = self.lengths.axis(ax);
+                let o = self.origin.axis(ax);
+                let c = q.axis_mut(ax);
+                *c = o + (*c - o).rem_euclid(l);
+            }
+        }
+        q
+    }
+
+    /// True when `p` lies inside the primary cell (half-open on the upper
+    /// faces, matching `wrap`).
+    pub fn contains(&self, p: Vec3) -> bool {
+        (0..3).all(|ax| {
+            let c = p.axis(ax);
+            let o = self.origin.axis(ax);
+            c >= o && c < o + self.lengths.axis(ax)
+        })
+    }
+
+    /// Fractional coordinates of `p` relative to the cell (0..1 inside).
+    #[inline]
+    pub fn fractional(&self, p: Vec3) -> Vec3 {
+        let d = p - self.origin;
+        Vec3::new(d.x / self.lengths.x, d.y / self.lengths.y, d.z / self.lengths.z)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn volume_of_cube() {
+        assert_eq!(Cell::cube(10.0).volume(), 1000.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn rejects_nonpositive_lengths() {
+        Cell::periodic(Vec3::ZERO, Vec3::new(10.0, 0.0, 10.0));
+    }
+
+    #[test]
+    fn min_image_within_half_box() {
+        let cell = Cell::cube(10.0);
+        let a = Vec3::new(9.5, 0.0, 0.0);
+        let b = Vec3::new(0.5, 0.0, 0.0);
+        let d = cell.min_image(a, b);
+        assert!((d.x - (-1.0)).abs() < 1e-12, "expected -1, got {}", d.x);
+        assert!((cell.dist2(a, b) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn min_image_identity_for_close_points() {
+        let cell = Cell::cube(20.0);
+        let a = Vec3::new(3.0, 4.0, 5.0);
+        let b = Vec3::new(2.0, 4.5, 5.5);
+        assert_eq!(cell.min_image(a, b), a - b);
+    }
+
+    #[test]
+    fn open_cell_never_wraps() {
+        let cell = Cell::open(Vec3::ZERO, Vec3::splat(10.0));
+        let a = Vec3::new(9.5, 0.0, 0.0);
+        let b = Vec3::new(0.5, 0.0, 0.0);
+        assert_eq!(cell.min_image(a, b), Vec3::new(9.0, 0.0, 0.0));
+        assert_eq!(cell.wrap(Vec3::new(15.0, -3.0, 2.0)), Vec3::new(15.0, -3.0, 2.0));
+    }
+
+    #[test]
+    fn wrap_into_primary_cell() {
+        let cell = Cell::periodic(Vec3::new(-5.0, -5.0, -5.0), Vec3::splat(10.0));
+        let p = cell.wrap(Vec3::new(6.0, -7.0, 123.0));
+        assert!(cell.contains(p), "wrapped point {p:?} not inside cell");
+        // x: 6 -> -4; y: -7 -> 3; z: 123 -> 3.
+        assert!((p.x - (-4.0)).abs() < 1e-9);
+        assert!((p.y - 3.0).abs() < 1e-9);
+        assert!((p.z - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn wrap_preserves_min_image_distances() {
+        let cell = Cell::cube(12.0);
+        let a = Vec3::new(100.2, -55.1, 7.3);
+        let b = Vec3::new(98.9, -54.0, 8.0);
+        let before = cell.dist2(a, b);
+        let after = cell.dist2(cell.wrap(a), cell.wrap(b));
+        assert!((before - after).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fractional_coordinates() {
+        let cell = Cell::periodic(Vec3::new(1.0, 1.0, 1.0), Vec3::new(2.0, 4.0, 8.0));
+        let f = cell.fractional(Vec3::new(2.0, 3.0, 5.0));
+        assert!((f.x - 0.5).abs() < 1e-12);
+        assert!((f.y - 0.5).abs() < 1e-12);
+        assert!((f.z - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn contains_half_open() {
+        let cell = Cell::cube(10.0);
+        assert!(cell.contains(Vec3::ZERO));
+        assert!(!cell.contains(Vec3::new(10.0, 0.0, 0.0)));
+        assert!(cell.contains(Vec3::new(9.999999, 0.0, 0.0)));
+    }
+}

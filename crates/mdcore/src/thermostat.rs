@@ -1,0 +1,227 @@
+//! Thermostats: temperature control for equilibration and NVT sampling.
+//!
+//! Production biomolecular simulations (the paper's benchmarks derive from
+//! real published studies) equilibrate with temperature control before NVE
+//! data collection. Two standard schemes:
+//!
+//! * [`Berendsen`] — weak-coupling velocity rescaling toward a target
+//!   temperature; fast and robust for equilibration (not canonical).
+//! * [`Langevin`] — stochastic dynamics via the BAOAB splitting; samples
+//!   the canonical (NVT) ensemble and is what NAMD uses by default.
+
+use crate::forcefield::units;
+use crate::sim::{compute_forces, StepEnergy};
+use crate::system::System;
+use crate::vec3::Vec3;
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// Berendsen weak-coupling thermostat: velocities are rescaled each step by
+/// `λ = √(1 + dt/τ·(T₀/T − 1))`.
+#[derive(Debug, Clone, Copy)]
+pub struct Berendsen {
+    /// Target temperature, K.
+    pub target_k: f64,
+    /// Coupling time constant τ, fs (larger = gentler).
+    pub tau_fs: f64,
+}
+
+impl Berendsen {
+    /// Apply one rescaling for timestep `dt_fs`.
+    pub fn apply(&self, system: &mut System, dt_fs: f64) {
+        let t = system.temperature();
+        if t <= 0.0 {
+            return;
+        }
+        let lambda2 = 1.0 + dt_fs / self.tau_fs * (self.target_k / t - 1.0);
+        let lambda = lambda2.clamp(0.64, 1.56).sqrt(); // clamp like CHARMM
+        for v in &mut system.velocities {
+            *v *= lambda;
+        }
+    }
+}
+
+/// Langevin (BAOAB) integrator: velocity-Verlet kicks and drifts with an
+/// Ornstein-Uhlenbeck velocity refresh in the middle.
+pub struct Langevin {
+    /// Target temperature, K.
+    pub target_k: f64,
+    /// Friction coefficient γ, fs⁻¹ (NAMD-typical: 0.001-0.01).
+    pub gamma: f64,
+    /// Timestep, fs.
+    pub dt: f64,
+    rng: ChaCha8Rng,
+    forces: Vec<Vec3>,
+    primed: bool,
+}
+
+impl Langevin {
+    /// Create a Langevin integrator with a deterministic RNG seed.
+    pub fn new(system: &System, target_k: f64, gamma: f64, dt: f64, seed: u64) -> Self {
+        assert!(target_k > 0.0 && gamma > 0.0 && dt > 0.0);
+        Langevin {
+            target_k,
+            gamma,
+            dt,
+            rng: ChaCha8Rng::seed_from_u64(seed),
+            forces: vec![Vec3::ZERO; system.n_atoms()],
+            primed: false,
+        }
+    }
+
+    fn gaussian(&mut self) -> f64 {
+        loop {
+            let u1: f64 = self.rng.gen();
+            let u2: f64 = self.rng.gen();
+            if u1 > 1e-300 {
+                return (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+            }
+        }
+    }
+
+    /// One BAOAB step: B (half kick), A (half drift), O (OU refresh),
+    /// A (half drift), B (half kick with new forces).
+    pub fn step(&mut self, system: &mut System) -> StepEnergy {
+        if !self.primed {
+            compute_forces(system, &mut self.forces);
+            self.primed = true;
+        }
+        let dt = self.dt;
+        let n = system.n_atoms();
+        let c1 = (-self.gamma * dt).exp();
+        // OU noise amplitude per unit mass: √(kT/m·(1−c1²)) in velocity
+        // units; kT/m converts via ACCEL like thermalize().
+        let kt = units::K_B * self.target_k;
+
+        // B + A.
+        for i in 0..n {
+            let m = system.topology.atoms[i].mass;
+            system.velocities[i] += self.forces[i] * (units::ACCEL / m) * (0.5 * dt);
+            system.positions[i] =
+                system.cell.wrap(system.positions[i] + system.velocities[i] * (0.5 * dt));
+        }
+        // O.
+        for i in 0..n {
+            let m = system.topology.atoms[i].mass;
+            let sigma = (kt / m * units::ACCEL * (1.0 - c1 * c1)).sqrt();
+            let noise = Vec3::new(self.gaussian(), self.gaussian(), self.gaussian()) * sigma;
+            system.velocities[i] = system.velocities[i] * c1 + noise;
+        }
+        // A.
+        for i in 0..n {
+            system.positions[i] =
+                system.cell.wrap(system.positions[i] + system.velocities[i] * (0.5 * dt));
+        }
+        // New forces + B.
+        let mut e = compute_forces(system, &mut self.forces);
+        for i in 0..n {
+            let m = system.topology.atoms[i].mass;
+            system.velocities[i] += self.forces[i] * (units::ACCEL / m) * (0.5 * dt);
+        }
+        e.kinetic = system.kinetic_energy();
+        e
+    }
+
+    /// Run `n` steps, returning per-step energies.
+    pub fn run(&mut self, system: &mut System, n: usize) -> Vec<StepEnergy> {
+        (0..n).map(|_| self.step(system)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::forcefield::ForceField;
+    use crate::pbc::Cell;
+    use crate::topology::{push_water, Topology};
+
+    fn water_system() -> System {
+        let mut topo = Topology::default();
+        let mut pos = Vec::new();
+        for i in 0..64 {
+            let x = (i % 4) as f64 * 3.2 + 0.8;
+            let y = ((i / 4) % 4) as f64 * 3.2 + 0.8;
+            let z = (i / 16) as f64 * 3.2 + 0.8;
+            push_water(&mut topo, 0, 1);
+            pos.push(Vec3::new(x, y, z));
+            pos.push(Vec3::new(x + 0.9572, y, z));
+            pos.push(Vec3::new(x - 0.24, y + 0.93, z));
+        }
+        System::new(topo, ForceField::biomolecular(6.0), Cell::cube(12.8), pos)
+    }
+
+    #[test]
+    fn berendsen_pulls_temperature_toward_target() {
+        let mut sys = water_system();
+        sys.thermalize(150.0, 1);
+        let thermo = Berendsen { target_k: 300.0, tau_fs: 20.0 };
+        let mut sim = crate::sim::Simulator::new(&sys, 0.5);
+        for _ in 0..200 {
+            sim.step(&mut sys);
+            thermo.apply(&mut sys, 0.5);
+        }
+        let t = sys.temperature();
+        assert!((t - 300.0).abs() < 80.0, "temperature {t} not near 300 K");
+    }
+
+    #[test]
+    fn berendsen_cools_too() {
+        let mut sys = water_system();
+        sys.thermalize(600.0, 2);
+        let thermo = Berendsen { target_k: 200.0, tau_fs: 10.0 };
+        let mut sim = crate::sim::Simulator::new(&sys, 0.5);
+        for _ in 0..200 {
+            sim.step(&mut sys);
+            thermo.apply(&mut sys, 0.5);
+        }
+        let t = sys.temperature();
+        assert!(t < 400.0, "failed to cool: {t}");
+    }
+
+    #[test]
+    fn langevin_thermalizes_from_cold_start() {
+        let mut sys = water_system();
+        // Zero initial velocities: the thermostat must inject heat.
+        let mut lang = Langevin::new(&sys, 300.0, 0.01, 1.0, 7);
+        lang.run(&mut sys, 300);
+        // Average over a window to beat fluctuation noise.
+        let mut t_acc = 0.0;
+        for _ in 0..100 {
+            lang.step(&mut sys);
+            t_acc += sys.temperature();
+        }
+        let t_avg = t_acc / 100.0;
+        assert!(
+            (t_avg - 300.0).abs() < 75.0,
+            "Langevin average temperature {t_avg} not near 300 K"
+        );
+    }
+
+    #[test]
+    fn langevin_is_deterministic_per_seed() {
+        let run = |seed: u64| {
+            let mut sys = water_system();
+            let mut lang = Langevin::new(&sys, 250.0, 0.005, 1.0, seed);
+            lang.run(&mut sys, 20);
+            sys.positions[10]
+        };
+        assert_eq!(run(3), run(3));
+        assert_ne!(run(3), run(4));
+    }
+
+    #[test]
+    fn langevin_zero_friction_limit_is_stable() {
+        // γ→small behaves like NVE over short runs (energy roughly constant).
+        let mut sys = water_system();
+        sys.thermalize(200.0, 5);
+        let mut lang = Langevin::new(&sys, 200.0, 1e-6, 0.5, 9);
+        let energies = lang.run(&mut sys, 50);
+        let e0 = energies[1].total();
+        let e1 = energies.last().unwrap().total();
+        assert!(
+            (e1 - e0).abs() / e0.abs().max(1.0) < 2e-2,
+            "small-γ limit drifted: {e0} -> {e1}"
+        );
+    }
+}

@@ -1,0 +1,640 @@
+//! System builders: water fill, protein-like polymer chains, lipid slabs.
+
+use mdcore::prelude::*;
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// Declarative description of a synthetic system.
+#[derive(Debug, Clone)]
+pub struct SystemSpec {
+    /// Name used in logs and benchmark output.
+    pub name: &'static str,
+    /// Box edge lengths, Å (fully periodic).
+    pub box_lengths: Vec3,
+    /// Exact total atom count the builder must produce.
+    pub target_atoms: usize,
+    /// Number of protein-like polymer chains.
+    pub protein_chains: usize,
+    /// Heavy atoms per protein chain.
+    pub protein_chain_len: usize,
+    /// Optional lipid slab `(z_min, z_max)`: the region is packed with
+    /// vertical hydrocarbon-like chains, raising local density.
+    pub lipid_slab: Option<(f64, f64)>,
+    /// Non-bonded cutoff used for the force field, Å.
+    pub cutoff: f64,
+    /// RNG seed; every output is a pure function of the spec.
+    pub seed: u64,
+}
+
+impl SystemSpec {
+    /// Restrain every protein heavy atom to its generated position with the
+    /// given force constant (kcal/mol/Å²) — equilibration-style pinning.
+    /// Applied by [`SystemBuilder::build_restrained`].
+    pub fn protein_restraint_k() -> f64 {
+        5.0
+    }
+}
+
+/// Builds an [`mdcore::system::System`] from a [`SystemSpec`].
+pub struct SystemBuilder {
+    spec: SystemSpec,
+    rng: ChaCha8Rng,
+    topo: Topology,
+    pos: Vec<Vec3>,
+    /// Hash-grid over already-placed solute atoms (2.6 Å buckets) so chains
+    /// and lipids never interpenetrate — self-overlapping geometry would
+    /// blow up the r⁻¹² Lennard-Jones term and make NVE dynamics explode.
+    buckets: std::collections::HashMap<(i32, i32, i32), Vec<u32>>,
+}
+
+/// Minimum distance between non-bonded solute atoms at generation time, Å.
+const SOLUTE_CLEARANCE: f64 = 2.0;
+/// Bucket edge for the solute hash grid; must be ≥ SOLUTE_CLEARANCE.
+const BUCKET: f64 = 2.6;
+
+/// Minimum distance between a water oxygen and any solute atom, Å.
+const WATER_CLEARANCE: f64 = 2.4;
+/// Water lattice spacing. 3.0 Å gives ≈0.111 atoms/Å³, slightly above liquid
+/// water's 0.100 — the headroom lets boxes hit their exact target atom count
+/// even after solute clearance carves out lattice sites.
+const WATER_SPACING: f64 = 3.0;
+/// Lipid chain spacing in the membrane plane, Å. With ~1 Å vertical rise per
+/// bead this packs the slab to ≈0.128 atoms/Å³, denser than the surrounding
+/// water — the density hot-spot that drives load imbalance.
+const LIPID_SPACING: f64 = 2.8;
+
+impl SystemBuilder {
+    /// Start a builder for the given spec.
+    pub fn new(spec: SystemSpec) -> Self {
+        assert!(spec.cutoff > 0.0);
+        let rng = ChaCha8Rng::seed_from_u64(spec.seed);
+        SystemBuilder {
+            spec,
+            rng,
+            topo: Topology::default(),
+            pos: Vec::new(),
+            buckets: Default::default(),
+        }
+    }
+
+    /// Bucket key of a (wrapped) position.
+    fn bucket_of(&self, p: Vec3) -> (i32, i32, i32) {
+        (
+            (p.x / BUCKET).floor() as i32,
+            (p.y / BUCKET).floor() as i32,
+            (p.z / BUCKET).floor() as i32,
+        )
+    }
+
+    /// Record a placed solute atom in the hash grid.
+    fn bucket_insert(&mut self, atom: u32, p: Vec3) {
+        let cell = Cell::periodic(Vec3::ZERO, self.spec.box_lengths);
+        let key = self.bucket_of(cell.wrap(p));
+        self.buckets.entry(key).or_default().push(atom);
+    }
+
+    /// Minimum distance from `p` to any placed solute atom except `skip`
+    /// (the bonded predecessor). Only needs to look at neighbouring buckets.
+    fn min_solute_dist(&self, p: Vec3, skip: Option<u32>) -> f64 {
+        let cell = Cell::periodic(Vec3::ZERO, self.spec.box_lengths);
+        let q = cell.wrap(p);
+        let (bx, by, bz) = self.bucket_of(q);
+        let mut best = f64::INFINITY;
+        for dx in -1..=1 {
+            for dy in -1..=1 {
+                for dz in -1..=1 {
+                    if let Some(list) = self.buckets.get(&(bx + dx, by + dy, bz + dz)) {
+                        for &a in list {
+                            if Some(a) == skip {
+                                continue;
+                            }
+                            best = best.min(cell.dist2(q, self.pos[a as usize]).sqrt());
+                        }
+                    }
+                }
+            }
+        }
+        best
+    }
+
+    /// Like [`SystemBuilder::build`], but additionally restrains every
+    /// protein atom to its generated position (k = 5 kcal/mol/Å²).
+    pub fn build_restrained(self) -> System {
+        let n_protein = self.spec.protein_chains * self.spec.protein_chain_len;
+        let mut sys = self.build();
+        for i in 0..n_protein {
+            sys.topology.restraints.push(Restraint {
+                atom: i as AtomId,
+                k: SystemSpec::protein_restraint_k(),
+                target: sys.positions[i],
+            });
+        }
+        sys
+    }
+
+    /// Produce the finished system: protein chains, then the lipid slab,
+    /// then water filled to hit `target_atoms` exactly, thermalized at 300 K.
+    pub fn build(mut self) -> System {
+        let chains = self.spec.protein_chains;
+        let chain_len = self.spec.protein_chain_len;
+        for c in 0..chains {
+            self.add_protein_chain(c, chain_len);
+        }
+        if let Some((z0, z1)) = self.spec.lipid_slab {
+            self.add_lipid_slab(z0, z1);
+        }
+        self.fill_water();
+
+        let cell = Cell::periodic(Vec3::ZERO, self.spec.box_lengths);
+        let pos = self.pos.iter().map(|&p| cell.wrap(p)).collect();
+        let ff = ForceField::biomolecular(self.spec.cutoff);
+        let mut sys = System::new(self.topo, ff, cell, pos);
+        sys.thermalize(300.0, self.spec.seed.wrapping_mul(0x9E37_79B9));
+        sys
+    }
+
+    /// Centre of the box.
+    fn center(&self) -> Vec3 {
+        self.spec.box_lengths * 0.5
+    }
+
+    /// A protein-like polymer: a confined random walk of heavy atoms with
+    /// bonds, angles, and dihedrals along the backbone. Chains are placed on
+    /// a ring around the box centre (mimicking ApoA-I's protein belt).
+    fn add_protein_chain(&mut self, chain_index: usize, len: usize) {
+        if len == 0 {
+            return;
+        }
+        let nc = self.spec.protein_chains.max(1) as f64;
+        let angle = 2.0 * std::f64::consts::PI * chain_index as f64 / nc;
+        let ring_r = if self.spec.protein_chains > 1 {
+            0.3 * self.spec.box_lengths.x.min(self.spec.box_lengths.y)
+        } else {
+            0.0
+        };
+        let start = self.center() + Vec3::new(ring_r * angle.cos(), ring_r * angle.sin(), 0.0);
+        // Confine the walk to a blob sized for ~0.055 heavy atoms/Å³ —
+        // dense enough to read as a solute core, dilute enough that the
+        // self-avoiding walk essentially never cages itself.
+        let blob_r = (3.0 * len as f64 / (4.0 * std::f64::consts::PI * 0.055)).cbrt();
+
+        let first = self.topo.atoms.len() as AtomId;
+        let mut p = start;
+        let bond_len = 1.5;
+        for i in 0..len {
+            let lj_type = if i % 2 == 0 { 2u16 } else { 3u16 };
+            let charge = if i % 2 == 0 { 0.25 } else { -0.25 };
+            let idx = self.topo.atoms.len() as u32;
+            self.topo.atoms.push(Atom { mass: 13.0, charge, lj_type });
+            self.pos.push(p);
+            self.bucket_insert(idx, p);
+            if i + 1 == len {
+                break;
+            }
+            // Self-avoiding walk: sample candidate steps (biased back toward
+            // the blob centre when outside it) and take the first that keeps
+            // clear of every placed solute atom except the bond predecessor.
+            // If all biased candidates clash, retry unbiased; as a final
+            // fallback stretch the bond toward the clearest direction —
+            // a stretched harmonic bond costs a few hundred kcal/mol and
+            // relaxes, whereas an r⁻¹² clash destroys the dynamics.
+            let mut best = (f64::NEG_INFINITY, p + Vec3::new(bond_len, 0.0, 0.0));
+            let mut accepted = false;
+            for round in 0..2 {
+                let tries = if round == 0 { 40 } else { 60 };
+                for _ in 0..tries {
+                    let mut dir = Vec3::new(
+                        self.rng.gen::<f64>() - 0.5,
+                        self.rng.gen::<f64>() - 0.5,
+                        self.rng.gen::<f64>() - 0.5,
+                    );
+                    if round == 0 {
+                        let back = start - p;
+                        if back.norm() > blob_r {
+                            dir += back.normalized().unwrap_or(Vec3::ZERO) * 1.5;
+                        }
+                    }
+                    let step = dir.normalized().unwrap_or(Vec3::new(1.0, 0.0, 0.0)) * bond_len;
+                    let cand = p + step;
+                    let clearance = self.min_solute_dist(cand, Some(idx));
+                    if clearance > best.0 {
+                        best = (clearance, cand);
+                    }
+                    if clearance >= SOLUTE_CLEARANCE {
+                        accepted = true;
+                        break;
+                    }
+                }
+                if accepted {
+                    break;
+                }
+            }
+            if !accepted && best.0 < SOLUTE_CLEARANCE {
+                // Stretch the bond along the clearest direction found: a
+                // stretched harmonic bond is survivable, an r⁻¹² clash is
+                // not, so always take the clearest stretched candidate.
+                let dir = (best.1 - p).normalized().unwrap_or(Vec3::new(1.0, 0.0, 0.0));
+                for stretch in [2.0, 2.5, 3.0, 3.5, 4.5, 6.0] {
+                    let cand = p + dir * stretch;
+                    let clearance = self.min_solute_dist(cand, Some(idx));
+                    if clearance > best.0 {
+                        best = (clearance, cand);
+                    }
+                    if clearance >= SOLUTE_CLEARANCE * 0.95 {
+                        break;
+                    }
+                }
+            }
+            p = best.1;
+        }
+        // Backbone bonded terms.
+        for i in 0..len.saturating_sub(1) {
+            let a = first + i as AtomId;
+            self.topo.bonds.push(Bond { a, b: a + 1, k: 250.0, r0: bond_len });
+        }
+        for i in 0..len.saturating_sub(2) {
+            let a = first + i as AtomId;
+            self.topo.angles.push(Angle {
+                a,
+                b: a + 1,
+                c: a + 2,
+                k: 45.0,
+                theta0: 109.5_f64.to_radians(),
+            });
+        }
+        for i in 0..len.saturating_sub(3) {
+            let a = first + i as AtomId;
+            self.topo.dihedrals.push(Dihedral {
+                a,
+                b: a + 1,
+                c: a + 2,
+                d: a + 3,
+                k: 0.6,
+                n: 3,
+                delta: 0.0,
+            });
+        }
+        // A few impropers along the chain (every 4th atom as a branch-like
+        // planar centre) to exercise the 4-body improper kernel.
+        for i in (4..len.saturating_sub(4)).step_by(4) {
+            let a = first + i as AtomId;
+            self.topo.impropers.push(Improper {
+                a,
+                b: a - 1,
+                c: a + 1,
+                d: a + 2,
+                k: 10.0,
+                psi0: 0.0,
+            });
+        }
+    }
+
+    /// A lipid-like slab: vertical hydrocarbon chains (≈1 Å rise per bead)
+    /// on a jittered xy grid filling `z0..z1`. Creates the density hot-spot
+    /// that drives load imbalance in the ApoA-I benchmark.
+    fn add_lipid_slab(&mut self, z0: f64, z1: f64) {
+        assert!(z1 > z0, "lipid slab must have positive thickness");
+        let tail_len = ((z1 - z0).round() as usize).max(4);
+        let spacing_xy = LIPID_SPACING;
+        let dz = (z1 - z0) / tail_len as f64;
+        let nx = (self.spec.box_lengths.x / spacing_xy).floor() as usize;
+        let ny = (self.spec.box_lengths.y / spacing_xy).floor() as usize;
+        for ix in 0..nx {
+            for iy in 0..ny {
+                let jx: f64 = self.rng.gen::<f64>() - 0.5;
+                let jy: f64 = self.rng.gen::<f64>() - 0.5;
+                let x = (ix as f64 + 0.5) * spacing_xy + jx;
+                let y = (iy as f64 + 0.5) * spacing_xy + jy;
+                // Skip columns that would interpenetrate already-placed
+                // solute (e.g. the protein chains threading the slab).
+                let column_clear = (0..tail_len).all(|iz| {
+                    let bead = Vec3::new(x, y, z0 + (iz as f64 + 0.5) * dz);
+                    self.min_solute_dist(bead, None) >= SOLUTE_CLEARANCE
+                });
+                if !column_clear {
+                    continue;
+                }
+                let first = self.topo.atoms.len() as AtomId;
+                for iz in 0..tail_len {
+                    // Head bead carries a small charge; tail is apolar.
+                    let charge = if iz == 0 { -0.3 } else if iz == 1 { 0.3 } else { 0.0 };
+                    let idx = self.topo.atoms.len() as u32;
+                    self.topo.atoms.push(Atom { mass: 14.0, charge, lj_type: 4 });
+                    let bead = Vec3::new(x, y, z0 + (iz as f64 + 0.5) * dz);
+                    self.pos.push(bead);
+                    self.bucket_insert(idx, bead);
+                }
+                for i in 0..tail_len - 1 {
+                    let a = first + i as AtomId;
+                    self.topo.bonds.push(Bond { a, b: a + 1, k: 220.0, r0: dz });
+                }
+                for i in 0..tail_len - 2 {
+                    let a = first + i as AtomId;
+                    self.topo.angles.push(Angle {
+                        a,
+                        b: a + 1,
+                        c: a + 2,
+                        k: 40.0,
+                        theta0: std::f64::consts::PI,
+                    });
+                }
+            }
+        }
+    }
+
+    /// Fill the rest of the box with water on a jittered lattice (sites
+    /// visited in shuffled order so any shortfall is spread uniformly),
+    /// skipping sites too close to solute atoms, until `target_atoms` is
+    /// reached exactly. When the remaining atom budget is not a multiple of
+    /// three, 1-2 counter-ions are placed first to absorb the remainder.
+    /// Panics if the box cannot accommodate the target (a spec bug).
+    fn fill_water(&mut self) {
+        let n_solute = self.topo.n_atoms();
+        assert!(
+            self.spec.target_atoms >= n_solute,
+            "{}: solute already has {n_solute} atoms, target is {}",
+            self.spec.name,
+            self.spec.target_atoms
+        );
+        let remaining = self.spec.target_atoms - n_solute;
+        let n_ions = remaining % 3;
+        let n_waters = (remaining - n_ions) / 3;
+
+        // Cell list over solute for clearance queries.
+        let cell = Cell::periodic(Vec3::ZERO, self.spec.box_lengths);
+        let wrapped: Vec<Vec3> = self.pos.iter().map(|&p| cell.wrap(p)).collect();
+        let solute_cl = if wrapped.is_empty() {
+            None
+        } else {
+            Some(CellList::build(&cell, &wrapped, WATER_CLEARANCE.max(3.0)))
+        };
+
+        let nx = (self.spec.box_lengths.x / WATER_SPACING).floor() as usize;
+        let ny = (self.spec.box_lengths.y / WATER_SPACING).floor() as usize;
+        let nz = (self.spec.box_lengths.z / WATER_SPACING).floor() as usize;
+        let clearance2 = WATER_CLEARANCE * WATER_CLEARANCE;
+
+        // Fisher-Yates shuffle of the site order (deterministic from seed).
+        let mut sites: Vec<usize> = (0..nx * ny * nz).collect();
+        for i in (1..sites.len()).rev() {
+            let j = self.rng.gen_range(0..=i);
+            sites.swap(i, j);
+        }
+
+        let mut placed_waters = 0usize;
+        let mut placed_ions = 0usize;
+        for s in sites {
+            if placed_waters == n_waters && placed_ions == n_ions {
+                break;
+            }
+            let (ix, iy, iz) = (s % nx, (s / nx) % ny, s / (nx * ny));
+            let jitter = Vec3::new(
+                (self.rng.gen::<f64>() - 0.5) * 0.6,
+                (self.rng.gen::<f64>() - 0.5) * 0.6,
+                (self.rng.gen::<f64>() - 0.5) * 0.6,
+            );
+            let o = cell.wrap(
+                Vec3::new(
+                    (ix as f64 + 0.5) * WATER_SPACING,
+                    (iy as f64 + 0.5) * WATER_SPACING,
+                    (iz as f64 + 0.5) * WATER_SPACING,
+                ) + jitter,
+            );
+            if let Some(cl) = &solute_cl {
+                if Self::too_close(cl, &wrapped, &cell, o, clearance2) {
+                    continue;
+                }
+            }
+            if placed_ions < n_ions {
+                // Sodium-like counter-ion.
+                let charge = if placed_ions == 0 { 1.0 } else { -1.0 };
+                self.topo.atoms.push(Atom { mass: 22.99, charge, lj_type: 3 });
+                self.pos.push(o);
+                placed_ions += 1;
+                continue;
+            }
+            push_water(&mut self.topo, 0, 1);
+            // Random orientation for the two hydrogens.
+            let theta: f64 = self.rng.gen::<f64>() * std::f64::consts::PI;
+            let phi: f64 = self.rng.gen::<f64>() * 2.0 * std::f64::consts::PI;
+            let h1_dir =
+                Vec3::new(theta.sin() * phi.cos(), theta.sin() * phi.sin(), theta.cos());
+            // Second O-H at the TIP3P angle from the first, in the plane
+            // defined by h1 and a perpendicular.
+            let perp = h1_dir
+                .cross(Vec3::new(0.0, 0.0, 1.0))
+                .normalized()
+                .unwrap_or(Vec3::new(1.0, 0.0, 0.0));
+            let a = 104.52_f64.to_radians();
+            let h2_dir = h1_dir * a.cos() + perp * a.sin();
+            self.pos.push(o);
+            self.pos.push(o + h1_dir * 0.9572);
+            self.pos.push(o + h2_dir * 0.9572);
+            placed_waters += 1;
+        }
+        // Lattice exhausted? Squeeze the remainder in with rejection
+        // sampling: random positions clear of solute and of already-placed
+        // water oxygens. This covers boxes where solute clearance shells eat
+        // most of the lattice.
+        if placed_waters < n_waters || placed_ions < n_ions {
+            let mut o_positions: Vec<Vec3> = Vec::new();
+            for i in 0..self.topo.n_atoms() {
+                // Water oxygens are every third atom of the water block; but
+                // simply collecting all O-type (mass ≈ 16) water atoms works.
+                if (self.topo.atoms[i].mass - 15.9994).abs() < 1e-6 {
+                    o_positions.push(cell.wrap(self.pos[i]));
+                }
+            }
+            let o_clear2 = 2.3f64 * 2.3;
+            let mut tries = 0usize;
+            let shortfall = (n_waters - placed_waters) + (n_ions - placed_ions);
+            let max_tries = 500 * shortfall + 1000;
+            while (placed_waters < n_waters || placed_ions < n_ions) && tries < max_tries {
+                tries += 1;
+                let o = Vec3::new(
+                    self.rng.gen::<f64>() * self.spec.box_lengths.x,
+                    self.rng.gen::<f64>() * self.spec.box_lengths.y,
+                    self.rng.gen::<f64>() * self.spec.box_lengths.z,
+                );
+                if let Some(cl) = &solute_cl {
+                    if Self::too_close(cl, &wrapped, &cell, o, clearance2) {
+                        continue;
+                    }
+                }
+                if o_positions.iter().any(|&p| cell.dist2(o, p) < o_clear2) {
+                    continue;
+                }
+                if placed_ions < n_ions {
+                    let charge = if placed_ions == 0 { 1.0 } else { -1.0 };
+                    self.topo.atoms.push(Atom { mass: 22.99, charge, lj_type: 3 });
+                    self.pos.push(o);
+                    placed_ions += 1;
+                } else {
+                    push_water(&mut self.topo, 0, 1);
+                    let theta: f64 = self.rng.gen::<f64>() * std::f64::consts::PI;
+                    let phi: f64 = self.rng.gen::<f64>() * 2.0 * std::f64::consts::PI;
+                    let h1 = Vec3::new(
+                        theta.sin() * phi.cos(),
+                        theta.sin() * phi.sin(),
+                        theta.cos(),
+                    );
+                    let perp = h1
+                        .cross(Vec3::new(0.0, 0.0, 1.0))
+                        .normalized()
+                        .unwrap_or(Vec3::new(1.0, 0.0, 0.0));
+                    let a = 104.52_f64.to_radians();
+                    let h2 = h1 * a.cos() + perp * a.sin();
+                    self.pos.push(o);
+                    self.pos.push(o + h1 * 0.9572);
+                    self.pos.push(o + h2 * 0.9572);
+                    placed_waters += 1;
+                }
+                o_positions.push(o);
+            }
+        }
+        assert_eq!(
+            (placed_waters, placed_ions),
+            (n_waters, n_ions),
+            "{}: box too small or too crowded — placed {placed_waters}/{n_waters} waters, \
+             {placed_ions}/{n_ions} ions",
+            self.spec.name
+        );
+    }
+
+    /// True when `p` is within `sqrt(clearance2)` of any solute atom.
+    fn too_close(
+        cl: &CellList,
+        solute: &[Vec3],
+        cell: &Cell,
+        p: Vec3,
+        clearance2: f64,
+    ) -> bool {
+        // Check the bin of `p` and all neighbouring bins.
+        let b = cl.bin_of(p);
+        let c = cl.bin_coords(b);
+        for dz in -1isize..=1 {
+            for dy in -1isize..=1 {
+                for dx in -1isize..=1 {
+                    let nb = cl.bin_index([
+                        c[0] as isize + dx,
+                        c[1] as isize + dy,
+                        c[2] as isize + dz,
+                    ]);
+                    if let Some(nb) = nb {
+                        for &i in cl.bin(nb) {
+                            if cell.dist2(p, solute[i as usize]) < clearance2 {
+                                return true;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn water_only_box() {
+        let sys = SystemBuilder::new(SystemSpec {
+            name: "wb",
+            box_lengths: Vec3::splat(18.0),
+            target_atoms: 300,
+            protein_chains: 0,
+            protein_chain_len: 0,
+            lipid_slab: None,
+            cutoff: 8.0,
+            seed: 1,
+        })
+        .build();
+        assert_eq!(sys.n_atoms(), 300);
+        // All-water: 100 molecules, 200 bonds, 100 angles.
+        assert_eq!(sys.topology.bonds.len(), 200);
+        assert_eq!(sys.topology.angles.len(), 100);
+        assert!(sys.topology.dihedrals.is_empty());
+    }
+
+    #[test]
+    fn water_density_is_liquid_like() {
+        let sys = SystemBuilder::new(SystemSpec {
+            name: "dens",
+            box_lengths: Vec3::splat(31.0),
+            target_atoms: 2898,
+            protein_chains: 0,
+            protein_chain_len: 0,
+            lipid_slab: None,
+            cutoff: 12.0,
+            seed: 2,
+        })
+        .build();
+        let density = sys.n_atoms() as f64 / sys.cell.volume();
+        assert!((0.08..0.12).contains(&density), "atom density {density}");
+    }
+
+    #[test]
+    fn protein_chain_keeps_water_clear() {
+        let sys = SystemBuilder::new(SystemSpec {
+            name: "clear",
+            box_lengths: Vec3::splat(28.0),
+            target_atoms: 1540,
+            protein_chains: 1,
+            protein_chain_len: 40,
+            lipid_slab: None,
+            cutoff: 8.0,
+            seed: 5,
+        })
+        .build();
+        // Water oxygens (every water's first atom) at least ~2 Å from any
+        // protein atom: check pairwise against the 40 protein atoms.
+        let protein: Vec<Vec3> = sys.positions[..40].to_vec();
+        for i in (40..sys.n_atoms()).step_by(3) {
+            let o = sys.positions[i];
+            for &pp in &protein {
+                let d2 = sys.cell.dist2(o, pp);
+                assert!(d2 > 2.0 * 2.0, "water O too close to protein: {}", d2.sqrt());
+            }
+        }
+    }
+
+    #[test]
+    fn ion_top_up_hits_exact_target() {
+        // 301 = 100 waters + 1 ion; 302 = 100 waters + 2 ions.
+        for target in [301usize, 302] {
+            let sys = SystemBuilder::new(SystemSpec {
+                name: "ions",
+                box_lengths: Vec3::splat(20.0),
+                target_atoms: target,
+                protein_chains: 0,
+                protein_chain_len: 0,
+                lipid_slab: None,
+                cutoff: 8.0,
+                seed: 1,
+            })
+            .build();
+            assert_eq!(sys.n_atoms(), target);
+            let n_ions = sys.topology.atoms.iter().filter(|a| a.mass > 22.0).count();
+            assert_eq!(n_ions, target - 300);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "too small")]
+    fn overfull_box_is_rejected() {
+        SystemBuilder::new(SystemSpec {
+            name: "overfull",
+            box_lengths: Vec3::splat(10.0),
+            target_atoms: 30_000,
+            protein_chains: 0,
+            protein_chain_len: 0,
+            lipid_slab: None,
+            cutoff: 8.0,
+            seed: 1,
+        })
+        .build();
+    }
+}

@@ -1,0 +1,377 @@
+//! Full-electrostatics molecular dynamics: cutoff LJ + Ewald real space
+//! (via mdcore's kernels in Ewald mode) + PME reciprocal space, with an
+//! optional r-RESPA multiple-timestep integrator.
+//!
+//! The paper notes that "even when full, long-range electrostatic
+//! interactions are included in a simulation, these forces may be calculated
+//! via an efficient combination of global grid-based and cutoff atom-based
+//! components", and that the grid part's cost shrinks further "when combined
+//! with multiple timestepping methods". This module is that combination.
+
+use crate::ewald::{exclusion_correction, self_energy, EwaldParams};
+use crate::mesh::{Pme, PmeParams};
+use mdcore::bonded::compute_bonded;
+use mdcore::forcefield::units;
+use mdcore::prelude::*;
+
+/// Energy breakdown of a full-electrostatics evaluation, kcal/mol.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FullEnergy {
+    pub bonded: f64,
+    pub lj: f64,
+    /// Real-space Ewald electrostatics (erfc-screened, inside the cutoff).
+    pub elec_real: f64,
+    /// Reciprocal-space (PME) electrostatics.
+    pub elec_recip: f64,
+    /// Self + exclusion corrections.
+    pub elec_corr: f64,
+    pub kinetic: f64,
+}
+
+impl FullEnergy {
+    /// Total electrostatic energy.
+    pub fn electrostatic(&self) -> f64 {
+        self.elec_real + self.elec_recip + self.elec_corr
+    }
+
+    /// Total potential energy.
+    pub fn potential(&self) -> f64 {
+        self.bonded + self.lj + self.electrostatic()
+    }
+
+    /// Total energy.
+    pub fn total(&self) -> f64 {
+        self.potential() + self.kinetic
+    }
+}
+
+/// A full-electrostatics force provider bound to one system geometry.
+pub struct FullElectrostatics {
+    pme: Pme,
+    ewald: EwaldParams,
+    charges: Vec<f64>,
+}
+
+impl FullElectrostatics {
+    /// Set up PME for a system whose force field is in Ewald mode
+    /// (`ForceField::with_ewald`). `mesh_spacing` is the maximum PME mesh
+    /// spacing in Å (≈1.0-1.2 is typical).
+    pub fn new(system: &System, mesh_spacing: f64) -> Self {
+        let beta = system
+            .forcefield
+            .ewald_beta
+            .expect("force field must be in Ewald mode (ForceField::with_ewald)");
+        let params = PmeParams::for_cell(&system.cell, beta, mesh_spacing);
+        FullElectrostatics {
+            pme: Pme::new(&system.cell, params),
+            ewald: EwaldParams { beta, r_cut: system.forcefield.cutoff, kmax: 0 },
+            charges: system.charges(),
+        }
+    }
+
+    /// The PME mesh in use.
+    pub fn mesh(&self) -> [usize; 3] {
+        self.pme.params.mesh
+    }
+
+    /// Short-range forces only (bonded + LJ + Ewald real space): the cheap
+    /// part evaluated every step under multiple timestepping. Overwrites
+    /// `forces`.
+    pub fn short_range(&self, system: &System, forces: &mut [Vec3]) -> FullEnergy {
+        let e = mdcore::sim::compute_forces(system, forces);
+        FullEnergy {
+            bonded: e.bonded.total(),
+            lj: e.nonbonded.e_lj,
+            elec_real: e.nonbonded.e_elec,
+            ..Default::default()
+        }
+    }
+
+    /// Long-range (reciprocal + corrections) forces, *accumulated* into
+    /// `forces`.
+    pub fn long_range(&mut self, system: &System, forces: &mut [Vec3]) -> FullEnergy {
+        let recip = self
+            .pme
+            .reciprocal(&system.positions, &self.charges, forces)
+            .reciprocal;
+        let corr_ex = exclusion_correction(
+            &system.cell,
+            &system.positions,
+            &self.charges,
+            &system.exclusions,
+            &self.ewald,
+            forces,
+        );
+        let corr_self = self_energy(&self.charges, &self.ewald);
+        FullEnergy {
+            elec_recip: recip,
+            elec_corr: corr_ex + corr_self,
+            ..Default::default()
+        }
+    }
+
+    /// Complete force evaluation (short + long range). Overwrites `forces`.
+    pub fn compute_forces(&mut self, system: &System, forces: &mut [Vec3]) -> FullEnergy {
+        let mut e = self.short_range(system, forces);
+        let l = self.long_range(system, forces);
+        e.elec_recip = l.elec_recip;
+        e.elec_corr = l.elec_corr;
+        e
+    }
+}
+
+/// An r-RESPA (impulse) multiple-timestep integrator: bonded forces every
+/// inner step, non-bonded (real + reciprocal) every `k_nonbonded` steps.
+pub struct MtsSimulator {
+    pub full: FullElectrostatics,
+    /// Inner timestep, fs.
+    pub dt: f64,
+    /// Non-bonded (slow) forces evaluated every this many inner steps.
+    pub k_nonbonded: usize,
+    slow_forces: Vec<Vec3>,
+    fast_forces: Vec<Vec3>,
+    slow_energy: FullEnergy,
+    primed: bool,
+}
+
+impl MtsSimulator {
+    /// Create an MTS integrator. `k_nonbonded = 1` reduces to plain velocity
+    /// Verlet with full electrostatics.
+    pub fn new(system: &System, mesh_spacing: f64, dt: f64, k_nonbonded: usize) -> Self {
+        assert!(dt > 0.0 && k_nonbonded >= 1);
+        let n = system.n_atoms();
+        MtsSimulator {
+            full: FullElectrostatics::new(system, mesh_spacing),
+            dt,
+            k_nonbonded,
+            slow_forces: vec![Vec3::ZERO; n],
+            fast_forces: vec![Vec3::ZERO; n],
+            slow_energy: FullEnergy::default(),
+            primed: false,
+        }
+    }
+
+    /// Fast (bonded-only) forces into `fast_forces`.
+    fn eval_fast(&mut self, system: &System) -> f64 {
+        self.fast_forces.fill(Vec3::ZERO);
+        let e = compute_bonded(
+            &system.topology,
+            &system.cell,
+            &system.positions,
+            &mut self.fast_forces,
+        );
+        e.total()
+    }
+
+    /// Slow (all non-bonded) forces into `slow_forces`.
+    fn eval_slow(&mut self, system: &System) {
+        // Short-range evaluates bonded too; subtract it by evaluating into a
+        // scratch and removing the bonded part — cheaper: evaluate the full
+        // non-bonded via the pairlist kernel directly.
+        let lj = system.lj_types();
+        let q = system.charges();
+        let cl = CellList::build(&system.cell, &system.positions, system.forcefield.cutoff);
+        let pairs = cl.neighbor_pairs(&system.positions, system.forcefield.cutoff);
+        self.slow_forces.fill(Vec3::ZERO);
+        let nb = mdcore::nonbonded::nb_pairlist(
+            &system.forcefield,
+            &system.exclusions,
+            &system.positions,
+            &lj,
+            &q,
+            &pairs,
+            &system.cell,
+            &mut self.slow_forces,
+        );
+        let l = self.full.long_range(system, &mut self.slow_forces);
+        self.slow_energy = FullEnergy {
+            lj: nb.e_lj,
+            elec_real: nb.e_elec,
+            elec_recip: l.elec_recip,
+            elec_corr: l.elec_corr,
+            ..Default::default()
+        };
+    }
+
+    /// Advance one *outer* step (`k_nonbonded` inner steps). Returns the
+    /// energy at the end of the outer step.
+    pub fn outer_step(&mut self, system: &mut System) -> FullEnergy {
+        let dt = self.dt;
+        let k = self.k_nonbonded;
+        let masses = system.masses();
+        if !self.primed {
+            self.eval_slow(system);
+            self.primed = true;
+        }
+
+        // Outer half-kick with slow forces.
+        for i in 0..system.n_atoms() {
+            system.velocities[i] +=
+                self.slow_forces[i] * (units::ACCEL / masses[i]) * (0.5 * k as f64 * dt);
+        }
+        // Inner velocity-Verlet loop with fast forces.
+        let mut e_bonded = self.eval_fast(system);
+        for _ in 0..k {
+            for i in 0..system.n_atoms() {
+                system.velocities[i] +=
+                    self.fast_forces[i] * (units::ACCEL / masses[i]) * (0.5 * dt);
+                system.positions[i] =
+                    system.cell.wrap(system.positions[i] + system.velocities[i] * dt);
+            }
+            e_bonded = self.eval_fast(system);
+            for i in 0..system.n_atoms() {
+                system.velocities[i] +=
+                    self.fast_forces[i] * (units::ACCEL / masses[i]) * (0.5 * dt);
+            }
+        }
+        // New slow forces and the closing outer half-kick.
+        self.eval_slow(system);
+        for i in 0..system.n_atoms() {
+            system.velocities[i] +=
+                self.slow_forces[i] * (units::ACCEL / masses[i]) * (0.5 * k as f64 * dt);
+        }
+
+        FullEnergy {
+            bonded: e_bonded,
+            kinetic: system.kinetic_energy(),
+            ..self.slow_energy
+        }
+    }
+
+    /// Run `n` outer steps.
+    pub fn run(&mut self, system: &mut System, n: usize) -> Vec<FullEnergy> {
+        (0..n).map(|_| self.outer_step(system)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ewald::ewald_direct;
+
+    /// A small neutral water box in Ewald mode.
+    fn ewald_water(n_side: usize, beta: f64) -> System {
+        let mut topo = Topology::default();
+        let mut pos = Vec::new();
+        let spacing = 3.2;
+        for ix in 0..n_side {
+            for iy in 0..n_side {
+                for iz in 0..n_side {
+                    let base = Vec3::new(
+                        ix as f64 * spacing + 0.6,
+                        iy as f64 * spacing + 0.6,
+                        iz as f64 * spacing + 0.6,
+                    );
+                    push_water(&mut topo, 0, 1);
+                    pos.push(base);
+                    pos.push(base + Vec3::new(0.9572, 0.0, 0.0));
+                    pos.push(base + Vec3::new(-0.2399, 0.9266, 0.0));
+                }
+            }
+        }
+        let l = n_side as f64 * spacing;
+        let ff = ForceField::biomolecular((l / 2.0 - 0.1).min(9.0)).with_ewald(beta);
+        System::new(topo, ff, Cell::cube(l), pos)
+    }
+
+    #[test]
+    fn full_forces_match_direct_ewald_reference() {
+        // The production path (mdcore Ewald-mode kernels + PME) must agree
+        // with the exact direct Ewald sum on the electrostatic part.
+        let sys = ewald_water(3, 0.6);
+        let q = sys.charges();
+
+        let mut full = FullElectrostatics::new(&sys, 0.6);
+        let mut f_full = vec![Vec3::ZERO; sys.n_atoms()];
+        let e_full = full.compute_forces(&sys, &mut f_full);
+
+        let params = EwaldParams { beta: 0.6, r_cut: sys.forcefield.cutoff, kmax: 14 };
+        let mut f_ref = vec![Vec3::ZERO; sys.n_atoms()];
+        let e_ref = ewald_direct(&sys.cell, &sys.positions, &q, &sys.exclusions, &params, &mut f_ref);
+
+        let got = e_full.electrostatic();
+        let want = e_ref.total();
+        assert!(
+            (got / want - 1.0).abs() < 5e-3,
+            "electrostatics: full {got} vs direct {want}"
+        );
+    }
+
+    #[test]
+    fn full_forces_are_minus_gradient() {
+        let sys = ewald_water(2, 0.7);
+        let mut full = FullElectrostatics::new(&sys, 0.5);
+        let mut f = vec![Vec3::ZERO; sys.n_atoms()];
+        full.compute_forces(&sys, &mut f);
+
+        let h = 1e-5;
+        for atom in [0usize, 4, 10] {
+            for axis in 0..3 {
+                let mut plus = sys.clone();
+                *plus.positions[atom].axis_mut(axis) += h;
+                let mut minus = sys.clone();
+                *minus.positions[atom].axis_mut(axis) -= h;
+                let mut tmp = vec![Vec3::ZERO; sys.n_atoms()];
+                let ep = full.compute_forces(&plus, &mut tmp).potential();
+                let em = full.compute_forces(&minus, &mut tmp).potential();
+                let fd = -(ep - em) / (2.0 * h);
+                let an = f[atom].axis(axis);
+                assert!(
+                    (fd - an).abs() < 2e-2 * (1.0 + an.abs()),
+                    "atom {atom} axis {axis}: fd {fd} vs analytic {an}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn mts_with_k1_conserves_energy() {
+        let mut sys = ewald_water(3, 0.6);
+        sys.thermalize(100.0, 3);
+        let mut sim = MtsSimulator::new(&sys, 0.7, 0.5, 1);
+        let energies = sim.run(&mut sys, 30);
+        let e0 = energies[1].total();
+        let e1 = energies.last().unwrap().total();
+        let drift = (e1 - e0).abs() / e0.abs().max(1.0);
+        assert!(drift < 1e-2, "k=1 drift {drift}: {e0} -> {e1}");
+    }
+
+    #[test]
+    fn mts_with_k4_conserves_energy() {
+        let mut sys = ewald_water(3, 0.6);
+        sys.thermalize(100.0, 7);
+        let mut sim = MtsSimulator::new(&sys, 0.7, 0.25, 4);
+        let energies = sim.run(&mut sys, 30);
+        let e0 = energies[1].total();
+        let e1 = energies.last().unwrap().total();
+        let drift = (e1 - e0).abs() / e0.abs().max(1.0);
+        assert!(drift < 2e-2, "k=4 drift {drift}: {e0} -> {e1}");
+    }
+
+    #[test]
+    fn mts_trajectories_agree_with_small_timestep_reference() {
+        // k=2 at dt=0.25 should stay close to k=1 at dt=0.25 over a few fs.
+        let mut sys_a = ewald_water(2, 0.7);
+        sys_a.thermalize(50.0, 9);
+        let mut sys_b = sys_a.clone();
+
+        let mut sim_a = MtsSimulator::new(&sys_a, 0.5, 0.25, 1);
+        let mut sim_b = MtsSimulator::new(&sys_b, 0.5, 0.25, 2);
+        sim_a.run(&mut sys_a, 8); // 8 inner steps
+        sim_b.run(&mut sys_b, 4); // 4 outer × 2 inner
+
+        let mut max_d = 0.0f64;
+        for i in 0..sys_a.n_atoms() {
+            max_d = max_d.max((sys_a.positions[i] - sys_b.positions[i]).norm());
+        }
+        assert!(max_d < 5e-3, "MTS trajectory deviation {max_d} Å");
+    }
+
+    #[test]
+    fn mesh_spacing_controls_mesh_size() {
+        let sys = ewald_water(3, 0.6);
+        let coarse = FullElectrostatics::new(&sys, 1.5);
+        let fine = FullElectrostatics::new(&sys, 0.5);
+        assert!(fine.mesh()[0] > coarse.mesh()[0]);
+    }
+}

@@ -1,0 +1,436 @@
+//! Smooth particle-mesh Ewald (Essmann et al., 1995): the FFT-based
+//! reciprocal-space solver — the "grid-based component" of full
+//! electrostatics whose parallelization the paper cites as ongoing work
+//! [14, 16].
+//!
+//! Pipeline per evaluation:
+//! 1. spread charges onto a regular mesh with cardinal B-splines,
+//! 2. forward 3-D FFT of the charge mesh,
+//! 3. multiply by the influence function
+//!    `C/(πV) · exp(−π²m̃²/β²)/m̃² · |b₁b₂b₃|²`,
+//! 4. inverse FFT → a convolved potential mesh,
+//! 5. energy = ½·Σ Q·φ; forces gathered with analytic B-spline derivatives.
+//!
+//! Validated against the exact direct k-space sum in [`crate::ewald`].
+
+use crate::ewald::EwaldParams;
+use crate::fft::{next_pow2, Grid3};
+use mdcore::forcefield::units;
+use mdcore::prelude::*;
+
+/// PME configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct PmeParams {
+    /// Ewald screening parameter β, Å⁻¹ (shared with the real-space part).
+    pub beta: f64,
+    /// Interpolation (B-spline) order; 4 and 6 are supported.
+    pub order: usize,
+    /// Mesh points per axis (powers of two).
+    pub mesh: [usize; 3],
+}
+
+impl PmeParams {
+    /// Choose a mesh with spacing ≤ `max_spacing` Å (rounded up to powers of
+    /// two) for the given cell, order 4.
+    pub fn for_cell(cell: &Cell, beta: f64, max_spacing: f64) -> PmeParams {
+        assert!(max_spacing > 0.0);
+        let dim = |l: f64| next_pow2((l / max_spacing).ceil() as usize).max(4);
+        PmeParams {
+            beta,
+            order: 4,
+            mesh: [dim(cell.lengths.x), dim(cell.lengths.y), dim(cell.lengths.z)],
+        }
+    }
+
+    /// Derive matching PME parameters from direct-Ewald parameters.
+    pub fn matching(cell: &Cell, ewald: &EwaldParams, max_spacing: f64) -> PmeParams {
+        PmeParams::for_cell(cell, ewald.beta, max_spacing)
+    }
+}
+
+/// Cardinal B-spline values `M_n(w), M_n(w+1), …, M_n(w+n−1)` and their
+/// derivatives, for fractional offset `w ∈ [0, 1)`. Grid point `u0 − j`
+/// receives weight `M_n(w + j)`.
+fn bspline(order: usize, w: f64) -> (Vec<f64>, Vec<f64>) {
+    debug_assert!((0.0..1.0).contains(&w));
+    assert!(order >= 2);
+    // Start from M₂ at arguments w+j: M₂(w) = w, M₂(w+1) = 1 − w, else 0.
+    let mut cur = vec![0.0; order];
+    cur[0] = w;
+    cur[1] = 1.0 - w;
+    if order == 2 {
+        return (cur, vec![1.0, -1.0]);
+    }
+    // Raise the order with the recursion
+    // M_k(u) = [u·M_{k−1}(u) + (k−u)·M_{k−1}(u−1)]/(k−1),
+    // keeping the previous order for the derivative identity
+    // M_k'(u) = M_{k−1}(u) − M_{k−1}(u−1).
+    let mut prev = vec![0.0; order];
+    for k in 3..=order {
+        prev.copy_from_slice(&cur);
+        for j in (0..order).rev() {
+            let u = w + j as f64;
+            let m_u = if j < k - 1 { prev[j] } else { 0.0 };
+            let m_um1 = if j >= 1 { prev[j - 1] } else { 0.0 };
+            cur[j] = (u * m_u + (k as f64 - u) * m_um1) / (k as f64 - 1.0);
+        }
+    }
+    let mut d = vec![0.0; order];
+    for j in 0..order {
+        let m_u = if j < order - 1 { prev[j] } else { 0.0 };
+        let m_um1 = if j >= 1 { prev[j - 1] } else { 0.0 };
+        d[j] = m_u - m_um1;
+    }
+    (cur, d)
+}
+
+/// |b(m)|² Euler exponential-spline factor for one axis.
+fn bmod2(order: usize, mesh: usize) -> Vec<f64> {
+    // M_n values at integer arguments (w = 0): m_int[j] = M_n(j), with
+    // M_n(0) = 0 and the interior values at j = 1..n−1.
+    let (m_int, _) = bspline(order, 0.0);
+    // Denominator: Σ_{j=0}^{n-2} M_n(j+1) e^{2πi m j / K}.
+    let mut out = vec![0.0; mesh];
+    for mm in 0..mesh {
+        let mut re = 0.0;
+        let mut im = 0.0;
+        for j in 0..order - 1 {
+            let phase = 2.0 * std::f64::consts::PI * (mm as f64) * (j as f64) / mesh as f64;
+            let mn = m_int[j + 1]; // M_n(j+1)
+            re += mn * phase.cos();
+            im += mn * phase.sin();
+        }
+        let denom = re * re + im * im;
+        out[mm] = if denom < 1e-10 { 0.0 } else { 1.0 / denom };
+    }
+    out
+}
+
+/// The PME solver with reusable buffers.
+///
+/// ```
+/// use mdcore::prelude::{Cell, Vec3};
+/// use pme::mesh::{Pme, PmeParams};
+///
+/// let cell = Cell::cube(16.0);
+/// let mut pme = Pme::new(&cell, PmeParams { beta: 0.4, order: 4, mesh: [16, 16, 16] });
+/// let pos = vec![Vec3::new(5.0, 8.0, 8.0), Vec3::new(11.0, 8.0, 8.0)];
+/// let q = vec![1.0, -1.0];
+/// let mut forces = vec![Vec3::ZERO; 2];
+/// let e = pme.reciprocal(&pos, &q, &mut forces);
+/// assert!(e.reciprocal.is_finite());
+/// // Newton's third law holds for the mesh forces.
+/// assert!((forces[0] + forces[1]).norm() < 1e-9);
+/// // Opposite charges 6 Å apart: the long-range part pulls them together.
+/// assert!(forces[0].x > 0.0 && forces[1].x < 0.0);
+/// ```
+pub struct Pme {
+    pub params: PmeParams,
+    grid: Grid3,
+    /// Influence function (BC array), indexed like the grid.
+    influence: Vec<f64>,
+    cell: Cell,
+}
+
+/// Result of a PME reciprocal evaluation.
+#[derive(Debug, Clone, Copy)]
+pub struct PmeEnergy {
+    /// Reciprocal-space energy, kcal/mol.
+    pub reciprocal: f64,
+}
+
+impl Pme {
+    /// Build a solver for a fixed cell (mesh geometry depends on it).
+    pub fn new(cell: &Cell, params: PmeParams) -> Pme {
+        assert!(
+            cell.periodic.iter().all(|&p| p),
+            "PME requires a fully periodic cell"
+        );
+        assert!(
+            params.order == 4 || params.order == 6,
+            "supported B-spline orders: 4, 6"
+        );
+        let [nx, ny, nz] = params.mesh;
+        let grid = Grid3::new(nx, ny, nz);
+        let influence = Self::influence_fn(cell, &params);
+        Pme { params, grid, influence, cell: *cell }
+    }
+
+    /// Precompute the influence function
+    /// `N·C/(πV)·exp(−π²m̃²/β²)/m̃²·|b₁|²|b₂|²|b₃|²` (zero at m = 0).
+    fn influence_fn(cell: &Cell, params: &PmeParams) -> Vec<f64> {
+        let [nx, ny, nz] = params.mesh;
+        let (bx, by, bz) = (
+            bmod2(params.order, nx),
+            bmod2(params.order, ny),
+            bmod2(params.order, nz),
+        );
+        let v = cell.volume();
+        let n_total = (nx * ny * nz) as f64;
+        let pref = n_total * units::COULOMB / (std::f64::consts::PI * v);
+        let pi2_beta2 = std::f64::consts::PI.powi(2) / (params.beta * params.beta);
+        let mut out = vec![0.0; nx * ny * nz];
+        for mz in 0..nz {
+            // Map FFT index to signed mode number.
+            let fz = if mz <= nz / 2 { mz as f64 } else { mz as f64 - nz as f64 };
+            for my in 0..ny {
+                let fy = if my <= ny / 2 { my as f64 } else { my as f64 - ny as f64 };
+                for mx in 0..nx {
+                    let fx = if mx <= nx / 2 { mx as f64 } else { mx as f64 - nx as f64 };
+                    let idx = mx + nx * (my + ny * mz);
+                    if mx == 0 && my == 0 && mz == 0 {
+                        out[idx] = 0.0;
+                        continue;
+                    }
+                    let mt2 = (fx / cell.lengths.x).powi(2)
+                        + (fy / cell.lengths.y).powi(2)
+                        + (fz / cell.lengths.z).powi(2);
+                    out[idx] =
+                        pref * (-pi2_beta2 * mt2).exp() / mt2 * bx[mx] * by[my] * bz[mz];
+                }
+            }
+        }
+        out
+    }
+
+    /// Evaluate the reciprocal-space energy and accumulate forces.
+    pub fn reciprocal(&mut self, pos: &[Vec3], q: &[f64], forces: &mut [Vec3]) -> PmeEnergy {
+        assert_eq!(pos.len(), q.len());
+        assert_eq!(pos.len(), forces.len());
+        let [nx, ny, nz] = self.params.mesh;
+        let order = self.params.order;
+        self.grid.clear();
+
+        // 1. Charge spreading. Cache per-atom spline data for the gather.
+        struct Spread {
+            u0: [isize; 3],
+            m: [Vec<f64>; 3],
+            d: [Vec<f64>; 3],
+        }
+        let mut spreads = Vec::with_capacity(pos.len());
+        for (i, &p) in pos.iter().enumerate() {
+            let f = self.cell.fractional(self.cell.wrap(p));
+            let u = [f.x * nx as f64, f.y * ny as f64, f.z * nz as f64];
+            let mut m_arr: [Vec<f64>; 3] = Default::default();
+            let mut d_arr: [Vec<f64>; 3] = Default::default();
+            let mut u0 = [0isize; 3];
+            for ax in 0..3 {
+                let floor = u[ax].floor();
+                u0[ax] = floor as isize;
+                let (m, d) = bspline(order, u[ax] - floor);
+                m_arr[ax] = m;
+                d_arr[ax] = d;
+            }
+            // Scatter q·Mx·My·Mz.
+            for jz in 0..order {
+                let gz = (u0[2] - jz as isize).rem_euclid(nz as isize) as usize;
+                for jy in 0..order {
+                    let gy = (u0[1] - jy as isize).rem_euclid(ny as isize) as usize;
+                    let wyz = m_arr[1][jy] * m_arr[2][jz] * q[i];
+                    for jx in 0..order {
+                        let gx = (u0[0] - jx as isize).rem_euclid(nx as isize) as usize;
+                        let idx = self.grid.idx(gx, gy, gz);
+                        self.grid.data[idx].re += m_arr[0][jx] * wyz;
+                    }
+                }
+            }
+            spreads.push(Spread { u0, m: m_arr, d: d_arr });
+        }
+
+        // 2-4. Convolve with the influence function in k-space.
+        self.grid.fft(false);
+        let mut energy = 0.0;
+        for (c, &g) in self.grid.data.iter_mut().zip(&self.influence) {
+            energy += g * c.norm2();
+            *c = c.scale(g);
+        }
+        self.grid.fft(true);
+        self.grid.normalize_inverse();
+        let n_total = (nx * ny * nz) as f64;
+        // E = (1/2N)·Σ BC·|F(Q)|².
+        let energy = energy / (2.0 * n_total);
+
+        // 5. Force gather: F_i = −q_i Σ_g φ(g)·∇(Mx·My·Mz). B-spline
+        // interpolation leaves a tiny spurious net force (a well-known SPME
+        // artifact); like production MD codes we remove the mean afterwards.
+        let mut net = Vec3::ZERO;
+        let mut gathered = vec![Vec3::ZERO; pos.len()];
+        for (i, s) in spreads.iter().enumerate() {
+            let mut grad = Vec3::ZERO;
+            for jz in 0..order {
+                let gz = (s.u0[2] - jz as isize).rem_euclid(nz as isize) as usize;
+                for jy in 0..order {
+                    let gy = (s.u0[1] - jy as isize).rem_euclid(ny as isize) as usize;
+                    for jx in 0..order {
+                        let gx = (s.u0[0] - jx as isize).rem_euclid(nx as isize) as usize;
+                        let phi = self.grid.data[self.grid.idx(gx, gy, gz)].re;
+                        grad.x += phi * s.d[0][jx] * s.m[1][jy] * s.m[2][jz];
+                        grad.y += phi * s.m[0][jx] * s.d[1][jy] * s.m[2][jz];
+                        grad.z += phi * s.m[0][jx] * s.m[1][jy] * s.d[2][jz];
+                    }
+                }
+            }
+            // du/dx = K/L per axis.
+            let f = Vec3::new(
+                -q[i] * grad.x * nx as f64 / self.cell.lengths.x,
+                -q[i] * grad.y * ny as f64 / self.cell.lengths.y,
+                -q[i] * grad.z * nz as f64 / self.cell.lengths.z,
+            );
+            gathered[i] = f;
+            net += f;
+        }
+        let correction = net / pos.len() as f64;
+        for (i, f) in gathered.into_iter().enumerate() {
+            forces[i] += f - correction;
+        }
+        PmeEnergy { reciprocal: energy }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ewald;
+
+    #[test]
+    fn bspline_partition_of_unity() {
+        for order in [4usize, 6] {
+            for w in [0.0, 0.2, 0.5, 0.9] {
+                let (m, d) = bspline(order, w);
+                let sum: f64 = m.iter().sum();
+                assert!((sum - 1.0).abs() < 1e-12, "order {order} w {w}: sum {sum}");
+                let dsum: f64 = d.iter().sum();
+                assert!(dsum.abs() < 1e-12, "derivatives must sum to 0: {dsum}");
+                assert!(m.iter().all(|&x| x >= -1e-15), "negative spline weight");
+            }
+        }
+    }
+
+    #[test]
+    fn bspline_matches_known_m4_values() {
+        // M4 at integer arguments: M4(1) = 1/6, M4(2) = 4/6, M4(3) = 1/6.
+        let (m, _) = bspline(4, 0.0);
+        assert!((m[0] - 0.0).abs() < 1e-12); // M4(0)
+        assert!((m[1] - 1.0 / 6.0).abs() < 1e-12); // M4(1)
+        assert!((m[2] - 4.0 / 6.0).abs() < 1e-12); // M4(2)
+        assert!((m[3] - 1.0 / 6.0).abs() < 1e-12); // M4(3)
+    }
+
+    #[test]
+    fn bspline_derivative_matches_fd() {
+        for order in [4usize, 6] {
+            let h = 1e-6;
+            let (mp, _) = bspline(order, 0.4 + h);
+            let (mm, _) = bspline(order, 0.4 - h);
+            let (_, d) = bspline(order, 0.4);
+            for j in 0..order {
+                let fd = (mp[j] - mm[j]) / (2.0 * h);
+                assert!(
+                    (fd - d[j]).abs() < 1e-6,
+                    "order {order} j {j}: fd {fd} vs {}",
+                    d[j]
+                );
+            }
+        }
+    }
+
+    fn random_system(n: usize, l: f64, seed: u64) -> (Cell, Vec<Vec3>, Vec<f64>) {
+        use rand::Rng;
+        use rand::SeedableRng;
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+        let cell = Cell::cube(l);
+        let pos: Vec<Vec3> = (0..n)
+            .map(|_| {
+                Vec3::new(
+                    rng.gen::<f64>() * l,
+                    rng.gen::<f64>() * l,
+                    rng.gen::<f64>() * l,
+                )
+            })
+            .collect();
+        // Alternating charges, exactly neutral.
+        let q: Vec<f64> = (0..n).map(|i| if i % 2 == 0 { 0.4 } else { -0.4 }).collect();
+        (cell, pos, q)
+    }
+
+    #[test]
+    fn pme_energy_matches_direct_ewald() {
+        let (cell, pos, q) = random_system(40, 16.0, 3);
+        let beta = 0.45;
+        let mut f_direct = vec![Vec3::ZERO; pos.len()];
+        let params = ewald::EwaldParams { beta, r_cut: 7.0, kmax: 14 };
+        let e_direct = ewald::reciprocal_direct(&cell, &pos, &q, &params, &mut f_direct);
+
+        let mut pme = Pme::new(&cell, PmeParams { beta, order: 4, mesh: [32, 32, 32] });
+        let mut f_pme = vec![Vec3::ZERO; pos.len()];
+        let e_pme = pme.reciprocal(&pos, &q, &mut f_pme).reciprocal;
+
+        assert!(
+            (e_pme / e_direct - 1.0).abs() < 2e-3,
+            "PME {e_pme} vs direct {e_direct}"
+        );
+    }
+
+    #[test]
+    fn pme_forces_match_direct_ewald() {
+        let (cell, pos, q) = random_system(24, 14.0, 9);
+        let beta = 0.5;
+        let mut f_direct = vec![Vec3::ZERO; pos.len()];
+        let params = ewald::EwaldParams { beta, r_cut: 6.5, kmax: 16 };
+        ewald::reciprocal_direct(&cell, &pos, &q, &params, &mut f_direct);
+
+        let mut pme = Pme::new(&cell, PmeParams { beta, order: 6, mesh: [32, 32, 32] });
+        let mut f_pme = vec![Vec3::ZERO; pos.len()];
+        pme.reciprocal(&pos, &q, &mut f_pme);
+
+        let fscale = f_direct.iter().map(|f| f.norm()).fold(0.0, f64::max).max(1e-6);
+        for i in 0..pos.len() {
+            let d = (f_pme[i] - f_direct[i]).norm();
+            assert!(
+                d < 5e-3 * fscale,
+                "atom {i}: PME {:?} vs direct {:?} (Δ {d})",
+                f_pme[i],
+                f_direct[i]
+            );
+        }
+    }
+
+    #[test]
+    fn pme_forces_conserve_momentum() {
+        let (cell, pos, q) = random_system(30, 15.0, 5);
+        let mut pme =
+            Pme::new(&cell, PmeParams { beta: 0.45, order: 4, mesh: [16, 16, 16] });
+        let mut f = vec![Vec3::ZERO; pos.len()];
+        pme.reciprocal(&pos, &q, &mut f);
+        let net: Vec3 = f.iter().copied().sum();
+        let scale = f.iter().map(|v| v.norm()).fold(0.0, f64::max).max(1e-9);
+        assert!(net.norm() < 1e-9 * scale.max(1.0), "net force {net:?}");
+    }
+
+    #[test]
+    fn finer_mesh_converges_to_direct() {
+        let (cell, pos, q) = random_system(20, 12.0, 7);
+        let beta = 0.5;
+        let params = ewald::EwaldParams { beta, r_cut: 5.9, kmax: 16 };
+        let mut f = vec![Vec3::ZERO; pos.len()];
+        let exact = ewald::reciprocal_direct(&cell, &pos, &q, &params, &mut f);
+        let mut errs = Vec::new();
+        for mesh in [8usize, 16, 32] {
+            let mut pme =
+                Pme::new(&cell, PmeParams { beta, order: 4, mesh: [mesh, mesh, mesh] });
+            let mut f = vec![Vec3::ZERO; pos.len()];
+            let e = pme.reciprocal(&pos, &q, &mut f).reciprocal;
+            errs.push((e / exact - 1.0).abs());
+        }
+        assert!(errs[2] < errs[0], "no convergence: {errs:?}");
+        assert!(errs[2] < 1e-3, "finest mesh error {:?}", errs[2]);
+    }
+
+    #[test]
+    fn params_for_cell_round_up() {
+        let cell = Cell::periodic(Vec3::ZERO, Vec3::new(30.0, 60.0, 33.0));
+        let p = PmeParams::for_cell(&cell, 0.35, 1.2);
+        assert_eq!(p.mesh, [32, 64, 32]);
+        assert!(p.mesh.iter().all(|m| m.is_power_of_two()));
+    }
+}

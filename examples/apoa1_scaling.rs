@@ -1,0 +1,55 @@
+//! The headline experiment, sized for a laptop: the ApoA-I benchmark swept
+//! across processor counts on the ASCI-Red machine model.
+//!
+//! By default a 1/10-scale ApoA-I-like system (~9,200 atoms) is used so the
+//! example finishes in seconds; pass `--full` to run the true 92,224-atom
+//! benchmark (≈1 minute).
+//!
+//! ```sh
+//! cargo run --release --example apoa1_scaling [-- --full]
+//! ```
+
+use namd_repro::namd_core::prelude::*;
+
+fn main() {
+    let full = std::env::args().any(|a| a == "--full");
+    let bench = if full { namd_repro::molgen::apoa1_like() } else { namd_repro::molgen::apoa1_like().scaled(0.1) };
+    println!(
+        "system: {} ({} atoms){}",
+        bench.name,
+        bench.n_atoms,
+        if full { "" } else { "  [1/10 scale; pass --full for the real size]" }
+    );
+
+    let machine = namd_repro::machine::presets::asci_red();
+    let system = bench.build();
+    let decomp = build_decomposition(&system, &SimConfig::new(1, machine));
+    println!(
+        "decomposition: {} patches, {} compute objects, ideal 1-PE step {:.2} s\n",
+        decomp.grid.n_patches(),
+        decomp.computes.len(),
+        decomp.ideal_step_time(&machine)
+    );
+
+    println!("PEs     s/step   speedup   efficiency");
+    let pe_counts: &[usize] =
+        if full { &[1, 8, 64, 256, 512, 1024, 2048] } else { &[1, 4, 16, 64, 128, 256] };
+    let mut t1 = 0.0;
+    for &pes in pe_counts {
+        let mut cfg = SimConfig::new(pes, machine);
+        cfg.steps_per_phase = 3;
+        let mut engine = Engine::with_decomposition(system.clone(), decomp.clone(), cfg);
+        let run = engine.run_benchmark();
+        let t = run.final_time_per_step();
+        if pes == 1 {
+            t1 = t;
+        }
+        let speedup = t1 / t;
+        println!(
+            "{pes:>4} {:>10.4} {:>9.1} {:>10.1}%",
+            t,
+            speedup,
+            100.0 * speedup / pes as f64
+        );
+    }
+}

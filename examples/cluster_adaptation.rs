@@ -1,0 +1,73 @@
+//! Adaptation scenarios beyond the paper's tables:
+//!
+//! 1. **Stragglers** (the workstation-cluster scenario of the paper's
+//!    ref [3]): a quarter of the processors run at half speed; the
+//!    measurement-based balancer observes the inflated object times and
+//!    sheds load from the slow machines.
+//! 2. **Slow load drift** (§3.2's closing loop): object loads drift over
+//!    time, and the periodic refinement pass keeps the step time pinned
+//!    while a frozen placement degrades.
+//!
+//! ```sh
+//! cargo run --release --example cluster_adaptation
+//! ```
+
+use namd_repro::mdcore::prelude::Vec3;
+use namd_repro::namd_core::prelude::*;
+
+fn test_system() -> namd_repro::mdcore::system::System {
+    namd_repro::molgen::SystemBuilder::new(namd_repro::molgen::SystemSpec {
+        name: "adaptation",
+        box_lengths: Vec3::new(46.0, 46.0, 46.0),
+        target_atoms: 9_000,
+        protein_chains: 1,
+        protein_chain_len: 90,
+        lipid_slab: Some((16.0, 28.0)),
+        cutoff: 9.0,
+        seed: 5,
+    })
+    .build()
+}
+
+fn main() {
+    let sys = test_system();
+    let machine = namd_repro::machine::presets::asci_red();
+    let n_pes = 32;
+
+    // --- Scenario 1: stragglers -----------------------------------------
+    println!("=== stragglers: 8 of {n_pes} PEs at half speed ===");
+    let mut speeds = vec![1.0; n_pes];
+    for s in speeds.iter_mut().take(8) {
+        *s = 0.5;
+    }
+    for (label, lb) in [("static placement", LbStrategy::None), ("greedy + refine", LbStrategy::GreedyRefine)] {
+        let mut cfg = SimConfig::new(n_pes, machine);
+        cfg.pe_speeds = speeds.clone();
+        cfg.lb = lb;
+        cfg.steps_per_phase = 3;
+        let mut engine = Engine::new(sys.clone(), cfg);
+        let run = engine.run_benchmark();
+        println!("{label:<22} {:.2} ms/step", run.final_time_per_step() * 1e3);
+    }
+
+    // --- Scenario 2: slow load drift ------------------------------------
+    println!("\n=== slow load drift (σ = 20% per cycle, 8 cycles) ===");
+    let run_with = |refine: bool| {
+        let mut cfg = SimConfig::new(n_pes, machine);
+        cfg.steps_per_phase = 3;
+        cfg.load_drift = 0.20;
+        let mut engine = Engine::new(sys.clone(), cfg);
+        engine.run_long(8, refine)
+    };
+    let refined = run_with(true);
+    let frozen = run_with(false);
+    println!("cycle   frozen(ms)   periodic-refine(ms)");
+    for (i, (f, r)) in frozen.iter().zip(&refined).enumerate() {
+        println!("{i:>5} {:>12.2} {:>18.2}", f * 1e3, r * 1e3);
+    }
+    println!(
+        "\nafter 8 cycles: frozen {:.2} ms vs refined {:.2} ms",
+        frozen.last().unwrap() * 1e3,
+        refined.last().unwrap() * 1e3
+    );
+}
