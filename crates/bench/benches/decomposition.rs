@@ -66,7 +66,7 @@ fn bench_multicore_forces(c: &mut Criterion) {
     group.sample_size(10);
     for t in [1usize, threads] {
         group.bench_function(format!("{t}_threads"), |b| {
-            let mut sim = namd_core::parallel::ParallelSim::new(sys.clone(), t, 1.0);
+            let mut sim = namd_core::parallel::ParallelSim::new(sys.clone(), t, 1.0).unwrap();
             b.iter(|| black_box(sim.compute_forces().potential()));
         });
     }

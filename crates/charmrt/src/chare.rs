@@ -7,7 +7,11 @@ use crate::msg::{empty_payload, ObjId, Payload, Pe, Priority};
 /// triggered by message delivery — the runtime's per-PE scheduler picks the
 /// next available message and invokes the indicated method on the indicated
 /// object, exactly as described in §2.2 of the paper.
-pub trait Chare {
+///
+/// `Send` because the real-threads backend owns each chare on one worker
+/// thread at a time (and migration moves it between workers); there is no
+/// concurrent sharing of a chare, only transfer of ownership.
+pub trait Chare: Send {
     /// Handle one message. `entry` selects the method, `payload` carries the
     /// data; use `ctx` to send messages, declare modeled work, and query the
     /// runtime.

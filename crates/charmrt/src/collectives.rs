@@ -131,8 +131,7 @@ mod tests {
     use crate::des::Des;
     use crate::msg::PRIO_NORMAL;
     use machine::presets;
-    use std::cell::RefCell;
-    use std::rc::Rc;
+    use std::sync::{Arc, Mutex};
 
     #[test]
     fn tree_indexing_is_consistent() {
@@ -159,10 +158,10 @@ mod tests {
     }
 
     /// A sink chare that records when it is signalled.
-    struct Flag(Rc<RefCell<u32>>);
+    struct Flag(Arc<Mutex<u32>>);
     impl Chare for Flag {
         fn receive(&mut self, _e: EntryId, _p: Payload, _ctx: &mut Ctx) {
-            *self.0.borrow_mut() += 1;
+            *self.0.lock().unwrap() += 1;
         }
     }
 
@@ -171,11 +170,11 @@ mod tests {
         n: usize,
         arity: usize,
         n_pes: usize,
-    ) -> (ObjId, EntryId, EntryId, Rc<RefCell<u32>>) {
+    ) -> (ObjId, EntryId, EntryId, Arc<Mutex<u32>>) {
         let reduce = des.register_entry("TreeReduce");
         let broadcast = des.register_entry("TreeBroadcast");
         let done = des.register_entry("TreeDone");
-        let hits = Rc::new(RefCell::new(0));
+        let hits = Arc::new(Mutex::new(0));
         let sink = des.register(Box::new(Flag(hits.clone())), 0, false);
         let base = ObjId(sink.0 + 1);
         for i in 0..n {
@@ -206,7 +205,7 @@ mod tests {
             des.inject(ObjId(base.0 + i as u32), reduce, 32, PRIO_NORMAL, empty_payload());
         }
         des.run();
-        assert_eq!(*hits.borrow(), 1);
+        assert_eq!(*hits.lock().unwrap(), 1);
     }
 
     #[test]
@@ -220,7 +219,7 @@ mod tests {
             }
             des.run();
         }
-        assert_eq!(*hits.borrow(), 3);
+        assert_eq!(*hits.lock().unwrap(), 3);
     }
 
     #[test]
@@ -248,7 +247,7 @@ mod tests {
         // overheads serialize on one processor.
         let mut flat = Des::new(n, machine);
         let e = flat.register_entry("sig");
-        let hits = Rc::new(RefCell::new(0));
+        let hits = Arc::new(Mutex::new(0));
         let sink = flat.register(Box::new(Flag(hits.clone())), 0, false);
         for _ in 0..n {
             flat.inject(sink, e, 32, PRIO_NORMAL, empty_payload());
@@ -262,7 +261,7 @@ mod tests {
             tree.inject(ObjId(base.0 + i as u32), reduce, 32, PRIO_NORMAL, empty_payload());
         }
         let t_tree = tree.run();
-        assert_eq!(*thits.borrow(), 1);
+        assert_eq!(*thits.lock().unwrap(), 1);
         assert!(
             t_tree < t_flat / 5.0,
             "tree {t_tree} should be ≫ faster than flat {t_flat}"

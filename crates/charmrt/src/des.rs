@@ -410,8 +410,7 @@ mod tests {
     use crate::msg::{empty_payload, PRIO_HIGH, PRIO_LOW, PRIO_NORMAL};
     use machine::presets;
 
-    use std::cell::RefCell;
-    use std::rc::Rc;
+    use std::sync::{Arc, Mutex};
 
     /// A chare that counts invocations and optionally forwards to a peer
     /// with declared work. Tagged payloads are appended to a shared order
@@ -420,12 +419,12 @@ mod tests {
         hits: u32,
         forward: Option<(ObjId, EntryId)>,
         work: f64,
-        order: Rc<RefCell<Vec<i32>>>,
+        order: Arc<Mutex<Vec<i32>>>,
     }
 
     impl Node {
         fn new() -> Self {
-            Node { hits: 0, forward: None, work: 0.0, order: Rc::new(RefCell::new(Vec::new())) }
+            Node { hits: 0, forward: None, work: 0.0, order: Arc::new(Mutex::new(Vec::new())) }
         }
     }
 
@@ -433,7 +432,7 @@ mod tests {
         fn receive(&mut self, _entry: EntryId, payload: Payload, ctx: &mut Ctx) {
             self.hits += 1;
             if let Ok(tag) = payload.downcast::<i32>() {
-                self.order.borrow_mut().push(*tag);
+                self.order.lock().unwrap().push(*tag);
             }
             ctx.add_work(self.work);
             if let Some((to, e)) = self.forward {
@@ -467,7 +466,7 @@ mod tests {
         // one must run first, then normal, then low.
         let mut des = Des::new(1, presets::ideal());
         let e = des.register_entry("tagged");
-        let order = Rc::new(RefCell::new(Vec::new()));
+        let order = Arc::new(Mutex::new(Vec::new()));
         let sink = des.register(
             Box::new(Node { work: 10.0, order: order.clone(), ..Node::new() }),
             0,
@@ -481,7 +480,7 @@ mod tests {
         des.inject(sink, e, 0, PRIO_NORMAL, Box::new(2i32));
         des.inject(sink, e, 0, PRIO_HIGH, Box::new(0i32));
         des.run();
-        assert_eq!(*order.borrow(), vec![0, 1, 2, 3]);
+        assert_eq!(*order.lock().unwrap(), vec![0, 1, 2, 3]);
     }
 
     #[test]

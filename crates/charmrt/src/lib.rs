@@ -7,26 +7,36 @@
 //! the runtime instruments every object and feeds a measurement-based
 //! load-balancing framework that can remap objects between processors.
 //!
-//! ## Execution backend
+//! ## Execution backends
 //!
-//! The original ran on real MPPs. Here the engine is a deterministic
-//! **discrete-event simulator** ([`Des`]): handlers run immediately (real
-//! Rust code mutating real data), while their *cost* — declared work units
-//! plus per-message send/receive/packing overheads — advances per-PE virtual
-//! clocks under a [`machine::MachineModel`]. Scheduling decisions, queue
-//! priorities, load measurement, and object migration behave exactly as on a
-//! real machine; only wall-clock duration is modeled. This is the standard
-//! substitution for reproducing 2048-processor scheduling research on a
-//! laptop (DESIGN.md §2); a real-threads data-parallel path lives in
-//! `namd-core::parallel`.
+//! The original ran on real MPPs. Here a single backend-agnostic contract,
+//! [`Runtime`], has two implementations:
+//!
+//! * [`Des`] — a deterministic **discrete-event simulator**: handlers run
+//!   immediately (real Rust code mutating real data), while their *cost* —
+//!   declared work units plus per-message send/receive/packing overheads —
+//!   advances per-PE virtual clocks under a [`machine::MachineModel`].
+//!   Scheduling decisions, queue priorities, load measurement, and object
+//!   migration behave exactly as on a real machine; only wall-clock duration
+//!   is modeled. This is the standard substitution for reproducing
+//!   2048-processor scheduling research on a laptop (DESIGN.md §2).
+//! * [`ThreadRuntime`] — **real OS worker threads**, one per PE, each with a
+//!   prioritized message queue. The same chare graph executes concurrently;
+//!   handler cost is *measured* wall-clock time, fed into the identical
+//!   instrumentation so the measurement-based load balancer runs from real
+//!   durations.
 //!
 //! ## Pieces
 //!
 //! * [`chare::Chare`], [`chare::Ctx`] — the object model: receive a message,
 //!   declare work, send messages (including costed naive/optimized
 //!   multicasts, §4.2.3).
-//! * [`des::Des`] — the engine: event loop, per-PE prioritized queues,
-//!   machine-model costing, migration.
+//! * [`runtime::Runtime`] — the backend-agnostic contract (register, inject,
+//!   run-to-quiescence, migrate, harvest measurements).
+//! * [`des::Des`] — the modeled engine: event loop, per-PE prioritized
+//!   queues, machine-model costing, migration.
+//! * [`threads::ThreadRuntime`] — the real-threads engine: worker threads,
+//!   in-flight-counter quiescence, wall-clock measurement.
 //! * [`stats::SummaryStats`] — per-entry-method summary profiles (§4.1).
 //! * [`trace::Trace`] — Projections-style full traces: grainsize histograms
 //!   (Figs 1-2) and text timelines (Figs 3-4).
@@ -42,6 +52,7 @@ pub mod collectives;
 pub mod des;
 pub mod ldb;
 pub mod msg;
+pub mod runtime;
 pub mod stats;
 pub mod threads;
 pub mod trace;
@@ -53,6 +64,7 @@ pub use ldb::{LdbDatabase, LdbSnapshot, ObjLoad};
 pub use msg::{
     empty_payload, EntryId, ObjId, Payload, Pe, Priority, PRIO_HIGH, PRIO_LOW, PRIO_NORMAL,
 };
+pub use runtime::Runtime;
 pub use stats::SummaryStats;
-pub use threads::{SendChare, SendPayload, ThreadCtx, ThreadRuntime};
+pub use threads::ThreadRuntime;
 pub use trace::{Histogram, Trace, TraceEvent};

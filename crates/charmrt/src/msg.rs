@@ -41,9 +41,10 @@ pub const PRIO_HIGH: Priority = -10;
 /// Priority for background/bookkeeping messages.
 pub const PRIO_LOW: Priority = 10;
 
-/// Opaque message payload. The DES backend is single-threaded, so payloads
-/// are plain boxed `Any` values that receivers downcast.
-pub type Payload = Box<dyn std::any::Any>;
+/// Opaque message payload: a boxed `Any` value the receiver downcasts.
+/// `Send` so the same payloads cross worker threads on the real-threads
+/// backend; the DES backend delivers them in-process.
+pub type Payload = Box<dyn std::any::Any + Send>;
 
 /// An empty payload for signal-only messages.
 pub fn empty_payload() -> Payload {

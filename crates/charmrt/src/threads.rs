@@ -1,239 +1,439 @@
-//! A real-threads message-driven executor: Converse's SMP mode.
+//! Real-threads execution backend: the same chare graph the DES runs,
+//! executed by OS worker threads with measured wall-clock instrumentation.
 //!
-//! The DES backend ([`crate::des::Des`]) simulates virtual processors for
-//! deterministic paper-scale studies; this module actually *runs* a
-//! message-driven object program on OS threads. Each worker owns a disjoint
-//! set of objects and drains a channel of envelopes; handlers execute on
-//! the owning worker (so objects need no internal locking, exactly like
-//! Charm++'s one-chare-one-PE execution), and sends go directly to the
-//! destination worker's queue.
+//! One worker thread per PE, each with a prioritized message queue
+//! (mirroring the per-PE scheduler of §2.2). A handler runs on the worker
+//! that owns its object; its sends are enqueued on the destination
+//! owners' queues when it returns, exactly like the DES dispatch order.
+//! Quiescence is detected by a global in-flight message counter:
+//! the count is incremented *before* a message is enqueued and
+//! decremented only after its handler has run *and* enqueued its own
+//! sends, so the counter can only reach zero when no work remains.
 //!
-//! Termination is quiescence detection, Charm++'s classic utility: a global
-//! in-flight counter is incremented *before* every enqueue and decremented
-//! only after the receiving handler (and the enqueue of everything it sent)
-//! completes, so the counter reads zero only when no message is queued,
-//! in flight, or being processed.
+//! Measurement: every handler execution is timed with a monotonic clock
+//! from a common epoch and attributed to the same [`SummaryStats`],
+//! [`Trace`], and [`LdbDatabase`] the DES fills — so the
+//! measurement-based load-balancing cycle runs unchanged on real
+//! hardware, from *measured* rather than modeled durations. The makespan
+//! returned by [`ThreadRuntime::run`] is the latest handler end time,
+//! which excludes thread spawn/join overhead.
 //!
 //! Unlike the DES, execution order across workers is nondeterministic —
 //! that is the point; programs must be written message-driven, and the
 //! tests check outcomes, not schedules.
 
-use crate::msg::{EntryId, ObjId};
-use crossbeam::channel::{unbounded, Receiver, Sender};
-use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use crate::chare::{Chare, Ctx};
+use crate::ldb::LdbDatabase;
+use crate::msg::{EntryId, ObjId, Payload, Pe, Priority};
+use crate::runtime::Runtime;
+use crate::stats::SummaryStats;
+use crate::trace::{Trace, TraceEvent};
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering as AtOrd};
+use std::sync::{Condvar, Mutex};
+use std::time::{Duration, Instant};
 
-/// Payload for the threaded runtime (must cross threads).
-pub type SendPayload = Box<dyn std::any::Any + Send>;
-
-/// A thread-safe data-driven object.
-pub trait SendChare: Send {
-    /// Handle one message; use `ctx` to send further messages.
-    fn receive(&mut self, entry: EntryId, payload: SendPayload, ctx: &mut ThreadCtx);
-}
-
-/// One message envelope.
-struct Envelope {
+/// A queued message awaiting execution on a worker.
+struct TMsg {
+    priority: Priority,
+    seq: u64,
     to: ObjId,
     entry: EntryId,
-    payload: SendPayload,
+    payload: Payload,
 }
 
-/// Execution context for threaded handlers: collects sends, which the
-/// worker dispatches after the handler returns.
-pub struct ThreadCtx {
-    sends: Vec<Envelope>,
-    this: ObjId,
-    worker: usize,
+impl PartialEq for TMsg {
+    fn eq(&self, other: &Self) -> bool {
+        self.priority == other.priority && self.seq == other.seq
+    }
 }
-
-impl ThreadCtx {
-    /// Send a message to another object.
-    pub fn send(&mut self, to: ObjId, entry: EntryId, payload: SendPayload) {
-        self.sends.push(Envelope { to, entry, payload });
+impl Eq for TMsg {}
+impl PartialOrd for TMsg {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
     }
-
-    /// The object currently executing.
-    pub fn this(&self) -> ObjId {
-        self.this
-    }
-
-    /// The worker thread index executing this handler.
-    pub fn worker(&self) -> usize {
-        self.worker
+}
+impl Ord for TMsg {
+    // Max-heap → invert for smallest (priority, seq) first, like the DES.
+    fn cmp(&self, other: &Self) -> Ordering {
+        (other.priority, other.seq).cmp(&(self.priority, self.seq))
     }
 }
 
-/// Shared runtime state.
-struct Inner {
-    /// Messages enqueued-or-executing; zero ⇒ quiescent.
+/// One worker's scheduler queue.
+struct WorkerQueue {
+    heap: Mutex<BinaryHeap<TMsg>>,
+    available: Condvar,
+}
+
+/// State shared by all workers during a run.
+struct Sched {
+    queues: Vec<WorkerQueue>,
+    /// Messages enqueued but whose handler (plus its sends' enqueueing)
+    /// has not completed. Zero ⇒ quiescence.
     in_flight: AtomicU64,
-    /// Per-entry execution counts (same summary idea as the DES stats).
-    entry_counts: Vec<AtomicU64>,
-    /// Worker input channels.
-    queues: Vec<Sender<Envelope>>,
-    /// Owning worker per object.
-    owner: Vec<usize>,
+    /// Set on quiescence or `Ctx::stop`; remaining queued messages drop.
+    done: AtomicBool,
+    /// Global message sequence for priority tie-breaks within a queue.
+    seq: AtomicU64,
+    /// Object → owning worker, frozen for the duration of the run.
+    obj_pe: Vec<Pe>,
+    n_pes: usize,
+    epoch: Instant,
 }
 
-/// The threaded message-driven runtime.
+impl Sched {
+    fn enqueue(&self, pe: Pe, msg: TMsg) {
+        self.in_flight.fetch_add(1, AtOrd::SeqCst);
+        let q = &self.queues[pe];
+        let mut heap = q.heap.lock().unwrap();
+        heap.push(msg);
+        q.available.notify_one();
+    }
+
+    fn finish_message(&self) {
+        if self.in_flight.fetch_sub(1, AtOrd::SeqCst) == 1 {
+            self.shutdown();
+        }
+    }
+
+    fn shutdown(&self) {
+        self.done.store(true, AtOrd::SeqCst);
+        for q in &self.queues {
+            // Take the lock so a worker between its `done` check and its
+            // wait cannot miss the wakeup.
+            let _guard = q.heap.lock().unwrap();
+            q.available.notify_all();
+        }
+    }
+
+    fn next_seq(&self) -> u64 {
+        self.seq.fetch_add(1, AtOrd::SeqCst)
+    }
+}
+
+/// Per-worker measurement collector, merged into the runtime's
+/// instrumentation after the workers join.
+struct WorkerMetrics {
+    pe: Pe,
+    busy: f64,
+    entry_time: Vec<f64>,
+    entry_count: Vec<u64>,
+    msgs_sent: u64,
+    bytes_sent: u64,
+    /// (object, measured seconds) per handler execution.
+    obj_secs: Vec<(ObjId, f64)>,
+    trace: Vec<TraceEvent>,
+    /// Latest handler end time (epoch-relative seconds).
+    last_end: f64,
+}
+
+/// Real-threads [`Runtime`] backend. See the module docs.
+///
+/// ```
+/// use charmrt::{Chare, Ctx, EntryId, Payload, Runtime, ThreadRuntime, PRIO_NORMAL};
+///
+/// struct Echo;
+/// impl Chare for Echo {
+///     fn receive(&mut self, _e: EntryId, _p: Payload, _ctx: &mut Ctx) {}
+/// }
+///
+/// let mut rt = ThreadRuntime::new(2);
+/// let e = rt.register_entry("echo");
+/// let o = rt.register(Box::new(Echo), 1, true);
+/// rt.inject(o, e, 0, PRIO_NORMAL, charmrt::empty_payload());
+/// rt.run();
+/// assert_eq!(rt.stats.entry_count[e.idx()], 1);
+/// ```
 pub struct ThreadRuntime {
-    n_workers: usize,
-    /// Objects grouped by owning worker (moved into threads at `run`).
-    objects: Vec<HashMap<u32, Box<dyn SendChare>>>,
-    owner: Vec<usize>,
-    entry_names: Vec<String>,
-    pending_injections: Vec<Envelope>,
+    n_pes: usize,
+    objects: Vec<Option<Box<dyn Chare>>>,
+    obj_pe: Vec<Pe>,
+    /// Bootstrap messages queued by `inject` until the next `run`.
+    injected: Vec<(ObjId, EntryId, usize, Priority, Payload)>,
+    tracing: bool,
+    /// Summary-profile instrumentation (measured wall-clock).
+    pub stats: SummaryStats,
+    /// Full event trace (opt-in via `set_tracing`).
+    pub trace: Trace,
+    /// Load-balancing measurement database (measured wall-clock).
+    pub ldb: LdbDatabase,
 }
 
 impl ThreadRuntime {
-    /// Create a runtime with `n_workers` OS threads.
-    pub fn new(n_workers: usize) -> Self {
-        assert!(n_workers > 0);
+    /// Create a runtime with `n_pes` worker threads.
+    pub fn new(n_pes: usize) -> Self {
+        assert!(n_pes > 0, "need at least one worker");
         ThreadRuntime {
-            n_workers,
-            objects: (0..n_workers).map(|_| HashMap::new()).collect(),
-            owner: Vec::new(),
-            entry_names: Vec::new(),
-            pending_injections: Vec::new(),
+            n_pes,
+            objects: Vec::new(),
+            obj_pe: Vec::new(),
+            injected: Vec::new(),
+            tracing: false,
+            stats: SummaryStats::new(n_pes),
+            trace: Trace::default(),
+            ldb: LdbDatabase::new(n_pes),
         }
     }
 
-    /// Register an entry method by name.
-    pub fn register_entry(&mut self, name: &str) -> EntryId {
-        let id = EntryId(self.entry_names.len() as u16);
-        self.entry_names.push(name.to_string());
-        id
+    /// Number of worker threads.
+    pub fn n_pes(&self) -> usize {
+        self.n_pes
     }
 
-    /// Register an object on a worker.
-    pub fn register(&mut self, obj: Box<dyn SendChare>, worker: usize) -> ObjId {
-        assert!(worker < self.n_workers);
-        let id = ObjId(self.owner.len() as u32);
-        self.owner.push(worker);
-        self.objects[worker].insert(id.0, obj);
-        id
+    fn worker_loop(
+        sched: &Sched,
+        pe: Pe,
+        objects: &mut [Option<Box<dyn Chare>>],
+        n_entries: usize,
+    ) -> WorkerMetrics {
+        let mut metrics = WorkerMetrics {
+            pe,
+            busy: 0.0,
+            entry_time: vec![0.0; n_entries],
+            entry_count: vec![0; n_entries],
+            msgs_sent: 0,
+            bytes_sent: 0,
+            obj_secs: Vec::new(),
+            trace: Vec::new(),
+            last_end: 0.0,
+        };
+        let q = &sched.queues[pe];
+        loop {
+            let msg = {
+                let mut heap = q.heap.lock().unwrap();
+                loop {
+                    if sched.done.load(AtOrd::SeqCst) {
+                        return metrics;
+                    }
+                    if let Some(m) = heap.pop() {
+                        break m;
+                    }
+                    // Timed wait purely as a belt-and-braces guard: every
+                    // state change notifies under this lock, so the
+                    // timeout should never be what wakes us.
+                    let (guard, _) =
+                        q.available.wait_timeout(heap, Duration::from_millis(50)).unwrap();
+                    heap = guard;
+                }
+            };
+
+            let start = sched.epoch.elapsed().as_secs_f64();
+            let mut ctx = Ctx::new(pe, start, msg.to, sched.n_pes);
+            let obj = objects[msg.to.idx()]
+                .as_deref_mut()
+                .expect("message routed to a worker that does not own the object");
+            obj.receive(msg.entry, msg.payload, &mut ctx);
+            let end = sched.epoch.elapsed().as_secs_f64();
+
+            let secs = end - start;
+            metrics.busy += secs;
+            metrics.entry_time[msg.entry.idx()] += secs;
+            metrics.entry_count[msg.entry.idx()] += 1;
+            metrics.obj_secs.push((msg.to, secs));
+            metrics.last_end = metrics.last_end.max(end);
+            metrics.trace.push(TraceEvent { pe, obj: msg.to, entry: msg.entry, start, end });
+
+            let stop = ctx.stop;
+            for s in ctx.sends.drain(..) {
+                metrics.msgs_sent += 1;
+                metrics.bytes_sent += s.bytes as u64;
+                let dest = sched.obj_pe[s.to.idx()];
+                sched.enqueue(
+                    dest,
+                    TMsg {
+                        priority: s.priority,
+                        seq: sched.next_seq(),
+                        to: s.to,
+                        entry: s.entry,
+                        payload: s.payload,
+                    },
+                );
+            }
+            if stop {
+                self::Sched::shutdown(sched);
+                sched.in_flight.fetch_sub(1, AtOrd::SeqCst);
+            } else {
+                sched.finish_message();
+            }
+        }
     }
 
-    /// Queue a bootstrap message (delivered when `run` starts).
-    pub fn inject(&mut self, to: ObjId, entry: EntryId, payload: SendPayload) {
-        self.pending_injections.push(Envelope { to, entry, payload });
-    }
-
-    /// Run to quiescence. Returns per-entry execution counts and the
-    /// objects (so results can be read back out).
-    pub fn run(mut self) -> ThreadRunResult {
-        let (senders, receivers): (Vec<Sender<Envelope>>, Vec<Receiver<Envelope>>) =
-            (0..self.n_workers).map(|_| unbounded()).unzip();
-        let inner = Arc::new(Inner {
+    /// Run to quiescence (or `Ctx::stop`) on real worker threads. Returns
+    /// the makespan: the latest handler end time, in wall seconds from the
+    /// run's epoch.
+    pub fn run(&mut self) -> f64 {
+        if self.injected.is_empty() {
+            return 0.0;
+        }
+        let n_entries = self.stats.entry_names.len();
+        let sched = Sched {
+            queues: (0..self.n_pes)
+                .map(|_| WorkerQueue {
+                    heap: Mutex::new(BinaryHeap::new()),
+                    available: Condvar::new(),
+                })
+                .collect(),
             in_flight: AtomicU64::new(0),
-            entry_counts: (0..self.entry_names.len()).map(|_| AtomicU64::new(0)).collect(),
-            queues: senders,
-            owner: self.owner.clone(),
+            done: AtomicBool::new(false),
+            seq: AtomicU64::new(0),
+            obj_pe: self.obj_pe.clone(),
+            n_pes: self.n_pes,
+            epoch: Instant::now(),
+        };
+        for (to, entry, _bytes, priority, payload) in self.injected.drain(..) {
+            let pe = sched.obj_pe[to.idx()];
+            let msg = TMsg { priority, seq: sched.next_seq(), to, entry, payload };
+            sched.enqueue(pe, msg);
+        }
+
+        // Partition object ownership: each worker gets a dense table with
+        // only its own objects present.
+        let n_objects = self.objects.len();
+        let mut owned: Vec<Vec<Option<Box<dyn Chare>>>> =
+            (0..self.n_pes).map(|_| (0..n_objects).map(|_| None).collect()).collect();
+        for (idx, slot) in self.objects.iter_mut().enumerate() {
+            if let Some(obj) = slot.take() {
+                owned[self.obj_pe[idx]][idx] = Some(obj);
+            }
+        }
+
+        let mut worker_metrics: Vec<WorkerMetrics> = std::thread::scope(|scope| {
+            let handles: Vec<_> = owned
+                .iter_mut()
+                .enumerate()
+                .map(|(pe, objs)| {
+                    let sched = &sched;
+                    scope.spawn(move || Self::worker_loop(sched, pe, objs, n_entries))
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
         });
 
-        // Count and enqueue the injections before any worker starts.
-        for env in self.pending_injections.drain(..) {
-            inner.in_flight.fetch_add(1, Ordering::SeqCst);
-            let w = inner.owner[env.to.idx()];
-            inner.queues[w].send(env).expect("queue open");
-        }
-
-        let mut handles = Vec::new();
-        for (w, rx) in receivers.into_iter().enumerate() {
-            let mut objects = std::mem::take(&mut self.objects[w]);
-            let inner = inner.clone();
-            handles.push(std::thread::spawn(move || {
-                // Drain until the runtime is quiescent. A blocking recv
-                // with timeout lets workers notice global quiescence.
-                loop {
-                    match rx.recv_timeout(std::time::Duration::from_millis(1)) {
-                        Ok(env) => {
-                            let obj = objects
-                                .get_mut(&env.to.0)
-                                .expect("message for object not on this worker");
-                            let mut ctx =
-                                ThreadCtx { sends: Vec::new(), this: env.to, worker: w };
-                            obj.receive(env.entry, env.payload, &mut ctx);
-                            inner.entry_counts[env.entry.idx()]
-                                .fetch_add(1, Ordering::Relaxed);
-                            // Enqueue (and count) everything the handler
-                            // sent before releasing this message's slot, so
-                            // in_flight can never transiently read zero
-                            // while work remains.
-                            for out in ctx.sends.drain(..) {
-                                inner.in_flight.fetch_add(1, Ordering::SeqCst);
-                                let dest = inner.owner[out.to.idx()];
-                                inner.queues[dest].send(out).expect("queue open");
-                            }
-                            inner.in_flight.fetch_sub(1, Ordering::SeqCst);
-                        }
-                        Err(_) => {
-                            if inner.in_flight.load(Ordering::SeqCst) == 0 {
-                                break;
-                            }
-                        }
-                    }
+        // Return object ownership to the runtime.
+        for objs in owned.iter_mut() {
+            for (idx, slot) in objs.iter_mut().enumerate() {
+                if let Some(obj) = slot.take() {
+                    self.objects[idx] = Some(obj);
                 }
-                objects
-            }));
+            }
         }
 
-        let mut objects: Vec<HashMap<u32, Box<dyn SendChare>>> = Vec::new();
-        for h in handles {
-            objects.push(h.join().expect("worker panicked"));
+        // Merge per-worker measurements into the shared instrumentation.
+        worker_metrics.sort_by_key(|m| m.pe);
+        let mut makespan = 0.0f64;
+        for m in worker_metrics {
+            self.stats.pe_busy[m.pe] += m.busy;
+            for (i, (&t, &c)) in m.entry_time.iter().zip(&m.entry_count).enumerate() {
+                self.stats.entry_time[i] += t;
+                self.stats.entry_count[i] += c;
+            }
+            self.stats.msgs_sent += m.msgs_sent;
+            self.stats.bytes_sent += m.bytes_sent;
+            for (obj, secs) in m.obj_secs {
+                self.ldb.attribute(obj, m.pe, secs);
+            }
+            if self.tracing {
+                for ev in m.trace {
+                    self.trace.record(ev);
+                }
+            }
+            makespan = makespan.max(m.last_end);
         }
-        ThreadRunResult {
-            entry_counts: inner
-                .entry_counts
-                .iter()
-                .map(|c| c.load(Ordering::Relaxed))
-                .collect(),
-            entry_names: self.entry_names,
-            objects,
-            owner: self.owner,
-        }
+        makespan
     }
 }
 
-/// The outcome of a threaded run.
-pub struct ThreadRunResult {
-    /// Executions per entry method.
-    pub entry_counts: Vec<u64>,
-    /// Registered entry names.
-    pub entry_names: Vec<String>,
-    objects: Vec<HashMap<u32, Box<dyn SendChare>>>,
-    owner: Vec<usize>,
-}
+impl Runtime for ThreadRuntime {
+    fn n_pes(&self) -> usize {
+        self.n_pes
+    }
 
-impl ThreadRunResult {
-    /// Take an object back out of the runtime (for reading results).
-    pub fn take_object(&mut self, id: ObjId) -> Option<Box<dyn SendChare>> {
-        let w = *self.owner.get(id.idx())?;
-        self.objects[w].remove(&id.0)
+    fn register_entry(&mut self, name: &str) -> EntryId {
+        self.stats.register_entry(name)
+    }
+
+    fn register(&mut self, obj: Box<dyn Chare>, pe: Pe, migratable: bool) -> ObjId {
+        assert!(pe < self.n_pes, "PE {pe} out of range ({} workers)", self.n_pes);
+        let id = ObjId(self.objects.len() as u32);
+        self.objects.push(Some(obj));
+        self.obj_pe.push(pe);
+        self.ldb.on_register(migratable);
+        id
+    }
+
+    fn inject(
+        &mut self,
+        to: ObjId,
+        entry: EntryId,
+        bytes: usize,
+        priority: Priority,
+        payload: Payload,
+    ) {
+        self.injected.push((to, entry, bytes, priority, payload));
+    }
+
+    fn run(&mut self) -> f64 {
+        Self::run(self)
+    }
+
+    fn stats(&self) -> &SummaryStats {
+        &self.stats
+    }
+
+    fn trace(&self) -> &Trace {
+        &self.trace
+    }
+
+    fn set_tracing(&mut self, on: bool) {
+        self.tracing = on;
+    }
+
+    fn ldb(&self) -> &LdbDatabase {
+        &self.ldb
+    }
+
+    fn placement(&self) -> &[Pe] {
+        &self.obj_pe
+    }
+
+    fn migrate(&mut self, obj: ObjId, pe: Pe) {
+        assert!(pe < self.n_pes);
+        self.obj_pe[obj.idx()] = pe;
+    }
+
+    fn object(&self, obj: ObjId) -> &dyn Chare {
+        self.objects[obj.idx()].as_deref().expect("object missing")
+    }
+
+    fn object_mut(&mut self, obj: ObjId) -> &mut dyn Chare {
+        self.objects[obj.idx()].as_deref_mut().expect("object missing")
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::sync::atomic::AtomicUsize;
+    use crate::msg::{empty_payload, PRIO_HIGH, PRIO_NORMAL};
+    use std::sync::atomic::AtomicU32;
+    use std::sync::Arc;
 
-    /// Counts hits; optionally forwards `remaining` hops around a ring.
+    /// Counts hits; forwards `hops` more times along `next`.
     struct Hopper {
-        hits: Arc<AtomicUsize>,
         next: Option<ObjId>,
         entry: EntryId,
+        hops: u32,
+        hits: Arc<AtomicU32>,
     }
 
-    impl SendChare for Hopper {
-        fn receive(&mut self, _e: EntryId, payload: SendPayload, ctx: &mut ThreadCtx) {
-            self.hits.fetch_add(1, Ordering::SeqCst);
-            let remaining = *payload.downcast::<u32>().expect("u32 hop count");
-            if remaining > 0 {
+    impl Chare for Hopper {
+        fn receive(&mut self, _e: EntryId, _p: Payload, ctx: &mut Ctx) {
+            self.hits.fetch_add(1, AtOrd::SeqCst);
+            if self.hops > 0 {
+                self.hops -= 1;
                 if let Some(next) = self.next {
-                    ctx.send(next, self.entry, Box::new(remaining - 1));
+                    ctx.signal(next, self.entry, PRIO_NORMAL);
                 }
             }
         }
@@ -241,118 +441,167 @@ mod tests {
 
     #[test]
     fn ring_message_hops_to_completion() {
-        // Objects are numbered in registration order, so the ring's next
-        // pointers are known up front.
-        let mut rt = ThreadRuntime::new(4);
-        let hop = rt.register_entry("hop");
-        let hits = Arc::new(AtomicUsize::new(0));
-        let n = 8usize;
-        for i in 0..n {
-            let next = ObjId(((i + 1) % n) as u32);
-            let id = rt.register(
-                Box::new(Hopper { hits: hits.clone(), next: Some(next), entry: hop }),
-                i % 4,
-            );
-            assert_eq!(id, ObjId(i as u32));
-        }
-        rt.inject(ObjId(0), hop, Box::new(100u32));
-        let result = rt.run();
-        assert_eq!(hits.load(Ordering::SeqCst), 101);
-        assert_eq!(result.entry_counts[hop.idx()], 101);
+        let mut rt = ThreadRuntime::new(3);
+        let e = rt.register_entry("hop");
+        let hits = Arc::new(AtomicU32::new(0));
+        let n = 3;
+        // Ids are dense and sequential: node i forwards to (i + 1) % n.
+        let ids: Vec<ObjId> = (0..n)
+            .map(|i| {
+                rt.register(
+                    Box::new(Hopper {
+                        next: Some(ObjId(((i + 1) % n) as u32)),
+                        entry: e,
+                        hops: 5,
+                        hits: hits.clone(),
+                    }),
+                    i % 3,
+                    true,
+                )
+            })
+            .collect();
+        assert_eq!(ids[1], ObjId(1));
+        rt.inject(ids[0], e, 0, PRIO_NORMAL, empty_payload());
+        let t = rt.run();
+        // Bootstrap + each node forwards until its own hop budget drains:
+        // 1 + 3 × 5 executions in a 3-ring.
+        assert_eq!(hits.load(AtOrd::SeqCst), 16);
+        assert_eq!(rt.stats.entry_count[e.idx()], 16);
+        assert!(t > 0.0);
     }
 
-    /// Fans out `width` messages to workers, each of which replies to a sink.
-    struct FanSource {
-        targets: Vec<ObjId>,
-        entry: EntryId,
+    /// Root fans out to all leaves; each leaf reports back; root counts.
+    struct FanRoot {
+        leaves: Vec<ObjId>,
+        fan: EntryId,
+        acks: u32,
     }
-    impl SendChare for FanSource {
-        fn receive(&mut self, _e: EntryId, _p: SendPayload, ctx: &mut ThreadCtx) {
-            for &t in &self.targets {
-                ctx.send(t, self.entry, Box::new(()));
+
+    impl Chare for FanRoot {
+        fn receive(&mut self, entry: EntryId, _p: Payload, ctx: &mut Ctx) {
+            if entry == self.fan {
+                let leaves = self.leaves.clone();
+                for leaf in leaves {
+                    ctx.signal(leaf, self.fan, PRIO_NORMAL);
+                }
+            } else {
+                self.acks += 1;
             }
         }
     }
-    struct Echo {
-        sink: ObjId,
-        entry: EntryId,
+
+    struct FanLeaf {
+        root: ObjId,
+        ack: EntryId,
     }
-    impl SendChare for Echo {
-        fn receive(&mut self, _e: EntryId, _p: SendPayload, ctx: &mut ThreadCtx) {
-            ctx.send(self.sink, self.entry, Box::new(()));
-        }
-    }
-    struct Sink {
-        count: Arc<AtomicUsize>,
-    }
-    impl SendChare for Sink {
-        fn receive(&mut self, _e: EntryId, _p: SendPayload, _ctx: &mut ThreadCtx) {
-            self.count.fetch_add(1, Ordering::SeqCst);
+
+    impl Chare for FanLeaf {
+        fn receive(&mut self, _e: EntryId, _p: Payload, ctx: &mut Ctx) {
+            ctx.signal(self.root, self.ack, PRIO_HIGH);
         }
     }
 
     #[test]
     fn fan_out_fan_in_reaches_quiescence_with_exact_counts() {
-        let mut rt = ThreadRuntime::new(3);
-        let go = rt.register_entry("go");
-        let echo = rt.register_entry("echo");
-        let done = rt.register_entry("done");
-        let sink_count = Arc::new(AtomicUsize::new(0));
-        let sink = rt.register(Box::new(Sink { count: sink_count.clone() }), 0);
-        let width = 200;
-        let echoes: Vec<ObjId> = (0..width)
-            .map(|i| rt.register(Box::new(Echo { sink, entry: done }), i % 3))
-            .collect();
-        let source = rt.register(Box::new(FanSource { targets: echoes, entry: echo }), 1);
-        rt.inject(source, go, Box::new(()));
-        let mut result = rt.run();
-        assert_eq!(result.entry_counts[echo.idx()], width as u64);
-        assert_eq!(result.entry_counts[done.idx()], width as u64);
-        assert_eq!(sink_count.load(Ordering::SeqCst), width);
-        // The object can also be taken back out after the run.
-        assert!(result.take_object(sink).is_some());
-        assert!(result.take_object(sink).is_none());
+        let mut rt = ThreadRuntime::new(4);
+        let fan = rt.register_entry("fan");
+        let ack = rt.register_entry("ack");
+        let n_leaves = 24u32;
+        let root = ObjId(0);
+        let leaves: Vec<ObjId> = (1..=n_leaves).map(ObjId).collect();
+        rt.register(Box::new(FanRoot { leaves: leaves.clone(), fan, acks: 0 }), 0, false);
+        for (i, _) in leaves.iter().enumerate() {
+            rt.register(Box::new(FanLeaf { root, ack }), i % 4, true);
+        }
+        rt.inject(root, fan, 0, PRIO_NORMAL, empty_payload());
+        rt.run();
+        assert_eq!(rt.stats.entry_count[fan.idx()], 1 + n_leaves as u64);
+        assert_eq!(rt.stats.entry_count[ack.idx()], n_leaves as u64);
+        // Leaf loads were measured and attributed per object; the fixed
+        // root landed in PE 0's background load.
+        let snap = rt.ldb.snapshot(Runtime::placement(&rt));
+        assert!(snap.objects.iter().skip(1).all(|o| o.load > 0.0));
+        assert!(snap.background[0] > 0.0);
     }
 
     #[test]
     fn empty_runtime_terminates() {
-        let rt = ThreadRuntime::new(2);
-        let result = rt.run();
-        assert!(result.entry_counts.is_empty());
+        let mut rt = ThreadRuntime::new(2);
+        rt.register_entry("never");
+        assert_eq!(rt.run(), 0.0);
     }
 
     #[test]
     fn heavy_cross_worker_traffic_loses_no_messages() {
-        // Every object broadcasts to every other object once; total
-        // executions must be exactly n + n·(n−1).
-        struct Broadcaster {
-            peers: Vec<ObjId>,
-            entry: EntryId,
-            started: bool,
+        let mut rt = ThreadRuntime::new(4);
+        let e = rt.register_entry("bounce");
+        let hits = Arc::new(AtomicU32::new(0));
+        let n = 16usize;
+        for i in 0..n {
+            rt.register(
+                Box::new(Hopper {
+                    next: Some(ObjId(((i + 7) % n) as u32)),
+                    entry: e,
+                    hops: 40,
+                    hits: hits.clone(),
+                }),
+                i % 4,
+                true,
+            );
         }
-        impl SendChare for Broadcaster {
-            fn receive(&mut self, _e: EntryId, _p: SendPayload, ctx: &mut ThreadCtx) {
-                if !self.started {
-                    self.started = true;
-                    for &p in &self.peers {
-                        ctx.send(p, self.entry, Box::new(()));
-                    }
-                }
+        for i in 0..n {
+            rt.inject(ObjId(i as u32), e, 64, PRIO_NORMAL, empty_payload());
+        }
+        rt.run();
+        // n bootstraps + n × 40 forwards.
+        assert_eq!(hits.load(AtOrd::SeqCst), (n + n * 40) as u32);
+    }
+
+    #[test]
+    fn migration_moves_objects_between_runs() {
+        let mut rt = ThreadRuntime::new(2);
+        let e = rt.register_entry("m");
+        let hits = Arc::new(AtomicU32::new(0));
+        let o = rt.register(
+            Box::new(Hopper { next: None, entry: e, hops: 0, hits: hits.clone() }),
+            0,
+            true,
+        );
+        rt.inject(o, e, 0, PRIO_NORMAL, empty_payload());
+        rt.run();
+        let busy0 = rt.stats.pe_busy[0];
+        assert!(busy0 > 0.0);
+
+        Runtime::migrate(&mut rt, o, 1);
+        rt.inject(o, e, 0, PRIO_NORMAL, empty_payload());
+        rt.run();
+        assert!(rt.stats.pe_busy[1] > 0.0, "work should land on worker 1 after migration");
+        assert_eq!(hits.load(AtOrd::SeqCst), 2);
+    }
+
+    #[test]
+    fn stop_halts_remaining_work() {
+        struct Stopper;
+        impl Chare for Stopper {
+            fn receive(&mut self, _e: EntryId, _p: Payload, ctx: &mut Ctx) {
+                ctx.stop();
             }
         }
-        let mut rt = ThreadRuntime::new(4);
-        let e = rt.register_entry("bcast");
-        let n = 40u32;
-        for i in 0..n {
-            let peers: Vec<ObjId> = (0..n).filter(|&j| j != i).map(ObjId).collect();
-            rt.register(Box::new(Broadcaster { peers, entry: e, started: false }), i as usize % 4);
-        }
-        for i in 0..n {
-            rt.inject(ObjId(i), e, Box::new(()));
-        }
-        let result = rt.run();
-        // n initial receives trigger n·(n−1) broadcasts, all of which are
-        // received (but do not rebroadcast).
-        assert_eq!(result.entry_counts[e.idx()], (n + n * (n - 1)) as u64);
+        let mut rt = ThreadRuntime::new(1);
+        let e = rt.register_entry("s");
+        let o = rt.register(Box::new(Stopper), 0, true);
+        // Single worker: the high-priority stopper runs first; the lower
+        // priority message is dropped at shutdown.
+        let hits = Arc::new(AtomicU32::new(0));
+        let n = rt.register(
+            Box::new(Hopper { next: None, entry: e, hops: 0, hits: hits.clone() }),
+            0,
+            true,
+        );
+        rt.inject(o, e, 0, PRIO_HIGH, empty_payload());
+        rt.inject(n, e, 0, crate::msg::PRIO_LOW, empty_payload());
+        rt.run();
+        assert_eq!(rt.stats.entry_count[e.idx()], 1);
+        assert_eq!(hits.load(AtOrd::SeqCst), 0);
     }
 }

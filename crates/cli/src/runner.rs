@@ -119,11 +119,9 @@ pub fn run(cfg: &RunConfig, log: &mut dyn Write) -> std::io::Result<RunReport> {
             cfg.mts_frequency,
         )))
     } else if cfg.threads > 1 {
-        Driver::Threads(Box::new(ParallelSim::new(
-            system.clone(),
-            cfg.threads,
-            cfg.timestep,
-        )))
+        let par = ParallelSim::new(system.clone(), cfg.threads, cfg.timestep)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidInput, e.to_string()))?;
+        Driver::Threads(Box::new(par))
     } else {
         Driver::Sequential(Simulator::new(&system, cfg.timestep))
     };
@@ -150,7 +148,7 @@ pub fn run(cfg: &RunConfig, log: &mut dyn Write) -> std::io::Result<RunReport> {
             Driver::Threads(par) => {
                 let e = par.step();
                 if cfg.thermostat == ThermostatKind::Berendsen {
-                    berendsen.apply(&mut par.system, cfg.timestep);
+                    berendsen.apply(&mut par.system_mut(), cfg.timestep);
                 }
                 (e.potential(), e.kinetic)
             }
@@ -168,24 +166,24 @@ pub fn run(cfg: &RunConfig, log: &mut dyn Write) -> std::io::Result<RunReport> {
         }
         e_last = total;
         let temp = match &driver {
-            Driver::Threads(par) => par.system.temperature(),
+            Driver::Threads(par) => par.system().temperature(),
             _ => system.temperature(),
         };
         writeln!(log, "{step:>4} {potential:>14.2} {kinetic:>14.2} {total:>14.2} {temp:>10.1}")?;
         if let Some(w) = &mut xyz {
             if step % cfg.trajectory_every.max(1) == 0 {
-                let pos = match &driver {
-                    Driver::Threads(par) => &par.system.positions,
-                    _ => &system.positions,
-                };
-                w.write_frame(pos, &format!("step {step}"))?;
+                let label = format!("step {step}");
+                match &driver {
+                    Driver::Threads(par) => w.write_frame(&par.system().positions, &label)?,
+                    _ => w.write_frame(&system.positions, &label)?,
+                }
                 frames += 1;
             }
         }
     }
     let wall = start.elapsed().as_secs_f64();
     let final_temperature = match &driver {
-        Driver::Threads(par) => par.system.temperature(),
+        Driver::Threads(par) => par.system().temperature(),
         _ => system.temperature(),
     };
     writeln!(

@@ -1,5 +1,6 @@
 //! The chare implementations: home patches, proxy patches, compute objects,
-//! and the completion reducer (§3.1).
+//! and the completion reducer (§3.1). Backend-agnostic: the same objects run
+//! on the DES and on real worker threads (see `charmrt::Runtime`).
 //!
 //! Per-step protocol (all message-driven, no barriers):
 //!
@@ -10,25 +11,41 @@
 //!    processor.
 //! 3. A compute that has heard from all of its (1 or 2+) patches self-enqueues
 //!    an execute message; the execution runs the force kernels (or replays
-//!    counted work), then sends one force message per involved patch to that
-//!    patch's local representative (home patch or proxy).
-//! 4. A proxy that has collected all local force contributions sends one
-//!    combined force message to the home patch.
+//!    counted work), then sends one force message per involved patch — the
+//!    payload carries that patch's force contributions, in the patch's atom
+//!    order — to the patch's local representative (home patch or proxy).
+//! 4. A proxy that has collected all local force contributions combines them
+//!    element-wise and sends one force message to the home patch.
 //! 5. A home patch that has collected everything self-enqueues *integrate*:
-//!    velocity-Verlet update, then publish the next step's coordinates (this
-//!    is the entry method the multicast optimization halves), or report
-//!    completion to the reducer after the final step.
+//!    velocity-Verlet update from the accumulated payload forces, then
+//!    publish the next step's coordinates (this is the entry method the
+//!    multicast optimization halves), or report completion to the reducer
+//!    after the final step.
+//!
+//! Thread safety: force kernels hold the shared *read* lock (positions only);
+//! integration holds the *write* lock; forces travel in messages rather than
+//! through a shared accumulator, so handlers never race on them. Lock order
+//! is `state` → `pme_real` → `energies` (see `state`'s module docs).
 
 use crate::config::ForceMode;
 use crate::costmodel;
 use crate::decomp::{ComputeKind, PatchArrays};
 use crate::patchgrid::PatchId;
-use crate::state::Shared;
-use charmrt::{empty_payload, Chare, Ctx, EntryId, MulticastMode, ObjId, Payload, PRIO_HIGH, PRIO_NORMAL};
+use crate::state::{Shared, StepAcc};
+use charmrt::{
+    empty_payload, Chare, Ctx, EntryId, MulticastMode, ObjId, Payload, Runtime, PRIO_HIGH,
+    PRIO_NORMAL,
+};
 use mdcore::bonded::{angle_force, bond_force, dihedral_force, improper_force, restraint_force};
 use mdcore::forcefield::units;
 use mdcore::nonbonded::{nb_pair_ranged, nb_self_ranged};
-use std::rc::Rc;
+use mdcore::vec3::Vec3;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// The payload of a force message in Real mode: one force per atom of the
+/// destination patch, in `decomp.grid.atoms[patch]` order.
+pub type ForceBlock = Vec<Vec3>;
 
 /// Entry-method ids shared by all chares, registered once per engine run.
 #[derive(Debug, Clone, Copy)]
@@ -62,22 +79,22 @@ pub struct Entries {
 }
 
 impl Entries {
-    /// Register all entry methods on an engine.
-    pub fn register(des: &mut charmrt::Des) -> Entries {
+    /// Register all entry methods on any runtime backend.
+    pub fn register(rt: &mut impl Runtime) -> Entries {
         Entries {
-            start: des.register_entry("PatchStart"),
-            patch_forces: des.register_entry("PatchRecvForces"),
-            integrate: des.register_entry("Integrate"),
-            proxy_coords: des.register_entry("ProxyRecvCoords"),
-            proxy_forces: des.register_entry("ProxyRecvForces"),
-            ready: des.register_entry("ComputeReady"),
-            exec_self: des.register_entry("NonbondedSelf"),
-            exec_pair: des.register_entry("NonbondedPair"),
-            exec_bonded: des.register_entry("BondedIntra"),
-            exec_bonded_inter: des.register_entry("BondedInter"),
-            done: des.register_entry("Done"),
-            slab_charge: des.register_entry("PmeSlabCharges"),
-            slab_transpose: des.register_entry("PmeSlabFft"),
+            start: rt.register_entry("PatchStart"),
+            patch_forces: rt.register_entry("PatchRecvForces"),
+            integrate: rt.register_entry("Integrate"),
+            proxy_coords: rt.register_entry("ProxyRecvCoords"),
+            proxy_forces: rt.register_entry("ProxyRecvForces"),
+            ready: rt.register_entry("ComputeReady"),
+            exec_self: rt.register_entry("NonbondedSelf"),
+            exec_pair: rt.register_entry("NonbondedPair"),
+            exec_bonded: rt.register_entry("BondedIntra"),
+            exec_bonded_inter: rt.register_entry("BondedInter"),
+            done: rt.register_entry("Done"),
+            slab_charge: rt.register_entry("PmeSlabCharges"),
+            slab_transpose: rt.register_entry("PmeSlabFft"),
         }
     }
 
@@ -107,7 +124,7 @@ pub struct RunParams {
 /// A home patch: owns a cube of space and its atoms; integrates them.
 pub struct HomePatch {
     pub patch: PatchId,
-    shared: Rc<Shared>,
+    shared: Arc<Shared>,
     entries: Entries,
     params: RunParams,
     /// Proxy patch objects to multicast coordinates to.
@@ -118,6 +135,9 @@ pub struct HomePatch {
     /// patch + one combined message per proxy).
     expected: usize,
     received: usize,
+    /// Per-atom force accumulator for the current step, in
+    /// `decomp.grid.atoms[patch]` order (filled from message payloads).
+    accum: Vec<Vec3>,
     step: usize,
     reducer: ObjId,
     /// Whether the velocity half-kick from the previous step is pending.
@@ -130,7 +150,7 @@ impl HomePatch {
     #[allow(clippy::too_many_arguments)]
     pub fn new(
         patch: PatchId,
-        shared: Rc<Shared>,
+        shared: Arc<Shared>,
         entries: Entries,
         params: RunParams,
         proxies: Vec<ObjId>,
@@ -139,6 +159,7 @@ impl HomePatch {
         reducer: ObjId,
         slab: Option<ObjId>,
     ) -> Self {
+        let n_atoms = shared.decomp.grid.atoms[patch].len();
         HomePatch {
             patch,
             shared,
@@ -148,6 +169,7 @@ impl HomePatch {
             local_computes,
             expected,
             received: 0,
+            accum: vec![Vec3::ZERO; n_atoms],
             step: 0,
             reducer,
             started: false,
@@ -200,19 +222,38 @@ impl HomePatch {
         }
     }
 
-    /// Velocity-Verlet update for this patch's atoms (Real mode).
-    fn integrate_real(&mut self, ctx: &mut Ctx) {
+    /// Velocity-Verlet update for this patch's atoms (Real mode), from the
+    /// payload-accumulated forces of the step. Write lock: the protocol
+    /// guarantees no compute is reading while a patch integrates — every
+    /// compute needing these atoms has already sent its forces.
+    fn integrate_real(&mut self) {
         let shared = self.shared.clone();
-        let mut st = shared.state.borrow_mut();
+        let mut guard = shared.state.write().unwrap();
+        let st = &mut *guard;
+        // Lock order: state → pme_real. Reciprocal-space forces are folded
+        // in only on PME steps (impulse multiple-timestepping).
+        let pme = if self.pme_step() {
+            self.shared.pme_real.as_ref().map(|m| m.lock().unwrap())
+        } else {
+            None
+        };
         let atoms = &self.shared.decomp.grid.atoms[self.patch];
         let dt = self.params.dt_fs;
         let last = self.step + 1 == self.params.n_steps;
 
         let mut kinetic = 0.0;
-        for &a in atoms {
+        for (slot, &a) in atoms.iter().enumerate() {
             let i = a as usize;
+            let mut f = self.accum[slot];
+            if let Some(pr) = &pme {
+                f += pr.forces[i];
+            }
+            self.accum[slot] = Vec3::ZERO;
+            // Keep the shared force array current for observers
+            // (`Engine`-level force queries read it after a phase).
+            st.forces[i] = f;
             let m = st.system.topology.atoms[i].mass;
-            let acc = st.forces[i] * (units::ACCEL / m);
+            let acc = f * (units::ACCEL / m);
             // Complete the previous step's second half-kick.
             if self.started {
                 st.system.velocities[i] += acc * (0.5 * dt);
@@ -225,20 +266,34 @@ impl HomePatch {
                 let vnew = st.system.velocities[i];
                 st.system.positions[i] = st.system.cell.wrap(st.system.positions[i] + vnew * dt);
             }
-            st.forces[i] = mdcore::vec3::Vec3::ZERO;
         }
-        st.energies[self.step].kinetic += kinetic;
-        drop(st);
-        let _ = ctx;
+        drop(pme);
+        drop(guard);
+        let mut en = shared.energies.lock().unwrap();
+        if self.step < en.len() {
+            en[self.step].kinetic += kinetic;
+        }
+    }
+
+    /// Fold a force payload (if any) into the step accumulator. Signal-only
+    /// messages (Counted mode, PME potential blocks) carry no forces.
+    fn absorb(&mut self, payload: Payload) {
+        if let Ok(block) = payload.downcast::<ForceBlock>() {
+            debug_assert_eq!(block.len(), self.accum.len());
+            for (acc, f) in self.accum.iter_mut().zip(block.iter()) {
+                *acc += *f;
+            }
+        }
     }
 }
 
 impl Chare for HomePatch {
-    fn receive(&mut self, entry: EntryId, _payload: Payload, ctx: &mut Ctx) {
+    fn receive(&mut self, entry: EntryId, payload: Payload, ctx: &mut Ctx) {
         if entry == self.entries.start {
             // Bootstrap: publish step-0 coordinates.
             self.publish(ctx);
         } else if entry == self.entries.patch_forces {
+            self.absorb(payload);
             self.received += 1;
             debug_assert!(self.received <= self.expected_now());
             if self.received == self.expected_now() {
@@ -254,7 +309,7 @@ impl Chare for HomePatch {
                 ctx.add_work(self.n_atoms() as f64 * costmodel::WORK_PME_PER_ATOM * 0.5);
             }
             if self.params.force_mode == ForceMode::Real {
-                self.integrate_real(ctx);
+                self.integrate_real();
             }
             self.started = true;
             self.step += 1;
@@ -269,7 +324,8 @@ impl Chare for HomePatch {
     }
 }
 
-/// A proxy patch: stands in for a remote home patch on this processor.
+/// A proxy patch: stands in for a remote home patch on this processor,
+/// combining the local computes' force contributions into one message.
 pub struct ProxyPatch {
     pub patch: PatchId,
     entries: Entries,
@@ -279,6 +335,10 @@ pub struct ProxyPatch {
     /// Force contributions expected per step (= local_computes needing it).
     expected: usize,
     received: usize,
+    /// Element-wise combination of the received force payloads.
+    accum: Vec<Vec3>,
+    /// Whether any payload this step actually carried forces (Real mode).
+    got_forces: bool,
     /// Bytes of a combined force message (patch atoms × per-atom bytes).
     force_bytes: usize,
     /// Unpacking cost per coordinate message, work units.
@@ -301,6 +361,8 @@ impl ProxyPatch {
             local_computes,
             expected,
             received: 0,
+            accum: vec![Vec3::ZERO; n_atoms],
+            got_forces: false,
             force_bytes: n_atoms * costmodel::BYTES_PER_ATOM,
             unpack_work: n_atoms as f64 * 0.3,
         }
@@ -308,25 +370,33 @@ impl ProxyPatch {
 }
 
 impl Chare for ProxyPatch {
-    fn receive(&mut self, entry: EntryId, _payload: Payload, ctx: &mut Ctx) {
+    fn receive(&mut self, entry: EntryId, payload: Payload, ctx: &mut Ctx) {
         if entry == self.entries.proxy_coords {
             ctx.add_work(self.unpack_work);
             for &c in &self.local_computes {
                 ctx.signal(c, self.entries.ready, PRIO_NORMAL);
             }
         } else if entry == self.entries.proxy_forces {
+            if let Ok(block) = payload.downcast::<ForceBlock>() {
+                debug_assert_eq!(block.len(), self.accum.len());
+                for (acc, f) in self.accum.iter_mut().zip(block.iter()) {
+                    *acc += *f;
+                }
+                self.got_forces = true;
+            }
             self.received += 1;
             debug_assert!(self.received <= self.expected);
             if self.received == self.expected {
                 self.received = 0;
                 ctx.add_work(self.unpack_work);
-                ctx.send(
-                    self.home,
-                    self.entries.patch_forces,
-                    self.force_bytes,
-                    PRIO_HIGH,
-                    empty_payload(),
-                );
+                let payload: Payload = if self.got_forces {
+                    self.got_forces = false;
+                    let n = self.accum.len();
+                    Box::new(std::mem::replace(&mut self.accum, vec![Vec3::ZERO; n]))
+                } else {
+                    empty_payload()
+                };
+                ctx.send(self.home, self.entries.patch_forces, self.force_bytes, PRIO_HIGH, payload);
             }
         } else {
             unreachable!("ProxyPatch got unexpected entry {entry:?}");
@@ -338,14 +408,18 @@ impl Chare for ProxyPatch {
 pub struct ComputeChare {
     /// Index into `decomp.computes`.
     pub index: usize,
-    shared: Rc<Shared>,
+    shared: Arc<Shared>,
     entries: Entries,
     params: RunParams,
-    /// Per required patch: the representative object on this PE to send the
-    /// force contribution to (home patch if co-located, else proxy), the
-    /// entry to invoke on it (`patch_forces` vs `proxy_forces`), and the
-    /// byte size of that contribution.
+    /// Per required patch (aligned with `spec.patches`): the representative
+    /// object on this PE to send the force contribution to (home patch if
+    /// co-located, else proxy), the entry to invoke on it (`patch_forces`
+    /// vs `proxy_forces`), and the byte size of that contribution.
     targets: Vec<(ObjId, EntryId, usize)>,
+    /// Bonded computes: global atom id → (index into `spec.patches`, slot
+    /// within that patch's atom list). Built once; bonded terms scatter
+    /// through it into the per-patch force blocks.
+    atom_slot: Option<HashMap<u32, (usize, usize)>>,
     expected: usize,
     received: usize,
     step: usize,
@@ -359,20 +433,35 @@ pub struct ComputeChare {
 impl ComputeChare {
     pub fn new(
         index: usize,
-        shared: Rc<Shared>,
+        shared: Arc<Shared>,
         entries: Entries,
         params: RunParams,
         targets: Vec<(ObjId, EntryId, usize)>,
         work_scale: f64,
         exec_priority: charmrt::Priority,
     ) -> Self {
-        let expected = shared.decomp.computes[index].patches.len();
+        let spec = &shared.decomp.computes[index];
+        let expected = spec.patches.len();
+        debug_assert_eq!(targets.len(), expected, "one force target per patch");
+        let atom_slot = match spec.kind {
+            ComputeKind::BondedIntra { .. } | ComputeKind::BondedInter { .. } => {
+                let mut map = HashMap::new();
+                for (pi, &p) in spec.patches.iter().enumerate() {
+                    for (slot, &a) in shared.decomp.grid.atoms[p].iter().enumerate() {
+                        map.insert(a, (pi, slot));
+                    }
+                }
+                Some(map)
+            }
+            _ => None,
+        };
         ComputeChare {
             index,
             shared,
             entries,
             params,
             targets,
+            atom_slot,
             expected,
             received: 0,
             step: 0,
@@ -391,40 +480,41 @@ impl ComputeChare {
         }
     }
 
-    /// Run the real force kernels and scatter into the shared force array.
-    fn execute_real(&mut self, ctx: &mut Ctx) {
+    /// Run the real force kernels under the shared *read* lock. Returns one
+    /// force block per patch in `spec.patches` order; energies go to the
+    /// shared per-step accumulator after the lock is released.
+    fn execute_real(&mut self, ctx: &mut Ctx) -> Vec<ForceBlock> {
         let shared = self.shared.clone();
         let spec = &shared.decomp.computes[self.index];
-        let mut st = shared.state.borrow_mut();
-        let st = &mut *st;
+        let st = shared.state.read().unwrap();
         let cell = st.system.cell;
-        let step = self.step;
+        let mut acc = StepAcc::default();
+        let mut blocks: Vec<ForceBlock> = spec
+            .patches
+            .iter()
+            .map(|&p| vec![Vec3::ZERO; shared.decomp.grid.atoms[p].len()])
+            .collect();
 
         match &spec.kind {
             ComputeKind::SelfNb { patch } => {
                 let arrays = PatchArrays::gather(&st.system, &shared.decomp.grid.atoms[*patch]);
-                let mut f = vec![mdcore::vec3::Vec3::ZERO; arrays.pos.len()];
                 let res = nb_self_ranged(
                     &st.system.forcefield,
                     &st.system.exclusions,
                     arrays.group(),
                     &cell,
                     spec.outer.clone(),
-                    &mut f,
+                    &mut blocks[0],
                 );
-                for (k, &a) in arrays.ids.iter().enumerate() {
-                    st.forces[a as usize] += f[k];
-                }
-                st.energies[step].e_lj += res.e_lj;
-                st.energies[step].e_elec += res.e_elec;
-                st.energies[step].pairs += res.pairs;
+                acc.e_lj += res.e_lj;
+                acc.e_elec += res.e_elec;
+                acc.pairs += res.pairs;
                 ctx.add_work(costmodel::nonbonded_work(res.pairs, spec.candidates));
             }
             ComputeKind::PairNb { a, b } => {
                 let ga = PatchArrays::gather(&st.system, &shared.decomp.grid.atoms[*a]);
                 let gb = PatchArrays::gather(&st.system, &shared.decomp.grid.atoms[*b]);
-                let mut fa = vec![mdcore::vec3::Vec3::ZERO; ga.pos.len()];
-                let mut fb = vec![mdcore::vec3::Vec3::ZERO; gb.pos.len()];
+                let (first, rest) = blocks.split_at_mut(1);
                 let res = nb_pair_ranged(
                     &st.system.forcefield,
                     &st.system.exclusions,
@@ -432,33 +522,32 @@ impl ComputeChare {
                     gb.group(),
                     &cell,
                     spec.outer.clone(),
-                    &mut fa,
-                    &mut fb,
+                    &mut first[0],
+                    &mut rest[0],
                 );
-                for (k, &atom) in ga.ids.iter().enumerate() {
-                    st.forces[atom as usize] += fa[k];
-                }
-                for (k, &atom) in gb.ids.iter().enumerate() {
-                    st.forces[atom as usize] += fb[k];
-                }
-                st.energies[step].e_lj += res.e_lj;
-                st.energies[step].e_elec += res.e_elec;
-                st.energies[step].pairs += res.pairs;
+                acc.e_lj += res.e_lj;
+                acc.e_elec += res.e_elec;
+                acc.pairs += res.pairs;
                 ctx.add_work(costmodel::nonbonded_work(res.pairs, spec.candidates));
             }
             ComputeKind::BondedIntra { .. } | ComputeKind::BondedInter { .. } => {
                 let terms = spec.terms.as_ref().expect("bonded compute without terms");
+                let slots = self.atom_slot.as_ref().expect("bonded compute without atom map");
                 let topo = &st.system.topology;
                 let pos = &st.system.positions;
-                let forces = &mut st.forces;
-                let acc = &mut st.energies[step];
+                let mut add = |atom: u32, f: Vec3| {
+                    let &(pi, slot) = slots
+                        .get(&atom)
+                        .expect("bonded term atom outside the compute's patches");
+                    blocks[pi][slot] += f;
+                };
                 for &bi in &terms.bonds {
                     let b = &topo.bonds[bi as usize];
                     let (e, fa, fb) =
                         bond_force(&cell, pos[b.a as usize], pos[b.b as usize], b.k, b.r0);
                     acc.e_bond += e;
-                    forces[b.a as usize] += fa;
-                    forces[b.b as usize] += fb;
+                    add(b.a, fa);
+                    add(b.b, fb);
                 }
                 for &ai in &terms.angles {
                     let t = &topo.angles[ai as usize];
@@ -471,9 +560,9 @@ impl ComputeChare {
                         t.theta0,
                     );
                     acc.e_angle += e;
-                    forces[t.a as usize] += fa;
-                    forces[t.b as usize] += fb;
-                    forces[t.c as usize] += fc;
+                    add(t.a, fa);
+                    add(t.b, fb);
+                    add(t.c, fc);
                 }
                 for &di in &terms.dihedrals {
                     let d = &topo.dihedrals[di as usize];
@@ -488,10 +577,10 @@ impl ComputeChare {
                         d.delta,
                     );
                     acc.e_dihedral += e;
-                    forces[d.a as usize] += f[0];
-                    forces[d.b as usize] += f[1];
-                    forces[d.c as usize] += f[2];
-                    forces[d.d as usize] += f[3];
+                    add(d.a, f[0]);
+                    add(d.b, f[1]);
+                    add(d.c, f[2]);
+                    add(d.d, f[3]);
                 }
                 for &ii in &terms.impropers {
                     let d = &topo.impropers[ii as usize];
@@ -505,20 +594,26 @@ impl ComputeChare {
                         d.psi0,
                     );
                     acc.e_improper += e;
-                    forces[d.a as usize] += f[0];
-                    forces[d.b as usize] += f[1];
-                    forces[d.c as usize] += f[2];
-                    forces[d.d as usize] += f[3];
+                    add(d.a, f[0]);
+                    add(d.b, f[1]);
+                    add(d.c, f[2]);
+                    add(d.d, f[3]);
                 }
                 for &ri in &terms.restraints {
                     let r = &topo.restraints[ri as usize];
                     let (e, f) = restraint_force(&cell, pos[r.atom as usize], r.target, r.k);
                     acc.e_restraint += e;
-                    forces[r.atom as usize] += f;
+                    add(r.atom, f);
                 }
                 ctx.add_work(terms.work());
             }
         }
+        drop(st);
+        let mut en = shared.energies.lock().unwrap();
+        if self.step < en.len() {
+            en[self.step].merge(&acc);
+        }
+        blocks
     }
 }
 
@@ -532,14 +627,22 @@ impl Chare for ComputeChare {
                 ctx.signal(ctx.this(), self.exec_entry(), self.exec_priority);
             }
         } else if entry == self.exec_entry() {
-            match self.params.force_mode {
-                ForceMode::Real => self.execute_real(ctx),
-                ForceMode::Counted => ctx
-                    .add_work(self.shared.decomp.computes[self.index].work * self.work_scale),
-            }
+            let mut blocks = match self.params.force_mode {
+                ForceMode::Real => Some(self.execute_real(ctx)),
+                ForceMode::Counted => {
+                    ctx.add_work(
+                        self.shared.decomp.computes[self.index].work * self.work_scale,
+                    );
+                    None
+                }
+            };
             self.step += 1;
-            for &(target, entry, bytes) in &self.targets {
-                ctx.send(target, entry, bytes, PRIO_HIGH, empty_payload());
+            for (k, &(target, entry, bytes)) in self.targets.iter().enumerate() {
+                let payload: Payload = match &mut blocks {
+                    Some(b) => Box::new(std::mem::take(&mut b[k])),
+                    None => empty_payload(),
+                };
+                ctx.send(target, entry, bytes, PRIO_HIGH, payload);
             }
         } else {
             unreachable!("ComputeChare got unexpected entry {entry:?}");
@@ -555,7 +658,7 @@ impl Chare for ComputeChare {
 /// to its patches. Non-migratable — its placement is fixed like NAMD's
 /// other grid infrastructure.
 pub struct SlabChare {
-    shared: Rc<Shared>,
+    shared: Arc<Shared>,
     entries: Entries,
     params: RunParams,
     /// All other slab objects (transpose partners).
@@ -574,7 +677,7 @@ pub struct SlabChare {
 
 impl SlabChare {
     pub fn new(
-        shared: Rc<Shared>,
+        shared: Arc<Shared>,
         entries: Entries,
         params: RunParams,
         peers: Vec<ObjId>,
@@ -638,32 +741,37 @@ impl SlabChare {
     /// Remaining FFT stages + influence multiply, then return the potential
     /// blocks to this slab's patches. In Real force mode, the *first* slab
     /// to finish a PME round evaluates the actual reciprocal-space physics
-    /// (by then every patch has published this step's coordinates, since
-    /// all slabs' charge collections feed the transposes).
+    /// into the PME force buffer — safe, because the transposes it waited
+    /// for prove every patch has published this step's coordinates, and no
+    /// patch can integrate before this slab's potential message arrives.
     fn finish(&mut self, ctx: &mut Ctx) {
         ctx.add_work(self.fft_work * 0.5);
-        if let Some(pr) = &self.shared.pme_real {
-            let mut pr = pr.borrow_mut();
+        if let Some(pme) = &self.shared.pme_real {
+            // Lock order: state → pme_real → energies.
+            let st = self.shared.state.read().unwrap();
+            let mut pr = pme.lock().unwrap();
             if pr.rounds_done == self.rounds {
                 pr.rounds_done += 1;
                 let step = self.rounds * self.params.pme_every.max(1);
-                let shared = self.shared.clone();
-                let mut st = shared.state.borrow_mut();
-                let st = &mut *st;
-                let pr = &mut *pr;
-                let recip =
-                    pr.solver.reciprocal(&st.system.positions, &pr.charges, &mut st.forces);
+                let crate::state::PmeReal { solver, ewald, charges, forces, .. } = &mut *pr;
+                for f in forces.iter_mut() {
+                    *f = Vec3::ZERO;
+                }
+                let recip = solver.reciprocal(&st.system.positions, charges, forces);
                 let corr_ex = pme::ewald::exclusion_correction(
                     &st.system.cell,
                     &st.system.positions,
-                    &pr.charges,
+                    charges,
                     &st.system.exclusions,
-                    &pr.ewald,
-                    &mut st.forces,
+                    ewald,
+                    forces,
                 );
-                let corr_self = pme::ewald::self_energy(&pr.charges, &pr.ewald);
-                if step < st.energies.len() {
-                    st.energies[step].e_elec += recip.reciprocal + corr_ex + corr_self;
+                let corr_self = pme::ewald::self_energy(charges, ewald);
+                drop(pr);
+                drop(st);
+                let mut en = self.shared.energies.lock().unwrap();
+                if step < en.len() {
+                    en[step].e_elec += recip.reciprocal + corr_ex + corr_self;
                 }
             }
         }

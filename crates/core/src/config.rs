@@ -19,6 +19,19 @@ pub enum ForceMode {
     Counted,
 }
 
+/// Which execution substrate runs the chare graph (`charmrt::Runtime`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Backend {
+    /// Deterministic discrete-event simulation under the machine model:
+    /// object loads are *modeled* (declared work + messaging overheads).
+    #[default]
+    Des,
+    /// Real OS worker threads, one per PE: object loads are *measured*
+    /// wall-clock handler times. Requires the `threads` cargo feature
+    /// (on by default); `Engine::run_phase` panics otherwise.
+    Threads,
+}
+
 /// Which load-balancing pipeline the engine runs (§3.2 / ablations).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum LbStrategy {
@@ -66,8 +79,10 @@ impl Default for PmeSimConfig {
 pub struct SimConfig {
     /// Number of (virtual) processors.
     pub n_pes: usize,
-    /// Machine performance model.
+    /// Machine performance model (used by the DES backend only).
     pub machine: MachineModel,
+    /// Execution substrate: modeled DES or real worker threads.
+    pub backend: Backend,
     /// Patch side margin beyond the cutoff, Å (NAMD's "slightly larger than
     /// the cutoff radius").
     pub patch_margin: f64,
@@ -123,6 +138,7 @@ impl SimConfig {
         SimConfig {
             n_pes,
             machine,
+            backend: Backend::Des,
             patch_margin: 3.5,
             force_mode: ForceMode::Counted,
             dt_fs: 1.0,

@@ -1,23 +1,29 @@
 //! The parallel simulation engine: builds the decomposition, places objects,
-//! runs measurement phases on the DES, and drives the three-stage
-//! load-balancing pipeline of §3.2.
+//! runs measurement phases on a `charmrt::Runtime` backend, and drives the
+//! three-stage load-balancing pipeline of §3.2.
 //!
-//! A *phase* is a fresh engine instantiation (reducer + home patches +
+//! A *phase* is a fresh runtime instantiation (reducer + home patches +
 //! proxies + computes for the current placement) run for a fixed number of
 //! timesteps. Between phases the load balancer consumes the measured object
 //! loads and produces a new placement; proxies are rebuilt for the new
 //! placement exactly as NAMD "moves the objects, constructs new proxies as
 //! necessary, and resumes the simulation".
+//!
+//! The timestep protocol, proxy/multicast wiring, grainsize control, and the
+//! measure → greedy → refine cycle are written once against the [`Runtime`]
+//! trait: `SimConfig::backend` selects whether a phase executes on the
+//! deterministic DES (modeled loads) or on real worker threads (measured
+//! wall-clock loads).
 
 use crate::chares::{ComputeChare, Entries, HomePatch, ProxyPatch, Reducer, RunParams};
-use crate::config::{ForceMode, LbStrategy, SimConfig};
+use crate::config::{Backend, ForceMode, LbStrategy, SimConfig};
 use crate::costmodel;
 use crate::decomp::{self, Decomposition};
 use crate::state::{Shared, SimState, StepAcc};
-use charmrt::{empty_payload, Des, ObjId, Pe, SummaryStats, Trace, PRIO_NORMAL};
+use charmrt::{empty_payload, Des, ObjId, Pe, Runtime, SummaryStats, Trace, PRIO_NORMAL};
 use mdcore::prelude::*;
 use std::collections::BTreeMap;
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// Measurements from one phase.
 #[derive(Debug, Clone)]
@@ -66,7 +72,7 @@ impl BenchmarkRun {
 /// The parallel MD engine.
 pub struct Engine {
     pub config: SimConfig,
-    pub shared: Rc<Shared>,
+    pub shared: Arc<Shared>,
     /// Home PE of each patch (static for a run; from RCB).
     pub patch_pe: Vec<Pe>,
     /// Current PE of each compute.
@@ -109,7 +115,7 @@ impl Engine {
                 );
                 let params =
                     pme::mesh::PmeParams::for_cell(&system.cell, beta, p.mesh_spacing);
-                Some(std::cell::RefCell::new(crate::state::PmeReal {
+                Some(std::sync::Mutex::new(crate::state::PmeReal {
                     solver: pme::mesh::Pme::new(&system.cell, params),
                     ewald: pme::ewald::EwaldParams {
                         beta,
@@ -117,17 +123,15 @@ impl Engine {
                         kmax: 0,
                     },
                     charges: system.charges(),
+                    forces: vec![Vec3::ZERO; n],
                     rounds_done: 0,
                 }))
             }
             _ => None,
         };
-        let shared = Rc::new(Shared {
-            state: std::cell::RefCell::new(SimState {
-                system,
-                forces: vec![Vec3::ZERO; n],
-                energies: Vec::new(),
-            }),
+        let shared = Arc::new(Shared {
+            state: std::sync::RwLock::new(SimState { system, forces: vec![Vec3::ZERO; n] }),
+            energies: std::sync::Mutex::new(Vec::new()),
             decomp,
             pme_real,
         });
@@ -190,9 +194,10 @@ impl Engine {
     /// periodic refinement of §3.2 "account\[s\] for the slow changes of the
     /// simulation".
     pub fn migrate_atoms(&mut self) {
-        let shared = Rc::get_mut(&mut self.shared)
+        let shared = Arc::get_mut(&mut self.shared)
             .expect("migrate_atoms must run between phases (no live engine objects)");
-        let decomp = decomp::build(&shared.state.get_mut().system, &self.config);
+        let decomp =
+            decomp::build(&shared.state.get_mut().expect("state lock poisoned").system, &self.config);
         shared.decomp = decomp;
         let (patch_pe, placement) = Self::static_placement(&shared.decomp, self.config.n_pes);
         self.patch_pe = patch_pe;
@@ -204,8 +209,32 @@ impl Engine {
         &self.shared.decomp
     }
 
-    /// Run one phase of `n_steps` timesteps under the current placement.
+    /// Run one phase of `n_steps` timesteps under the current placement, on
+    /// the backend selected by [`SimConfig::backend`].
     pub fn run_phase(&mut self, n_steps: usize) -> PhaseResult {
+        match self.config.backend {
+            Backend::Des => {
+                let mut rt = Des::new(self.config.n_pes, self.config.machine);
+                self.run_phase_on(&mut rt, n_steps)
+            }
+            #[cfg(feature = "threads")]
+            Backend::Threads => {
+                let mut rt = charmrt::ThreadRuntime::new(self.config.n_pes);
+                self.run_phase_on(&mut rt, n_steps)
+            }
+            #[cfg(not(feature = "threads"))]
+            Backend::Threads => panic!(
+                "Backend::Threads needs namd-core's `threads` feature, \
+                 which is disabled in this build"
+            ),
+        }
+    }
+
+    /// Run one phase on a caller-provided (fresh) runtime backend. The
+    /// whole protocol — registration at the current placement, the timestep
+    /// messages, measurement harvest — is backend-agnostic; only the
+    /// meaning of a second (virtual vs wall-clock) differs.
+    pub fn run_phase_on<R: Runtime>(&mut self, rt: &mut R, n_steps: usize) -> PhaseResult {
         assert!(n_steps > 0);
         let cfg = &self.config;
         let decomp = &self.shared.decomp;
@@ -213,14 +242,17 @@ impl Engine {
         let n_computes = decomp.computes.len();
 
         if cfg.force_mode == ForceMode::Real {
-            self.shared.state.borrow_mut().energies = vec![StepAcc::default(); n_steps];
+            *self.shared.energies.lock().unwrap() = vec![StepAcc::default(); n_steps];
+            if let Some(pme) = &self.shared.pme_real {
+                // Fresh slab chares restart their round counters each phase.
+                pme.lock().unwrap().rounds_done = 0;
+            }
         }
 
-        let mut des = Des::new(cfg.n_pes, cfg.machine);
-        let entries = Entries::register(&mut des);
-        des.set_tracing(cfg.tracing);
+        let entries = Entries::register(rt);
+        rt.set_tracing(cfg.tracing);
         if !cfg.pe_speeds.is_empty() {
-            des.set_pe_speeds(cfg.pe_speeds.clone());
+            rt.set_pe_speeds(cfg.pe_speeds.clone());
         }
 
         let params = RunParams {
@@ -298,7 +330,7 @@ impl Engine {
         };
 
         // ---- Register objects in id order ---------------------------------
-        let reg = des.register(Box::new(Reducer::new(n_patches)), 0, false);
+        let reg = rt.register(Box::new(Reducer::new(n_patches)), 0, false);
         assert_eq!(reg, reducer_id);
 
         for p in 0..n_patches {
@@ -316,7 +348,7 @@ impl Engine {
                 reducer_id,
                 slab_of_patch(p),
             );
-            let id = des.register(Box::new(obj), home_pe, false);
+            let id = rt.register(Box::new(obj), home_pe, false);
             assert_eq!(id, patch_id(p));
         }
 
@@ -332,7 +364,7 @@ impl Engine {
                 expected,
                 decomp.grid.atoms[p].len(),
             );
-            let id = des.register(Box::new(obj), pe, false);
+            let id = rt.register(Box::new(obj), pe, false);
             assert_eq!(id, proxy_id(k));
         }
 
@@ -371,7 +403,7 @@ impl Engine {
                 self.drift[j],
                 exec_priority,
             );
-            let id = des.register(Box::new(obj), pe, c.migratable);
+            let id = rt.register(Box::new(obj), pe, c.migratable);
             assert_eq!(id, compute_id(j));
         }
 
@@ -397,24 +429,24 @@ impl Engine {
                     sp.fft_per_slab,
                     sp.transpose_bytes,
                 );
-                let id = des.register(Box::new(obj), k % cfg.n_pes, false);
+                let id = rt.register(Box::new(obj), k % cfg.n_pes, false);
                 assert_eq!(id, slab_id(k));
             }
         }
 
         // ---- Bootstrap and run --------------------------------------------
         for p in 0..n_patches {
-            des.inject(patch_id(p), entries.start, 0, PRIO_NORMAL, empty_payload());
+            rt.inject(patch_id(p), entries.start, 0, PRIO_NORMAL, empty_payload());
         }
-        let total_time = des.run();
+        let total_time = rt.run();
 
         // ---- Harvest measurements -----------------------------------------
-        let snapshot = des.ldb.snapshot(des.placement());
+        let snapshot = rt.ldb().snapshot(rt.placement());
         let compute_loads: Vec<f64> = (0..n_computes)
             .map(|j| snapshot.objects[compute_id(j).idx()].load)
             .collect();
         let energies = if cfg.force_mode == ForceMode::Real {
-            std::mem::take(&mut self.shared.state.borrow_mut().energies)
+            std::mem::take(&mut *self.shared.energies.lock().unwrap())
         } else {
             Vec::new()
         };
@@ -423,8 +455,8 @@ impl Engine {
             time_per_step: total_time / n_steps as f64,
             total_time,
             n_steps,
-            stats: des.stats.clone(),
-            trace: if cfg.tracing { Some(std::mem::take(&mut des.trace)) } else { None },
+            stats: rt.stats().clone(),
+            trace: if cfg.tracing { Some(rt.trace().clone()) } else { None },
             compute_loads,
             background: snapshot.background,
             energies,
@@ -737,7 +769,7 @@ mod tests {
 
         // Positions after the phase match the sequential trajectory after
         // 2 updates; verify a sample of atoms.
-        let st = eng.shared.state.borrow();
+        let st = eng.shared.state.read().unwrap();
         for i in (0..st.system.n_atoms()).step_by(97) {
             let d = (st.system.positions[i] - seq.positions[i]).norm();
             assert!(d < 1e-6, "atom {i} diverged by {d}");

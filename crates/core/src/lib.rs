@@ -15,8 +15,12 @@
 //!   measurement phase, the greedy strategy, and the refinement pass
 //!   ([`engine`], §3.2);
 //! * the **performance audit** of Table 1 ([`audit`]);
-//! * a real-threads data-parallel backend for actual multicore speedups
-//!   ([`parallel`]).
+//! * a **backend-agnostic runtime layer**: every phase runs against the
+//!   `charmrt::Runtime` trait, on either the deterministic DES (modeled
+//!   virtual time) or real worker threads (measured wall-clock loads) —
+//!   selected by `SimConfig::backend`;
+//! * a sequential-looking multicore facade over the threads backend
+//!   ([`parallel`], behind the default-on `threads` feature).
 //!
 //! ## Quick example
 //!
@@ -54,6 +58,7 @@ pub mod config;
 pub mod costmodel;
 pub mod decomp;
 pub mod engine;
+#[cfg(feature = "threads")]
 pub mod parallel;
 pub mod patchgrid;
 #[cfg(test)]
@@ -63,10 +68,11 @@ pub mod state;
 /// Convenient import surface.
 pub mod prelude {
     pub use crate::audit::{audit, Audit, AuditRow};
-    pub use crate::config::{ForceMode, LbStrategy, PmeSimConfig, SimConfig};
+    pub use crate::config::{Backend, ForceMode, LbStrategy, PmeSimConfig, SimConfig};
     pub use crate::decomp::{build as build_decomposition, ComputeKind, Decomposition};
     pub use crate::engine::{BenchmarkRun, Engine, PhaseResult};
-    pub use crate::parallel::ParallelSim;
+    #[cfg(feature = "threads")]
+    pub use crate::parallel::{ParallelSim, ParallelSimError};
     pub use crate::patchgrid::{PatchGrid, PatchId};
     pub use crate::state::StepAcc;
 }

@@ -1,300 +1,209 @@
-//! Real-threads execution backend: the same hybrid decomposition executed
-//! with actual data parallelism on host cores (rayon).
+//! Multicore MD: a thin sequential-looking facade over the engine's
+//! real-threads backend.
 //!
-//! The DES backend reproduces the paper's *scheduling* results on thousands
-//! of virtual PEs; this module demonstrates genuine multicore speedup with
-//! the identical compute-object decomposition: every self/pair/bonded
-//! compute object becomes an independent parallel task, force contributions
-//! are reduced, and integration is data-parallel over atoms. This is the
-//! "multicore demo" path the reproduction brief calls for.
+//! Historically this module carried its own fork of the timestep loop (a
+//! thread-pool fold over compute objects plus data-parallel integration).
+//! That duplicate is gone: [`ParallelSim`] now drives [`Engine`] with
+//! `Backend::Threads`, so the message protocol, proxy wiring, grainsize
+//! splitting, and measurement machinery are the single implementation in
+//! [`crate::engine`] — the exact code path the load balancer measures.
+//! Every self/pair/bonded compute object is a chare executed on a worker
+//! thread; force contributions travel as messages and the home patches
+//! integrate, just as on the DES backend but in wall-clock time.
+//!
+//! The facade's step/run calls map onto engine *phases*: a phase of
+//! `n + 1` timesteps performs one bootstrap force evaluation (no motion —
+//! the first step of a phase only completes when integration is `started`)
+//! followed by `n` full velocity-Verlet updates. Chaining phases repeats
+//! the boundary force evaluation, so the trajectory is step-for-step
+//! identical to a sequential simulator.
 
-use crate::config::{ForceMode, SimConfig};
-use crate::decomp::{self, ComputeKind, Decomposition, PatchArrays};
-use crate::state::StepAcc;
-use mdcore::bonded::{angle_force, bond_force, dihedral_force, improper_force, restraint_force};
-use mdcore::forcefield::units;
-use mdcore::nonbonded::{nb_pair_ranged, nb_self_ranged};
+use crate::config::{Backend, ForceMode, SimConfig};
+use crate::decomp::Decomposition;
+use crate::engine::Engine;
+use crate::state::{SimState, StepAcc};
 use mdcore::prelude::*;
-use rayon::prelude::*;
+use std::ops::{Deref, DerefMut};
+use std::sync::{RwLockReadGuard, RwLockWriteGuard};
 
-/// A multicore MD simulator driven by the paper's decomposition.
+/// Why a [`ParallelSim`] could not be constructed.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ParallelSimError {
+    /// `n_threads` was zero.
+    NoThreads,
+    /// The timestep was not a positive finite number.
+    BadTimestep(f64),
+    /// The system has no atoms to decompose.
+    EmptySystem,
+}
+
+impl std::fmt::Display for ParallelSimError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ParallelSimError::NoThreads => write!(f, "n_threads must be at least 1"),
+            ParallelSimError::BadTimestep(dt) => {
+                write!(f, "timestep must be positive and finite, got {dt}")
+            }
+            ParallelSimError::EmptySystem => write!(f, "system has no atoms"),
+        }
+    }
+}
+
+impl std::error::Error for ParallelSimError {}
+
+/// Shared read access to the simulated [`System`].
+///
+/// Dereferences to [`System`]; drop it before the next `step`/`run` call
+/// (holding it across one would deadlock the worker threads).
+pub struct SystemRef<'a>(RwLockReadGuard<'a, SimState>);
+
+impl Deref for SystemRef<'_> {
+    type Target = System;
+    fn deref(&self) -> &System {
+        &self.0.system
+    }
+}
+
+/// Exclusive write access to the simulated [`System`] — thermostats rescale
+/// velocities through this between steps.
+pub struct SystemMut<'a>(RwLockWriteGuard<'a, SimState>);
+
+impl Deref for SystemMut<'_> {
+    type Target = System;
+    fn deref(&self) -> &System {
+        &self.0.system
+    }
+}
+
+impl DerefMut for SystemMut<'_> {
+    fn deref_mut(&mut self) -> &mut System {
+        &mut self.0.system
+    }
+}
+
+/// A multicore MD simulator: the paper's decomposition executed by the
+/// engine's real-threads backend, one OS thread per PE.
 pub struct ParallelSim {
-    pub system: System,
-    decomp: Decomposition,
-    pool: rayon::ThreadPool,
-    /// Timestep, fs.
+    engine: Engine,
+    /// Timestep, fs. May be changed between steps.
     pub dt: f64,
-    forces: Vec<Vec3>,
-    forces_valid: bool,
     /// Rebuild the patch assignment every this many steps (atom migration).
     pub migrate_every: usize,
     steps_since_migrate: usize,
-    cfg: SimConfig,
+    forces: Vec<Vec3>,
 }
 
 impl ParallelSim {
     /// Create a simulator using `n_threads` OS threads.
-    pub fn new(system: System, n_threads: usize, dt: f64) -> Self {
-        assert!(n_threads > 0 && dt > 0.0);
+    pub fn new(system: System, n_threads: usize, dt: f64) -> Result<Self, ParallelSimError> {
+        if n_threads == 0 {
+            return Err(ParallelSimError::NoThreads);
+        }
+        if !(dt > 0.0 && dt.is_finite()) {
+            return Err(ParallelSimError::BadTimestep(dt));
+        }
+        if system.n_atoms() == 0 {
+            return Err(ParallelSimError::EmptySystem);
+        }
         let mut cfg = SimConfig::new(n_threads, machine::presets::generic_cluster());
-        cfg.force_mode = ForceMode::Real; // skip pair counting in decomp
-        let decomp = decomp::build(&system, &cfg);
-        let pool = rayon::ThreadPoolBuilder::new()
-            .num_threads(n_threads)
-            .build()
-            .expect("failed to build thread pool");
+        cfg.force_mode = ForceMode::Real;
+        cfg.backend = Backend::Threads;
+        cfg.dt_fs = dt;
         let n = system.n_atoms();
-        ParallelSim {
-            system,
-            decomp,
-            pool,
+        Ok(ParallelSim {
+            engine: Engine::new(system, cfg),
             dt,
-            forces: vec![Vec3::ZERO; n],
-            forces_valid: false,
             migrate_every: 20,
             steps_since_migrate: 0,
-            cfg,
-        }
+            forces: vec![Vec3::ZERO; n],
+        })
     }
 
     /// Number of compute objects (parallel tasks per force evaluation).
     pub fn n_computes(&self) -> usize {
-        self.decomp.computes.len()
+        self.engine.decomp().computes.len()
     }
 
-    /// Evaluate all forces in parallel over compute objects. Returns the
-    /// potential-energy accumulator; `self.forces` holds the result.
+    /// Read access to the system (positions, velocities, temperature, …).
+    pub fn system(&self) -> SystemRef<'_> {
+        SystemRef(self.engine.shared.state.read().expect("state lock poisoned"))
+    }
+
+    /// Write access to the system, e.g. for thermostats between steps.
+    pub fn system_mut(&mut self) -> SystemMut<'_> {
+        SystemMut(self.engine.shared.state.write().expect("state lock poisoned"))
+    }
+
+    /// The current spatial decomposition.
+    pub fn decomp(&self) -> &Decomposition {
+        self.engine.decomp()
+    }
+
+    /// The underlying engine (placement, measured loads, load balancing).
+    pub fn engine(&self) -> &Engine {
+        &self.engine
+    }
+
+    /// Evaluate all forces on the worker threads without moving any atom.
+    /// Returns the energy accumulator for the current configuration
+    /// (including the kinetic energy of the current velocities);
+    /// [`ParallelSim::forces`] holds the per-atom result.
     pub fn compute_forces(&mut self) -> StepAcc {
-        let n = self.system.n_atoms();
-        let system = &self.system;
-        let decomp = &self.decomp;
-        let (forces, acc) = self.pool.install(|| {
-            decomp
-                .computes
-                .par_iter()
-                .fold(
-                    || (vec![Vec3::ZERO; n], StepAcc::default()),
-                    |(mut f, mut acc), spec| {
-                        execute_compute(system, decomp, spec, &mut f, &mut acc);
-                        (f, acc)
-                    },
-                )
-                .reduce(
-                    || (vec![Vec3::ZERO; n], StepAcc::default()),
-                    |(mut fa, mut aa), (fb, ab)| {
-                        for (a, b) in fa.iter_mut().zip(fb) {
-                            *a += b;
-                        }
-                        aa.e_lj += ab.e_lj;
-                        aa.e_elec += ab.e_elec;
-                        aa.e_bond += ab.e_bond;
-                        aa.e_angle += ab.e_angle;
-                        aa.e_dihedral += ab.e_dihedral;
-                        aa.e_improper += ab.e_improper;
-                        aa.e_restraint += ab.e_restraint;
-                        aa.pairs += ab.pairs;
-                        (fa, aa)
-                    },
-                )
-        });
-        self.forces = forces;
-        self.forces_valid = true;
-        acc
+        self.engine.config.dt_fs = self.dt;
+        let phase = self.engine.run_phase(1);
+        self.cache_forces();
+        phase.energies[0]
     }
 
     /// One velocity-Verlet step; returns the step's energies.
     pub fn step(&mut self) -> StepAcc {
-        if !self.forces_valid {
-            self.compute_forces();
-        }
-        let dt = self.dt;
-        let n = self.system.n_atoms();
-
-        // Half-kick + drift, parallel over atoms.
-        {
-            let masses: Vec<f64> = self.system.masses();
-            let cell = self.system.cell;
-            let forces = &self.forces;
-            let positions = &mut self.system.positions;
-            let velocities = &mut self.system.velocities;
-            self.pool.install(|| {
-                positions
-                    .par_iter_mut()
-                    .zip(velocities.par_iter_mut())
-                    .zip(forces.par_iter().zip(masses.par_iter()))
-                    .for_each(|((p, v), (f, m))| {
-                        *v += *f * (units::ACCEL / m) * (0.5 * dt);
-                        *p = cell.wrap(*p + *v * dt);
-                    });
-            });
-        }
-
-        // Periodic atom migration between patches.
-        self.steps_since_migrate += 1;
-        if self.steps_since_migrate >= self.migrate_every {
-            self.migrate_atoms();
-        }
-
-        // New forces + second half-kick.
-        let mut acc = self.compute_forces();
-        {
-            let masses: Vec<f64> = self.system.masses();
-            let forces = &self.forces;
-            let velocities = &mut self.system.velocities;
-            self.pool.install(|| {
-                velocities
-                    .par_iter_mut()
-                    .zip(forces.par_iter().zip(masses.par_iter()))
-                    .for_each(|(v, (f, m))| {
-                        *v += *f * (units::ACCEL / m) * (0.5 * dt);
-                    });
-            });
-        }
-        acc.kinetic = self.system.kinetic_energy();
-        let _ = n;
-        acc
+        self.advance(1).pop().expect("one step requested")
     }
 
     /// Run `n` steps; returns per-step energies.
     pub fn run(&mut self, n: usize) -> Vec<StepAcc> {
-        (0..n).map(|_| self.step()).collect()
+        self.advance(n)
+    }
+
+    /// Advance `n` velocity-Verlet steps in engine phases, migrating atoms
+    /// every `migrate_every` steps. A phase of `c + 1` timesteps yields `c`
+    /// completed updates (the first timestep is the bootstrap force
+    /// evaluation); its `energies[1..=c]` are the per-step records.
+    fn advance(&mut self, n: usize) -> Vec<StepAcc> {
+        let mut out = Vec::with_capacity(n);
+        let mut remaining = n;
+        while remaining > 0 {
+            let until_migrate =
+                self.migrate_every.saturating_sub(self.steps_since_migrate).max(1);
+            let c = remaining.min(until_migrate);
+            self.engine.config.dt_fs = self.dt;
+            let phase = self.engine.run_phase(c + 1);
+            out.extend_from_slice(&phase.energies[1..=c]);
+            self.cache_forces();
+            self.steps_since_migrate += c;
+            remaining -= c;
+            if self.steps_since_migrate >= self.migrate_every {
+                self.migrate_atoms();
+            }
+        }
+        out
     }
 
     /// Re-bin atoms into patches and rebuild the compute set — the analogue
     /// of NAMD's atom migration at pairlist updates.
     pub fn migrate_atoms(&mut self) {
-        self.decomp = decomp::build(&self.system, &self.cfg);
+        self.engine.migrate_atoms();
         self.steps_since_migrate = 0;
-        self.forces_valid = false;
     }
 
-    /// Current force buffer.
+    /// The most recently evaluated force on each atom.
     pub fn forces(&self) -> &[Vec3] {
         &self.forces
     }
-}
 
-/// Execute one compute object against `system`, accumulating into `f`/`acc`.
-fn execute_compute(
-    system: &System,
-    decomp: &Decomposition,
-    spec: &crate::decomp::ComputeSpec,
-    f: &mut [Vec3],
-    acc: &mut StepAcc,
-) {
-    let cell = system.cell;
-    match &spec.kind {
-        ComputeKind::SelfNb { patch } => {
-            let g = PatchArrays::gather(system, &decomp.grid.atoms[*patch]);
-            let mut local = vec![Vec3::ZERO; g.pos.len()];
-            let res = nb_self_ranged(
-                &system.forcefield,
-                &system.exclusions,
-                g.group(),
-                &cell,
-                spec.outer.clone(),
-                &mut local,
-            );
-            for (k, &a) in g.ids.iter().enumerate() {
-                f[a as usize] += local[k];
-            }
-            acc.e_lj += res.e_lj;
-            acc.e_elec += res.e_elec;
-            acc.pairs += res.pairs;
-        }
-        ComputeKind::PairNb { a, b } => {
-            let ga = PatchArrays::gather(system, &decomp.grid.atoms[*a]);
-            let gb = PatchArrays::gather(system, &decomp.grid.atoms[*b]);
-            let mut fa = vec![Vec3::ZERO; ga.pos.len()];
-            let mut fb = vec![Vec3::ZERO; gb.pos.len()];
-            let res = nb_pair_ranged(
-                &system.forcefield,
-                &system.exclusions,
-                ga.group(),
-                gb.group(),
-                &cell,
-                spec.outer.clone(),
-                &mut fa,
-                &mut fb,
-            );
-            for (k, &atom) in ga.ids.iter().enumerate() {
-                f[atom as usize] += fa[k];
-            }
-            for (k, &atom) in gb.ids.iter().enumerate() {
-                f[atom as usize] += fb[k];
-            }
-            acc.e_lj += res.e_lj;
-            acc.e_elec += res.e_elec;
-            acc.pairs += res.pairs;
-        }
-        ComputeKind::BondedIntra { .. } | ComputeKind::BondedInter { .. } => {
-            let terms = spec.terms.as_ref().expect("bonded compute without terms");
-            let topo = &system.topology;
-            let pos = &system.positions;
-            for &bi in &terms.bonds {
-                let b = &topo.bonds[bi as usize];
-                let (e, fa, fb) = bond_force(&cell, pos[b.a as usize], pos[b.b as usize], b.k, b.r0);
-                acc.e_bond += e;
-                f[b.a as usize] += fa;
-                f[b.b as usize] += fb;
-            }
-            for &ai in &terms.angles {
-                let t = &topo.angles[ai as usize];
-                let (e, fa, fb, fc) = angle_force(
-                    &cell,
-                    pos[t.a as usize],
-                    pos[t.b as usize],
-                    pos[t.c as usize],
-                    t.k,
-                    t.theta0,
-                );
-                acc.e_angle += e;
-                f[t.a as usize] += fa;
-                f[t.b as usize] += fb;
-                f[t.c as usize] += fc;
-            }
-            for &di in &terms.dihedrals {
-                let d = &topo.dihedrals[di as usize];
-                let (e, ff) = dihedral_force(
-                    &cell,
-                    pos[d.a as usize],
-                    pos[d.b as usize],
-                    pos[d.c as usize],
-                    pos[d.d as usize],
-                    d.k,
-                    d.n,
-                    d.delta,
-                );
-                acc.e_dihedral += e;
-                f[d.a as usize] += ff[0];
-                f[d.b as usize] += ff[1];
-                f[d.c as usize] += ff[2];
-                f[d.d as usize] += ff[3];
-            }
-            for &ii in &terms.impropers {
-                let d = &topo.impropers[ii as usize];
-                let (e, ff) = improper_force(
-                    &cell,
-                    pos[d.a as usize],
-                    pos[d.b as usize],
-                    pos[d.c as usize],
-                    pos[d.d as usize],
-                    d.k,
-                    d.psi0,
-                );
-                acc.e_improper += e;
-                f[d.a as usize] += ff[0];
-                f[d.b as usize] += ff[1];
-                f[d.c as usize] += ff[2];
-                f[d.d as usize] += ff[3];
-            }
-            for &ri in &terms.restraints {
-                let r = &topo.restraints[ri as usize];
-                let (e, fr) = restraint_force(&cell, pos[r.atom as usize], r.target, r.k);
-                acc.e_restraint += e;
-                f[r.atom as usize] += fr;
-            }
-        }
+    fn cache_forces(&mut self) {
+        let st = self.engine.shared.state.read().expect("state lock poisoned");
+        self.forces.clone_from(&st.forces);
     }
 }
 
@@ -319,12 +228,29 @@ mod tests {
     }
 
     #[test]
+    fn new_rejects_bad_arguments() {
+        let sys = small_system(9);
+        assert_eq!(
+            ParallelSim::new(sys.clone(), 0, 1.0).err(),
+            Some(ParallelSimError::NoThreads)
+        );
+        assert_eq!(
+            ParallelSim::new(sys.clone(), 2, 0.0).err(),
+            Some(ParallelSimError::BadTimestep(0.0))
+        );
+        assert!(matches!(
+            ParallelSim::new(sys, 2, f64::NAN).err(),
+            Some(ParallelSimError::BadTimestep(dt)) if dt.is_nan()
+        ));
+    }
+
+    #[test]
     fn parallel_forces_match_sequential() {
         let sys = small_system(1);
         let mut f_seq = vec![Vec3::ZERO; sys.n_atoms()];
         let e_seq = mdcore::sim::compute_forces(&sys, &mut f_seq);
 
-        let mut par = ParallelSim::new(sys, 2, 1.0);
+        let mut par = ParallelSim::new(sys, 2, 1.0).unwrap();
         let acc = par.compute_forces();
 
         let e_par = acc.potential();
@@ -345,11 +271,11 @@ mod tests {
     #[test]
     fn thread_counts_agree() {
         let e1 = {
-            let mut p = ParallelSim::new(small_system(2), 1, 1.0);
+            let mut p = ParallelSim::new(small_system(2), 1, 1.0).unwrap();
             p.compute_forces().potential()
         };
         let e2 = {
-            let mut p = ParallelSim::new(small_system(2), 2, 1.0);
+            let mut p = ParallelSim::new(small_system(2), 2, 1.0).unwrap();
             p.compute_forces().potential()
         };
         assert!((e1 - e2).abs() < 1e-7 * e1.abs().max(1.0), "{e1} vs {e2}");
@@ -357,7 +283,7 @@ mod tests {
 
     #[test]
     fn parallel_nve_conserves_energy() {
-        let mut p = ParallelSim::new(small_system(3), 2, 0.5);
+        let mut p = ParallelSim::new(small_system(3), 2, 0.5).unwrap();
         p.migrate_every = 10;
         let energies = p.run(40);
         let e0 = energies[2].total();
@@ -368,11 +294,11 @@ mod tests {
 
     #[test]
     fn migration_preserves_atom_count_and_energy() {
-        let mut p = ParallelSim::new(small_system(4), 2, 1.0);
+        let mut p = ParallelSim::new(small_system(4), 2, 1.0).unwrap();
         let before = p.compute_forces().potential();
         p.migrate_atoms();
-        let total_atoms: usize = p.decomp.grid.atoms.iter().map(Vec::len).sum();
-        assert_eq!(total_atoms, p.system.n_atoms());
+        let total_atoms: usize = p.decomp().grid.atoms.iter().map(Vec::len).sum();
+        assert_eq!(total_atoms, p.system().n_atoms());
         let after = p.compute_forces().potential();
         assert!(
             (before - after).abs() < 1e-7 * before.abs().max(1.0),

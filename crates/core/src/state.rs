@@ -1,16 +1,23 @@
-//! Shared simulation state for the DES backend.
+//! Shared simulation state, safe on both execution backends.
 //!
-//! The DES is single-threaded: handlers run to completion in event order, so
-//! the molecular data lives in one `RefCell` shared by all chares. The
-//! message protocol (coordinates → computes → forces → integration) provides
-//! exactly the ordering guarantees a distributed NAMD run has, so reads and
-//! writes through this shared state are always protocol-ordered; only the
-//! *transport* of the data is virtual.
+//! On the DES backend handlers run to completion in event order, so locks
+//! are uncontended; on the real-threads backend many compute chares execute
+//! concurrently. The message protocol (coordinates → computes → forces →
+//! integration) provides the same ordering guarantees a distributed NAMD
+//! run has: computes only *read* positions (shared read lock) while the
+//! owning patch is waiting for their force messages, and a patch only
+//! *writes* (write lock, at integration) after every force contribution
+//! for the step has arrived. Forces travel **in messages** — each compute
+//! sends per-patch force payloads to patch representatives — so no two
+//! handlers ever write the same atom's force concurrently.
+//!
+//! Lock order (deadlock freedom): `state` → `pme_real` → `energies`.
+//! Every handler that takes more than one of these acquires them in that
+//! order and drops them before sending messages.
 
 use crate::decomp::Decomposition;
 use mdcore::prelude::*;
-use std::cell::RefCell;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex, RwLock};
 
 /// Per-step energy accumulator (Real force mode only).
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
@@ -42,17 +49,31 @@ impl StepAcc {
     pub fn total(&self) -> f64 {
         self.potential() + self.kinetic
     }
+
+    /// Accumulate another record into this one.
+    pub fn merge(&mut self, other: &StepAcc) {
+        self.e_lj += other.e_lj;
+        self.e_elec += other.e_elec;
+        self.e_bond += other.e_bond;
+        self.e_angle += other.e_angle;
+        self.e_dihedral += other.e_dihedral;
+        self.e_improper += other.e_improper;
+        self.e_restraint += other.e_restraint;
+        self.kinetic += other.kinetic;
+        self.pairs += other.pairs;
+    }
 }
 
-/// Mutable simulation state shared by all chares.
+/// Mutable simulation state shared by all chares. Computes take the read
+/// lock (positions); home patches take the write lock at integration.
 #[derive(Debug)]
 pub struct SimState {
     pub system: System,
-    /// Force accumulator, indexed by atom id. Zeroed per-patch after each
-    /// integration.
+    /// The most recently evaluated total force per atom, written by each
+    /// home patch at integration (accumulated from the force payloads it
+    /// received for the step). Read-only observability — the integration
+    /// itself consumes the payload-borne forces directly.
     pub forces: Vec<Vec3>,
-    /// Per-step energy records (Real mode).
-    pub energies: Vec<StepAcc>,
 }
 
 /// Real-physics PME solver shared by the slab chares (Real force mode with
@@ -62,29 +83,33 @@ pub struct PmeReal {
     pub solver: pme::mesh::Pme,
     pub ewald: pme::ewald::EwaldParams,
     pub charges: Vec<f64>,
+    /// Reciprocal-space force accumulator, zeroed and refilled once per PME
+    /// round. Home patches add their atoms' entries at integration on PME
+    /// steps (impulse multiple-timestepping).
+    pub forces: Vec<Vec3>,
     /// PME rounds whose physics has been computed.
     pub rounds_done: usize,
 }
 
 /// Everything chares share: the mutable state plus the immutable
-/// decomposition.
+/// decomposition. See the module docs for the locking discipline.
 pub struct Shared {
-    pub state: RefCell<SimState>,
+    pub state: RwLock<SimState>,
+    /// Per-step energy records (Real mode), accumulated by computes and
+    /// patches. Always the innermost lock.
+    pub energies: Mutex<Vec<StepAcc>>,
     pub decomp: Decomposition,
     /// Present only in Real mode with full electrostatics.
-    pub pme_real: Option<RefCell<PmeReal>>,
+    pub pme_real: Option<Mutex<PmeReal>>,
 }
 
 impl Shared {
     /// Package a system and its decomposition for a run of `n_steps`.
-    pub fn new(system: System, decomp: Decomposition, n_steps: usize) -> Rc<Shared> {
+    pub fn new(system: System, decomp: Decomposition, n_steps: usize) -> Arc<Shared> {
         let n = system.n_atoms();
-        Rc::new(Shared {
-            state: RefCell::new(SimState {
-                system,
-                forces: vec![Vec3::ZERO; n],
-                energies: vec![StepAcc::default(); n_steps],
-            }),
+        Arc::new(Shared {
+            state: RwLock::new(SimState { system, forces: vec![Vec3::ZERO; n] }),
+            energies: Mutex::new(vec![StepAcc::default(); n_steps]),
             decomp,
             pme_real: None,
         })
@@ -110,5 +135,16 @@ mod tests {
         };
         assert_eq!(acc.potential(), 22.5);
         assert_eq!(acc.total(), 29.5);
+    }
+
+    #[test]
+    fn step_acc_merge_adds_componentwise() {
+        let mut a = StepAcc { e_lj: 1.0, kinetic: 2.0, pairs: 3, ..Default::default() };
+        let b = StepAcc { e_lj: 0.5, e_bond: 4.0, pairs: 7, ..Default::default() };
+        a.merge(&b);
+        assert_eq!(a.e_lj, 1.5);
+        assert_eq!(a.e_bond, 4.0);
+        assert_eq!(a.kinetic, 2.0);
+        assert_eq!(a.pairs, 10);
     }
 }

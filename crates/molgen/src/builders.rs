@@ -87,6 +87,17 @@ impl SystemBuilder {
         )
     }
 
+    /// Buckets per axis — neighbour lookups wrap modulo these so clearance
+    /// checks see atoms across the periodic boundary.
+    fn bucket_counts(&self) -> (i32, i32, i32) {
+        let n = |len: f64| ((len / BUCKET).ceil() as i32).max(1);
+        (
+            n(self.spec.box_lengths.x),
+            n(self.spec.box_lengths.y),
+            n(self.spec.box_lengths.z),
+        )
+    }
+
     /// Record a placed solute atom in the hash grid.
     fn bucket_insert(&mut self, atom: u32, p: Vec3) {
         let cell = Cell::periodic(Vec3::ZERO, self.spec.box_lengths);
@@ -100,11 +111,17 @@ impl SystemBuilder {
         let cell = Cell::periodic(Vec3::ZERO, self.spec.box_lengths);
         let q = cell.wrap(p);
         let (bx, by, bz) = self.bucket_of(q);
+        let (nx, ny, nz) = self.bucket_counts();
         let mut best = f64::INFINITY;
         for dx in -1..=1 {
             for dy in -1..=1 {
                 for dz in -1..=1 {
-                    if let Some(list) = self.buckets.get(&(bx + dx, by + dy, bz + dz)) {
+                    let key = (
+                        (bx + dx).rem_euclid(nx),
+                        (by + dy).rem_euclid(ny),
+                        (bz + dz).rem_euclid(nz),
+                    );
+                    if let Some(list) = self.buckets.get(&key) {
                         for &a in list {
                             if Some(a) == skip {
                                 continue;

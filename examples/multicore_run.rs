@@ -1,5 +1,7 @@
 //! Real multicore execution: the same compute-object decomposition the DES
-//! schedules, run with actual threads (rayon) on this machine's cores.
+//! schedules, run by the engine's real-threads backend on this machine's
+//! cores — the identical message-driven timestep protocol, in wall-clock
+//! time.
 //!
 //! Measures wall-clock speedup of the force evaluation and checks NVE energy
 //! conservation along the way — real physics, real parallelism.
@@ -24,7 +26,7 @@ fn main() {
     let mut t1 = 0.0;
     let mut threads = 1;
     while threads <= max_threads {
-        let mut sim = ParallelSim::new(system.clone(), threads, 1.0);
+        let mut sim = ParallelSim::new(system.clone(), threads, 1.0).unwrap();
         // Warm up, then time several evaluations.
         sim.compute_forces();
         let reps = 5;
@@ -44,7 +46,7 @@ fn main() {
     println!("\nNVE dynamics on {max_threads} threads (0.5 fs, 30 steps):");
     let mut sys = system;
     sys.thermalize(300.0, 1);
-    let mut sim = ParallelSim::new(sys, max_threads, 0.5);
+    let mut sim = ParallelSim::new(sys, max_threads, 0.5).unwrap();
     sim.migrate_every = 10;
     let energies = sim.run(30);
     let e0 = energies[2].total();

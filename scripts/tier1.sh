@@ -1,0 +1,31 @@
+#!/usr/bin/env bash
+# Tier-1 gate: release build + full test suite must pass (blocking);
+# clippy and rustfmt are advisory (non-blocking) so style churn never
+# masks a real regression.
+set -uo pipefail
+cd "$(dirname "$0")/.."
+
+status=0
+
+echo "==> cargo build --release"
+cargo build --release || status=1
+
+echo "==> cargo test -q"
+cargo test -q || status=1
+
+echo "==> cargo clippy (non-blocking)"
+if ! cargo clippy --workspace --all-targets -- -D warnings; then
+  echo "WARNING: clippy reported lints (non-blocking)"
+fi
+
+echo "==> cargo fmt --check (non-blocking)"
+if ! cargo fmt --all -- --check; then
+  echo "WARNING: rustfmt would reformat files (non-blocking)"
+fi
+
+if [ "$status" -ne 0 ]; then
+  echo "tier1: FAILED (build or tests)"
+else
+  echo "tier1: OK"
+fi
+exit "$status"

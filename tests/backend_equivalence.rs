@@ -1,0 +1,225 @@
+//! Backend-equivalence satellites for the unified Runtime layer:
+//!
+//! * the real-threads backend reproduces the sequential reference on an
+//!   apoa1-like system with positional restraints and under both
+//!   thermostats;
+//! * the DES and threads backends build identical compute-object sets and
+//!   each yields a valid greedy load-balancing assignment from its own
+//!   (modeled vs measured) loads;
+//! * on the threads backend, one measure → greedy cycle repairs a
+//!   deliberately imbalanced placement using *measured wall-clock* loads.
+
+use namd_repro::lb;
+use namd_repro::mdcore::prelude::*;
+use namd_repro::mdcore::thermostat::{Berendsen, Langevin};
+use namd_repro::molgen;
+use namd_repro::namd_core::parallel::ParallelSim;
+use namd_repro::namd_core::prelude::*;
+
+/// A small apoa1-like membrane+protein system with protein restraints,
+/// evolved a few steps so the restraints are strained (at the build
+/// configuration their energy is exactly zero).
+fn restrained_apoa1_small() -> System {
+    let bench = molgen::apoa1_like().scaled(0.04);
+    let mut sys = molgen::SystemBuilder::new(bench.spec().clone()).build_restrained();
+    sys.thermalize(300.0, 11);
+    let mut sim = Simulator::new(&sys, 1.0);
+    for _ in 0..5 {
+        sim.step(&mut sys);
+    }
+    sys
+}
+
+#[test]
+fn threads_forces_match_sequential_with_restraints() {
+    let sys = restrained_apoa1_small();
+    assert!(!sys.topology.restraints.is_empty(), "system must carry restraints");
+
+    let mut f_seq = vec![Vec3::ZERO; sys.n_atoms()];
+    let e_seq = namd_repro::mdcore::sim::compute_forces(&sys, &mut f_seq);
+
+    let mut par = ParallelSim::new(sys, 2, 1.0).unwrap();
+    let acc = par.compute_forces();
+
+    let tol = 1e-8 * e_seq.potential().abs().max(1.0);
+    assert!(
+        (acc.potential() - e_seq.potential()).abs() < tol,
+        "potential: threads {} vs sequential {}",
+        acc.potential(),
+        e_seq.potential()
+    );
+    assert!(
+        (acc.e_restraint - e_seq.bonded.restraint).abs() < 1e-8 * e_seq.bonded.restraint.abs().max(1.0),
+        "restraint energy: threads {} vs sequential {}",
+        acc.e_restraint,
+        e_seq.bonded.restraint
+    );
+    assert!(acc.e_restraint > 0.0, "thermalized system should strain its restraints");
+    for (i, (fp, fs)) in par.forces().iter().zip(&f_seq).enumerate() {
+        let d = (*fp - *fs).norm();
+        assert!(d < 1e-9 * (1.0 + fs.norm()), "atom {i} force differs by {d}");
+    }
+}
+
+#[test]
+fn threads_trajectory_matches_sequential_under_berendsen() {
+    let sys = restrained_apoa1_small();
+    let berendsen = Berendsen { target_k: 300.0, tau_fs: 100.0 };
+
+    let mut seq = sys.clone();
+    let mut sim = Simulator::new(&seq, 0.5);
+    let mut par = ParallelSim::new(sys, 2, 0.5).unwrap();
+    par.migrate_every = 1000; // keep the decomposition fixed, like the reference
+
+    for step in 0..6 {
+        let e_seq = sim.step(&mut seq);
+        berendsen.apply(&mut seq, 0.5);
+        let e_par = par.step();
+        berendsen.apply(&mut par.system_mut(), 0.5);
+        let tol = 1e-7 * e_seq.total().abs().max(1.0);
+        assert!(
+            (e_par.total() - e_seq.total()).abs() < tol,
+            "step {step} energy: threads {} vs sequential {}",
+            e_par.total(),
+            e_seq.total()
+        );
+    }
+    let par_sys = par.system();
+    for i in (0..seq.positions.len()).step_by(23) {
+        let d = (par_sys.positions[i] - seq.positions[i]).norm();
+        assert!(d < 1e-6, "atom {i} diverged by {d} under Berendsen");
+    }
+}
+
+#[test]
+fn threads_forces_match_along_a_langevin_trajectory() {
+    // Langevin's integrator owns the RNG, so the two backends cannot be
+    // co-stepped; instead sample configurations along a sequential Langevin
+    // trajectory and check the threads backend reproduces the forces (and
+    // the restraint energy) at each.
+    let mut sys = restrained_apoa1_small();
+    let mut langevin = Langevin::new(&sys, 300.0, 0.05, 1.0, 7);
+
+    for sample in 0..3 {
+        for _ in 0..4 {
+            langevin.step(&mut sys);
+        }
+        let mut f_seq = vec![Vec3::ZERO; sys.n_atoms()];
+        let e_seq = namd_repro::mdcore::sim::compute_forces(&sys, &mut f_seq);
+
+        let mut par = ParallelSim::new(sys.clone(), 2, 1.0).unwrap();
+        let acc = par.compute_forces();
+        let tol = 1e-8 * e_seq.potential().abs().max(1.0);
+        assert!(
+            (acc.potential() - e_seq.potential()).abs() < tol,
+            "sample {sample}: threads {} vs sequential {}",
+            acc.potential(),
+            e_seq.potential()
+        );
+        for (i, (fp, fs)) in par.forces().iter().zip(&f_seq).enumerate() {
+            let d = (*fp - *fs).norm();
+            assert!(d < 1e-9 * (1.0 + fs.norm()), "sample {sample} atom {i} differs by {d}");
+        }
+    }
+}
+
+fn real_mode_config(n_pes: usize, backend: Backend) -> SimConfig {
+    let mut cfg = SimConfig::new(n_pes, namd_repro::machine::presets::generic_cluster());
+    cfg.force_mode = ForceMode::Real;
+    cfg.backend = backend;
+    cfg
+}
+
+#[test]
+fn des_and_threads_build_identical_compute_sets_and_valid_assignments() {
+    let sys = restrained_apoa1_small();
+    let mut des = Engine::new(sys.clone(), real_mode_config(4, Backend::Des));
+    let mut thr = Engine::new(sys, real_mode_config(4, Backend::Threads));
+
+    // Identical compute-object sets: same kinds, patch lists, split ranges,
+    // and migratability, in the same order.
+    let dc = &des.decomp().computes;
+    let tc = &thr.decomp().computes;
+    assert_eq!(dc.len(), tc.len(), "compute-object counts differ");
+    for (j, (a, b)) in dc.iter().zip(tc.iter()).enumerate() {
+        assert_eq!(a.kind, b.kind, "compute {j} kind differs");
+        assert_eq!(a.patches, b.patches, "compute {j} patches differ");
+        assert_eq!(a.outer, b.outer, "compute {j} split range differs");
+        assert_eq!(a.migratable, b.migratable, "compute {j} migratability differs");
+    }
+    assert_eq!(des.placement, thr.placement, "static placements differ");
+
+    // Each backend measures its own loads (modeled vs wall-clock) and the
+    // greedy strategy produces a complete, in-range assignment from both.
+    for (name, engine) in [("des", &mut des), ("threads", &mut thr)] {
+        let r = engine.run_phase(2);
+        let (problem, map) = engine.lb_problem(&r);
+        assert_eq!(problem.computes.len(), map.len());
+        assert!(
+            problem.computes.iter().map(|c| c.load).sum::<f64>() > 0.0,
+            "{name}: measured migratable load must be positive"
+        );
+        let assignment = lb::greedy(&problem, lb::GreedyParams::default());
+        assert_eq!(assignment.len(), map.len(), "{name}: assignment incomplete");
+        assert!(
+            assignment.iter().all(|&pe| pe < engine.config.n_pes),
+            "{name}: assignment out of PE range"
+        );
+        let moved = engine.apply_assignment(&map, &assignment);
+        assert!(moved <= map.len());
+    }
+}
+
+#[test]
+fn measured_loads_repair_an_imbalanced_placement_on_threads() {
+    let sys = restrained_apoa1_small();
+    let mut engine = Engine::new(sys, real_mode_config(2, Backend::Threads));
+
+    // Deliberately pile every migratable compute onto PE 0.
+    let migratable: Vec<usize> = engine
+        .decomp()
+        .computes
+        .iter()
+        .enumerate()
+        .filter_map(|(j, c)| c.migratable.then_some(j))
+        .collect();
+    for &j in &migratable {
+        engine.placement[j] = 0;
+    }
+    let placement = engine.placement.clone();
+    let imbalanced = engine.run_phase(3);
+
+    let imbalance = |stats: &namd_repro::charmrt::SummaryStats| {
+        let max = stats.pe_busy.iter().cloned().fold(0.0f64, f64::max);
+        let avg = stats.pe_busy.iter().sum::<f64>() / stats.pe_busy.len() as f64;
+        max / avg.max(1e-12)
+    };
+    let before = imbalance(&imbalanced.stats);
+
+    // One measure → greedy cycle on the wall-clock loads.
+    let (problem, map) = engine.lb_problem(&imbalanced);
+    let assignment = lb::greedy(&problem, lb::GreedyParams::default());
+    let moved = engine.apply_assignment(&map, &assignment);
+    assert!(moved > 0, "greedy should move computes off the overloaded PE");
+    assert_ne!(placement, engine.placement);
+
+    let balanced = engine.run_phase(3);
+    let after = imbalance(&balanced.stats);
+    assert!(
+        after < before,
+        "measured imbalance should drop: {before:.3} -> {after:.3}"
+    );
+
+    // With real parallel hardware the balanced placement is also faster in
+    // wall-clock terms; on a single-core runner the two placements tie, so
+    // only assert the speedup when a second core exists.
+    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    if cores >= 2 {
+        assert!(
+            balanced.time_per_step < imbalanced.time_per_step,
+            "balanced step time {:.6}s should beat imbalanced {:.6}s",
+            balanced.time_per_step,
+            imbalanced.time_per_step
+        );
+    }
+}

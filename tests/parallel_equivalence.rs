@@ -1,5 +1,5 @@
 //! The reproduction's central correctness invariant: the sequential
-//! simulator, the DES engine in Real force mode, and the rayon multicore
+//! simulator, the DES engine in Real force mode, and the real-threads
 //! backend all compute the same physics.
 
 use namd_repro::machine::presets;
@@ -32,8 +32,8 @@ fn three_backends_agree_on_forces() {
     let mut f_seq = vec![Vec3::ZERO; sys.n_atoms()];
     let e_seq = namd_repro::mdcore::sim::compute_forces(&sys, &mut f_seq);
 
-    // Backend 2: rayon multicore over compute objects.
-    let mut par = ParallelSim::new(sys.clone(), 2, 1.0);
+    // Backend 2: worker threads over compute objects.
+    let mut par = ParallelSim::new(sys.clone(), 2, 1.0).unwrap();
     let acc_par = par.compute_forces();
 
     // Backend 3: the DES in Real mode. Forces are zeroed after integration,
@@ -46,7 +46,7 @@ fn three_backends_agree_on_forces() {
     let tol = 1e-8 * e_seq.potential().abs().max(1.0);
     assert!(
         (acc_par.potential() - e_seq.potential()).abs() < tol,
-        "rayon potential {} vs sequential {}",
+        "threads potential {} vs sequential {}",
         acc_par.potential(),
         e_seq.potential()
     );
@@ -60,7 +60,7 @@ fn three_backends_agree_on_forces() {
     assert_eq!(acc_par.pairs, e_seq.nonbonded.pairs);
     assert_eq!(r.energies[0].pairs, e_seq.nonbonded.pairs);
 
-    // Per-atom forces: rayon vs sequential.
+    // Per-atom forces: threads vs sequential.
     for (i, (fp, fs)) in par.forces().iter().zip(&f_seq).enumerate() {
         let d = (*fp - *fs).norm();
         assert!(d < 1e-9 * (1.0 + fs.norm()), "atom {i} differs by {d}");
@@ -84,18 +84,18 @@ fn trajectories_track_for_several_steps() {
     cfg.dt_fs = 0.5;
     let mut engine = Engine::new(sys.clone(), cfg);
     engine.run_phase(5);
-    let des_pos = engine.shared.state.borrow().system.positions.clone();
+    let des_pos = engine.shared.state.read().unwrap().system.positions.clone();
 
-    // Rayon trajectory.
-    let mut par = ParallelSim::new(sys, 2, 0.5);
+    // Threads trajectory.
+    let mut par = ParallelSim::new(sys, 2, 0.5).unwrap();
     par.migrate_every = 1000; // keep the decomposition fixed, like the DES
     par.run(4);
 
     for i in (0..seq.positions.len()).step_by(37) {
         let d_des = (des_pos[i] - seq.positions[i]).norm();
-        let d_par = (par.system.positions[i] - seq.positions[i]).norm();
+        let d_par = (par.system().positions[i] - seq.positions[i]).norm();
         assert!(d_des < 1e-6, "DES atom {i} diverged by {d_des}");
-        assert!(d_par < 1e-6, "rayon atom {i} diverged by {d_par}");
+        assert!(d_par < 1e-6, "threads atom {i} diverged by {d_par}");
     }
 }
 
@@ -123,9 +123,9 @@ fn all_backends_conserve_energy() {
     let ed: Vec<f64> = r.energies.iter().map(|e| e.total()).collect();
     assert!(drift(&ed) < 1e-2, "DES drift {}", drift(&ed));
 
-    // Rayon backend with live atom migration.
-    let mut par = ParallelSim::new(sys, 2, 0.5);
+    // Threads backend with live atom migration.
+    let mut par = ParallelSim::new(sys, 2, 0.5).unwrap();
     par.migrate_every = 8;
     let ep: Vec<f64> = par.run(25).iter().map(|e| e.total()).collect();
-    assert!(drift(&ep) < 1e-2, "rayon drift {}", drift(&ep));
+    assert!(drift(&ep) < 1e-2, "threads drift {}", drift(&ep));
 }

@@ -1,0 +1,267 @@
+//! Vendored, dependency-free subset of the `criterion` benchmarking API.
+//!
+//! Provides the types and macros this workspace's benches use —
+//! `criterion_group!` / `criterion_main!`, `Criterion::bench_function`,
+//! benchmark groups with `sample_size` / `throughput` /
+//! `bench_with_input`, `BenchmarkId`, and `black_box` — backed by a
+//! simple wall-clock measurement loop (median of N samples after a short
+//! calibration pass) instead of upstream's full statistical machinery.
+//! Results print as `name  time: [median]  thrpt: [...]` lines.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Re-exported for benches that use `criterion::black_box`; benches using
+/// `std::hint::black_box` directly are unaffected.
+pub use std::hint::black_box;
+
+/// Throughput annotation for a benchmark group.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    Elements(u64),
+    Bytes(u64),
+}
+
+/// A benchmark identifier: `function_name/parameter`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    pub fn new<S: Display, P: Display>(function_name: S, parameter: P) -> Self {
+        BenchmarkId { id: format!("{function_name}/{parameter}") }
+    }
+
+    pub fn from_parameter<P: Display>(parameter: P) -> Self {
+        BenchmarkId { id: parameter.to_string() }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        self.id.fmt(f)
+    }
+}
+
+/// Timing loop handle passed to benchmark closures.
+pub struct Bencher {
+    /// Iterations per sample, fixed by calibration before sampling.
+    iters: u64,
+    /// Duration of each completed sample.
+    samples: Vec<Duration>,
+    /// Target number of samples.
+    sample_count: usize,
+}
+
+impl Bencher {
+    /// Run the routine; time `self.sample_count` samples of
+    /// `self.iters` iterations each.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        self.samples.clear();
+        for _ in 0..self.sample_count {
+            let start = Instant::now();
+            for _ in 0..self.iters {
+                black_box(routine());
+            }
+            self.samples.push(start.elapsed());
+        }
+    }
+}
+
+fn calibrate<F: FnMut(&mut Bencher)>(f: &mut F) -> u64 {
+    // Grow the iteration count until one sample takes ≥ ~2 ms, so cheap
+    // routines are not dominated by timer resolution.
+    let mut iters = 1u64;
+    loop {
+        let mut b = Bencher { iters, samples: Vec::new(), sample_count: 1 };
+        f(&mut b);
+        let elapsed = b.samples.first().copied().unwrap_or_default();
+        if elapsed >= Duration::from_millis(2) || iters >= 1 << 20 {
+            return iters;
+        }
+        iters *= 2;
+    }
+}
+
+fn run_benchmark<F: FnMut(&mut Bencher)>(
+    name: &str,
+    sample_count: usize,
+    throughput: Option<Throughput>,
+    mut f: F,
+) {
+    let iters = calibrate(&mut f);
+    let mut b = Bencher { iters, samples: Vec::new(), sample_count };
+    f(&mut b);
+    let mut per_iter: Vec<f64> = b
+        .samples
+        .iter()
+        .map(|d| d.as_secs_f64() / iters as f64)
+        .collect();
+    per_iter.sort_by(|a, b| a.total_cmp(b));
+    let median = if per_iter.is_empty() { 0.0 } else { per_iter[per_iter.len() / 2] };
+    let time = format_seconds(median);
+    match throughput {
+        Some(Throughput::Elements(n)) if median > 0.0 => {
+            let rate = n as f64 / median;
+            println!("{name:<55} time: [{time}]  thrpt: [{:.3} Melem/s]", rate / 1e6);
+        }
+        Some(Throughput::Bytes(n)) if median > 0.0 => {
+            let rate = n as f64 / median;
+            println!("{name:<55} time: [{time}]  thrpt: [{:.3} MiB/s]", rate / (1 << 20) as f64);
+        }
+        _ => println!("{name:<55} time: [{time}]"),
+    }
+}
+
+fn format_seconds(s: f64) -> String {
+    if s >= 1.0 {
+        format!("{s:.4} s")
+    } else if s >= 1e-3 {
+        format!("{:.4} ms", s * 1e3)
+    } else if s >= 1e-6 {
+        format!("{:.4} µs", s * 1e6)
+    } else {
+        format!("{:.4} ns", s * 1e9)
+    }
+}
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    default_sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { default_sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    /// Upstream parses CLI args here; we accept and ignore them.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+        run_benchmark(name, self.default_sample_size, None, f);
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.to_string(),
+            sample_size: 10,
+            throughput: None,
+        }
+    }
+}
+
+/// A named group of related benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Display,
+        f: F,
+    ) -> &mut Self {
+        run_benchmark(
+            &format!("{}/{}", self.name, id),
+            self.sample_size,
+            self.throughput,
+            f,
+        );
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        run_benchmark(
+            &format!("{}/{}", self.name, id),
+            self.sample_size,
+            self.throughput,
+            |b| f(b, input),
+        );
+        self
+    }
+
+    pub fn finish(&mut self) {}
+}
+
+/// Define a benchmark group function compatible with `criterion_main!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Define `main()` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_reports() {
+        let mut c = Criterion::default();
+        let mut runs = 0u64;
+        c.bench_function("trivial_sum", |b| {
+            b.iter(|| {
+                runs += 1;
+                (0..100u64).sum::<u64>()
+            })
+        });
+        assert!(runs > 0);
+    }
+
+    #[test]
+    fn groups_support_throughput_and_inputs() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("group");
+        g.sample_size(3);
+        g.throughput(Throughput::Elements(100));
+        g.bench_with_input(BenchmarkId::new("double", 21), &21u64, |b, &n| {
+            b.iter(|| n * 2)
+        });
+        g.finish();
+    }
+
+    #[test]
+    fn benchmark_id_formats_as_name_slash_param() {
+        assert_eq!(BenchmarkId::new("fft", 256).to_string(), "fft/256");
+    }
+}

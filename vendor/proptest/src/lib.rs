@@ -1,0 +1,210 @@
+//! Vendored, dependency-free subset of the `proptest` API.
+//!
+//! Supports the surface this workspace's property tests use: the
+//! [`proptest!`] macro (with an optional `#![proptest_config(..)]` inner
+//! attribute), range / tuple / `collection::vec` strategies, `prop_map`,
+//! and the `prop_assert!` / `prop_assert_eq!` / `prop_assume!` macros.
+//!
+//! Differences from upstream, deliberately accepted for an offline build:
+//! no shrinking (a failing case reports its inputs via the panic message
+//! and is reproducible because case generation is deterministic per
+//! test-name and case index), and no persisted failure files.
+
+pub mod strategy;
+pub mod test_runner;
+
+pub mod collection {
+    //! Collection strategies (`proptest::collection::vec`).
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use rand::Rng;
+
+    /// Strategy for `Vec`s with element strategy `S` and a length drawn
+    /// uniformly from `size`.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: std::ops::Range<usize>,
+    }
+
+    /// `vec(element, len_range)` — a `Vec<S::Value>` strategy.
+    pub fn vec<S: Strategy>(element: S, size: std::ops::Range<usize>) -> VecStrategy<S> {
+        assert!(!size.is_empty(), "proptest::collection::vec: empty size range");
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let len = rng.gen_range(self.size.clone());
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod prelude {
+    pub use crate::strategy::Strategy;
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+}
+
+/// Generate test functions from `pattern in strategy` argument lists.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! { ($crate::test_runner::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    ( ($cfg:expr) ) => {};
+    ( ($cfg:expr)
+      $(#[$meta:meta])*
+      fn $name:ident ( $($arg:pat in $strat:expr),+ $(,)? ) $body:block
+      $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config = $cfg;
+            let strategies = ($($strat,)+);
+            $crate::test_runner::run_cases(
+                stringify!($name),
+                &config,
+                &strategies,
+                |($($arg,)+)| -> ::std::result::Result<(), $crate::test_runner::TestCaseError> {
+                    $body
+                    ::std::result::Result::Ok(())
+                },
+            );
+        }
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+}
+
+/// Like `assert!`, but fails only the current generated case (with its
+/// inputs reported) rather than unwinding from arbitrary depth.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)*),
+            ));
+        }
+    };
+}
+
+/// `prop_assert!` for equality, printing both operands on failure.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left == *right,
+            "assertion failed: `{:?}` == `{:?}`",
+            left,
+            right
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(*left == *right, $($fmt)*);
+    }};
+}
+
+/// `prop_assert!` for inequality.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left != *right,
+            "assertion failed: `{:?}` != `{:?}`",
+            left,
+            right
+        );
+    }};
+}
+
+/// Discard the current case (retried with fresh inputs, not counted).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::reject());
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn tuples_ranges_and_maps_compose(
+            (a, b) in (0u32..10, 10u32..20),
+            x in (0.0f64..1.0).prop_map(|v| v * 100.0),
+            v in crate::collection::vec(0usize..5, 1..8),
+        ) {
+            prop_assert!(a < 10 && (10..20).contains(&b));
+            prop_assert!((0.0..100.0).contains(&x));
+            prop_assert!(!v.is_empty() && v.len() < 8);
+            prop_assert!(v.iter().all(|&e| e < 5));
+        }
+
+        #[test]
+        fn assume_rejects_without_consuming_cases(n in 0u64..100) {
+            prop_assume!(n % 2 == 0);
+            prop_assert_eq!(n % 2, 0);
+        }
+    }
+
+    #[test]
+    fn failing_case_panics_with_message() {
+        let result = std::panic::catch_unwind(|| {
+            crate::test_runner::run_cases(
+                "always_fails",
+                &ProptestConfig::with_cases(4),
+                &(0u32..10,),
+                |(n,)| -> Result<(), TestCaseError> {
+                    prop_assert!(n > 100, "n was {}", n);
+                    Ok(())
+                },
+            );
+        });
+        let err = result.expect_err("should have panicked");
+        let msg = err.downcast_ref::<String>().expect("panic payload");
+        assert!(msg.contains("n was"), "unexpected message: {msg}");
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_name_and_case() {
+        let mut first = Vec::new();
+        let mut second = Vec::new();
+        for out in [&mut first, &mut second] {
+            crate::test_runner::run_cases(
+                "determinism_probe",
+                &ProptestConfig::with_cases(8),
+                &(0u64..1_000_000,),
+                |(n,)| {
+                    out.push(n);
+                    Ok(())
+                },
+            );
+        }
+        assert_eq!(first, second);
+        assert!(first.iter().any(|&n| n != first[0]), "degenerate stream");
+    }
+}

@@ -1,0 +1,102 @@
+//! Case execution: deterministic RNG, config, and the case loop.
+
+use crate::strategy::Strategy;
+use rand::rngs::SmallRng;
+use rand::{RngCore, SeedableRng};
+
+/// Runner configuration. Only `cases` is honoured.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of successful (non-rejected) cases each test must pass.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// Why a single generated case did not pass.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// `prop_assume!` failed — draw fresh inputs, don't count the case.
+    Reject,
+    /// `prop_assert!`-style failure with a message.
+    Fail(String),
+}
+
+impl TestCaseError {
+    pub fn reject() -> Self {
+        TestCaseError::Reject
+    }
+    pub fn fail(message: String) -> Self {
+        TestCaseError::Fail(message)
+    }
+}
+
+/// Deterministic per-case random source handed to strategies.
+#[derive(Debug, Clone)]
+pub struct TestRng(SmallRng);
+
+impl TestRng {
+    fn for_case(test_name: &str, case: u32, attempt: u32) -> Self {
+        // FNV-1a over the test name, mixed with the case/attempt indices,
+        // so every (test, case) pair sees a distinct, reproducible stream.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in test_name.bytes() {
+            h = (h ^ b as u64).wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        h ^= (case as u64) << 32 | attempt as u64;
+        TestRng(SmallRng::seed_from_u64(h))
+    }
+}
+
+impl RngCore for TestRng {
+    fn next_u32(&mut self) -> u32 {
+        self.0.next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        self.0.next_u64()
+    }
+}
+
+/// Drive `config.cases` successful executions of `test` over values drawn
+/// from `strategy`. Panics (failing the enclosing `#[test]`) on the first
+/// case failure, reporting the case index and message; `Reject`ed cases
+/// are retried with fresh inputs up to a bound.
+pub fn run_cases<S, F>(test_name: &str, config: &ProptestConfig, strategy: &S, mut test: F)
+where
+    S: Strategy,
+    F: FnMut(S::Value) -> Result<(), TestCaseError>,
+{
+    let max_rejects = 16 * config.cases.max(16);
+    let mut rejects = 0u32;
+    let mut case = 0u32;
+    while case < config.cases {
+        let mut rng = TestRng::for_case(test_name, case, rejects);
+        let value = strategy.generate(&mut rng);
+        match test(value) {
+            Ok(()) => case += 1,
+            Err(TestCaseError::Reject) => {
+                rejects += 1;
+                if rejects > max_rejects {
+                    panic!(
+                        "proptest '{test_name}': too many prop_assume! rejections \
+                         ({rejects}) before reaching {} cases",
+                        config.cases
+                    );
+                }
+            }
+            Err(TestCaseError::Fail(message)) => {
+                panic!("proptest '{test_name}' failed at case {case}: {message}");
+            }
+        }
+    }
+}
