@@ -14,8 +14,10 @@
 //! ties by insertion order, so a run is a pure function of its inputs.
 
 use crate::chare::{Chare, Ctx, PackCost};
+use crate::fault::{DeadLetter, FaultAction, FaultPlan, FaultState};
 use crate::ldb::LdbDatabase;
 use crate::msg::{EntryId, ObjId, Payload, Pe, Priority};
+use crate::sched::SchedulePolicy;
 use crate::stats::SummaryStats;
 use crate::trace::{Trace, TraceEvent};
 use machine::MachineModel;
@@ -24,7 +26,9 @@ use std::collections::BinaryHeap;
 
 /// A queued (delivered but not yet executed) message on a PE.
 struct QMsg {
-    priority: Priority,
+    /// Dequeue-order key from the [`SchedulePolicy`] (smaller runs first);
+    /// `(priority, seq)` under the default FIFO policy.
+    key: (i64, u64),
     seq: u64,
     /// Sending object (recorded on the LDB communication graph).
     #[allow(dead_code)]
@@ -37,7 +41,7 @@ struct QMsg {
 
 impl PartialEq for QMsg {
     fn eq(&self, other: &Self) -> bool {
-        self.priority == other.priority && self.seq == other.seq
+        self.key == other.key && self.seq == other.seq
     }
 }
 impl Eq for QMsg {}
@@ -47,10 +51,10 @@ impl PartialOrd for QMsg {
     }
 }
 impl Ord for QMsg {
-    // BinaryHeap is a max-heap; we want the *smallest* (priority, seq) out
+    // BinaryHeap is a max-heap; we want the *smallest* (key, seq) out
     // first, so invert the comparison.
     fn cmp(&self, other: &Self) -> Ordering {
-        (other.priority, other.seq).cmp(&(self.priority, self.seq))
+        (other.key, other.seq).cmp(&(self.key, self.seq))
     }
 }
 
@@ -136,6 +140,12 @@ pub struct Des {
     /// externally-loaded processors (workstation clusters, ref [3] of the
     /// paper): all CPU time on PE p is divided by `pe_speed[p]`.
     pe_speed: Vec<f64>,
+    /// Dequeue-order perturbation (default: native FIFO).
+    policy: SchedulePolicy,
+    /// Installed fault plan, if any.
+    fault: Option<FaultState>,
+    /// Messages the fault plan dropped, awaiting possible redelivery.
+    dead_letters: Vec<DeadLetter>,
     /// Summary-profile instrumentation (always on; it is cheap).
     pub stats: SummaryStats,
     /// Full event trace (opt-in via [`Des::set_tracing`]).
@@ -167,6 +177,9 @@ impl Des {
             stopped: false,
             last_activity: 0.0,
             pe_speed: vec![1.0; n_pes],
+            policy: SchedulePolicy::default(),
+            fault: None,
+            dead_letters: Vec::new(),
             stats: SummaryStats::new(n_pes),
             trace: Trace::default(),
             tracing: false,
@@ -249,6 +262,46 @@ impl Des {
         self.pe_speed = speeds;
     }
 
+    /// Set the schedule-perturbation policy for subsequent deliveries.
+    /// Install before injecting: already-queued messages keep their keys.
+    pub fn set_schedule_policy(&mut self, policy: SchedulePolicy) {
+        self.policy = policy;
+    }
+
+    /// Install a fault plan, applied to every subsequent send. Panics if a
+    /// rule names an entry method that is not registered (a plan that can
+    /// never match is a harness bug, not a no-op).
+    pub fn set_fault_plan(&mut self, plan: FaultPlan) {
+        self.fault =
+            Some(FaultState::install(plan, &self.stats.entry_names).expect("bad fault plan"));
+    }
+
+    /// Re-send every dead-lettered (dropped) message — the sender's
+    /// retransmission after a delivery timeout. Redeliveries bypass the
+    /// fault plan (the retry succeeds) and are delivered at the current
+    /// virtual time. Returns how many messages were re-sent.
+    pub fn redeliver_dead_letters(&mut self) -> usize {
+        let letters = std::mem::take(&mut self.dead_letters);
+        let n = letters.len();
+        for dl in letters {
+            let pe = self.obj_pe[dl.to.idx()];
+            let seq = self.next_seq();
+            let msg = QMsg {
+                key: self.policy.key(dl.priority, seq),
+                seq,
+                from: dl.to,
+                to: dl.to,
+                entry: dl.entry,
+                bytes: dl.bytes,
+                payload: dl.payload,
+            };
+            let t = self.now;
+            self.push_event(t, EventKind::Deliver { pe, msg });
+        }
+        self.stats.msgs_redelivered += n as u64;
+        n
+    }
+
     /// Inject a message from "outside" (the driver bootstrap). It is
     /// delivered at the current virtual time with no communication cost.
     pub fn inject(
@@ -260,7 +313,17 @@ impl Des {
         payload: Payload,
     ) {
         let pe = self.obj_pe[to.idx()];
-        let msg = QMsg { priority, seq: self.next_seq(), from: to, to, entry, bytes, payload };
+        let seq = self.next_seq();
+        let msg = QMsg {
+            key: self.policy.key(priority, seq),
+            seq,
+            from: to,
+            to,
+            entry,
+            bytes,
+            payload,
+        };
+        self.stats.msgs_injected += 1;
         let t = self.now;
         self.push_event(t, EventKind::Deliver { pe, msg });
     }
@@ -288,6 +351,21 @@ impl Des {
             }
             if self.stopped {
                 break;
+            }
+        }
+        if self.stopped {
+            // `Ctx::stop` discards whatever is still queued or in flight;
+            // count the discards so the message-conservation ledger stays
+            // exact (residual 0) even when stop races pending deliveries.
+            for ev in self.events.drain() {
+                if matches!(ev.kind, EventKind::Deliver { .. }) {
+                    self.stats.msgs_discarded += 1;
+                }
+            }
+            for st in &mut self.pes {
+                self.stats.msgs_discarded += st.queue.len() as u64;
+                st.queue.clear();
+                st.execute_scheduled = false;
             }
         }
         self.now = self.now.max(self.last_activity);
@@ -359,6 +437,7 @@ impl Des {
         self.stats.entry_time[msg.entry.idx()] += cpu;
         self.stats.entry_count[msg.entry.idx()] += 1;
         self.stats.msgs_sent += ctx.sends.len() as u64;
+        self.stats.msgs_received += 1;
         self.ldb.attribute(msg.to, pe, cpu);
         if self.tracing {
             self.trace.record(TraceEvent { pe, obj: msg.to, entry: msg.entry, start, end });
@@ -370,10 +449,55 @@ impl Des {
             self.stats.bytes_sent += s.bytes as u64;
             self.ldb.on_message(msg.to, s.to, s.bytes);
             let dest_pe = self.obj_pe[s.to.idx()];
-            let arrive = if dest_pe == pe { end } else { end + self.machine.wire_time(s.bytes) };
+            let mut arrive =
+                if dest_pe == pe { end } else { end + self.machine.wire_time(s.bytes) };
+            let fate = self
+                .fault
+                .as_mut()
+                .and_then(|f| f.decide(s.entry, pe, dest_pe));
+            match fate {
+                Some(FaultAction::Drop) => {
+                    // Lost in the network: the send was costed and counted,
+                    // but no Deliver event exists. Retained for redelivery.
+                    self.stats.msgs_dropped += 1;
+                    self.dead_letters.push(DeadLetter {
+                        to: s.to,
+                        entry: s.entry,
+                        bytes: s.bytes,
+                        priority: s.priority,
+                        payload: s.payload,
+                    });
+                    continue;
+                }
+                Some(FaultAction::Duplicate) => {
+                    // An extra copy arrives alongside the original; its
+                    // payload is an empty header re-send (Any can't clone).
+                    self.stats.msgs_duplicated += 1;
+                    let seq = self.next_seq();
+                    let dup = QMsg {
+                        key: self.policy.key(s.priority, seq),
+                        seq,
+                        from: msg.to,
+                        to: s.to,
+                        entry: s.entry,
+                        bytes: s.bytes,
+                        payload: crate::msg::empty_payload(),
+                    };
+                    self.push_event(arrive, EventKind::Deliver { pe: dest_pe, msg: dup });
+                }
+                Some(FaultAction::Delay(d)) => {
+                    self.stats.msgs_delayed += 1;
+                    arrive += d;
+                }
+                None => {}
+            }
+            let seq = self.next_seq();
+            if dest_pe != pe {
+                arrive += self.policy.delivery_jitter(seq);
+            }
             let q = QMsg {
-                priority: s.priority,
-                seq: self.next_seq(),
+                key: self.policy.key(s.priority, seq),
+                seq,
                 from: msg.to,
                 to: s.to,
                 entry: s.entry,
@@ -596,5 +720,100 @@ mod tests {
     fn register_rejects_bad_pe() {
         let mut des = Des::new(2, presets::ideal());
         des.register(Box::new(Node::new()), 5, true);
+    }
+
+    /// Two nodes where a forwards to b; returns (des, entry, ids).
+    fn forward_pair() -> (Des, EntryId, ObjId, ObjId) {
+        let mut des = Des::new(2, presets::ideal());
+        let e = des.register_entry("ping");
+        let b = des.register(Box::new(Node::new()), 1, true);
+        let a =
+            des.register(Box::new(Node { forward: Some((b, e)), ..Node::new() }), 0, true);
+        (des, e, a, b)
+    }
+
+    #[test]
+    fn dropped_message_dead_letters_then_redelivers() {
+        let (mut des, e, a, _b) = forward_pair();
+        des.set_fault_plan(FaultPlan::parse("drop:entry=ping").unwrap());
+        des.inject(a, e, 0, PRIO_NORMAL, empty_payload());
+        des.run();
+        // b never ran; the drop is accounted, so conservation still holds.
+        assert_eq!(des.stats.entry_count[e.idx()], 1);
+        assert_eq!(des.stats.msgs_dropped, 1);
+        assert_eq!(des.stats.conservation_residual(), 0);
+        // The sender retransmits; the protocol completes.
+        assert_eq!(des.redeliver_dead_letters(), 1);
+        des.run();
+        assert_eq!(des.stats.entry_count[e.idx()], 2);
+        assert_eq!(des.stats.msgs_redelivered, 1);
+        assert_eq!(des.stats.conservation_residual(), 0);
+    }
+
+    #[test]
+    fn duplicate_fault_delivers_an_extra_copy() {
+        let (mut des, e, a, _b) = forward_pair();
+        des.set_fault_plan(FaultPlan::parse("dup:entry=ping").unwrap());
+        des.inject(a, e, 0, PRIO_NORMAL, empty_payload());
+        des.run();
+        // a once, b twice (original + empty-payload copy).
+        assert_eq!(des.stats.entry_count[e.idx()], 3);
+        assert_eq!(des.stats.msgs_duplicated, 1);
+        assert_eq!(des.stats.conservation_residual(), 0);
+    }
+
+    #[test]
+    fn delay_fault_postpones_delivery_in_virtual_time() {
+        let (mut des, e, a, _b) = forward_pair();
+        des.set_fault_plan(FaultPlan::parse("delay:secs=1.0:entry=ping").unwrap());
+        des.inject(a, e, 0, PRIO_NORMAL, empty_payload());
+        let t = des.run();
+        assert!(t >= 1.0, "delayed delivery should dominate the makespan, got {t}");
+        assert_eq!(des.stats.msgs_delayed, 1);
+        assert_eq!(des.stats.entry_count[e.idx()], 2);
+    }
+
+    #[test]
+    fn lifo_policy_reverses_dequeue_order_and_ignores_priority() {
+        let mut des = Des::new(1, presets::ideal());
+        let e = des.register_entry("tagged");
+        let order = Arc::new(Mutex::new(Vec::new()));
+        let sink = des.register(
+            Box::new(Node { work: 10.0, order: order.clone(), ..Node::new() }),
+            0,
+            true,
+        );
+        des.set_schedule_policy(SchedulePolicy::adversarial_lifo());
+        des.inject(sink, e, 0, PRIO_NORMAL, Box::new(1i32));
+        des.inject(sink, e, 0, PRIO_LOW, Box::new(3i32));
+        des.inject(sink, e, 0, PRIO_NORMAL, Box::new(2i32));
+        des.inject(sink, e, 0, PRIO_HIGH, Box::new(0i32));
+        des.run();
+        // Newest-injected first, regardless of priority.
+        assert_eq!(*order.lock().unwrap(), vec![0, 2, 3, 1]);
+    }
+
+    #[test]
+    fn shuffled_schedule_is_replay_deterministic() {
+        let run_with = |seed: u64| {
+            let mut des = Des::new(4, presets::asci_red());
+            let e = des.register_entry("d");
+            des.set_schedule_policy(SchedulePolicy::random_shuffle(seed));
+            des.set_tracing(true);
+            let mut last = None;
+            for pe in 0..4 {
+                let node = Node { forward: last.map(|o| (o, e)), work: 33.0, ..Node::new() };
+                last = Some(des.register(Box::new(node), pe, true));
+            }
+            for _ in 0..3 {
+                des.inject(last.unwrap(), e, 64, PRIO_NORMAL, empty_payload());
+            }
+            let t = des.run();
+            (t.to_bits(), des.trace.clone())
+        };
+        let (t1, trace1) = run_with(7);
+        let (t2, trace2) = run_with(7);
+        assert_eq!(t1, t2);
+        assert_eq!(trace1, trace2, "identical seed must replay identically");
     }
 }

@@ -50,9 +50,11 @@
 pub mod chare;
 pub mod collectives;
 pub mod des;
+pub mod fault;
 pub mod ldb;
 pub mod msg;
 pub mod runtime;
+pub mod sched;
 pub mod stats;
 pub mod threads;
 pub mod trace;
@@ -60,11 +62,13 @@ pub mod trace;
 pub use chare::{Chare, Ctx, MulticastMode};
 pub use collectives::{tree_children, tree_depth, tree_parent, TreeNode};
 pub use des::Des;
+pub use fault::{FaultAction, FaultPlan, FaultRule};
 pub use ldb::{LdbDatabase, LdbSnapshot, ObjLoad};
 pub use msg::{
     empty_payload, EntryId, ObjId, Payload, Pe, Priority, PRIO_HIGH, PRIO_LOW, PRIO_NORMAL,
 };
-pub use runtime::Runtime;
+pub use runtime::{RunStall, Runtime};
+pub use sched::{SchedulePolicy, SchedulePolicyKind};
 pub use stats::SummaryStats;
 pub use threads::ThreadRuntime;
 pub use trace::{Histogram, Trace, TraceEvent};

@@ -23,10 +23,40 @@
 //! durations on the other.
 
 use crate::chare::Chare;
+use crate::fault::FaultPlan;
 use crate::ldb::LdbDatabase;
 use crate::msg::{EntryId, ObjId, Payload, Pe, Priority};
+use crate::sched::SchedulePolicy;
 use crate::stats::SummaryStats;
 use crate::trace::Trace;
+
+/// A run wedged short of quiescence: the no-progress watchdog saw every
+/// worker idle while quiescence counters say messages are still in flight
+/// (e.g. a fault plan dropped one). The protocol layer can repair this by
+/// re-sending dead letters ([`Runtime::redeliver_dead_letters`]) and
+/// re-running.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RunStall {
+    /// Makespan up to the stall, seconds.
+    pub makespan: f64,
+    /// Sends still unmatched by receives when the watchdog fired.
+    pub in_flight: u64,
+    /// Dead-lettered messages available for redelivery.
+    pub undelivered: usize,
+}
+
+impl std::fmt::Display for RunStall {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "runtime stalled short of quiescence after {:.6}s: {} message(s) in flight, \
+             {} dead letter(s) held for redelivery",
+            self.makespan, self.in_flight, self.undelivered
+        )
+    }
+}
+
+impl std::error::Error for RunStall {}
 
 /// A message-driven execution substrate. See the module docs.
 pub trait Runtime {
@@ -57,6 +87,31 @@ pub trait Runtime {
     /// the makespan in seconds: virtual seconds on modeled backends, wall
     /// seconds on real ones.
     fn run(&mut self) -> f64;
+
+    /// Like [`Runtime::run`], but backends with a no-progress watchdog
+    /// return [`RunStall`] instead of spinning forever when quiescence can
+    /// never be reached (a dropped message under fault injection). On a
+    /// stall, undelivered queued messages are preserved for a repair
+    /// re-run. The default covers backends that cannot wedge: a drained
+    /// event queue *is* their quiescence.
+    fn try_run(&mut self) -> Result<f64, RunStall> {
+        Ok(self.run())
+    }
+
+    /// Install a seeded dequeue-order perturbation, consulted for every
+    /// subsequently delivered message. Install before injecting.
+    fn set_schedule_policy(&mut self, _policy: SchedulePolicy) {}
+
+    /// Install a fault plan applied to every subsequent send. Panics if a
+    /// rule names an unregistered entry method.
+    fn set_fault_plan(&mut self, _plan: FaultPlan) {}
+
+    /// Re-send every dead-lettered (dropped) message — modeling the
+    /// sender's retransmission after a delivery timeout. Returns how many
+    /// were re-sent; call `run`/`try_run` again afterwards to process them.
+    fn redeliver_dead_letters(&mut self) -> usize {
+        0
+    }
 
     /// Summary-profile instrumentation accumulated so far.
     fn stats(&self) -> &SummaryStats;
@@ -116,6 +171,15 @@ impl Runtime for crate::Des {
     }
     fn run(&mut self) -> f64 {
         Self::run(self)
+    }
+    fn set_schedule_policy(&mut self, policy: SchedulePolicy) {
+        Self::set_schedule_policy(self, policy)
+    }
+    fn set_fault_plan(&mut self, plan: FaultPlan) {
+        Self::set_fault_plan(self, plan)
+    }
+    fn redeliver_dead_letters(&mut self) -> usize {
+        Self::redeliver_dead_letters(self)
     }
     fn stats(&self) -> &SummaryStats {
         &self.stats

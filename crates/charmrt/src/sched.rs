@@ -1,0 +1,200 @@
+//! Seeded schedule-perturbation policies for the runtime's dequeue order.
+//!
+//! The paper's claim (§2.2, §3) is that message-driven execution tolerates
+//! *arbitrary* message arrival order: correctness must not depend on the
+//! schedule the runtime happens to pick. A [`SchedulePolicy`] makes that
+//! claim testable: both backends consult the policy when ordering their
+//! per-PE scheduler queues, so one seed reproduces one exact interleaving
+//! in the deterministic DES backend, and a fuzzing harness can sweep seeds
+//! looking for order-dependent bugs.
+//!
+//! The policy is a *pure function* of `(seed, priority, sequence number)` —
+//! it keeps no mutable state, so both the single-threaded DES and the
+//! lock-sharded threads backend can consult it without coordination, and a
+//! replayed run computes identical keys.
+
+use crate::msg::Priority;
+
+/// SplitMix64: the standard 64-bit mixing function. Deterministic, seedable,
+/// and statistically adequate for tie-break keys (the same generator the
+/// engine's load-drift walk uses).
+pub(crate) fn splitmix64(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Which perturbation the scheduler applies before dequeuing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SchedulePolicyKind {
+    /// The runtime's native order: (priority, arrival sequence). This is
+    /// bit-identical to the pre-policy behaviour.
+    #[default]
+    Fifo,
+    /// Uniformly random dequeue order, *ignoring priorities* — the most
+    /// general adversary the protocol must survive.
+    RandomShuffle,
+    /// Newest message first, ignoring priorities — maximizes the depth of
+    /// deferred work and starves the oldest messages longest.
+    AdversarialLifo,
+    /// Queues keep their native (priority, seq) order, but every cross-PE
+    /// message pays an extra seeded latency in `[0, jitter_s)` — models
+    /// network-induced arrival reordering rather than scheduler reordering.
+    /// On the threads backend (no virtual latency), this degrades to a
+    /// seeded tie-break *within* each priority class.
+    FixedLatencyJitter,
+}
+
+/// A seeded dequeue-order policy, consulted by both [`crate::Des`] and
+/// [`crate::ThreadRuntime`]. See the module docs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SchedulePolicy {
+    pub kind: SchedulePolicyKind,
+    /// Seed: the entire interleaving (on the DES) is a pure function of it.
+    pub seed: u64,
+    /// Jitter bound for [`SchedulePolicyKind::FixedLatencyJitter`], seconds.
+    pub jitter_s: f64,
+}
+
+impl Default for SchedulePolicy {
+    fn default() -> Self {
+        SchedulePolicy::fifo()
+    }
+}
+
+impl SchedulePolicy {
+    /// The native order (no perturbation).
+    pub fn fifo() -> Self {
+        SchedulePolicy { kind: SchedulePolicyKind::Fifo, seed: 0, jitter_s: 0.0 }
+    }
+
+    /// Seeded uniformly random dequeue order.
+    pub fn random_shuffle(seed: u64) -> Self {
+        SchedulePolicy { kind: SchedulePolicyKind::RandomShuffle, seed, jitter_s: 0.0 }
+    }
+
+    /// Newest-first dequeue order.
+    pub fn adversarial_lifo() -> Self {
+        SchedulePolicy { kind: SchedulePolicyKind::AdversarialLifo, seed: 0, jitter_s: 0.0 }
+    }
+
+    /// Native order plus seeded per-message delivery latency in
+    /// `[0, jitter_s)` (DES backend).
+    pub fn latency_jitter(seed: u64, jitter_s: f64) -> Self {
+        assert!(jitter_s >= 0.0 && jitter_s.is_finite());
+        SchedulePolicy { kind: SchedulePolicyKind::FixedLatencyJitter, seed, jitter_s }
+    }
+
+    /// The dequeue-order key for a message: smaller keys dequeue first.
+    /// Pure in `(self, priority, seq)`; queues break remaining ties by
+    /// arrival sequence.
+    pub fn key(&self, priority: Priority, seq: u64) -> (i64, u64) {
+        match self.kind {
+            SchedulePolicyKind::Fifo => (priority as i64, seq),
+            SchedulePolicyKind::RandomShuffle => (0, splitmix64(self.seed ^ seq)),
+            SchedulePolicyKind::AdversarialLifo => (0, u64::MAX - seq),
+            // Jitter perturbs delivery *time* on the DES; within a queue it
+            // keeps priorities but randomizes the tie-break so the threads
+            // backend (which cannot delay delivery) still sees reordering.
+            SchedulePolicyKind::FixedLatencyJitter => {
+                (priority as i64, splitmix64(self.seed ^ seq))
+            }
+        }
+    }
+
+    /// Extra delivery latency for a cross-PE message, seconds (DES only;
+    /// zero for every kind but [`SchedulePolicyKind::FixedLatencyJitter`]).
+    pub fn delivery_jitter(&self, seq: u64) -> f64 {
+        if self.kind != SchedulePolicyKind::FixedLatencyJitter || self.jitter_s == 0.0 {
+            return 0.0;
+        }
+        let u = splitmix64(self.seed ^ seq.rotate_left(17)) as f64 / u64::MAX as f64;
+        u * self.jitter_s
+    }
+
+    /// Parse a policy name (the CLI's `--schedule` values): `fifo`,
+    /// `shuffle` (alias `random-shuffle`), `lifo` (alias
+    /// `adversarial-lifo`), `jitter` (alias `fixed-latency-jitter`). The
+    /// seed is supplied separately (`--schedule-seed`).
+    pub fn parse(name: &str, seed: u64) -> Result<Self, String> {
+        match name {
+            "fifo" => Ok(SchedulePolicy::fifo()),
+            "shuffle" | "random-shuffle" => Ok(SchedulePolicy::random_shuffle(seed)),
+            "lifo" | "adversarial-lifo" => {
+                Ok(SchedulePolicy { seed, ..SchedulePolicy::adversarial_lifo() })
+            }
+            // Default jitter bound: 100 µs, comfortably larger than any
+            // modeled wire time so messages genuinely overtake each other.
+            "jitter" | "fixed-latency-jitter" => Ok(SchedulePolicy::latency_jitter(seed, 100e-6)),
+            other => Err(format!(
+                "unknown schedule policy '{other}' (want fifo|shuffle|lifo|jitter)"
+            )),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_key_preserves_priority_then_arrival() {
+        let p = SchedulePolicy::fifo();
+        assert!(p.key(-10, 5) < p.key(0, 1));
+        assert!(p.key(0, 1) < p.key(0, 2));
+        assert!(p.key(0, 2) < p.key(10, 1));
+    }
+
+    #[test]
+    fn shuffle_is_seed_deterministic_and_seed_sensitive() {
+        let a = SchedulePolicy::random_shuffle(42);
+        let b = SchedulePolicy::random_shuffle(42);
+        let c = SchedulePolicy::random_shuffle(43);
+        let keys = |p: &SchedulePolicy| (0..32u64).map(|s| p.key(0, s)).collect::<Vec<_>>();
+        assert_eq!(keys(&a), keys(&b));
+        assert_ne!(keys(&a), keys(&c));
+        // Not in arrival order (the point of the shuffle).
+        let ks = keys(&a);
+        assert!(!ks.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn lifo_reverses_arrival_order() {
+        let p = SchedulePolicy::adversarial_lifo();
+        assert!(p.key(0, 9) < p.key(0, 3));
+        // And ignores priority entirely.
+        assert!(p.key(10, 9) < p.key(-10, 3));
+    }
+
+    #[test]
+    fn jitter_bounds_and_determinism() {
+        let p = SchedulePolicy::latency_jitter(7, 50e-6);
+        for s in 0..100 {
+            let j = p.delivery_jitter(s);
+            assert!((0.0..50e-6).contains(&j), "jitter {j} out of bounds");
+            assert_eq!(j, p.delivery_jitter(s));
+        }
+        assert_eq!(SchedulePolicy::fifo().delivery_jitter(3), 0.0);
+        // Jitter keeps priority classes intact in the queue key.
+        assert!(p.key(-10, 8) < p.key(0, 1));
+    }
+
+    #[test]
+    fn parse_accepts_all_names() {
+        assert_eq!(SchedulePolicy::parse("fifo", 1).unwrap().kind, SchedulePolicyKind::Fifo);
+        assert_eq!(
+            SchedulePolicy::parse("shuffle", 1).unwrap().kind,
+            SchedulePolicyKind::RandomShuffle
+        );
+        assert_eq!(
+            SchedulePolicy::parse("adversarial-lifo", 1).unwrap().kind,
+            SchedulePolicyKind::AdversarialLifo
+        );
+        assert_eq!(
+            SchedulePolicy::parse("jitter", 1).unwrap().kind,
+            SchedulePolicyKind::FixedLatencyJitter
+        );
+        assert!(SchedulePolicy::parse("bogus", 1).is_err());
+    }
+}

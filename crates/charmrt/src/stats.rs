@@ -31,6 +31,20 @@ pub struct SummaryStats {
     pub msgs_sent: u64,
     /// Payload bytes sent.
     pub bytes_sent: u64,
+    /// Messages received (handler executions).
+    pub msgs_received: u64,
+    /// Messages injected from outside the object graph (bootstrap).
+    pub msgs_injected: u64,
+    /// Messages dropped by the installed fault plan.
+    pub msgs_dropped: u64,
+    /// Extra copies delivered by the fault plan's duplicate rules.
+    pub msgs_duplicated: u64,
+    /// Messages delayed by the fault plan.
+    pub msgs_delayed: u64,
+    /// Dead letters re-sent via `Runtime::redeliver_dead_letters`.
+    pub msgs_redelivered: u64,
+    /// Messages still queued when `Ctx::stop` ended the run (discarded).
+    pub msgs_discarded: u64,
     /// Virtual time when the current measurement window began.
     pub window_start: f64,
 }
@@ -59,7 +73,27 @@ impl SummaryStats {
         self.recv_overhead = 0.0;
         self.msgs_sent = 0;
         self.bytes_sent = 0;
+        self.msgs_received = 0;
+        self.msgs_injected = 0;
+        self.msgs_dropped = 0;
+        self.msgs_duplicated = 0;
+        self.msgs_delayed = 0;
+        self.msgs_redelivered = 0;
+        self.msgs_discarded = 0;
         self.window_start = now;
+    }
+
+    /// Message-conservation residual: how many messages entered the system
+    /// (sends + injections + duplicate copies + redeliveries, minus drops)
+    /// but were neither received nor accounted for as discarded at
+    /// `Ctx::stop`. Zero for any completed run whose dead letters were all
+    /// redelivered; a positive residual means messages were silently lost —
+    /// the invariant the fault-injection oracle checks.
+    pub fn conservation_residual(&self) -> i64 {
+        let entered = self.msgs_sent + self.msgs_injected + self.msgs_duplicated
+            + self.msgs_redelivered
+            - self.msgs_dropped;
+        entered as i64 - (self.msgs_received + self.msgs_discarded) as i64
     }
 
     /// Name of an entry method.

@@ -23,9 +23,11 @@
 //! tests check outcomes, not schedules.
 
 use crate::chare::{Chare, Ctx};
+use crate::fault::{DeadLetter, FaultAction, FaultPlan, FaultState};
 use crate::ldb::LdbDatabase;
 use crate::msg::{EntryId, ObjId, Payload, Pe, Priority};
-use crate::runtime::Runtime;
+use crate::runtime::{RunStall, Runtime};
+use crate::sched::SchedulePolicy;
 use crate::stats::SummaryStats;
 use crate::trace::{Trace, TraceEvent};
 use std::cmp::Ordering;
@@ -36,8 +38,14 @@ use std::time::{Duration, Instant};
 
 /// A queued message awaiting execution on a worker.
 struct TMsg {
-    priority: Priority,
+    /// Dequeue-order key from the [`SchedulePolicy`] (smaller runs first);
+    /// `(priority, seq)` under the default FIFO policy.
+    key: (i64, u64),
     seq: u64,
+    /// Original priority and declared size, retained so a message still
+    /// queued at a stall can be re-injected for the repair re-run.
+    priority: Priority,
+    bytes: usize,
     to: ObjId,
     entry: EntryId,
     payload: Payload,
@@ -45,7 +53,7 @@ struct TMsg {
 
 impl PartialEq for TMsg {
     fn eq(&self, other: &Self) -> bool {
-        self.priority == other.priority && self.seq == other.seq
+        self.key == other.key && self.seq == other.seq
     }
 }
 impl Eq for TMsg {}
@@ -55,9 +63,9 @@ impl PartialOrd for TMsg {
     }
 }
 impl Ord for TMsg {
-    // Max-heap → invert for smallest (priority, seq) first, like the DES.
+    // Max-heap → invert for smallest (key, seq) first, like the DES.
     fn cmp(&self, other: &Self) -> Ordering {
-        (other.priority, other.seq).cmp(&(self.priority, self.seq))
+        (other.key, other.seq).cmp(&(self.key, self.seq))
     }
 }
 
@@ -81,6 +89,21 @@ struct Sched {
     obj_pe: Vec<Pe>,
     n_pes: usize,
     epoch: Instant,
+    /// Dequeue-order perturbation (default: native FIFO).
+    policy: SchedulePolicy,
+    /// Installed fault plan, if any (shared occurrence counters).
+    fault: Option<Mutex<FaultState>>,
+    /// Messages the fault plan dropped, awaiting possible redelivery.
+    dead_letters: Mutex<Vec<DeadLetter>>,
+    /// Handler executions completed — the watchdog's progress signal.
+    executed: AtomicU64,
+    /// Workers currently blocked waiting for a message.
+    idle: AtomicU64,
+    /// Set by the watchdog when quiescence can never be reached.
+    stalled: AtomicBool,
+    msgs_dropped: AtomicU64,
+    msgs_duplicated: AtomicU64,
+    msgs_delayed: AtomicU64,
 }
 
 impl Sched {
@@ -152,7 +175,22 @@ pub struct ThreadRuntime {
     obj_pe: Vec<Pe>,
     /// Bootstrap messages queued by `inject` until the next `run`.
     injected: Vec<(ObjId, EntryId, usize, Priority, Payload)>,
+    /// Messages queued for a repair re-run (redelivered dead letters and
+    /// messages still queued when a stall ended the previous run). Unlike
+    /// `injected` these are *not* new entries into the system, so draining
+    /// them does not bump `msgs_injected`.
+    requeued: Vec<(ObjId, EntryId, usize, Priority, Payload)>,
     tracing: bool,
+    /// Dequeue-order perturbation (default: native FIFO).
+    policy: SchedulePolicy,
+    /// Installed fault plan (occurrence counters persist across re-runs,
+    /// so a `limit=1` drop rule does not re-drop its redelivery cascade).
+    fault: Option<FaultState>,
+    /// Messages the fault plan dropped, awaiting possible redelivery.
+    dead_letters: Vec<DeadLetter>,
+    /// No-progress window after which a non-quiescent run is declared
+    /// stalled. Generous relative to the 50 ms worker wait.
+    stall_timeout: Duration,
     /// Summary-profile instrumentation (measured wall-clock).
     pub stats: SummaryStats,
     /// Full event trace (opt-in via `set_tracing`).
@@ -170,7 +208,12 @@ impl ThreadRuntime {
             objects: Vec::new(),
             obj_pe: Vec::new(),
             injected: Vec::new(),
+            requeued: Vec::new(),
             tracing: false,
+            policy: SchedulePolicy::default(),
+            fault: None,
+            dead_letters: Vec::new(),
+            stall_timeout: Duration::from_millis(500),
             stats: SummaryStats::new(n_pes),
             trace: Trace::default(),
             ldb: LdbDatabase::new(n_pes),
@@ -180,6 +223,37 @@ impl ThreadRuntime {
     /// Number of worker threads.
     pub fn n_pes(&self) -> usize {
         self.n_pes
+    }
+
+    /// Set the schedule-perturbation policy for subsequent deliveries.
+    pub fn set_schedule_policy(&mut self, policy: SchedulePolicy) {
+        self.policy = policy;
+    }
+
+    /// Install a fault plan, applied to every subsequent send. Panics if a
+    /// rule names an entry method that is not registered.
+    pub fn set_fault_plan(&mut self, plan: FaultPlan) {
+        self.fault =
+            Some(FaultState::install(plan, &self.stats.entry_names).expect("bad fault plan"));
+    }
+
+    /// Shrink the no-progress watchdog window (tests; default 500 ms).
+    pub fn set_stall_timeout(&mut self, timeout: Duration) {
+        self.stall_timeout = timeout;
+    }
+
+    /// Re-queue every dead-lettered (dropped) message for the next run —
+    /// the sender's retransmission after a delivery timeout. Redeliveries
+    /// take the bootstrap path, bypassing the fault plan entirely (the
+    /// retry succeeds). Returns how many were re-sent.
+    pub fn redeliver_dead_letters(&mut self) -> usize {
+        let letters = std::mem::take(&mut self.dead_letters);
+        let n = letters.len();
+        for dl in letters {
+            self.requeued.push((dl.to, dl.entry, dl.bytes, dl.priority, dl.payload));
+        }
+        self.stats.msgs_redelivered += n as u64;
+        n
     }
 
     fn worker_loop(
@@ -212,9 +286,13 @@ impl ThreadRuntime {
                     }
                     // Timed wait purely as a belt-and-braces guard: every
                     // state change notifies under this lock, so the
-                    // timeout should never be what wakes us.
+                    // timeout should never be what wakes us. The idle
+                    // count lets the no-progress watchdog distinguish
+                    // "everyone waiting, messages lost" from live work.
+                    sched.idle.fetch_add(1, AtOrd::SeqCst);
                     let (guard, _) =
                         q.available.wait_timeout(heap, Duration::from_millis(50)).unwrap();
+                    sched.idle.fetch_sub(1, AtOrd::SeqCst);
                     heap = guard;
                 }
             };
@@ -235,16 +313,66 @@ impl ThreadRuntime {
             metrics.last_end = metrics.last_end.max(end);
             metrics.trace.push(TraceEvent { pe, obj: msg.to, entry: msg.entry, start, end });
 
+            sched.executed.fetch_add(1, AtOrd::SeqCst);
             let stop = ctx.stop;
             for s in ctx.sends.drain(..) {
                 metrics.msgs_sent += 1;
                 metrics.bytes_sent += s.bytes as u64;
                 let dest = sched.obj_pe[s.to.idx()];
+                let fate = sched
+                    .fault
+                    .as_ref()
+                    .and_then(|f| f.lock().unwrap().decide(s.entry, pe, dest));
+                match fate {
+                    Some(FaultAction::Drop) => {
+                        // A faithful lost packet: the quiescence counter
+                        // sees the send but no receive will ever match it,
+                        // so the watchdog (not quiescence) ends the run.
+                        sched.in_flight.fetch_add(1, AtOrd::SeqCst);
+                        sched.msgs_dropped.fetch_add(1, AtOrd::SeqCst);
+                        sched.dead_letters.lock().unwrap().push(DeadLetter {
+                            to: s.to,
+                            entry: s.entry,
+                            bytes: s.bytes,
+                            priority: s.priority,
+                            payload: s.payload,
+                        });
+                        continue;
+                    }
+                    Some(FaultAction::Duplicate) => {
+                        sched.msgs_duplicated.fetch_add(1, AtOrd::SeqCst);
+                        let seq = sched.next_seq();
+                        sched.enqueue(
+                            dest,
+                            TMsg {
+                                key: sched.policy.key(s.priority, seq),
+                                seq,
+                                priority: s.priority,
+                                bytes: s.bytes,
+                                to: s.to,
+                                entry: s.entry,
+                                payload: crate::msg::empty_payload(),
+                            },
+                        );
+                    }
+                    _ => {}
+                }
+                let seq = sched.next_seq();
+                // No virtual clock to postpone delivery on: a delayed
+                // message is instead demoted behind all normal work.
+                let key = if matches!(fate, Some(FaultAction::Delay(_))) {
+                    sched.msgs_delayed.fetch_add(1, AtOrd::SeqCst);
+                    (i64::MAX, seq)
+                } else {
+                    sched.policy.key(s.priority, seq)
+                };
                 sched.enqueue(
                     dest,
                     TMsg {
+                        key,
+                        seq,
                         priority: s.priority,
-                        seq: sched.next_seq(),
+                        bytes: s.bytes,
                         to: s.to,
                         entry: s.entry,
                         payload: s.payload,
@@ -262,10 +390,21 @@ impl ThreadRuntime {
 
     /// Run to quiescence (or `Ctx::stop`) on real worker threads. Returns
     /// the makespan: the latest handler end time, in wall seconds from the
-    /// run's epoch.
+    /// run's epoch. Panics if the no-progress watchdog declares a stall —
+    /// use [`ThreadRuntime::try_run`] when stalls are expected (fault
+    /// injection).
     pub fn run(&mut self) -> f64 {
-        if self.injected.is_empty() {
-            return 0.0;
+        self.try_run().expect("quiescence unreachable")
+    }
+
+    /// Like [`ThreadRuntime::run`], but a run that can never reach
+    /// quiescence (a dropped message leaves the in-flight counter pinned
+    /// above zero) is detected by a no-progress watchdog and returned as
+    /// [`RunStall`] instead of spinning forever. Messages still queued at
+    /// the stall are preserved and re-queued for the next run.
+    pub fn try_run(&mut self) -> Result<f64, RunStall> {
+        if self.injected.is_empty() && self.requeued.is_empty() {
+            return Ok(0.0);
         }
         let n_entries = self.stats.entry_names.len();
         let sched = Sched {
@@ -281,11 +420,24 @@ impl ThreadRuntime {
             obj_pe: self.obj_pe.clone(),
             n_pes: self.n_pes,
             epoch: Instant::now(),
+            policy: self.policy,
+            fault: self.fault.take().map(Mutex::new),
+            dead_letters: Mutex::new(Vec::new()),
+            executed: AtomicU64::new(0),
+            idle: AtomicU64::new(0),
+            stalled: AtomicBool::new(false),
+            msgs_dropped: AtomicU64::new(0),
+            msgs_duplicated: AtomicU64::new(0),
+            msgs_delayed: AtomicU64::new(0),
         };
-        for (to, entry, _bytes, priority, payload) in self.injected.drain(..) {
+        self.stats.msgs_injected += self.injected.len() as u64;
+        for (to, entry, bytes, priority, payload) in
+            self.injected.drain(..).chain(self.requeued.drain(..))
+        {
             let pe = sched.obj_pe[to.idx()];
-            let msg = TMsg { priority, seq: sched.next_seq(), to, entry, payload };
-            sched.enqueue(pe, msg);
+            let seq = sched.next_seq();
+            let key = sched.policy.key(priority, seq);
+            sched.enqueue(pe, TMsg { key, seq, priority, bytes, to, entry, payload });
         }
 
         // Partition object ownership: each worker gets a dense table with
@@ -299,6 +451,7 @@ impl ThreadRuntime {
             }
         }
 
+        let stall_timeout = self.stall_timeout;
         let mut worker_metrics: Vec<WorkerMetrics> = std::thread::scope(|scope| {
             let handles: Vec<_> = owned
                 .iter_mut()
@@ -308,6 +461,35 @@ impl ThreadRuntime {
                     scope.spawn(move || Self::worker_loop(sched, pe, objs, n_entries))
                 })
                 .collect();
+
+            // No-progress watchdog, run on the calling thread: quiescence
+            // can never be reached if every worker sits idle while the
+            // in-flight counter stays pinned above zero (a lost message).
+            // "No progress" = the executed count has not moved for the
+            // whole stall window — transient all-idle moments between a
+            // notify and a wakeup don't trip it.
+            let mut last_exec = sched.executed.load(AtOrd::SeqCst);
+            let mut last_change = Instant::now();
+            loop {
+                if sched.done.load(AtOrd::SeqCst) {
+                    break;
+                }
+                std::thread::sleep(Duration::from_millis(5));
+                let exec = sched.executed.load(AtOrd::SeqCst);
+                if exec != last_exec {
+                    last_exec = exec;
+                    last_change = Instant::now();
+                    continue;
+                }
+                if sched.in_flight.load(AtOrd::SeqCst) > 0
+                    && sched.idle.load(AtOrd::SeqCst) as usize == sched.n_pes
+                    && last_change.elapsed() >= stall_timeout
+                {
+                    sched.stalled.store(true, AtOrd::SeqCst);
+                    sched.shutdown();
+                    break;
+                }
+            }
             handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
         });
 
@@ -316,6 +498,26 @@ impl ThreadRuntime {
             for (idx, slot) in objs.iter_mut().enumerate() {
                 if let Some(obj) = slot.take() {
                     self.objects[idx] = Some(obj);
+                }
+            }
+        }
+
+        // Fault state (occurrence counters) and dead letters outlive the run.
+        self.fault = sched.fault.map(|f| f.into_inner().unwrap());
+        self.dead_letters.extend(sched.dead_letters.into_inner().unwrap());
+        let stalled = sched.stalled.load(AtOrd::SeqCst);
+        let mut undelivered = 0usize;
+        for q in &sched.queues {
+            let mut heap = q.heap.lock().unwrap();
+            for m in heap.drain() {
+                if stalled {
+                    // Preserve for the repair re-run (no counter: the send
+                    // was already counted; the receive is still to come).
+                    undelivered += 1;
+                    self.requeued.push((m.to, m.entry, m.bytes, m.priority, m.payload));
+                } else {
+                    // `Ctx::stop` discards whatever was still queued.
+                    self.stats.msgs_discarded += 1;
                 }
             }
         }
@@ -341,7 +543,20 @@ impl ThreadRuntime {
             }
             makespan = makespan.max(m.last_end);
         }
-        makespan
+        self.stats.msgs_received += sched.executed.load(AtOrd::SeqCst);
+        self.stats.msgs_dropped += sched.msgs_dropped.load(AtOrd::SeqCst);
+        self.stats.msgs_duplicated += sched.msgs_duplicated.load(AtOrd::SeqCst);
+        self.stats.msgs_delayed += sched.msgs_delayed.load(AtOrd::SeqCst);
+
+        if stalled {
+            Err(RunStall {
+                makespan,
+                in_flight: sched.in_flight.load(AtOrd::SeqCst),
+                undelivered: undelivered + self.dead_letters.len(),
+            })
+        } else {
+            Ok(makespan)
+        }
     }
 }
 
@@ -376,6 +591,22 @@ impl Runtime for ThreadRuntime {
 
     fn run(&mut self) -> f64 {
         Self::run(self)
+    }
+
+    fn try_run(&mut self) -> Result<f64, RunStall> {
+        Self::try_run(self)
+    }
+
+    fn set_schedule_policy(&mut self, policy: SchedulePolicy) {
+        Self::set_schedule_policy(self, policy)
+    }
+
+    fn set_fault_plan(&mut self, plan: FaultPlan) {
+        Self::set_fault_plan(self, plan)
+    }
+
+    fn redeliver_dead_letters(&mut self) -> usize {
+        Self::redeliver_dead_letters(self)
     }
 
     fn stats(&self) -> &SummaryStats {
@@ -577,6 +808,65 @@ mod tests {
         rt.run();
         assert!(rt.stats.pe_busy[1] > 0.0, "work should land on worker 1 after migration");
         assert_eq!(hits.load(AtOrd::SeqCst), 2);
+    }
+
+    #[test]
+    fn watchdog_reports_stall_instead_of_hanging() {
+        let mut rt = ThreadRuntime::new(2);
+        rt.set_stall_timeout(Duration::from_millis(100));
+        let e = rt.register_entry("hop");
+        let hits = Arc::new(AtomicU32::new(0));
+        let a = rt.register(
+            Box::new(Hopper { next: Some(ObjId(1)), entry: e, hops: 1, hits: hits.clone() }),
+            0,
+            true,
+        );
+        rt.register(
+            Box::new(Hopper { next: None, entry: e, hops: 0, hits: hits.clone() }),
+            1,
+            true,
+        );
+        // Drop the one message a sends to b: quiescence is unreachable.
+        rt.set_fault_plan(FaultPlan::parse("drop:entry=hop").unwrap());
+        rt.inject(a, e, 0, PRIO_NORMAL, empty_payload());
+        let stall = rt.try_run().expect_err("a dropped message must stall, not hang");
+        assert_eq!(stall.in_flight, 1);
+        assert_eq!(stall.undelivered, 1);
+        assert_eq!(hits.load(AtOrd::SeqCst), 1, "only the sender ran");
+        // The sender retransmits; the repair run completes normally.
+        assert_eq!(rt.redeliver_dead_letters(), 1);
+        rt.try_run().expect("redelivered run must reach quiescence");
+        assert_eq!(hits.load(AtOrd::SeqCst), 2);
+        assert_eq!(rt.stats.msgs_dropped, 1);
+        assert_eq!(rt.stats.msgs_redelivered, 1);
+        assert_eq!(rt.stats.conservation_residual(), 0);
+    }
+
+    #[test]
+    fn shuffled_schedule_still_reaches_quiescence_with_exact_counts() {
+        let mut rt = ThreadRuntime::new(4);
+        rt.set_schedule_policy(crate::SchedulePolicy::random_shuffle(99));
+        let e = rt.register_entry("bounce");
+        let hits = Arc::new(AtomicU32::new(0));
+        let n = 8usize;
+        for i in 0..n {
+            rt.register(
+                Box::new(Hopper {
+                    next: Some(ObjId(((i + 3) % n) as u32)),
+                    entry: e,
+                    hops: 10,
+                    hits: hits.clone(),
+                }),
+                i % 4,
+                true,
+            );
+        }
+        for i in 0..n {
+            rt.inject(ObjId(i as u32), e, 0, PRIO_NORMAL, empty_payload());
+        }
+        rt.run();
+        assert_eq!(hits.load(AtOrd::SeqCst), (n + n * 10) as u32);
+        assert_eq!(rt.stats.conservation_residual(), 0);
     }
 
     #[test]

@@ -32,8 +32,9 @@ impl TraceEvent {
     }
 }
 
-/// An in-memory event log with query helpers.
-#[derive(Debug, Clone, Default)]
+/// An in-memory event log with query helpers. `PartialEq` so replay tests
+/// can assert two runs produced bit-identical event streams.
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct Trace {
     pub events: Vec<TraceEvent>,
 }

@@ -7,6 +7,9 @@
 //!     --machine asci_red|t3e|origin|cluster
 //!     --pes 1,8,64,256
 //!     --steps N
+//!     --schedule fifo|shuffle|lifo|jitter   dequeue-order perturbation
+//!     --schedule-seed N                     seed for the perturbation
+//!     --fault-plan "drop:entry=PatchRecvForces;..."  message faults
 //! namd-rs sample-config            print an annotated example config
 //! ```
 
@@ -123,13 +126,20 @@ fn cmd_info(args: &[String]) -> i32 {
 
 fn cmd_bench(args: &[String]) -> i32 {
     let Some(system) = args.first() else {
-        eprintln!("usage: namd-rs bench <apoa1|bc1|br> [--machine M] [--pes LIST] [--steps N] [--scale F]");
+        eprintln!(
+            "usage: namd-rs bench <apoa1|bc1|br> [--machine M] [--pes LIST] [--steps N] \
+             [--scale F] [--schedule fifo|shuffle|lifo|jitter] [--schedule-seed N] \
+             [--fault-plan SPEC]"
+        );
         return 2;
     };
     let mut machine = machine::presets::asci_red();
     let mut pes: Vec<usize> = vec![1, 8, 64, 256];
     let mut steps = 3usize;
     let mut scale = 1.0f64;
+    let mut schedule_name = String::from("fifo");
+    let mut schedule_seed = 0u64;
+    let mut fault_plan: Option<charmrt::FaultPlan> = None;
     let mut it = args[1..].iter();
     while let Some(a) = it.next() {
         let value = |it: &mut std::slice::Iter<String>| -> Option<String> {
@@ -173,6 +183,31 @@ fn cmd_bench(args: &[String]) -> i32 {
                     return 2;
                 }
             },
+            "--schedule" => match value(&mut it) {
+                Some(name) => schedule_name = name,
+                None => {
+                    eprintln!("--schedule needs a policy name");
+                    return 2;
+                }
+            },
+            "--schedule-seed" => match value(&mut it).and_then(|v| v.parse().ok()) {
+                Some(s) => schedule_seed = s,
+                None => {
+                    eprintln!("bad --schedule-seed");
+                    return 2;
+                }
+            },
+            "--fault-plan" => match value(&mut it).map(|v| charmrt::FaultPlan::parse(&v)) {
+                Some(Ok(plan)) => fault_plan = Some(plan),
+                Some(Err(e)) => {
+                    eprintln!("bad --fault-plan: {e}");
+                    return 2;
+                }
+                None => {
+                    eprintln!("--fault-plan needs a spec (e.g. drop:entry=PatchRecvForces)");
+                    return 2;
+                }
+            },
             other => {
                 eprintln!("unknown option {other}");
                 return 2;
@@ -188,8 +223,21 @@ fn cmd_bench(args: &[String]) -> i32 {
             return 2;
         }
     };
+    let schedule = match charmrt::SchedulePolicy::parse(&schedule_name, schedule_seed) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("bad --schedule: {e}");
+            return 2;
+        }
+    };
     let bench = if scale < 1.0 { bench.scaled(scale) } else { bench };
     println!("benchmark {} ({} atoms) on {}", bench.name, bench.n_atoms, machine.name);
+    if schedule.kind != charmrt::SchedulePolicyKind::Fifo {
+        println!("schedule policy {:?}, seed {}", schedule.kind, schedule.seed);
+    }
+    if let Some(plan) = &fault_plan {
+        println!("fault plan: {} rule(s), engine retries repair dropped deliveries", plan.rules.len());
+    }
     let sys = bench.build();
     let decomp = build_decomposition(&sys, &SimConfig::new(1, machine));
     println!(
@@ -205,6 +253,8 @@ fn cmd_bench(args: &[String]) -> i32 {
     for &p in &pes {
         let mut cfg = SimConfig::new(p, machine);
         cfg.steps_per_phase = steps;
+        cfg.schedule = schedule;
+        cfg.fault_plan = fault_plan.clone();
         let mut e = Engine::with_decomposition(sys.clone(), decomp.clone(), cfg);
         let t = e.run_benchmark().final_time_per_step();
         let b = *base.get_or_insert(t * pes[0] as f64);

@@ -129,6 +129,15 @@ pub struct SimConfig {
     /// modeling "the slow large-scale movements of atoms in the
     /// simulation" (§3.2). 0 disables drift.
     pub load_drift: f64,
+    /// Seeded dequeue-order perturbation, installed into each phase's
+    /// runtime before injection. The default FIFO policy is bit-identical
+    /// to the runtime's native ordering; shuffle/lifo/jitter exercise the
+    /// paper's claim that correctness survives arbitrary message order.
+    pub schedule: charmrt::SchedulePolicy,
+    /// Fault plan (drop/duplicate/delay by predicate), installed fresh
+    /// into each phase's runtime. Dropped messages are repaired by the
+    /// engine's retry loop (timeout re-send) instead of wedging quiescence.
+    pub fault_plan: Option<charmrt::FaultPlan>,
 }
 
 impl SimConfig {
@@ -155,6 +164,8 @@ impl SimConfig {
             pme: None,
             pe_speeds: Vec::new(),
             load_drift: 0.0,
+            schedule: charmrt::SchedulePolicy::default(),
+            fault_plan: None,
         }
     }
 

@@ -254,6 +254,10 @@ impl Engine {
         if !cfg.pe_speeds.is_empty() {
             rt.set_pe_speeds(cfg.pe_speeds.clone());
         }
+        rt.set_schedule_policy(cfg.schedule);
+        if let Some(plan) = &cfg.fault_plan {
+            rt.set_fault_plan(plan.clone());
+        }
 
         let params = RunParams {
             n_steps,
@@ -438,7 +442,37 @@ impl Engine {
         for p in 0..n_patches {
             rt.inject(patch_id(p), entries.start, 0, PRIO_NORMAL, empty_payload());
         }
-        let total_time = rt.run();
+        // Delivery-guarantee repair loop: a run may fall short of protocol
+        // completion when the fault plan loses messages (the DES drains its
+        // event queue with work missing; the threads watchdog reports a
+        // stall). Completion is exactly "every patch reported Done this
+        // phase" — counts accumulate across repair attempts, so the target
+        // is cumulative. Each retry models the senders' timeout re-sends.
+        let done_target = rt.stats().entry_count[entries.done.idx()] + n_patches as u64;
+        let mut total_time: f64 = 0.0;
+        let mut attempts = 0u32;
+        loop {
+            let t = match rt.try_run() {
+                Ok(t) => t,
+                Err(stall) => stall.makespan,
+            };
+            total_time = total_time.max(t);
+            if rt.stats().entry_count[entries.done.idx()] >= done_target {
+                break;
+            }
+            attempts += 1;
+            assert!(
+                attempts < 16,
+                "phase incomplete after {attempts} delivery-repair attempts \
+                 (fault plan drops more than retries can heal)"
+            );
+            let resent = rt.redeliver_dead_letters();
+            assert!(
+                resent > 0,
+                "phase incomplete but no dead letters to redeliver: \
+                 protocol wedged without message loss"
+            );
+        }
 
         // ---- Harvest measurements -----------------------------------------
         let snapshot = rt.ldb().snapshot(rt.placement());

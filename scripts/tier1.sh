@@ -13,6 +13,12 @@ cargo build --release || status=1
 echo "==> cargo test -q"
 cargo test -q || status=1
 
+# Bounded schedule-fuzz soak: more seeds × policies than the default run,
+# still deterministic (cases are seeded per test name + index). Blocking —
+# an invariant-oracle violation here is a real runtime bug.
+echo "==> schedule fuzz soak (SCHEDULE_FUZZ_CASES=25)"
+SCHEDULE_FUZZ_CASES=25 cargo test -q --test schedule_fuzz || status=1
+
 echo "==> cargo clippy (non-blocking)"
 if ! cargo clippy --workspace --all-targets -- -D warnings; then
   echo "WARNING: clippy reported lints (non-blocking)"
