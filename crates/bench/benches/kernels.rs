@@ -37,7 +37,7 @@ fn bench_nonbonded(c: &mut Criterion) {
         let lj = sys.lj_types();
         let q = sys.charges();
         let ids: Vec<u32> = (0..n as u32).collect();
-        let group = AtomGroup { pos: &sys.positions, ids: &ids, lj: &lj, charge: &q };
+        let group = AtomGroup::new(&sys.positions, &ids, &lj, &q);
         let pairs = count_self_pairs(group, &sys.cell, sys.forcefield.cutoff);
         g.throughput(Throughput::Elements(pairs));
         g.bench_with_input(BenchmarkId::new("nb_self", n), &sys, |b, sys| {
@@ -49,6 +49,62 @@ fn bench_nonbonded(c: &mut Criterion) {
                     &sys.exclusions,
                     group,
                     &sys.cell,
+                    &mut forces,
+                ))
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_nonbonded_listed(c: &mut Criterion) {
+    let margin = 2.0;
+    let mut g = c.benchmark_group("nonbonded_listed");
+    for n_side in [4usize, 6, 8] {
+        let sys = water_system(n_side);
+        let n = sys.n_atoms();
+        let lj = sys.lj_types();
+        let q = sys.charges();
+        let ids: Vec<u32> = (0..n as u32).collect();
+        let group = AtomGroup::new(&sys.positions, &ids, &lj, &q);
+        let mut list = Vec::new();
+        self_candidates_into(group, &sys.cell, 0..n, sys.forcefield.cutoff + margin, &mut list);
+        let pairs = count_self_pairs(group, &sys.cell, sys.forcefield.cutoff);
+        g.throughput(Throughput::Elements(pairs));
+        // Cache hit: walk a pre-built candidate list.
+        g.bench_with_input(BenchmarkId::new("hit", n), &sys, |b, sys| {
+            let mut forces = vec![Vec3::ZERO; n];
+            b.iter(|| {
+                forces.fill(Vec3::ZERO);
+                black_box(nb_self_listed(
+                    &sys.forcefield,
+                    &sys.exclusions,
+                    group,
+                    &sys.cell,
+                    &list,
+                    &mut forces,
+                ))
+            });
+        });
+        // Cache miss: rebuild the candidate list, then walk it.
+        g.bench_with_input(BenchmarkId::new("rebuild", n), &sys, |b, sys| {
+            let mut forces = vec![Vec3::ZERO; n];
+            let mut scratch = Vec::new();
+            b.iter(|| {
+                self_candidates_into(
+                    group,
+                    &sys.cell,
+                    0..n,
+                    sys.forcefield.cutoff + margin,
+                    &mut scratch,
+                );
+                forces.fill(Vec3::ZERO);
+                black_box(nb_self_listed(
+                    &sys.forcefield,
+                    &sys.exclusions,
+                    group,
+                    &sys.cell,
+                    &scratch,
                     &mut forces,
                 ))
             });
@@ -116,6 +172,7 @@ fn bench_full_step(c: &mut Criterion) {
 criterion_group!(
     benches,
     bench_nonbonded,
+    bench_nonbonded_listed,
     bench_celllist,
     bench_bonded,
     bench_exclusions,

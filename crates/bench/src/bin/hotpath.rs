@@ -1,0 +1,362 @@
+//! hotpath — perf harness for the engine's non-bonded hot path: pair-list
+//! caching + zero-realloc patch arrays, cached vs uncached, on both
+//! runtime backends.
+//!
+//! ```text
+//! hotpath [--steps N] [--warmup N] [--scale F] [--margin F] [--pes N]
+//!         [--out PATH] [--check]
+//! ```
+//!
+//! Runs the apoa1-small system (`apoa1_like().scaled(0.04)` by default,
+//! restrained + thermalized like the equivalence tests) for `--steps`
+//! velocity-Verlet updates per configuration — {threads, des} × {cached,
+//! uncached} — and writes a machine-readable JSON report (`--out`, default
+//! `BENCH_hotpath.json`): steps/sec, ns/pair, rebuild rate, cache hit rate,
+//! plus cached-vs-uncached energy/position equivalence at the tolerances of
+//! `tests/backend_equivalence.rs`.
+//!
+//! `--check` exits non-zero if the cached threads run is slower than the
+//! uncached one, or if equivalence fails — the CI perf-smoke guard.
+//!
+//! No serde in the workspace: the JSON is assembled by hand.
+
+use mdcore::prelude::*;
+use namd_core::prelude::*;
+use std::time::Instant;
+
+struct Opts {
+    steps: usize,
+    warmup: usize,
+    scale: f64,
+    margin: f64,
+    pes: usize,
+    out: String,
+    check: bool,
+}
+
+fn parse_opts() -> Result<Opts, String> {
+    let mut o = Opts {
+        steps: 60,
+        warmup: 5,
+        scale: 0.04,
+        margin: 2.5,
+        pes: 2,
+        out: "BENCH_hotpath.json".to_string(),
+        check: false,
+    };
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let mut val = |name: &str| -> Result<String, String> {
+            it.next().cloned().ok_or_else(|| format!("{name} needs a value"))
+        };
+        match a.as_str() {
+            "--steps" => o.steps = val("--steps")?.parse().map_err(|e| format!("--steps: {e}"))?,
+            "--warmup" => {
+                o.warmup = val("--warmup")?.parse().map_err(|e| format!("--warmup: {e}"))?
+            }
+            "--scale" => o.scale = val("--scale")?.parse().map_err(|e| format!("--scale: {e}"))?,
+            "--margin" => {
+                o.margin = val("--margin")?.parse().map_err(|e| format!("--margin: {e}"))?
+            }
+            "--pes" => o.pes = val("--pes")?.parse().map_err(|e| format!("--pes: {e}"))?,
+            "--out" => o.out = val("--out")?,
+            "--check" => o.check = true,
+            other => return Err(format!("unknown option {other}")),
+        }
+    }
+    if o.steps == 0 {
+        return Err("--steps must be at least 1".into());
+    }
+    if !(o.margin >= 0.0 && o.margin.is_finite()) {
+        return Err(format!("--margin must be non-negative and finite, got {}", o.margin));
+    }
+    Ok(o)
+}
+
+/// The equivalence tests' system: apoa1-like, protein restrained,
+/// thermalized, pre-stepped so the restraints are strained.
+fn apoa1_small(scale: f64) -> System {
+    let bench = molgen::apoa1_like().scaled(scale);
+    let mut sys = molgen::SystemBuilder::new(bench.spec().clone()).build_restrained();
+    sys.thermalize(300.0, 11);
+    let mut sim = Simulator::new(&sys, 1.0);
+    for _ in 0..5 {
+        sim.step(&mut sys);
+    }
+    sys
+}
+
+fn config(backend: Backend, pes: usize, cached: bool, margin: f64) -> SimConfig {
+    let mut cfg = SimConfig::new(pes, machine::presets::generic_cluster());
+    cfg.force_mode = ForceMode::Real;
+    cfg.backend = backend;
+    cfg.dt_fs = 1.0;
+    cfg.pairlist_cache = cached;
+    cfg.pairlist_margin = margin;
+    cfg
+}
+
+struct RunResult {
+    backend: &'static str,
+    cached: bool,
+    wall_s: f64,
+    steps: usize,
+    /// Force evaluations performed (phase bootstraps included).
+    evaluations: usize,
+    /// Within-cutoff pairs summed over all force evaluations.
+    total_pairs: u64,
+    stats: PairlistStats,
+    potential_first: f64,
+    potential_last: f64,
+}
+
+impl RunResult {
+    fn steps_per_sec(&self) -> f64 {
+        self.steps as f64 / self.wall_s
+    }
+    fn ns_per_pair(&self) -> f64 {
+        self.wall_s * 1e9 / self.total_pairs.max(1) as f64
+    }
+}
+
+/// Time `steps` updates the way `ParallelSim::advance` runs them: phases of
+/// `c + 1` evaluations (bootstrap + `c` updates), atom migration every
+/// `migrate_every` completed updates. Per-phase `PhaseResult::pairlist`
+/// deltas are summed *before* migration resets the cache, so the counters
+/// are exact even across migrations.
+fn run_backend(
+    sys: &System,
+    backend: Backend,
+    name: &'static str,
+    o: &Opts,
+    cached: bool,
+) -> RunResult {
+    let migrate_every = 20usize;
+    let mut engine = Engine::new(sys.clone(), config(backend, o.pes, cached, o.margin));
+    if o.warmup > 0 {
+        engine.run_phase(o.warmup + 1);
+    }
+    let mut stats = PairlistStats::default();
+    let mut total_pairs = 0u64;
+    let mut evaluations = 0usize;
+    let mut potential_first = f64::NAN;
+    let mut potential_last = f64::NAN;
+    let mut remaining = o.steps;
+    let mut since_migrate = o.warmup % migrate_every;
+    let t0 = Instant::now();
+    while remaining > 0 {
+        let c = remaining.min((migrate_every - since_migrate).max(1));
+        let r = engine.run_phase(c + 1);
+        stats.builds += r.pairlist.builds;
+        stats.hits += r.pairlist.hits;
+        for e in &r.energies {
+            total_pairs += e.pairs;
+        }
+        evaluations += r.energies.len();
+        if potential_first.is_nan() {
+            potential_first = r.energies[0].potential();
+        }
+        potential_last = r.energies[c].potential();
+        remaining -= c;
+        since_migrate += c;
+        if since_migrate >= migrate_every && remaining > 0 {
+            engine.migrate_atoms();
+            since_migrate = 0;
+        }
+    }
+    let wall_s = t0.elapsed().as_secs_f64();
+    RunResult {
+        backend: name,
+        cached,
+        wall_s,
+        steps: o.steps,
+        evaluations,
+        total_pairs,
+        stats,
+        potential_first,
+        potential_last,
+    }
+}
+
+struct Equivalence {
+    backend: &'static str,
+    potential_rel_diff: f64,
+    max_position_diff: f64,
+    ok: bool,
+}
+
+/// Cached vs uncached from the *same* initial configuration (fresh engines,
+/// no warmup): step-0 potential within 1e-8 relative, positions after a
+/// short phase within 1e-6 Å — the `tests/backend_equivalence.rs`
+/// tolerances.
+fn equivalence(sys: &System, backend: Backend, name: &'static str, o: &Opts) -> Equivalence {
+    let run = |cached: bool| -> (f64, Vec<Vec3>) {
+        let mut engine = Engine::new(sys.clone(), config(backend, o.pes, cached, o.margin));
+        let r = engine.run_phase(7);
+        let pos = engine.shared.state.read().unwrap().system.positions.clone();
+        (r.energies[0].potential(), pos)
+    };
+    let (p_cached, x_cached) = run(true);
+    let (p_plain, x_plain) = run(false);
+    let potential_rel_diff = (p_cached - p_plain).abs() / p_plain.abs().max(1.0);
+    let max_position_diff = x_cached
+        .iter()
+        .zip(&x_plain)
+        .map(|(a, b)| (*a - *b).norm())
+        .fold(0.0f64, f64::max);
+    Equivalence {
+        backend: name,
+        potential_rel_diff,
+        max_position_diff,
+        ok: potential_rel_diff < 1e-8 && max_position_diff < 1e-6,
+    }
+}
+
+fn json_run(r: &RunResult) -> String {
+    format!(
+        "    {{\"backend\": \"{}\", \"pairlist_cache\": {}, \"wall_s\": {:.6}, \
+         \"steps\": {}, \"evaluations\": {}, \"steps_per_sec\": {:.3}, \
+         \"ns_per_pair\": {:.2}, \"total_pairs\": {}, \"list_builds\": {}, \
+         \"list_hits\": {}, \"rebuild_rate\": {:.4}, \"hit_rate\": {:.4}, \
+         \"potential_first\": {:.6}, \"potential_last\": {:.6}}}",
+        r.backend,
+        r.cached,
+        r.wall_s,
+        r.steps,
+        r.evaluations,
+        r.steps_per_sec(),
+        r.ns_per_pair(),
+        r.total_pairs,
+        r.stats.builds,
+        r.stats.hits,
+        r.stats.rebuild_rate(),
+        r.stats.hit_rate(),
+        r.potential_first,
+        r.potential_last,
+    )
+}
+
+fn json_equivalence(e: &Equivalence) -> String {
+    format!(
+        "    {{\"backend\": \"{}\", \"potential_rel_diff\": {:.3e}, \
+         \"max_position_diff\": {:.3e}, \"ok\": {}}}",
+        e.backend, e.potential_rel_diff, e.max_position_diff, e.ok
+    )
+}
+
+fn main() {
+    let o = match parse_opts() {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("hotpath: {e}");
+            eprintln!(
+                "usage: hotpath [--steps N] [--warmup N] [--scale F] [--margin F] \
+                 [--pes N] [--out PATH] [--check]"
+            );
+            std::process::exit(2);
+        }
+    };
+    let sys = apoa1_small(o.scale);
+    eprintln!(
+        "hotpath: apoa1-small scale {} ({} atoms), cutoff {} Å, margin {} Å, \
+         {} PEs, {} warmup + {} timed steps",
+        o.scale,
+        sys.n_atoms(),
+        sys.forcefield.cutoff,
+        o.margin,
+        o.pes,
+        o.warmup,
+        o.steps
+    );
+
+    let mut runs = Vec::new();
+    for (backend, name) in [(Backend::Threads, "threads"), (Backend::Des, "des")] {
+        for cached in [true, false] {
+            let r = run_backend(&sys, backend, name, &o, cached);
+            eprintln!(
+                "  {:<7} cached={:<5}  {:>7.2} steps/s  {:>7.2} ns/pair  \
+                 rebuild rate {:.3}  hit rate {:.3}",
+                r.backend,
+                r.cached,
+                r.steps_per_sec(),
+                r.ns_per_pair(),
+                r.stats.rebuild_rate(),
+                r.stats.hit_rate(),
+            );
+            runs.push(r);
+        }
+    }
+    let speedup = |name: &str| -> f64 {
+        let cached = runs.iter().find(|r| r.backend == name && r.cached).unwrap();
+        let plain = runs.iter().find(|r| r.backend == name && !r.cached).unwrap();
+        cached.steps_per_sec() / plain.steps_per_sec()
+    };
+    let threads_speedup = speedup("threads");
+    let des_speedup = speedup("des");
+    eprintln!("  cached/uncached steps/s: threads {threads_speedup:.2}x, des {des_speedup:.2}x");
+
+    let equiv: Vec<Equivalence> = [(Backend::Threads, "threads"), (Backend::Des, "des")]
+        .into_iter()
+        .map(|(b, n)| equivalence(&sys, b, n, &o))
+        .collect();
+    for e in &equiv {
+        eprintln!(
+            "  {:<7} cached-vs-uncached equivalence: potential rel diff {:.2e}, \
+             max position diff {:.2e} Å -> {}",
+            e.backend,
+            e.potential_rel_diff,
+            e.max_position_diff,
+            if e.ok { "ok" } else { "FAIL" }
+        );
+    }
+
+    let json = format!(
+        "{{\n  \"benchmark\": \"hotpath\",\n  \"system\": \"apoa1-small\",\n  \
+         \"scale\": {},\n  \"atoms\": {},\n  \"cutoff\": {},\n  \
+         \"pairlist_margin\": {},\n  \"pes\": {},\n  \"warmup_steps\": {},\n  \
+         \"timed_steps\": {},\n  \"runs\": [\n{}\n  ],\n  \
+         \"speedup_threads_cached_vs_uncached\": {:.3},\n  \
+         \"speedup_des_cached_vs_uncached\": {:.3},\n  \"equivalence\": [\n{}\n  ]\n}}\n",
+        o.scale,
+        sys.n_atoms(),
+        sys.forcefield.cutoff,
+        o.margin,
+        o.pes,
+        o.warmup,
+        o.steps,
+        runs.iter().map(json_run).collect::<Vec<_>>().join(",\n"),
+        threads_speedup,
+        des_speedup,
+        equiv.iter().map(json_equivalence).collect::<Vec<_>>().join(",\n"),
+    );
+    if let Err(e) = std::fs::write(&o.out, &json) {
+        eprintln!("hotpath: cannot write {}: {e}", o.out);
+        std::process::exit(1);
+    }
+    eprintln!("hotpath: wrote {}", o.out);
+
+    if o.check {
+        let mut failed = false;
+        if threads_speedup < 1.0 {
+            eprintln!(
+                "hotpath: CHECK FAILED — cached threads run is slower than uncached \
+                 ({threads_speedup:.2}x)"
+            );
+            failed = true;
+        }
+        for e in &equiv {
+            if !e.ok {
+                eprintln!(
+                    "hotpath: CHECK FAILED — {} cached run diverges from uncached",
+                    e.backend
+                );
+                failed = true;
+            }
+        }
+        if failed {
+            std::process::exit(1);
+        }
+        eprintln!("hotpath: check passed");
+    }
+}

@@ -71,6 +71,11 @@ pub struct RunConfig {
     pub berendsen_tau: f64,
     /// Worker threads (1 = sequential path).
     pub threads: usize,
+    /// Reuse non-bonded pair lists across steps (NAMD's `pairlistdist`
+    /// reuse). Applies to the sequential and threads drivers.
+    pub pairlist_cache: bool,
+    /// Pair-list margin beyond the cutoff, Å.
+    pub pairlist_margin: f64,
     /// Basename for outputs (`<name>.xyz`, `<name>.energies`); empty = none.
     pub output_name: String,
     pub trajectory_every: usize,
@@ -103,6 +108,8 @@ impl Default for RunConfig {
             langevin_gamma: 0.005,
             berendsen_tau: 100.0,
             threads: 1,
+            pairlist_cache: true,
+            pairlist_margin: 2.5,
             output_name: String::new(),
             trajectory_every: 10,
             pme: false,
@@ -178,6 +185,8 @@ pub fn parse(text: &str) -> Result<RunConfig, String> {
             "langevingamma" => cfg.langevin_gamma = parse_f64(&value)?,
             "berendsentau" => cfg.berendsen_tau = parse_f64(&value)?,
             "threads" => cfg.threads = parse_usize(&value)?,
+            "pairlistcache" => cfg.pairlist_cache = parse_bool(&value)?,
+            "pairlistmargin" => cfg.pairlist_margin = parse_f64(&value)?,
             "outputname" => cfg.output_name = value,
             "trajectoryevery" => cfg.trajectory_every = parse_usize(&value)?,
             "pme" => cfg.pme = parse_bool(&value)?,
@@ -203,6 +212,12 @@ fn validate(cfg: &RunConfig) -> Result<(), String> {
     }
     if cfg.threads == 0 {
         return Err("threads must be at least 1".into());
+    }
+    if !(cfg.pairlist_margin >= 0.0 && cfg.pairlist_margin.is_finite()) {
+        return Err(format!(
+            "pairlistMargin must be non-negative and finite, got {}",
+            cfg.pairlist_margin
+        ));
     }
     if cfg.system == SystemKind::Water && cfg.box_size < 2.0 * cfg.cutoff {
         return Err(format!(
@@ -288,6 +303,17 @@ mod tests {
             .unwrap_err()
             .contains("sequential"));
         assert!(parse("pme on\nthreads 4\n").unwrap_err().contains("threads 1"));
+    }
+
+    #[test]
+    fn pairlist_keys_parse_and_validate() {
+        let cfg = parse("pairlistCache off\npairlistMargin 1.5\n").unwrap();
+        assert!(!cfg.pairlist_cache);
+        assert_eq!(cfg.pairlist_margin, 1.5);
+        let defaults = parse("system water\n").unwrap();
+        assert!(defaults.pairlist_cache);
+        assert_eq!(defaults.pairlist_margin, 2.5);
+        assert!(parse("pairlistMargin -1\n").unwrap_err().contains("pairlistMargin"));
     }
 
     #[test]

@@ -52,6 +52,8 @@ minimize      0          # steepest-descent steps before dynamics
 thermostat    berendsen  # none | berendsen | langevin (langevin: threads 1)
 berendsenTau  100
 threads       2
+pairlistCache on         # reuse non-bonded pair lists across steps
+pairlistMargin 2.5       # list radius = cutoff + margin, Å
 outputName    demo       # writes demo.xyz
 trajectoryEvery 10
 pme           off        # full electrostatics (particle-mesh Ewald)

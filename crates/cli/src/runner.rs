@@ -119,9 +119,14 @@ pub fn run(cfg: &RunConfig, log: &mut dyn Write) -> std::io::Result<RunReport> {
             cfg.mts_frequency,
         )))
     } else if cfg.threads > 1 {
-        let par = ParallelSim::new(system.clone(), cfg.threads, cfg.timestep)
+        let mut par = ParallelSim::new(system.clone(), cfg.threads, cfg.timestep)
             .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidInput, e.to_string()))?;
+        par.set_pairlist(cfg.pairlist_cache, cfg.pairlist_margin);
         Driver::Threads(Box::new(par))
+    } else if cfg.pairlist_cache && cfg.pairlist_margin > 0.0 {
+        // Sequential analogue of the engine's pair-list cache: a Verlet list
+        // at cutoff + margin with displacement-based rebuilds.
+        Driver::Sequential(Simulator::with_pairlist(&system, cfg.timestep, cfg.pairlist_margin))
     } else {
         Driver::Sequential(Simulator::new(&system, cfg.timestep))
     };

@@ -29,7 +29,7 @@
 
 use crate::config::ForceMode;
 use crate::costmodel;
-use crate::decomp::{ComputeKind, PatchArrays};
+use crate::decomp::ComputeKind;
 use crate::patchgrid::PatchId;
 use crate::state::{Shared, StepAcc};
 use charmrt::{
@@ -38,7 +38,7 @@ use charmrt::{
 };
 use mdcore::bonded::{angle_force, bond_force, dihedral_force, improper_force, restraint_force};
 use mdcore::forcefield::units;
-use mdcore::nonbonded::{nb_pair_ranged, nb_self_ranged};
+use mdcore::nonbonded::{nb_pair_listed, nb_pair_ranged, nb_self_listed, nb_self_ranged};
 use mdcore::vec3::Vec3;
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -119,6 +119,12 @@ pub struct RunParams {
     /// PME cadence: reciprocal space evaluated on steps where
     /// `step % pme_every == 0`; 0 disables PME.
     pub pme_every: usize,
+    /// Reuse each non-bonded compute's candidate list across steps (Real
+    /// mode), rebuilding on displacement-based invalidation.
+    pub pairlist_cache: bool,
+    /// Candidate-list margin beyond the cutoff, Å (NAMD's `pairlistdist`
+    /// minus the cutoff).
+    pub pairlist_margin: f64,
 }
 
 /// A home patch: owns a cube of space and its atoms; integrates them.
@@ -496,39 +502,92 @@ impl ComputeChare {
             .collect();
 
         match &spec.kind {
-            ComputeKind::SelfNb { patch } => {
-                let arrays = PatchArrays::gather(&st.system, &shared.decomp.grid.atoms[*patch]);
-                let res = nb_self_ranged(
-                    &st.system.forcefield,
-                    &st.system.exclusions,
-                    arrays.group(),
-                    &cell,
-                    spec.outer.clone(),
-                    &mut blocks[0],
-                );
+            // Non-bonded computes run from persistent per-compute SoA buffers
+            // (positions refreshed in place — no per-step gather allocation)
+            // and, when the pair-list cache is on, from a cached candidate
+            // list at cutoff + margin. A cache hit charges the cheaper
+            // `nonbonded_work_cached` so LB sees the real cost difference
+            // between hit and rebuild steps.
+            ComputeKind::SelfNb { .. } => {
+                let mut cache = shared.nb_cache.entry(self.index).lock().unwrap();
+                cache.refresh_arrays(&st.system, &shared.decomp.grid, &spec.patches);
+                let ff = &st.system.forcefield;
+                let ex = &st.system.exclusions;
+                let (res, work);
+                if self.params.pairlist_cache {
+                    let margin = self.params.pairlist_margin;
+                    let rebuilt = cache.ensure_list(spec, &cell, ff.cutoff + margin, margin);
+                    res = nb_self_listed(
+                        ff,
+                        ex,
+                        cache.arrays[0].group(),
+                        &cell,
+                        &cache.list,
+                        &mut blocks[0],
+                    );
+                    work = if rebuilt {
+                        costmodel::nonbonded_work(res.pairs, spec.candidates)
+                    } else {
+                        costmodel::nonbonded_work_cached(res.pairs, cache.list.len() as u64)
+                    };
+                } else {
+                    res = nb_self_ranged(
+                        ff,
+                        ex,
+                        cache.arrays[0].group(),
+                        &cell,
+                        spec.outer.clone(),
+                        &mut blocks[0],
+                    );
+                    work = costmodel::nonbonded_work(res.pairs, spec.candidates);
+                }
                 acc.e_lj += res.e_lj;
                 acc.e_elec += res.e_elec;
                 acc.pairs += res.pairs;
-                ctx.add_work(costmodel::nonbonded_work(res.pairs, spec.candidates));
+                ctx.add_work(work);
             }
-            ComputeKind::PairNb { a, b } => {
-                let ga = PatchArrays::gather(&st.system, &shared.decomp.grid.atoms[*a]);
-                let gb = PatchArrays::gather(&st.system, &shared.decomp.grid.atoms[*b]);
+            ComputeKind::PairNb { .. } => {
+                let mut cache = shared.nb_cache.entry(self.index).lock().unwrap();
+                cache.refresh_arrays(&st.system, &shared.decomp.grid, &spec.patches);
+                let ff = &st.system.forcefield;
+                let ex = &st.system.exclusions;
                 let (first, rest) = blocks.split_at_mut(1);
-                let res = nb_pair_ranged(
-                    &st.system.forcefield,
-                    &st.system.exclusions,
-                    ga.group(),
-                    gb.group(),
-                    &cell,
-                    spec.outer.clone(),
-                    &mut first[0],
-                    &mut rest[0],
-                );
+                let (res, work);
+                if self.params.pairlist_cache {
+                    let margin = self.params.pairlist_margin;
+                    let rebuilt = cache.ensure_list(spec, &cell, ff.cutoff + margin, margin);
+                    res = nb_pair_listed(
+                        ff,
+                        ex,
+                        cache.arrays[0].group(),
+                        cache.arrays[1].group(),
+                        &cell,
+                        &cache.list,
+                        &mut first[0],
+                        &mut rest[0],
+                    );
+                    work = if rebuilt {
+                        costmodel::nonbonded_work(res.pairs, spec.candidates)
+                    } else {
+                        costmodel::nonbonded_work_cached(res.pairs, cache.list.len() as u64)
+                    };
+                } else {
+                    res = nb_pair_ranged(
+                        ff,
+                        ex,
+                        cache.arrays[0].group(),
+                        cache.arrays[1].group(),
+                        &cell,
+                        spec.outer.clone(),
+                        &mut first[0],
+                        &mut rest[0],
+                    );
+                    work = costmodel::nonbonded_work(res.pairs, spec.candidates);
+                }
                 acc.e_lj += res.e_lj;
                 acc.e_elec += res.e_elec;
                 acc.pairs += res.pairs;
-                ctx.add_work(costmodel::nonbonded_work(res.pairs, spec.candidates));
+                ctx.add_work(work);
             }
             ComputeKind::BondedIntra { .. } | ComputeKind::BondedInter { .. } => {
                 let terms = spec.terms.as_ref().expect("bonded compute without terms");

@@ -90,6 +90,15 @@ pub struct SimConfig {
     pub force_mode: ForceMode,
     /// Timestep for Real mode, fs.
     pub dt_fs: f64,
+    /// Reuse each non-bonded compute's candidate pair list across steps
+    /// (Real mode), with displacement-based invalidation — the parallel
+    /// analogue of NAMD's `pairlistdist` reuse. Bit-compatible with the
+    /// uncached ranged kernels, so it defaults to on.
+    pub pairlist_cache: bool,
+    /// Candidate-list margin beyond the cutoff, Å (`pairlistdist − cutoff`).
+    /// Larger margins survive more motion between rebuilds but walk more
+    /// candidates per step.
+    pub pairlist_margin: f64,
     /// Split self computes into pieces of at most this many atoms
     /// (grainsize control for within-cube work; always on in NAMD).
     pub self_split_atoms: usize,
@@ -151,6 +160,8 @@ impl SimConfig {
             patch_margin: 3.5,
             force_mode: ForceMode::Counted,
             dt_fs: 1.0,
+            pairlist_cache: true,
+            pairlist_margin: 2.5,
             self_split_atoms: 160,
             split_face_pairs: true,
             pair_split_atoms: 112,

@@ -17,6 +17,13 @@ pub const WORK_PER_PAIR: f64 = 1.0;
 /// single-processor step time to the paper's 57 s on the ASCI-Red model.
 pub const WORK_PER_CANDIDATE: f64 = 0.05;
 
+/// Work units per stored candidate walked on a pair-list cache *hit*. A hit
+/// step skips the O(n²) candidate sweep entirely and only touches the pairs
+/// the cached list kept, so the per-miss bookkeeping (one min-image + compare
+/// against a compact list entry) is cheaper than the build-step
+/// [`WORK_PER_CANDIDATE`] sweep cost.
+pub const WORK_PER_LISTED_CANDIDATE: f64 = 0.02;
+
 /// Work units per 2-body bond term.
 pub const WORK_PER_BOND: f64 = 15.0;
 
@@ -62,9 +69,20 @@ pub fn bonded_work(bonds: usize, angles: usize, dihedrals: usize, impropers: usi
 }
 
 /// Work for a non-bonded compute that evaluated `pairs` interactions out of
-/// `candidates` candidate pairs.
+/// `candidates` candidate pairs. This is the *rebuild* (or uncached) cost:
+/// every candidate was distance-tested from scratch.
 pub fn nonbonded_work(pairs: u64, candidates: u64) -> f64 {
     pairs as f64 * WORK_PER_PAIR + candidates.saturating_sub(pairs) as f64 * WORK_PER_CANDIDATE
+}
+
+/// Work for a non-bonded compute on a pair-list cache *hit*: it evaluated
+/// `pairs` interactions while walking `listed` cached candidates, skipping
+/// the full candidate sweep. Strictly cheaper than [`nonbonded_work`] for
+/// the same step, which keeps LB measurements honest — a compute that mostly
+/// hits its cache really is lighter than one that rebuilds every step.
+pub fn nonbonded_work_cached(pairs: u64, listed: u64) -> f64 {
+    pairs as f64 * WORK_PER_PAIR
+        + listed.saturating_sub(pairs) as f64 * WORK_PER_LISTED_CANDIDATE
 }
 
 /// FLOPs corresponding to `work` work units — used for the tables' GFLOPS
@@ -90,6 +108,22 @@ mod tests {
         let with_misses = nonbonded_work(100, 200);
         assert!(with_misses > hit_only);
         assert!(with_misses < 2.0 * hit_only);
+    }
+
+    #[test]
+    fn cache_hit_work_is_below_rebuild_work() {
+        // A hit walks only the stored candidates (a subset of the sweep's
+        // candidates) at a lower per-miss rate; same evaluated pairs.
+        let pairs = 10_000;
+        let candidates = 60_000; // full O(n²) sweep on a rebuild step
+        let listed = 18_000; // cached list at cutoff + margin
+        let rebuild = nonbonded_work(pairs, candidates);
+        let hit = nonbonded_work_cached(pairs, listed);
+        assert!(hit < rebuild, "hit {hit} must be cheaper than rebuild {rebuild}");
+        // Both still dominated by the real pair interactions.
+        assert!(hit >= pairs as f64 * WORK_PER_PAIR);
+        // Degenerate case: a list with only true pairs costs exactly the pairs.
+        assert_eq!(nonbonded_work_cached(pairs, pairs), pairs as f64 * WORK_PER_PAIR);
     }
 
     #[test]

@@ -134,7 +134,11 @@ pub fn even_ranges(n: usize, pieces: usize) -> Vec<Range<usize>> {
     out
 }
 
-/// A borrowed atom-group view for a patch's atoms.
+/// An owned struct-of-arrays copy of a patch's atoms. Built once per compute
+/// (or per cost-model probe) and *refreshed in place* on later steps —
+/// ids/lj/charge never change between migrations, so only positions are
+/// rewritten.
+#[derive(Debug, Clone, Default)]
 pub(crate) struct PatchArrays {
     pub pos: Vec<Vec3>,
     pub ids: Vec<AtomId>,
@@ -158,8 +162,18 @@ impl PatchArrays {
         PatchArrays { pos, ids, lj, charge }
     }
 
+    /// Rewrite positions from the current system state without touching the
+    /// other arrays or allocating. The atom membership must be unchanged
+    /// since `gather` (guaranteed between migrations).
+    pub(crate) fn refresh_positions(&mut self, system: &System, atoms: &[u32]) {
+        debug_assert_eq!(self.pos.len(), atoms.len());
+        for (slot, &a) in atoms.iter().enumerate() {
+            self.pos[slot] = system.positions[a as usize];
+        }
+    }
+
     pub(crate) fn group(&self) -> AtomGroup<'_> {
-        AtomGroup { pos: &self.pos, ids: &self.ids, lj: &self.lj, charge: &self.charge }
+        AtomGroup::new(&self.pos, &self.ids, &self.lj, &self.charge)
     }
 }
 

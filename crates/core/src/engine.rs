@@ -19,6 +19,7 @@ use crate::chares::{ComputeChare, Entries, HomePatch, ProxyPatch, Reducer, RunPa
 use crate::config::{Backend, ForceMode, LbStrategy, SimConfig};
 use crate::costmodel;
 use crate::decomp::{self, Decomposition};
+use crate::nbcache::{PairlistCache, PairlistStats};
 use crate::state::{Shared, SimState, StepAcc};
 use charmrt::{empty_payload, Des, ObjId, Pe, Runtime, SummaryStats, Trace, PRIO_NORMAL};
 use mdcore::prelude::*;
@@ -45,6 +46,9 @@ pub struct PhaseResult {
     pub background: Vec<f64>,
     /// Per-step energies (Real mode only; empty in Counted mode).
     pub energies: Vec<StepAcc>,
+    /// Pair-list cache counters accumulated during this phase (zero when
+    /// the cache is disabled or in Counted mode).
+    pub pairlist: PairlistStats,
     /// Entry ids for interpreting `stats`/`trace`.
     pub entries: Entries,
 }
@@ -129,13 +133,14 @@ impl Engine {
             }
             _ => None,
         };
+        let n_computes = decomp.computes.len();
         let shared = Arc::new(Shared {
             state: std::sync::RwLock::new(SimState { system, forces: vec![Vec3::ZERO; n] }),
             energies: std::sync::Mutex::new(Vec::new()),
             decomp,
             pme_real,
+            nb_cache: PairlistCache::new(n_computes),
         });
-        let n_computes = shared.decomp.computes.len();
         Engine {
             config,
             shared,
@@ -199,6 +204,10 @@ impl Engine {
         let decomp =
             decomp::build(&shared.state.get_mut().expect("state lock poisoned").system, &self.config);
         shared.decomp = decomp;
+        // Patch membership changed: every cached candidate list and SoA
+        // buffer is indexed by stale atom slots, so drop the whole cache.
+        // Entries re-prime (gather + list build) on the next step.
+        shared.nb_cache = PairlistCache::new(shared.decomp.computes.len());
         let (patch_pe, placement) = Self::static_placement(&shared.decomp, self.config.n_pes);
         self.patch_pe = patch_pe;
         self.placement = placement;
@@ -259,13 +268,17 @@ impl Engine {
             rt.set_fault_plan(plan.clone());
         }
 
+        assert!(cfg.pairlist_margin >= 0.0, "pairlist_margin must be non-negative");
         let params = RunParams {
             n_steps,
             dt_fs: cfg.dt_fs,
             force_mode: cfg.force_mode,
             multicast: cfg.multicast,
             pme_every: cfg.pme.map_or(0, |p| p.every.max(1)),
+            pairlist_cache: cfg.pairlist_cache,
+            pairlist_margin: cfg.pairlist_margin,
         };
+        let pairlist_before = self.shared.nb_cache.totals();
 
         // ---- Deterministic object-id layout -------------------------------
         // reducer = 0; patch p = 1+p; proxy k = 1+P+k; compute j = 1+P+NP+j.
@@ -494,6 +507,7 @@ impl Engine {
             compute_loads,
             background: snapshot.background,
             energies,
+            pairlist: self.shared.nb_cache.totals().delta_since(&pairlist_before),
             entries,
         }
     }

@@ -58,6 +58,7 @@ pub mod config;
 pub mod costmodel;
 pub mod decomp;
 pub mod engine;
+pub mod nbcache;
 pub mod oracle;
 #[cfg(feature = "threads")]
 pub mod parallel;
@@ -72,6 +73,7 @@ pub mod prelude {
     pub use crate::config::{Backend, ForceMode, LbStrategy, PmeSimConfig, SimConfig};
     pub use crate::decomp::{build as build_decomposition, ComputeKind, Decomposition};
     pub use crate::engine::{BenchmarkRun, Engine, PhaseResult};
+    pub use crate::nbcache::{PairlistCache, PairlistStats};
     pub use crate::oracle::{check_phase, check_phase_with, OracleParams, OracleReport};
     #[cfg(feature = "threads")]
     pub use crate::parallel::{ParallelSim, ParallelSimError};

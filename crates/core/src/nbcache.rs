@@ -1,0 +1,203 @@
+//! Per-compute pair-list caching for the parallel engine's non-bonded hot
+//! path.
+//!
+//! The paper sizes patches "slightly larger than the cutoff radius" so that
+//! neighbour structures can be *reused* across steps (NAMD's `pairlistdist`);
+//! this module is the parallel-engine analogue of `mdcore::pairlist` for the
+//! sequential simulator. Each `SelfNb`/`PairNb` compute object owns one
+//! [`ComputeCacheEntry`] holding:
+//!
+//! - **Persistent SoA buffers** (one [`PatchArrays`] per patch the compute
+//!   reads): gathered once, then only *positions* are rewritten in place each
+//!   step — no per-step allocation, in cached *and* uncached mode.
+//! - A **candidate list** at `cutoff + margin`, in the exact order the ranged
+//!   kernels visit pairs, reused until displacement-based invalidation fires:
+//!   any atom of the compute's patches moving more than `margin/2` from its
+//!   build-time reference position may let a new pair enter the cutoff, so
+//!   the list rebuilds (in place — buffers are reused).
+//!
+//! `Engine::migrate_atoms` changes patch membership, so it drops the whole
+//! cache; lists and buffers re-prime on the next step.
+//!
+//! Locking: entries live in [`PairlistCache`] inside `Shared`, one mutex per
+//! compute. Only the owning compute chare ever locks its entry (runtimes
+//! never run the same chare concurrently with itself), so the mutexes are
+//! uncontended; they exist to keep `Shared: Sync` on the threads backend.
+//! Lock order: an entry is taken after `state` and released before
+//! `energies` — see `state.rs`.
+
+use crate::decomp::{ComputeKind, ComputeSpec, PatchArrays};
+use crate::patchgrid::PatchGrid;
+use mdcore::nonbonded::{pair_candidates_into, self_candidates_into};
+use mdcore::prelude::*;
+use std::sync::Mutex;
+
+/// Pair-list cache state for one non-bonded compute object.
+#[derive(Debug, Default)]
+pub struct ComputeCacheEntry {
+    /// Persistent SoA buffers, parallel to the compute's `spec.patches`.
+    pub(crate) arrays: Vec<PatchArrays>,
+    /// Cached candidate pairs at `cutoff + margin`: slot indices into
+    /// `arrays[0]` (self) or `arrays[0]`/`arrays[1]` (pair), in ranged-kernel
+    /// visit order.
+    pub(crate) list: Vec<(u32, u32)>,
+    /// Per-patch positions at list-build time, for displacement tracking.
+    ref_pos: Vec<Vec<Vec3>>,
+    /// `cutoff + margin` the current list was built at; 0.0 = no list yet
+    /// (also forces a rebuild if the margin is reconfigured mid-run).
+    built_radius: f64,
+    /// `margin / 2` at build time — the displacement bound under which the
+    /// list is guaranteed complete.
+    half_margin: f64,
+    /// List (re)builds performed by this compute.
+    pub(crate) builds: u64,
+    /// Steps served from a still-valid list.
+    pub(crate) hits: u64,
+}
+
+impl ComputeCacheEntry {
+    /// Bring the persistent SoA buffers up to date with the shared state:
+    /// full gather on first use (or after a cache reset), position-only
+    /// rewrite afterwards.
+    pub(crate) fn refresh_arrays(&mut self, system: &System, grid: &PatchGrid, patches: &[usize]) {
+        if self.arrays.len() != patches.len() {
+            self.arrays =
+                patches.iter().map(|&p| PatchArrays::gather(system, &grid.atoms[p])).collect();
+            return;
+        }
+        for (arr, &p) in self.arrays.iter_mut().zip(patches) {
+            arr.refresh_positions(system, &grid.atoms[p]);
+        }
+    }
+
+    /// Make sure the candidate list covers every within-cutoff pair for the
+    /// compute's current positions, rebuilding in place when the displacement
+    /// guarantee has lapsed (or no list exists / the margin was reconfigured
+    /// mid-run). `radius` is `cutoff + margin`. Returns `true` when the list
+    /// was (re)built this step.
+    pub(crate) fn ensure_list(
+        &mut self,
+        spec: &ComputeSpec,
+        cell: &Cell,
+        radius: f64,
+        margin: f64,
+    ) -> bool {
+        if self.built_radius == radius && self.displacements_ok(cell) {
+            self.hits += 1;
+            return false;
+        }
+        match spec.kind {
+            ComputeKind::SelfNb { .. } => self_candidates_into(
+                self.arrays[0].group(),
+                cell,
+                spec.outer.clone(),
+                radius,
+                &mut self.list,
+            ),
+            ComputeKind::PairNb { .. } => pair_candidates_into(
+                self.arrays[0].group(),
+                self.arrays[1].group(),
+                cell,
+                spec.outer.clone(),
+                radius,
+                &mut self.list,
+            ),
+            _ => unreachable!("pair-list cache only serves non-bonded computes"),
+        }
+        if self.ref_pos.len() != self.arrays.len() {
+            self.ref_pos = vec![Vec::new(); self.arrays.len()];
+        }
+        for (r, a) in self.ref_pos.iter_mut().zip(&self.arrays) {
+            r.clear();
+            r.extend_from_slice(&a.pos);
+        }
+        self.built_radius = radius;
+        self.half_margin = margin / 2.0;
+        self.builds += 1;
+        true
+    }
+
+    /// The margin guarantee: the list stays complete while every atom of the
+    /// compute's patches is within `margin/2` of its build-time position.
+    fn displacements_ok(&self, cell: &Cell) -> bool {
+        let limit2 = self.half_margin * self.half_margin;
+        self.arrays.iter().zip(&self.ref_pos).all(|(a, r)| {
+            a.pos.len() == r.len()
+                && a.pos.iter().zip(r.iter()).all(|(&p, &q)| cell.dist2(p, q) <= limit2)
+        })
+    }
+}
+
+/// One mutex-guarded cache entry per compute object, indexed by the
+/// compute's position in `Decomposition::computes`.
+pub struct PairlistCache {
+    entries: Vec<Mutex<ComputeCacheEntry>>,
+}
+
+impl PairlistCache {
+    /// Empty cache for `n_computes` compute objects.
+    pub fn new(n_computes: usize) -> Self {
+        PairlistCache {
+            entries: (0..n_computes).map(|_| Mutex::new(ComputeCacheEntry::default())).collect(),
+        }
+    }
+
+    /// The cache entry for compute `j`.
+    pub(crate) fn entry(&self, j: usize) -> &Mutex<ComputeCacheEntry> {
+        &self.entries[j]
+    }
+
+    /// Cumulative builds/hits summed over all computes since the cache was
+    /// created (or last reset by migration).
+    pub fn totals(&self) -> PairlistStats {
+        let mut s = PairlistStats::default();
+        for e in &self.entries {
+            let g = e.lock().unwrap();
+            s.builds += g.builds;
+            s.hits += g.hits;
+        }
+        s
+    }
+}
+
+/// Aggregate pair-list cache counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PairlistStats {
+    /// Candidate-list (re)builds.
+    pub builds: u64,
+    /// Steps served from a still-valid cached list.
+    pub hits: u64,
+}
+
+impl PairlistStats {
+    /// Total cached-kernel executions (builds + hits).
+    pub fn executions(&self) -> u64 {
+        self.builds + self.hits
+    }
+
+    /// Fraction of executions served from a valid cached list.
+    pub fn hit_rate(&self) -> f64 {
+        if self.executions() == 0 {
+            0.0
+        } else {
+            self.hits as f64 / self.executions() as f64
+        }
+    }
+
+    /// Fraction of executions that had to (re)build their list.
+    pub fn rebuild_rate(&self) -> f64 {
+        if self.executions() == 0 {
+            0.0
+        } else {
+            self.builds as f64 / self.executions() as f64
+        }
+    }
+
+    /// Counter delta relative to an earlier snapshot.
+    pub fn delta_since(&self, earlier: &PairlistStats) -> PairlistStats {
+        PairlistStats {
+            builds: self.builds - earlier.builds,
+            hits: self.hits - earlier.hits,
+        }
+    }
+}

@@ -144,6 +144,24 @@ impl ParallelSim {
         &self.engine
     }
 
+    /// Enable/disable the non-bonded pair-list cache and set its margin, Å.
+    /// Takes effect from the next step; changing the margin mid-run forces
+    /// the caches to rebuild (the stored build radius no longer matches).
+    pub fn set_pairlist(&mut self, cache: bool, margin: f64) {
+        assert!(
+            margin >= 0.0 && margin.is_finite(),
+            "pairlist margin must be non-negative and finite, got {margin}"
+        );
+        self.engine.config.pairlist_cache = cache;
+        self.engine.config.pairlist_margin = margin;
+    }
+
+    /// Cumulative pair-list cache counters (builds/hits) since construction
+    /// or the last atom migration (migration resets the cache).
+    pub fn pairlist_stats(&self) -> crate::nbcache::PairlistStats {
+        self.engine.shared.nb_cache.totals()
+    }
+
     /// Evaluate all forces on the worker threads without moving any atom.
     /// Returns the energy accumulator for the current configuration
     /// (including the kinetic energy of the current velocities);

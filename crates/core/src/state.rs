@@ -11,11 +11,15 @@
 //! sends per-patch force payloads to patch representatives — so no two
 //! handlers ever write the same atom's force concurrently.
 //!
-//! Lock order (deadlock freedom): `state` → `pme_real` → `energies`.
-//! Every handler that takes more than one of these acquires them in that
-//! order and drops them before sending messages.
+//! Lock order (deadlock freedom): `state` → { `nb_cache[j]` | `pme_real` }
+//! → `energies`. Every handler that takes more than one of these acquires
+//! them in that order and drops them before sending messages. A non-bonded
+//! compute only ever locks *its own* `nb_cache` entry (and never `pme_real`),
+//! and PME slab chares never touch `nb_cache`, so the middle tier is two
+//! disjoint families and the order is total in practice.
 
 use crate::decomp::Decomposition;
+use crate::nbcache::PairlistCache;
 use mdcore::prelude::*;
 use std::sync::{Arc, Mutex, RwLock};
 
@@ -101,17 +105,22 @@ pub struct Shared {
     pub decomp: Decomposition,
     /// Present only in Real mode with full electrostatics.
     pub pme_real: Option<Mutex<PmeReal>>,
+    /// Per-compute pair-list cache + persistent SoA buffers for the
+    /// non-bonded hot path (Real mode). Reset wholesale on atom migration.
+    pub nb_cache: PairlistCache,
 }
 
 impl Shared {
     /// Package a system and its decomposition for a run of `n_steps`.
     pub fn new(system: System, decomp: Decomposition, n_steps: usize) -> Arc<Shared> {
         let n = system.n_atoms();
+        let n_computes = decomp.computes.len();
         Arc::new(Shared {
             state: RwLock::new(SimState { system, forces: vec![Vec3::ZERO; n] }),
             energies: Mutex::new(vec![StepAcc::default(); n_steps]),
             decomp,
             pme_real: None,
+            nb_cache: PairlistCache::new(n_computes),
         })
     }
 }

@@ -196,14 +196,22 @@ impl CellList {
     /// Collect all unordered pairs within `cutoff` (exact distances), using
     /// the candidate enumeration plus the distance filter.
     pub fn neighbor_pairs(&self, pos: &[Vec3], cutoff: f64) -> Vec<(u32, u32)> {
-        let c2 = cutoff * cutoff;
         let mut out = Vec::new();
+        self.neighbor_pairs_into(pos, cutoff, &mut out);
+        out
+    }
+
+    /// Like [`CellList::neighbor_pairs`], but writing into a caller-owned
+    /// buffer: `out` is cleared and refilled, so a pair list that rebuilds
+    /// every few steps reuses its allocation instead of churning the heap.
+    pub fn neighbor_pairs_into(&self, pos: &[Vec3], cutoff: f64, out: &mut Vec<(u32, u32)>) {
+        out.clear();
+        let c2 = cutoff * cutoff;
         self.for_each_candidate_pair(|i, j| {
             if self.cell.dist2(pos[i as usize], pos[j as usize]) < c2 {
                 out.push((i.min(j), i.max(j)));
             }
         });
-        out
     }
 }
 

@@ -25,32 +25,59 @@ use crate::vec3::Vec3;
 pub const FLOPS_PER_PAIR: f64 = 45.0;
 
 /// A borrowed, struct-of-arrays view of one group of atoms, as a patch hands
-/// it to a compute object.
+/// it to a compute object. Construct via [`AtomGroup::new`], which validates
+/// that the parallel arrays agree in length — in every build profile, so a
+/// release build can't silently index mismatched slices.
 #[derive(Debug, Clone, Copy)]
 pub struct AtomGroup<'a> {
     /// Positions, Å.
-    pub pos: &'a [Vec3],
+    pos: &'a [Vec3],
     /// Global atom ids (for exclusion lookup).
-    pub ids: &'a [AtomId],
+    ids: &'a [AtomId],
     /// LJ type per atom.
-    pub lj: &'a [u16],
+    lj: &'a [u16],
     /// Charge per atom, e.
-    pub charge: &'a [f64],
+    charge: &'a [f64],
 }
 
 impl<'a> AtomGroup<'a> {
-    /// Number of atoms in the group. Panics in debug builds if the parallel
-    /// arrays disagree.
+    /// Package parallel per-atom arrays into a group. Panics if the slices
+    /// disagree in length.
+    pub fn new(pos: &'a [Vec3], ids: &'a [AtomId], lj: &'a [u16], charge: &'a [f64]) -> Self {
+        assert_eq!(pos.len(), ids.len(), "AtomGroup: ids length mismatch");
+        assert_eq!(pos.len(), lj.len(), "AtomGroup: lj length mismatch");
+        assert_eq!(pos.len(), charge.len(), "AtomGroup: charge length mismatch");
+        AtomGroup { pos, ids, lj, charge }
+    }
+
+    /// Number of atoms in the group.
     pub fn len(&self) -> usize {
-        debug_assert_eq!(self.pos.len(), self.ids.len());
-        debug_assert_eq!(self.pos.len(), self.lj.len());
-        debug_assert_eq!(self.pos.len(), self.charge.len());
         self.pos.len()
     }
 
     /// True when the group has no atoms.
     pub fn is_empty(&self) -> bool {
         self.pos.is_empty()
+    }
+
+    /// Positions, Å.
+    pub fn positions(&self) -> &'a [Vec3] {
+        self.pos
+    }
+
+    /// Global atom ids.
+    pub fn atom_ids(&self) -> &'a [AtomId] {
+        self.ids
+    }
+
+    /// LJ type per atom.
+    pub fn lj_types(&self) -> &'a [u16] {
+        self.lj
+    }
+
+    /// Charge per atom, e.
+    pub fn charges(&self) -> &'a [f64] {
+        self.charge
     }
 }
 
@@ -250,6 +277,160 @@ pub fn nb_pair(
     nb_pair_ranged(ff, ex, a, b, cell, 0..n, fa, fb)
 }
 
+/// Build the candidate list for a *self* compute: every unique pair inside
+/// `radius` (normally `cutoff + margin`), as `(i, j)` slot indices with
+/// `i < j`, outer index restricted to `outer` for grainsize-split computes.
+/// Pairs are emitted in the exact order [`nb_self_ranged`] visits them, so
+/// [`nb_self_listed`] over a fresh list reproduces the ranged kernel's
+/// floating-point summation order bit for bit. `out` is cleared and reused —
+/// no allocation once its capacity has grown to the working-set size.
+pub fn self_candidates_into(
+    g: AtomGroup,
+    cell: &Cell,
+    outer: std::ops::Range<usize>,
+    radius: f64,
+    out: &mut Vec<(u32, u32)>,
+) {
+    out.clear();
+    let r2max = radius * radius;
+    for i in outer {
+        let pi = g.pos[i];
+        for j in (i + 1)..g.len() {
+            if cell.dist2(pi, g.pos[j]) < r2max {
+                out.push((i as u32, j as u32));
+            }
+        }
+    }
+}
+
+/// Build the candidate list for a *pair* compute: every cross pair between
+/// groups `a` and `b` inside `radius`, as `(i in a, j in b)` slot indices,
+/// in [`nb_pair_ranged`] visit order. See [`self_candidates_into`].
+pub fn pair_candidates_into(
+    a: AtomGroup,
+    b: AtomGroup,
+    cell: &Cell,
+    outer: std::ops::Range<usize>,
+    radius: f64,
+    out: &mut Vec<(u32, u32)>,
+) {
+    out.clear();
+    let r2max = radius * radius;
+    for i in outer {
+        let pi = a.pos[i];
+        for j in 0..b.len() {
+            if cell.dist2(pi, b.pos[j]) < r2max {
+                out.push((i as u32, j as u32));
+            }
+        }
+    }
+}
+
+/// Self-interaction kernel over a cached candidate list (slot-index pairs
+/// from [`self_candidates_into`], grouped by ascending outer index). Each
+/// pair still gets the exact `r² < cutoff²` test, so as long as the list
+/// *covers* every within-cutoff pair — the margin guarantee — the result is
+/// identical to [`nb_self_ranged`]: same pairs, same order, same per-atom
+/// `fi` accumulator flush.
+pub fn nb_self_listed(
+    ff: &ForceField,
+    ex: &Exclusions,
+    g: AtomGroup,
+    cell: &Cell,
+    list: &[(u32, u32)],
+    forces: &mut [Vec3],
+) -> NbResult {
+    assert_eq!(forces.len(), g.len(), "forces buffer must match group size");
+    let cutoff2 = ff.cutoff2();
+    let mut res = NbResult::default();
+    let mut k = 0;
+    while k < list.len() {
+        let i = list[k].0 as usize;
+        let pi = g.pos[i];
+        let idi = g.ids[i];
+        let qi = g.charge[i];
+        let ti = g.lj[i];
+        let mut fi = Vec3::ZERO;
+        while k < list.len() && list[k].0 as usize == i {
+            let j = list[k].1 as usize;
+            k += 1;
+            let d = cell.min_image(pi, g.pos[j]);
+            let r2 = d.norm2();
+            if r2 >= cutoff2 {
+                continue;
+            }
+            let scale = match ex.kind(idi, g.ids[j]) {
+                ExclusionKind::Full => continue,
+                ExclusionKind::Scaled14 => ff.scale14,
+                ExclusionKind::None => 1.0,
+            };
+            let lj = ff.lj(ti, g.lj[j]);
+            let (e_lj, e_el, fr) = eval_pair(ff, lj.a, lj.b, qi * g.charge[j], r2, scale);
+            res.e_lj += e_lj;
+            res.e_elec += e_el;
+            res.pairs += 1;
+            let f = d * fr;
+            fi += f;
+            forces[j] -= f;
+        }
+        forces[i] += fi;
+    }
+    res
+}
+
+/// Cross-pair kernel over a cached candidate list (slot-index pairs from
+/// [`pair_candidates_into`]). Identical to [`nb_pair_ranged`] whenever the
+/// list covers every within-cutoff cross pair; see [`nb_self_listed`].
+#[allow(clippy::too_many_arguments)]
+pub fn nb_pair_listed(
+    ff: &ForceField,
+    ex: &Exclusions,
+    a: AtomGroup,
+    b: AtomGroup,
+    cell: &Cell,
+    list: &[(u32, u32)],
+    fa: &mut [Vec3],
+    fb: &mut [Vec3],
+) -> NbResult {
+    assert_eq!(fa.len(), a.len(), "fa buffer must match group a");
+    assert_eq!(fb.len(), b.len(), "fb buffer must match group b");
+    let cutoff2 = ff.cutoff2();
+    let mut res = NbResult::default();
+    let mut k = 0;
+    while k < list.len() {
+        let i = list[k].0 as usize;
+        let pi = a.pos[i];
+        let idi = a.ids[i];
+        let qi = a.charge[i];
+        let ti = a.lj[i];
+        let mut fi = Vec3::ZERO;
+        while k < list.len() && list[k].0 as usize == i {
+            let j = list[k].1 as usize;
+            k += 1;
+            let d = cell.min_image(pi, b.pos[j]);
+            let r2 = d.norm2();
+            if r2 >= cutoff2 {
+                continue;
+            }
+            let scale = match ex.kind(idi, b.ids[j]) {
+                ExclusionKind::Full => continue,
+                ExclusionKind::Scaled14 => ff.scale14,
+                ExclusionKind::None => 1.0,
+            };
+            let lj = ff.lj(ti, b.lj[j]);
+            let (e_lj, e_el, fr) = eval_pair(ff, lj.a, lj.b, qi * b.charge[j], r2, scale);
+            res.e_lj += e_lj;
+            res.e_elec += e_el;
+            res.pairs += 1;
+            let f = d * fr;
+            fi += f;
+            fb[j] -= f;
+        }
+        fa[i] += fi;
+    }
+    res
+}
+
 /// Evaluate non-bonded interactions over an explicit pair list (as produced
 /// by [`crate::celllist::CellList::neighbor_pairs`]). Atom arrays are indexed
 /// by global atom id. Used by the sequential reference simulator.
@@ -336,7 +517,24 @@ mod tests {
         lj: &'a [u16],
         q: &'a [f64],
     ) -> AtomGroup<'a> {
-        AtomGroup { pos, ids, lj, charge: q }
+        AtomGroup::new(pos, ids, lj, q)
+    }
+
+    /// Deterministic scatter of `n` atoms with mixed charges in a box of the
+    /// given side, plus ids/lj/charge arrays.
+    fn scatter(n: usize, side: f64) -> (Vec<Vec3>, Vec<AtomId>, Vec<u16>, Vec<f64>) {
+        let pos: Vec<Vec3> = (0..n)
+            .map(|i| {
+                let x = (i as f64 * 7.13 + 0.31) % side;
+                let y = (i as f64 * 3.77 + 1.07) % side;
+                let z = (i as f64 * 5.41 + 2.03) % side;
+                Vec3::new(x, y, z)
+            })
+            .collect();
+        let ids: Vec<AtomId> = (0..n as u32).collect();
+        let lj = vec![0u16; n];
+        let q: Vec<f64> = (0..n).map(|i| if i % 2 == 0 { 0.3 } else { -0.3 }).collect();
+        (pos, ids, lj, q)
     }
 
     #[test]
@@ -563,5 +761,111 @@ mod tests {
         // Opposite charges 2 Å apart attract: force on atom0 points toward
         // the boundary (negative x).
         assert!(f[0].x < 0.0, "expected attraction across boundary, f0={:?}", f[0]);
+    }
+
+    #[test]
+    fn listed_self_kernel_is_bit_identical_to_ranged_on_fresh_list() {
+        let ff = ForceField::biomolecular(12.0);
+        let cell = Cell::cube(26.0);
+        let n = 40;
+        let (pos, ids, lj, q) = scatter(n, 26.0);
+        let ex = Exclusions::none(n);
+        let g = group(&pos, &ids, &lj, &q);
+
+        for margin in [0.0, 2.0] {
+            let mut list = Vec::new();
+            self_candidates_into(g, &cell, 0..n, ff.cutoff + margin, &mut list);
+            let mut f_ranged = vec![Vec3::ZERO; n];
+            let r_ranged = nb_self_ranged(&ff, &ex, g, &cell, 0..n, &mut f_ranged);
+            let mut f_listed = vec![Vec3::ZERO; n];
+            let r_listed = nb_self_listed(&ff, &ex, g, &cell, &list, &mut f_listed);
+            // Same pairs in the same order: bit-identical, not just close.
+            assert_eq!(r_listed.pairs, r_ranged.pairs);
+            assert_eq!(r_listed.e_lj.to_bits(), r_ranged.e_lj.to_bits(), "margin {margin}");
+            assert_eq!(r_listed.e_elec.to_bits(), r_ranged.e_elec.to_bits());
+            for i in 0..n {
+                assert_eq!(f_listed[i], f_ranged[i], "atom {i}, margin {margin}");
+            }
+        }
+    }
+
+    #[test]
+    fn listed_pair_kernel_is_bit_identical_to_ranged_on_fresh_list() {
+        let ff = ForceField::biomolecular(12.0);
+        let cell = Cell::cube(26.0);
+        let n = 36;
+        let (pos, ids, lj, q) = scatter(n, 26.0);
+        let ex = Exclusions::none(n);
+        let k = 15;
+        let ga = group(&pos[..k], &ids[..k], &lj[..k], &q[..k]);
+        let gb = group(&pos[k..], &ids[k..], &lj[k..], &q[k..]);
+
+        let mut list = Vec::new();
+        pair_candidates_into(ga, gb, &cell, 0..k, ff.cutoff + 2.0, &mut list);
+        let mut fa_r = vec![Vec3::ZERO; k];
+        let mut fb_r = vec![Vec3::ZERO; n - k];
+        let r_ranged = nb_pair_ranged(&ff, &ex, ga, gb, &cell, 0..k, &mut fa_r, &mut fb_r);
+        let mut fa_l = vec![Vec3::ZERO; k];
+        let mut fb_l = vec![Vec3::ZERO; n - k];
+        let r_listed = nb_pair_listed(&ff, &ex, ga, gb, &cell, &list, &mut fa_l, &mut fb_l);
+        assert_eq!(r_listed.pairs, r_ranged.pairs);
+        assert_eq!(r_listed.e_lj.to_bits(), r_ranged.e_lj.to_bits());
+        assert_eq!(r_listed.e_elec.to_bits(), r_ranged.e_elec.to_bits());
+        for i in 0..k {
+            assert_eq!(fa_l[i], fa_r[i], "group a atom {i}");
+        }
+        for j in 0..n - k {
+            assert_eq!(fb_l[j], fb_r[j], "group b atom {j}");
+        }
+    }
+
+    #[test]
+    fn listed_kernel_stays_exact_while_displacements_fit_in_margin() {
+        // Build a list at cutoff + margin, then move every atom by less than
+        // margin/2 — the stale list must still cover every within-cutoff pair,
+        // so the listed kernel keeps matching a fresh ranged evaluation.
+        let ff = ForceField::biomolecular(12.0);
+        let cell = Cell::cube(26.0);
+        let n = 40;
+        let margin = 2.0;
+        let (mut pos, ids, lj, q) = scatter(n, 26.0);
+        let ex = Exclusions::none(n);
+        let mut list = Vec::new();
+        self_candidates_into(group(&pos, &ids, &lj, &q), &cell, 0..n, ff.cutoff + margin, &mut list);
+
+        for (i, p) in pos.iter_mut().enumerate() {
+            let s = if i % 2 == 0 { 1.0 } else { -1.0 };
+            // |Δ| = √(0.36+0.16+0.09) ≈ 0.78 Å < margin/2 = 1.0 Å.
+            *p += Vec3::new(0.6 * s, -0.4 * s, 0.3 * s);
+        }
+        let g = group(&pos, &ids, &lj, &q);
+        let mut f_ranged = vec![Vec3::ZERO; n];
+        let r_ranged = nb_self_ranged(&ff, &ex, g, &cell, 0..n, &mut f_ranged);
+        let mut f_listed = vec![Vec3::ZERO; n];
+        let r_listed = nb_self_listed(&ff, &ex, g, &cell, &list, &mut f_listed);
+        assert_eq!(r_listed.pairs, r_ranged.pairs);
+        assert!((r_listed.energy() - r_ranged.energy()).abs() < 1e-12);
+        for i in 0..n {
+            assert!((f_listed[i] - f_ranged[i]).norm() < 1e-12, "atom {i}");
+        }
+    }
+
+    #[test]
+    fn candidate_builders_respect_outer_ranges() {
+        // Split outer ranges must tile the same candidate set as one full
+        // range, in the same global order when concatenated.
+        let cell = Cell::cube(26.0);
+        let n = 30;
+        let (pos, ids, lj, q) = scatter(n, 26.0);
+        let g = group(&pos, &ids, &lj, &q);
+        let mut full = Vec::new();
+        self_candidates_into(g, &cell, 0..n, 14.0, &mut full);
+        let mut tiled = Vec::new();
+        let mut part = Vec::new();
+        for range in [0..9, 9..21, 21..n] {
+            self_candidates_into(g, &cell, range, 14.0, &mut part);
+            tiled.extend_from_slice(&part);
+        }
+        assert_eq!(tiled, full);
     }
 }

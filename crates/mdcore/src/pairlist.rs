@@ -58,13 +58,16 @@ impl PairList {
             .all(|(&p, &r)| cell.dist2(p, r) <= limit2)
     }
 
-    /// Rebuild if stale; returns whether a rebuild happened.
+    /// Rebuild if stale; returns whether a rebuild happened. Rebuilds reuse
+    /// the existing `pairs` and `ref_positions` buffers — after the first few
+    /// steps have grown their capacity to the working-set size, a rebuild
+    /// performs no pair-list allocation at all.
     pub fn refresh(&mut self, cell: &Cell, positions: &[Vec3]) -> bool {
         if self.is_valid(cell, positions) {
             return false;
         }
         let cl = CellList::build(cell, positions, self.cutoff + self.margin);
-        self.pairs = cl.neighbor_pairs(positions, self.cutoff + self.margin);
+        cl.neighbor_pairs_into(positions, self.cutoff + self.margin, &mut self.pairs);
         self.ref_positions.clear();
         self.ref_positions.extend_from_slice(positions);
         self.rebuilds += 1;
@@ -147,6 +150,26 @@ mod tests {
         assert!(pl.refresh(&cell, &pos));
         assert_eq!(pl.rebuilds, 2);
         assert!(pl.is_valid(&cell, &pos));
+    }
+
+    #[test]
+    fn rebuilds_reuse_buffers_and_match_fresh_build() {
+        let cell = Cell::cube(30.0);
+        let mut pos = scatter(100, 30.0);
+        let mut pl = PairList::build(&cell, &pos, 8.0, 2.0);
+        let cap_before = pl.pairs.capacity();
+        // Shift everything well past margin/2 so refresh must rebuild.
+        for p in pos.iter_mut() {
+            *p = cell.wrap(*p + Vec3::new(1.7, -1.2, 0.8));
+        }
+        assert!(pl.refresh(&cell, &pos));
+        // A rigid shift preserves all distances, so the pair count is the
+        // same and the grown buffer must have been reused, not reallocated.
+        assert_eq!(pl.pairs.capacity(), cap_before);
+        let fresh = PairList::build(&cell, &pos, 8.0, 2.0);
+        let a: BTreeSet<_> = pl.pairs().iter().copied().collect();
+        let b: BTreeSet<_> = fresh.pairs().iter().copied().collect();
+        assert_eq!(a, b);
     }
 
     #[test]

@@ -179,7 +179,7 @@ proptest! {
         let ids = [0u32, 1];
         let lj = [0u16, 0];
         let q = [q1, q2];
-        let g = AtomGroup { pos: &pos, ids: &ids, lj: &lj, charge: &q };
+        let g = AtomGroup::new(&pos, &ids, &lj, &q);
         let mut f = vec![Vec3::ZERO; 2];
         let res = nb_self(&ff, &ex, g, &cell, &mut f);
         prop_assert!((f[0] + f[1]).norm() < 1e-9 * (1.0 + f[0].norm()));
