@@ -1,0 +1,246 @@
+//! ckpt_overhead — measures the throughput cost of periodic in-phase
+//! checkpointing on the apoa1-small system.
+//!
+//! ```text
+//! ckpt_overhead [--steps N] [--warmup N] [--scale F] [--threads N]
+//!               [--max-overhead F] [--out PATH] [--check]
+//! ```
+//!
+//! Drives `ParallelSim` (threads backend) for `--steps` velocity-Verlet
+//! updates at three checkpoint intervals — off, 100, and 10 (the CLI
+//! default) — all with the same migration cadence so the phase structure
+//! is identical and the measured difference is checkpoint encode + write
+//! cost alone. Writes a machine-readable JSON report (`--out`, default
+//! `BENCH_ckpt.json`): steps/sec per interval, snapshot count and size,
+//! and the relative overhead of each checkpointed run vs the baseline.
+//!
+//! `--check` exits non-zero if the default-interval (10) overhead exceeds
+//! `--max-overhead` (default 0.05, i.e. 5%) — the CI perf-smoke guard.
+//!
+//! No serde in the workspace: the JSON is assembled by hand.
+
+use mdcore::prelude::*;
+use namd_core::prelude::*;
+use std::time::Instant;
+
+/// Migration cadence shared by every run. Checkpoint intervals must be
+/// multiples of it (`ParallelSim::set_checkpointing` asserts this), and
+/// holding it fixed keeps the trajectories comparable across intervals.
+const MIGRATE_EVERY: usize = 10;
+
+/// Checkpoint intervals measured; 0 = checkpointing off (the baseline).
+/// 10 is the CLI's default `checkpointInterval`.
+const INTERVALS: [usize; 3] = [0, 100, 10];
+
+struct Opts {
+    steps: usize,
+    warmup: usize,
+    scale: f64,
+    threads: usize,
+    max_overhead: f64,
+    out: String,
+    check: bool,
+}
+
+fn parse_opts() -> Result<Opts, String> {
+    let mut o = Opts {
+        steps: 200,
+        warmup: 10,
+        scale: 0.04,
+        threads: 2,
+        max_overhead: 0.05,
+        out: "BENCH_ckpt.json".to_string(),
+        check: false,
+    };
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let mut val = |name: &str| -> Result<String, String> {
+            it.next().cloned().ok_or_else(|| format!("{name} needs a value"))
+        };
+        match a.as_str() {
+            "--steps" => o.steps = val("--steps")?.parse().map_err(|e| format!("--steps: {e}"))?,
+            "--warmup" => {
+                o.warmup = val("--warmup")?.parse().map_err(|e| format!("--warmup: {e}"))?
+            }
+            "--scale" => o.scale = val("--scale")?.parse().map_err(|e| format!("--scale: {e}"))?,
+            "--threads" => {
+                o.threads = val("--threads")?.parse().map_err(|e| format!("--threads: {e}"))?
+            }
+            "--max-overhead" => {
+                o.max_overhead = val("--max-overhead")?
+                    .parse()
+                    .map_err(|e| format!("--max-overhead: {e}"))?
+            }
+            "--out" => o.out = val("--out")?,
+            "--check" => o.check = true,
+            other => return Err(format!("unknown option {other}")),
+        }
+    }
+    if o.steps == 0 {
+        return Err("--steps must be at least 1".into());
+    }
+    if o.threads == 0 {
+        return Err("--threads must be at least 1".into());
+    }
+    if !(o.max_overhead >= 0.0 && o.max_overhead.is_finite()) {
+        return Err(format!(
+            "--max-overhead must be non-negative and finite, got {}",
+            o.max_overhead
+        ));
+    }
+    Ok(o)
+}
+
+/// Same construction as `hotpath`: apoa1-like, protein restrained,
+/// thermalized, pre-stepped so the restraints are strained.
+fn apoa1_small(scale: f64) -> System {
+    let bench = molgen::apoa1_like().scaled(scale);
+    let mut sys = molgen::SystemBuilder::new(bench.spec().clone()).build_restrained();
+    sys.thermalize(300.0, 11);
+    let mut sim = Simulator::new(&sys, 1.0);
+    for _ in 0..5 {
+        sim.step(&mut sys);
+    }
+    sys
+}
+
+struct RunResult {
+    interval: usize,
+    wall_s: f64,
+    steps: usize,
+    snapshots: usize,
+    snapshot_bytes: u64,
+}
+
+impl RunResult {
+    fn steps_per_sec(&self) -> f64 {
+        self.steps as f64 / self.wall_s
+    }
+}
+
+fn run_interval(sys: &System, o: &Opts, interval: usize) -> RunResult {
+    let dir = std::env::temp_dir().join(format!(
+        "namd-ckpt-overhead-{}-{interval}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    let mut sim = ParallelSim::new(sys.clone(), o.threads, 1.0).expect("sim");
+    sim.migrate_every = MIGRATE_EVERY;
+    if o.warmup > 0 {
+        sim.run(o.warmup);
+    }
+    if interval > 0 {
+        sim.set_checkpointing(&dir, interval);
+    }
+    let t0 = Instant::now();
+    sim.run(o.steps);
+    let wall_s = t0.elapsed().as_secs_f64();
+    let (mut snapshots, mut snapshot_bytes) = (0usize, 0u64);
+    if interval > 0 {
+        let ckdir = ckpt::CheckpointDir::create(&dir).expect("checkpoint dir");
+        for path in ckdir.list().expect("list checkpoints") {
+            snapshots += 1;
+            snapshot_bytes += std::fs::metadata(&path).map(|m| m.len()).unwrap_or(0);
+        }
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+    RunResult { interval, wall_s, steps: o.steps, snapshots, snapshot_bytes }
+}
+
+fn json_run(r: &RunResult, overhead: f64) -> String {
+    format!(
+        "    {{\"checkpoint_interval\": {}, \"wall_s\": {:.6}, \"steps\": {}, \
+         \"steps_per_sec\": {:.3}, \"snapshots_written\": {}, \
+         \"snapshot_bytes\": {}, \"overhead_vs_off\": {:.6}}}",
+        r.interval,
+        r.wall_s,
+        r.steps,
+        r.steps_per_sec(),
+        r.snapshots,
+        r.snapshot_bytes,
+        overhead,
+    )
+}
+
+fn main() {
+    let o = match parse_opts() {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("ckpt_overhead: {e}");
+            eprintln!(
+                "usage: ckpt_overhead [--steps N] [--warmup N] [--scale F] [--threads N] \
+                 [--max-overhead F] [--out PATH] [--check]"
+            );
+            std::process::exit(2);
+        }
+    };
+    let sys = apoa1_small(o.scale);
+    eprintln!(
+        "ckpt_overhead: apoa1-small scale {} ({} atoms), {} threads, \
+         migrate every {} steps, {} warmup + {} timed steps",
+        o.scale,
+        sys.n_atoms(),
+        o.threads,
+        MIGRATE_EVERY,
+        o.warmup,
+        o.steps
+    );
+
+    let runs: Vec<RunResult> =
+        INTERVALS.iter().map(|&i| run_interval(&sys, &o, i)).collect();
+    let baseline = runs.iter().find(|r| r.interval == 0).unwrap().steps_per_sec();
+    let overhead = |r: &RunResult| -> f64 {
+        if r.interval == 0 { 0.0 } else { baseline / r.steps_per_sec() - 1.0 }
+    };
+    for r in &runs {
+        let label =
+            if r.interval == 0 { "off".to_string() } else { r.interval.to_string() };
+        eprintln!(
+            "  interval {:>4}  {:>7.2} steps/s  {:>3} snapshot(s), {:>8} B  \
+             overhead {:>6.2}%",
+            label,
+            r.steps_per_sec(),
+            r.snapshots,
+            r.snapshot_bytes,
+            overhead(r) * 100.0,
+        );
+    }
+    let default_overhead =
+        runs.iter().find(|r| r.interval == 10).map(overhead).unwrap();
+
+    let json = format!(
+        "{{\n  \"benchmark\": \"ckpt_overhead\",\n  \"system\": \"apoa1-small\",\n  \
+         \"scale\": {},\n  \"atoms\": {},\n  \"threads\": {},\n  \
+         \"migrate_every\": {},\n  \"warmup_steps\": {},\n  \"timed_steps\": {},\n  \
+         \"runs\": [\n{}\n  ],\n  \"default_interval\": 10,\n  \
+         \"default_interval_overhead\": {:.6},\n  \"max_overhead\": {}\n}}\n",
+        o.scale,
+        sys.n_atoms(),
+        o.threads,
+        MIGRATE_EVERY,
+        o.warmup,
+        o.steps,
+        runs.iter().map(|r| json_run(r, overhead(r))).collect::<Vec<_>>().join(",\n"),
+        default_overhead,
+        o.max_overhead,
+    );
+    if let Err(e) = std::fs::write(&o.out, &json) {
+        eprintln!("ckpt_overhead: cannot write {}: {e}", o.out);
+        std::process::exit(1);
+    }
+    eprintln!("ckpt_overhead: wrote {}", o.out);
+
+    if o.check {
+        if default_overhead > o.max_overhead {
+            eprintln!(
+                "ckpt_overhead: CHECK FAILED — default-interval overhead {:.2}% \
+                 exceeds the {:.2}% budget",
+                default_overhead * 100.0,
+                o.max_overhead * 100.0
+            );
+            std::process::exit(1);
+        }
+        eprintln!("ckpt_overhead: check passed ({:.2}% overhead)", default_overhead * 100.0);
+    }
+}

@@ -146,6 +146,11 @@ pub struct Des {
     fault: Option<FaultState>,
     /// Messages the fault plan dropped, awaiting possible redelivery.
     dead_letters: Vec<DeadLetter>,
+    /// PEs felled by kill faults: dead machines whose deliveries are
+    /// discarded and whose scheduler never wakes again.
+    dead: Vec<bool>,
+    /// First PE killed during this run, if any.
+    crashed: Option<Pe>,
     /// Summary-profile instrumentation (always on; it is cheap).
     pub stats: SummaryStats,
     /// Full event trace (opt-in via [`Des::set_tracing`]).
@@ -180,6 +185,8 @@ impl Des {
             policy: SchedulePolicy::default(),
             fault: None,
             dead_letters: Vec::new(),
+            dead: vec![false; n_pes],
+            crashed: None,
             stats: SummaryStats::new(n_pes),
             trace: Trace::default(),
             tracing: false,
@@ -195,6 +202,12 @@ impl Des {
     /// Current virtual time, seconds.
     pub fn now(&self) -> f64 {
         self.now
+    }
+
+    /// The PE felled by a kill fault during the last run, if any. Such a
+    /// run cannot be repaired by redelivery — recover from a checkpoint.
+    pub fn crashed(&self) -> Option<Pe> {
+        self.crashed
     }
 
     /// The machine model in use.
@@ -373,6 +386,13 @@ impl Des {
     }
 
     fn on_deliver(&mut self, pe: Pe, msg: QMsg) {
+        if self.dead[pe] {
+            // Addressed to a dead machine: the message is gone, but the
+            // conservation ledger must see it leave the system.
+            drop(msg);
+            self.stats.msgs_discarded += 1;
+            return;
+        }
         let st = &mut self.pes[pe];
         st.queue.push(msg);
         if !st.execute_scheduled {
@@ -383,6 +403,9 @@ impl Des {
     }
 
     fn on_execute(&mut self, pe: Pe) {
+        if self.dead[pe] {
+            return;
+        }
         let msg = {
             let st = &mut self.pes[pe];
             st.execute_scheduled = false;
@@ -440,7 +463,16 @@ impl Des {
         self.stats.msgs_received += 1;
         self.ldb.attribute(msg.to, pe, cpu);
         if self.tracing {
-            self.trace.record(TraceEvent { pe, obj: msg.to, entry: msg.entry, start, end });
+            // The DES time axis is purely virtual; there is no meaningful
+            // wall clock to stamp.
+            self.trace.record(TraceEvent {
+                pe,
+                obj: msg.to,
+                entry: msg.entry,
+                start,
+                end,
+                wall: 0.0,
+            });
         }
 
         // Dispatch the sends: they leave the sender when the handler ends.
@@ -488,6 +520,23 @@ impl Des {
                 Some(FaultAction::Delay(d)) => {
                     self.stats.msgs_delayed += 1;
                     arrive += d;
+                }
+                Some(FaultAction::Kill) => {
+                    // The destination machine dies at delivery time; the
+                    // message is lost with it (dropped, not dead-lettered —
+                    // there is no PE left to retry into), and everything
+                    // already queued there dies too.
+                    self.stats.msgs_dropped += 1;
+                    if !self.dead[dest_pe] {
+                        self.dead[dest_pe] = true;
+                        self.stats.pes_killed += 1;
+                        self.crashed.get_or_insert(dest_pe);
+                        let queued = self.pes[dest_pe].queue.len() as u64;
+                        self.stats.msgs_discarded += queued;
+                        self.pes[dest_pe].queue.clear();
+                        self.pes[dest_pe].execute_scheduled = false;
+                    }
+                    continue;
                 }
                 None => {}
             }
@@ -771,6 +820,29 @@ mod tests {
         assert!(t >= 1.0, "delayed delivery should dominate the makespan, got {t}");
         assert_eq!(des.stats.msgs_delayed, 1);
         assert_eq!(des.stats.entry_count[e.idx()], 2);
+    }
+
+    #[test]
+    fn kill_fault_fells_the_destination_pe() {
+        let (mut des, e, a, b) = forward_pair();
+        des.set_fault_plan(FaultPlan::parse("kill:entry=ping:dst=1").unwrap());
+        des.inject(a, e, 0, PRIO_NORMAL, empty_payload());
+        des.run();
+        // a ran; b's PE died before the forward arrived.
+        assert_eq!(des.stats.entry_count[e.idx()], 1);
+        assert_eq!(des.crashed(), Some(1));
+        assert_eq!(des.stats.pes_killed, 1);
+        // The lost message is dropped (no dead letter to redeliver), and
+        // the conservation ledger still balances.
+        assert_eq!(des.stats.msgs_dropped, 1);
+        assert_eq!(des.redeliver_dead_letters(), 0);
+        assert_eq!(des.stats.conservation_residual(), 0);
+        // Injections into the dead PE are discarded, not executed.
+        let before = des.stats.entry_count[e.idx()];
+        des.inject(b, e, 0, PRIO_NORMAL, empty_payload());
+        des.run();
+        assert_eq!(des.stats.entry_count[e.idx()], before);
+        assert_eq!(des.stats.conservation_residual(), 0);
     }
 
     #[test]

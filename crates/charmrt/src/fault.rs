@@ -17,6 +17,14 @@
 //! * **Delay** — delivery is postponed by a fixed virtual latency on the
 //!   DES; the threads backend (which cannot delay wall-clock delivery)
 //!   demotes the message behind all normal-priority work instead.
+//! * **Kill** — the *destination PE* dies the instant the matching message
+//!   would be delivered (the message itself is lost with it, counted in
+//!   `msgs_dropped` but *not* retained as a dead letter — the machine it
+//!   was addressed to no longer exists). The run cannot reach quiescence;
+//!   the backend reports the casualty via [`crate::Runtime::crashed`] and
+//!   the recovery layer restarts from the latest checkpoint. This models a
+//!   process/node death mid-run, the failure mode checkpoint/restart
+//!   exists for, rather than a transient network fault.
 //!
 //! Every application is counted in [`crate::SummaryStats`]
 //! (`msgs_dropped`, `msgs_duplicated`, `msgs_delayed`, `msgs_redelivered`),
@@ -33,6 +41,9 @@ pub enum FaultAction {
     Duplicate,
     /// Postpone delivery by this many (virtual) seconds.
     Delay(f64),
+    /// Kill the destination PE at delivery time (process death; the
+    /// message dies with it).
+    Kill,
 }
 
 /// One fault rule: an action plus a predicate over
@@ -91,6 +102,27 @@ impl FaultPlan {
         self.rules.is_empty()
     }
 
+    /// The same plan with every [`FaultAction::Kill`] rule removed. The
+    /// recovery layer installs this after a crash: fault counters restart
+    /// fresh each phase, so leaving the kill rule in place would fell the
+    /// resumed run at the same message forever (and a kill models a
+    /// one-shot hardware death, not a repeating one). `None` if nothing
+    /// remains.
+    pub fn without_kills(&self) -> Option<FaultPlan> {
+        let rules: Vec<FaultRule> = self
+            .rules
+            .iter()
+            .filter(|r| r.action != FaultAction::Kill)
+            .cloned()
+            .collect();
+        if rules.is_empty() { None } else { Some(FaultPlan { rules }) }
+    }
+
+    /// Does any rule kill a PE?
+    pub fn has_kills(&self) -> bool {
+        self.rules.iter().any(|r| r.action == FaultAction::Kill)
+    }
+
     /// Parse a plan from the CLI grammar: semicolon-separated rules, each
     /// `action[:key=value]*` with keys `entry`, `src`, `dst`, `skip`,
     /// `limit`, and (for delay) `secs`. Examples:
@@ -98,6 +130,7 @@ impl FaultPlan {
     /// ```text
     /// drop:entry=PatchRecvForces:limit=1
     /// delay:secs=1e-4:dst=2 ; dup:entry=Done
+    /// kill:entry=PatchRecvForces:dst=1:skip=40
     /// ```
     pub fn parse(spec: &str) -> Result<Self, String> {
         let mut rules = Vec::new();
@@ -113,6 +146,7 @@ impl FaultPlan {
                 "drop" => FaultRule::new(FaultAction::Drop),
                 "dup" | "duplicate" => FaultRule::new(FaultAction::Duplicate),
                 "delay" => FaultRule::new(FaultAction::Delay(0.0)),
+                "kill" => FaultRule::new(FaultAction::Kill),
                 other => return Err(format!("unknown fault action '{other}'")),
             };
             for kv in parts {
@@ -243,6 +277,20 @@ mod tests {
         assert!(FaultPlan::parse("delay:dst=1").is_err(), "delay needs secs");
         assert!(FaultPlan::parse("drop:secs=1").is_err(), "secs is delay-only");
         assert!(FaultPlan::parse("delay:secs=-1").is_err());
+    }
+
+    #[test]
+    fn parse_and_strip_kill_rules() {
+        let p = FaultPlan::parse("kill:entry=Done:dst=1:skip=2 ; drop:limit=1").unwrap();
+        assert!(p.has_kills());
+        assert_eq!(p.rules[0].action, FaultAction::Kill);
+        assert_eq!(p.rules[0].dst_pe, Some(1));
+        let stripped = p.without_kills().unwrap();
+        assert!(!stripped.has_kills());
+        assert_eq!(stripped.rules.len(), 1);
+        let only_kill = FaultPlan::parse("kill:dst=0").unwrap();
+        assert!(only_kill.without_kills().is_none());
+        assert!(FaultPlan::parse("kill:secs=1").is_err(), "secs is delay-only");
     }
 
     #[test]

@@ -113,6 +113,14 @@ pub trait Runtime {
         0
     }
 
+    /// The PE felled by a [`crate::FaultAction::Kill`] rule during the
+    /// last run, if any. A crashed run can never be repaired by message
+    /// redelivery — the caller must abandon this runtime and recover from
+    /// a checkpoint. Default: no kill faults, never crashed.
+    fn crashed(&self) -> Option<Pe> {
+        None
+    }
+
     /// Summary-profile instrumentation accumulated so far.
     fn stats(&self) -> &SummaryStats;
 
@@ -180,6 +188,9 @@ impl Runtime for crate::Des {
     }
     fn redeliver_dead_letters(&mut self) -> usize {
         Self::redeliver_dead_letters(self)
+    }
+    fn crashed(&self) -> Option<Pe> {
+        Self::crashed(self)
     }
     fn stats(&self) -> &SummaryStats {
         &self.stats

@@ -45,6 +45,10 @@ pub struct SummaryStats {
     pub msgs_redelivered: u64,
     /// Messages still queued when `Ctx::stop` ended the run (discarded).
     pub msgs_discarded: u64,
+    /// PEs killed by the fault plan's kill rules. Messages lost with a
+    /// dying PE are counted in `msgs_dropped` (no dead letter), keeping
+    /// the conservation ledger balanced.
+    pub pes_killed: u64,
     /// Virtual time when the current measurement window began.
     pub window_start: f64,
 }
@@ -80,6 +84,7 @@ impl SummaryStats {
         self.msgs_delayed = 0;
         self.msgs_redelivered = 0;
         self.msgs_discarded = 0;
+        self.pes_killed = 0;
         self.window_start = now;
     }
 

@@ -34,7 +34,7 @@ use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering as AtOrd};
 use std::sync::{Condvar, Mutex};
-use std::time::{Duration, Instant};
+use std::time::{Duration, Instant, SystemTime, UNIX_EPOCH};
 
 /// A queued message awaiting execution on a worker.
 struct TMsg {
@@ -89,6 +89,10 @@ struct Sched {
     obj_pe: Vec<Pe>,
     n_pes: usize,
     epoch: Instant,
+    /// Wall-clock time of the epoch, seconds since the Unix epoch: trace
+    /// events carry `epoch_wall + start` so timeline diagnostics line up
+    /// with external logs (checkpoint fsync stalls, competing load).
+    epoch_wall: f64,
     /// Dequeue-order perturbation (default: native FIFO).
     policy: SchedulePolicy,
     /// Installed fault plan, if any (shared occurrence counters).
@@ -101,9 +105,15 @@ struct Sched {
     idle: AtomicU64,
     /// Set by the watchdog when quiescence can never be reached.
     stalled: AtomicBool,
+    /// Per-PE kill flags: a dead worker exits its loop (counting itself
+    /// permanently idle so the watchdog still works for the survivors).
+    dead: Vec<AtomicBool>,
+    /// First PE killed during this run, if any.
+    crashed: Mutex<Option<Pe>>,
     msgs_dropped: AtomicU64,
     msgs_duplicated: AtomicU64,
     msgs_delayed: AtomicU64,
+    pes_killed: AtomicU64,
 }
 
 impl Sched {
@@ -197,6 +207,8 @@ pub struct ThreadRuntime {
     pub trace: Trace,
     /// Load-balancing measurement database (measured wall-clock).
     pub ldb: LdbDatabase,
+    /// First PE felled by a kill fault, across all runs of this runtime.
+    crashed: Option<Pe>,
 }
 
 impl ThreadRuntime {
@@ -217,12 +229,20 @@ impl ThreadRuntime {
             stats: SummaryStats::new(n_pes),
             trace: Trace::default(),
             ldb: LdbDatabase::new(n_pes),
+            crashed: None,
         }
     }
 
     /// Number of worker threads.
     pub fn n_pes(&self) -> usize {
         self.n_pes
+    }
+
+    /// The PE felled by a kill fault during any run of this runtime, if
+    /// any. A crashed run cannot be repaired by redelivery — recover from
+    /// a checkpoint.
+    pub fn crashed(&self) -> Option<Pe> {
+        self.crashed
     }
 
     /// Set the schedule-perturbation policy for subsequent deliveries.
@@ -281,6 +301,14 @@ impl ThreadRuntime {
                     if sched.done.load(AtOrd::SeqCst) {
                         return metrics;
                     }
+                    if sched.dead[pe].load(AtOrd::SeqCst) {
+                        // Killed by the fault plan: exit for good, counting
+                        // this worker permanently idle so the survivors'
+                        // no-progress watchdog can still see "everyone
+                        // idle" and end the run.
+                        sched.idle.fetch_add(1, AtOrd::SeqCst);
+                        return metrics;
+                    }
                     if let Some(m) = heap.pop() {
                         break m;
                     }
@@ -311,7 +339,14 @@ impl ThreadRuntime {
             metrics.entry_count[msg.entry.idx()] += 1;
             metrics.obj_secs.push((msg.to, secs));
             metrics.last_end = metrics.last_end.max(end);
-            metrics.trace.push(TraceEvent { pe, obj: msg.to, entry: msg.entry, start, end });
+            metrics.trace.push(TraceEvent {
+                pe,
+                obj: msg.to,
+                entry: msg.entry,
+                start,
+                end,
+                wall: sched.epoch_wall + start,
+            });
 
             sched.executed.fetch_add(1, AtOrd::SeqCst);
             let stop = ctx.stop;
@@ -337,6 +372,26 @@ impl ThreadRuntime {
                             priority: s.priority,
                             payload: s.payload,
                         });
+                        continue;
+                    }
+                    Some(FaultAction::Kill) => {
+                        // The destination PE dies at this delivery and the
+                        // message dies with it — a dropped send with no
+                        // dead letter (the process that would have read it
+                        // no longer exists). Like Drop, the in-flight
+                        // counter sees a send no receive will ever match,
+                        // so quiescence is provably unreachable and the
+                        // watchdog ends the run; the caller must recover
+                        // from a checkpoint, not redeliver.
+                        sched.in_flight.fetch_add(1, AtOrd::SeqCst);
+                        sched.msgs_dropped.fetch_add(1, AtOrd::SeqCst);
+                        if !sched.dead[dest].swap(true, AtOrd::SeqCst) {
+                            sched.pes_killed.fetch_add(1, AtOrd::SeqCst);
+                            sched.crashed.lock().unwrap().get_or_insert(dest);
+                            // Wake the victim so it notices it is dead.
+                            let _guard = sched.queues[dest].heap.lock().unwrap();
+                            sched.queues[dest].available.notify_all();
+                        }
                         continue;
                     }
                     Some(FaultAction::Duplicate) => {
@@ -420,15 +475,22 @@ impl ThreadRuntime {
             obj_pe: self.obj_pe.clone(),
             n_pes: self.n_pes,
             epoch: Instant::now(),
+            epoch_wall: SystemTime::now()
+                .duration_since(UNIX_EPOCH)
+                .map(|d| d.as_secs_f64())
+                .unwrap_or(0.0),
             policy: self.policy,
             fault: self.fault.take().map(Mutex::new),
             dead_letters: Mutex::new(Vec::new()),
             executed: AtomicU64::new(0),
             idle: AtomicU64::new(0),
             stalled: AtomicBool::new(false),
+            dead: (0..self.n_pes).map(|_| AtomicBool::new(false)).collect(),
+            crashed: Mutex::new(None),
             msgs_dropped: AtomicU64::new(0),
             msgs_duplicated: AtomicU64::new(0),
             msgs_delayed: AtomicU64::new(0),
+            pes_killed: AtomicU64::new(0),
         };
         self.stats.msgs_injected += self.injected.len() as u64;
         for (to, entry, bytes, priority, payload) in
@@ -481,9 +543,16 @@ impl ThreadRuntime {
                     last_change = Instant::now();
                     continue;
                 }
+                // A kill makes quiescence unreachable by construction, so
+                // don't make the recovery path wait out the full window.
+                let window = if sched.pes_killed.load(AtOrd::SeqCst) > 0 {
+                    stall_timeout.min(Duration::from_millis(50))
+                } else {
+                    stall_timeout
+                };
                 if sched.in_flight.load(AtOrd::SeqCst) > 0
                     && sched.idle.load(AtOrd::SeqCst) as usize == sched.n_pes
-                    && last_change.elapsed() >= stall_timeout
+                    && last_change.elapsed() >= window
                 {
                     sched.stalled.store(true, AtOrd::SeqCst);
                     sched.shutdown();
@@ -547,6 +616,8 @@ impl ThreadRuntime {
         self.stats.msgs_dropped += sched.msgs_dropped.load(AtOrd::SeqCst);
         self.stats.msgs_duplicated += sched.msgs_duplicated.load(AtOrd::SeqCst);
         self.stats.msgs_delayed += sched.msgs_delayed.load(AtOrd::SeqCst);
+        self.stats.pes_killed += sched.pes_killed.load(AtOrd::SeqCst);
+        self.crashed = self.crashed.or(sched.crashed.into_inner().unwrap());
 
         if stalled {
             Err(RunStall {
@@ -607,6 +678,10 @@ impl Runtime for ThreadRuntime {
 
     fn redeliver_dead_letters(&mut self) -> usize {
         Self::redeliver_dead_letters(self)
+    }
+
+    fn crashed(&self) -> Option<Pe> {
+        Self::crashed(self)
     }
 
     fn stats(&self) -> &SummaryStats {
@@ -839,6 +914,36 @@ mod tests {
         assert_eq!(hits.load(AtOrd::SeqCst), 2);
         assert_eq!(rt.stats.msgs_dropped, 1);
         assert_eq!(rt.stats.msgs_redelivered, 1);
+        assert_eq!(rt.stats.conservation_residual(), 0);
+    }
+
+    #[test]
+    fn kill_fault_fells_the_destination_worker() {
+        let mut rt = ThreadRuntime::new(2);
+        rt.set_stall_timeout(Duration::from_millis(200));
+        let e = rt.register_entry("hop");
+        let hits = Arc::new(AtomicU32::new(0));
+        let a = rt.register(
+            Box::new(Hopper { next: Some(ObjId(1)), entry: e, hops: 1, hits: hits.clone() }),
+            0,
+            true,
+        );
+        rt.register(
+            Box::new(Hopper { next: None, entry: e, hops: 0, hits: hits.clone() }),
+            1,
+            true,
+        );
+        // The first message into PE 1 kills it; the message is lost with it.
+        rt.set_fault_plan(FaultPlan::parse("kill:entry=hop:dst=1").unwrap());
+        rt.inject(a, e, 0, PRIO_NORMAL, empty_payload());
+        let stall = rt.try_run().expect_err("a killed PE must stall the run, not hang");
+        assert!(stall.in_flight >= 1);
+        assert_eq!(hits.load(AtOrd::SeqCst), 1, "only the sender ran");
+        assert_eq!(rt.crashed(), Some(1));
+        assert_eq!(rt.stats.pes_killed, 1);
+        assert_eq!(rt.stats.msgs_dropped, 1);
+        // Nothing to retransmit: the loss is the PE, not the network.
+        assert_eq!(rt.redeliver_dead_letters(), 0);
         assert_eq!(rt.stats.conservation_residual(), 0);
     }
 

@@ -23,6 +23,13 @@ pub struct TraceEvent {
     pub start: f64,
     /// Virtual end time, seconds.
     pub end: f64,
+    /// Wall-clock start time, seconds since the Unix epoch. 0 on the DES
+    /// backend (whose time axis is purely virtual); the threads backend
+    /// stamps real time so externally caused stalls — checkpoint fsyncs,
+    /// competing processes — line up with other system logs in timeline
+    /// diagnostics. Deliberately excluded from nothing: replay-equality
+    /// tests compare DES traces, where this field is constant.
+    pub wall: f64,
 }
 
 impl TraceEvent {
@@ -158,8 +165,9 @@ impl Trace {
                 .unwrap_or("?");
             writeln!(
                 sink,
-                "{{\"pe\":{},\"obj\":{},\"entry\":\"{}\",\"start\":{:.9},\"end\":{:.9}}}",
-                ev.pe, ev.obj.0, name, ev.start, ev.end
+                "{{\"pe\":{},\"obj\":{},\"entry\":\"{}\",\"start\":{:.9},\"end\":{:.9},\
+                 \"wall\":{:.6}}}",
+                ev.pe, ev.obj.0, name, ev.start, ev.end, ev.wall
             )?;
         }
         Ok(())
@@ -200,7 +208,7 @@ mod tests {
     use super::*;
 
     fn ev(pe: Pe, entry: u16, start: f64, end: f64) -> TraceEvent {
-        TraceEvent { pe, obj: ObjId(0), entry: EntryId(entry), start, end }
+        TraceEvent { pe, obj: ObjId(0), entry: EntryId(entry), start, end, wall: 0.0 }
     }
 
     fn sample_trace() -> Trace {
@@ -273,6 +281,7 @@ mod tests {
         for line in &lines {
             assert!(line.starts_with('{') && line.ends_with('}'));
             assert!(line.contains("\"entry\":"));
+            assert!(line.contains("\"wall\":"));
         }
         assert!(lines[3].contains("integrate"));
     }

@@ -1,0 +1,215 @@
+//! A directory of checkpoints with crash-safe writes.
+//!
+//! Snapshots are named `ckpt_{step:012}.ckpt` so lexical order is step
+//! order. Writes go to a dot-prefixed temporary in the same directory,
+//! are flushed with `fsync`, then atomically renamed over the final name,
+//! and the directory itself is fsynced — a crash at any point leaves
+//! either the old set of snapshots or the old set plus one complete new
+//! one, never a half-written file under a final name. Readers scan newest
+//! first and skip anything that fails to decode, so one corrupt file
+//! (e.g. torn by a crashed *earlier* writer, or bit-rotted) costs one
+//! checkpoint interval, not the run.
+
+use crate::{CkptError, Snapshot};
+use std::fs;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+/// Handle to a checkpoint directory (created on construction).
+#[derive(Debug, Clone)]
+pub struct CheckpointDir {
+    path: PathBuf,
+}
+
+fn io_err(op: &str, path: &Path, e: std::io::Error) -> CkptError {
+    CkptError::Io(format!("{op} {}: {e}", path.display()))
+}
+
+impl CheckpointDir {
+    /// Open (creating if needed) a checkpoint directory.
+    pub fn create(path: impl Into<PathBuf>) -> Result<Self, CkptError> {
+        let path = path.into();
+        fs::create_dir_all(&path).map_err(|e| io_err("create", &path, e))?;
+        Ok(CheckpointDir { path })
+    }
+
+    /// The directory path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// The final on-disk name for a snapshot of `step`.
+    pub fn file_for_step(&self, step: u64) -> PathBuf {
+        self.path.join(format!("ckpt_{step:012}.ckpt"))
+    }
+
+    /// Write `snap` atomically; returns the final path. An existing
+    /// snapshot for the same step is replaced (also atomically).
+    pub fn write(&self, snap: &Snapshot) -> Result<PathBuf, CkptError> {
+        let finalp = self.file_for_step(snap.step);
+        let tmp = self.path.join(format!(".ckpt_{:012}.tmp", snap.step));
+        let bytes = snap.encode();
+        {
+            let mut f = fs::File::create(&tmp).map_err(|e| io_err("create", &tmp, e))?;
+            f.write_all(&bytes).map_err(|e| io_err("write", &tmp, e))?;
+            f.sync_all().map_err(|e| io_err("fsync", &tmp, e))?;
+        }
+        fs::rename(&tmp, &finalp).map_err(|e| io_err("rename", &finalp, e))?;
+        // Persist the rename itself (POSIX: fsync the containing directory).
+        // Failure here is not fatal to atomicity — the rename already
+        // happened — but surface it anyway.
+        if let Ok(d) = fs::File::open(&self.path) {
+            let _ = d.sync_all();
+        }
+        Ok(finalp)
+    }
+
+    /// All snapshot files present, oldest first (lexical == step order).
+    pub fn list(&self) -> Result<Vec<PathBuf>, CkptError> {
+        let mut files: Vec<PathBuf> = fs::read_dir(&self.path)
+            .map_err(|e| io_err("read dir", &self.path, e))?
+            .filter_map(|r| r.ok())
+            .map(|e| e.path())
+            .filter(|p| {
+                p.file_name()
+                    .and_then(|n| n.to_str())
+                    .map(|n| n.starts_with("ckpt_") && n.ends_with(".ckpt"))
+                    .unwrap_or(false)
+            })
+            .collect();
+        files.sort();
+        Ok(files)
+    }
+
+    /// Load the newest snapshot that decodes cleanly, skipping corrupt
+    /// files. Returns [`CkptError::NoCheckpoint`] if the directory has no
+    /// snapshots at all; if it has only corrupt ones, returns the newest
+    /// file's decode error (so the caller sees *why*, not just "none").
+    pub fn latest_valid(&self) -> Result<(Snapshot, PathBuf), CkptError> {
+        let files = self.list()?;
+        if files.is_empty() {
+            return Err(CkptError::NoCheckpoint(format!(
+                "{} contains no ckpt_*.ckpt files",
+                self.path.display()
+            )));
+        }
+        let mut first_err: Option<CkptError> = None;
+        for p in files.iter().rev() {
+            let bytes = match fs::read(p) {
+                Ok(b) => b,
+                Err(e) => {
+                    first_err.get_or_insert(io_err("read", p, e));
+                    continue;
+                }
+            };
+            match Snapshot::decode(&bytes) {
+                Ok(s) => return Ok((s, p.clone())),
+                Err(e) => {
+                    first_err.get_or_insert(e);
+                }
+            }
+        }
+        Err(first_err.expect("non-empty file list with no error"))
+    }
+
+    /// Delete all but the newest `keep` snapshots; returns how many were
+    /// removed. Corrupt files count as snapshots here (they are still
+    /// pruned oldest-first).
+    pub fn prune(&self, keep: usize) -> Result<usize, CkptError> {
+        let files = self.list()?;
+        let n = files.len().saturating_sub(keep);
+        for p in &files[..n] {
+            fs::remove_file(p).map_err(|e| io_err("remove", p, e))?;
+        }
+        Ok(n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmpdir(name: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("ckpt_test_{name}_{}", std::process::id()));
+        let _ = fs::remove_dir_all(&d);
+        d
+    }
+
+    fn snap(step: u64) -> Snapshot {
+        Snapshot {
+            step,
+            topo_hash: 7,
+            positions: vec![[step as f64, 0.0, 0.0]],
+            velocities: vec![[0.0, 0.0, 0.0]],
+            ..Snapshot::default()
+        }
+    }
+
+    #[test]
+    fn write_then_latest_roundtrips() {
+        let dir = CheckpointDir::create(tmpdir("roundtrip")).unwrap();
+        dir.write(&snap(5)).unwrap();
+        dir.write(&snap(10)).unwrap();
+        let (s, p) = dir.latest_valid().unwrap();
+        assert_eq!(s.step, 10);
+        assert!(p.ends_with("ckpt_000000000010.ckpt"));
+        let _ = fs::remove_dir_all(dir.path());
+    }
+
+    #[test]
+    fn corrupt_newest_falls_back_to_previous() {
+        let dir = CheckpointDir::create(tmpdir("fallback")).unwrap();
+        dir.write(&snap(5)).unwrap();
+        let newest = dir.write(&snap(10)).unwrap();
+        let mut bytes = fs::read(&newest).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0xFF;
+        fs::write(&newest, &bytes).unwrap();
+        let (s, _) = dir.latest_valid().unwrap();
+        assert_eq!(s.step, 5, "must skip the corrupt newest snapshot");
+        let _ = fs::remove_dir_all(dir.path());
+    }
+
+    #[test]
+    fn all_corrupt_reports_the_newest_error() {
+        let dir = CheckpointDir::create(tmpdir("allbad")).unwrap();
+        let p = dir.write(&snap(3)).unwrap();
+        fs::write(&p, b"garbage").unwrap();
+        let err = dir.latest_valid().unwrap_err();
+        assert!(matches!(err, CkptError::BadMagic(_)), "{err}");
+        let _ = fs::remove_dir_all(dir.path());
+    }
+
+    #[test]
+    fn empty_dir_is_no_checkpoint() {
+        let dir = CheckpointDir::create(tmpdir("empty")).unwrap();
+        assert!(matches!(dir.latest_valid(), Err(CkptError::NoCheckpoint(_))));
+        let _ = fs::remove_dir_all(dir.path());
+    }
+
+    #[test]
+    fn no_temporary_survives_a_write() {
+        let dir = CheckpointDir::create(tmpdir("tmpclean")).unwrap();
+        dir.write(&snap(1)).unwrap();
+        let leftovers: Vec<_> = fs::read_dir(dir.path())
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .filter(|e| e.file_name().to_string_lossy().ends_with(".tmp"))
+            .collect();
+        assert!(leftovers.is_empty());
+        let _ = fs::remove_dir_all(dir.path());
+    }
+
+    #[test]
+    fn prune_keeps_the_newest() {
+        let dir = CheckpointDir::create(tmpdir("prune")).unwrap();
+        for s in [1, 2, 3, 4, 5] {
+            dir.write(&snap(s)).unwrap();
+        }
+        assert_eq!(dir.prune(2).unwrap(), 3);
+        let left = dir.list().unwrap();
+        assert_eq!(left.len(), 2);
+        assert_eq!(dir.latest_valid().unwrap().0.step, 5);
+        let _ = fs::remove_dir_all(dir.path());
+    }
+}

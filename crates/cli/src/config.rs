@@ -91,6 +91,22 @@ pub struct RunConfig {
     /// Steepest-descent minimization steps before dynamics (0 = none).
     pub minimize: usize,
     pub seed: u64,
+    /// Directory for periodic checkpoints (empty = checkpointing off).
+    /// Checkpointing (and restart) runs on the parallel threads driver,
+    /// even with `threads 1`.
+    pub checkpoint_dir: String,
+    /// Steps between checkpoints (active only with `checkpointDir`).
+    pub checkpoint_interval: usize,
+    /// Resume from this checkpoint file, or from the newest valid
+    /// checkpoint when the path is a directory (empty = fresh start).
+    pub restart_from: String,
+    /// Fault-injection plan (see `charmrt::FaultPlan::parse`); empty = none.
+    /// `kill:...` rules exercise the crash-recovery loop, which needs
+    /// `checkpointDir` to recover from.
+    pub fault_plan: String,
+    /// Message dequeue-order policy: fifo | shuffle | lifo | jitter.
+    pub schedule: String,
+    pub schedule_seed: u64,
 }
 
 impl Default for RunConfig {
@@ -119,6 +135,12 @@ impl Default for RunConfig {
             restrain_protein: false,
             minimize: 0,
             seed: 7,
+            checkpoint_dir: String::new(),
+            checkpoint_interval: 10,
+            restart_from: String::new(),
+            fault_plan: String::new(),
+            schedule: String::from("fifo"),
+            schedule_seed: 0,
         }
     }
 }
@@ -196,6 +218,12 @@ pub fn parse(text: &str) -> Result<RunConfig, String> {
             "restrainprotein" => cfg.restrain_protein = parse_bool(&value)?,
             "minimize" => cfg.minimize = parse_usize(&value)?,
             "seed" => cfg.seed = parse_usize(&value)? as u64,
+            "checkpointdir" => cfg.checkpoint_dir = value,
+            "checkpointinterval" => cfg.checkpoint_interval = parse_usize(&value)?,
+            "restartfrom" => cfg.restart_from = value,
+            "faultplan" => cfg.fault_plan = value,
+            "schedule" => cfg.schedule = value.to_ascii_lowercase(),
+            "scheduleseed" => cfg.schedule_seed = parse_usize(&value)? as u64,
             other => return Err(err(&format!("unknown key '{other}'"))),
         }
     }
@@ -203,7 +231,9 @@ pub fn parse(text: &str) -> Result<RunConfig, String> {
     Ok(cfg)
 }
 
-fn validate(cfg: &RunConfig) -> Result<(), String> {
+/// Check cross-key consistency. `parse` runs this; callers that mutate a
+/// parsed config afterwards (e.g. CLI flag overrides) should re-run it.
+pub fn validate(cfg: &RunConfig) -> Result<(), String> {
     if !(cfg.scale > 0.0 && cfg.scale <= 1.0) {
         return Err(format!("scale must be in (0, 1], got {}", cfg.scale));
     }
@@ -239,6 +269,47 @@ fn validate(cfg: &RunConfig) -> Result<(), String> {
     }
     if cfg.pme && cfg.threads > 1 {
         return Err("pme runs use the sequential full-electrostatics driver; set threads 1".into());
+    }
+    let ckpt_active = !cfg.checkpoint_dir.is_empty() || !cfg.restart_from.is_empty();
+    if ckpt_active && cfg.pme {
+        return Err(
+            "checkpointing/restart runs on the parallel cutoff driver; pme is not supported"
+                .into(),
+        );
+    }
+    if ckpt_active && cfg.thermostat == ThermostatKind::Langevin {
+        return Err(
+            "checkpointing/restart runs on the parallel driver; thermostat langevin is \
+             sequential-only (use berendsen or none)"
+                .into(),
+        );
+    }
+    if !cfg.checkpoint_dir.is_empty() && cfg.checkpoint_interval == 0 {
+        return Err("checkpointInterval must be at least 1".into());
+    }
+    if !cfg.fault_plan.is_empty() {
+        let plan = charmrt::FaultPlan::parse(&cfg.fault_plan)
+            .map_err(|e| format!("faultPlan: {e}"))?;
+        if plan.has_kills() && cfg.checkpoint_dir.is_empty() {
+            return Err(
+                "faultPlan has kill rules but no checkpointDir to recover from".into(),
+            );
+        }
+    }
+    charmrt::SchedulePolicy::parse(&cfg.schedule, cfg.schedule_seed)
+        .map_err(|e| format!("schedule: {e}"))?;
+    // Faults and schedule perturbations exercise the message-driven
+    // parallel driver; on the sequential drivers they would be silently
+    // ignored — reject rather than de-configure.
+    if (!cfg.fault_plan.is_empty() || cfg.schedule != "fifo")
+        && cfg.threads <= 1
+        && !ckpt_active
+    {
+        return Err(
+            "faultPlan/schedule apply to the parallel driver only; set threads > 1 \
+             or enable checkpointing"
+                .into(),
+        );
     }
     Ok(())
 }

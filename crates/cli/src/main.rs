@@ -1,7 +1,9 @@
 //! `namd-rs` — command-line front end for the NAMD SC2000 reproduction.
 //!
 //! ```text
-//! namd-rs run <config-file>        run an MD simulation from a config file
+//! namd-rs run <config-file> [opts] run an MD simulation from a config file
+//!     --checkpoint-dir DIR         periodic checkpoints (overrides config)
+//!     --restart-from PATH          resume from a checkpoint file/directory
 //! namd-rs info <config-file>       parse + describe a config without running
 //! namd-rs bench <system> [opts]    DES scaling benchmark (virtual PEs)
 //!     --machine asci_red|t3e|origin|cluster
@@ -60,6 +62,13 @@ pme           off        # full electrostatics (particle-mesh Ewald)
 #pmeSpacing   1.2
 #mtsFrequency 4          # r-RESPA: PME every 4th step
 seed          42
+#checkpointDir  ckpts    # periodic checkpoints (atomic write-rename)
+#checkpointInterval 10   # steps between checkpoints
+#restartFrom  ckpts      # resume from newest valid checkpoint in a dir
+#                        # (or a specific .ckpt file); bit-identical resume
+#faultPlan    kill:entry=PatchRecvForces:dst=1:skip=40  # crash drill
+#schedule     shuffle    # fifo | shuffle | lifo | jitter (parallel driver)
+#scheduleSeed 1
 ";
 
 fn load(path: &str) -> Result<namd_cli::config::RunConfig, String> {
@@ -69,19 +78,49 @@ fn load(path: &str) -> Result<namd_cli::config::RunConfig, String> {
 
 fn cmd_run(args: &[String]) -> i32 {
     let Some(path) = args.first() else {
-        eprintln!("usage: namd-rs run <config-file>");
+        eprintln!(
+            "usage: namd-rs run <config-file> [--checkpoint-dir DIR] [--restart-from PATH]"
+        );
         return 2;
     };
-    match load(path) {
-        Ok(cfg) => match runner::run(&cfg, &mut std::io::stdout()) {
-            Ok(_) => 0,
-            Err(e) => {
-                eprintln!("run failed: {e}");
-                1
-            }
-        },
+    let mut cfg = match load(path) {
+        Ok(cfg) => cfg,
         Err(e) => {
             eprintln!("config error: {e}");
+            return 1;
+        }
+    };
+    let mut it = args[1..].iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--checkpoint-dir" => match it.next() {
+                Some(d) => cfg.checkpoint_dir = d.clone(),
+                None => {
+                    eprintln!("--checkpoint-dir needs a directory");
+                    return 2;
+                }
+            },
+            "--restart-from" => match it.next() {
+                Some(p) => cfg.restart_from = p.clone(),
+                None => {
+                    eprintln!("--restart-from needs a checkpoint file or directory");
+                    return 2;
+                }
+            },
+            other => {
+                eprintln!("unknown option {other}");
+                return 2;
+            }
+        }
+    }
+    if let Err(e) = namd_cli::config::validate(&cfg) {
+        eprintln!("config error: {e}");
+        return 1;
+    }
+    match runner::run(&cfg, &mut std::io::stdout()) {
+        Ok(_) => 0,
+        Err(e) => {
+            eprintln!("run failed: {e}");
             1
         }
     }

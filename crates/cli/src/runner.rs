@@ -6,6 +6,80 @@ use mdcore::thermostat::{Berendsen, Langevin};
 use namd_core::parallel::ParallelSim;
 use pme::md::MtsSimulator;
 use std::io::Write;
+use std::path::Path;
+
+/// Give up the in-process crash-recovery loop after this many consecutive
+/// recoveries.
+const MAX_RECOVERIES: u32 = 3;
+
+/// Opaque per-snapshot payload the runner stores in `Snapshot::extra`:
+/// the first recorded total energy (for the final report), the number of
+/// trajectory frames already on disk (so a restart neither duplicates nor
+/// re-truncates them), and the migration cadence (so a restarted run
+/// reproduces the original run's decomposition-rebuild pattern).
+fn encode_extra(e_first: f64, frames: u64, migrate_every: u64) -> Vec<u8> {
+    let mut v = Vec::with_capacity(24);
+    v.extend_from_slice(&e_first.to_le_bytes());
+    v.extend_from_slice(&frames.to_le_bytes());
+    v.extend_from_slice(&migrate_every.to_le_bytes());
+    v
+}
+
+fn decode_extra(bytes: &[u8]) -> Option<(f64, u64, u64)> {
+    if bytes.len() != 24 {
+        return None;
+    }
+    let f = |r: std::ops::Range<usize>| <[u8; 8]>::try_from(&bytes[r]).unwrap();
+    Some((
+        f64::from_le_bytes(f(0..8)),
+        u64::from_le_bytes(f(8..16)),
+        u64::from_le_bytes(f(16..24)),
+    ))
+}
+
+/// Largest atom-migration cadence ≤ 20 steps that divides the checkpoint
+/// interval, so every checkpoint barrier lands on a migration boundary
+/// (the alignment bit-identical restarts need).
+fn migrate_cadence(interval: usize) -> usize {
+    (1..=20.min(interval)).rev().find(|d| interval % d == 0).unwrap_or(1)
+}
+
+fn ckpt_io_err(e: ckpt::CkptError) -> std::io::Error {
+    std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string())
+}
+
+/// Load a restart snapshot from a checkpoint file, or from the newest
+/// valid checkpoint when `path` is a directory.
+fn load_snapshot(path: &str) -> std::io::Result<(ckpt::Snapshot, String)> {
+    let p = Path::new(path);
+    if p.is_dir() {
+        let dir = ckpt::CheckpointDir::create(p).map_err(ckpt_io_err)?;
+        let (snap, file) = dir.latest_valid().map_err(ckpt_io_err)?;
+        Ok((snap, file.display().to_string()))
+    } else {
+        let bytes = std::fs::read(p)?;
+        let snap = ckpt::Snapshot::decode(&bytes).map_err(ckpt_io_err)?;
+        Ok((snap, path.to_string()))
+    }
+}
+
+/// Keep only the first `frames` complete XYZ frames of an existing
+/// trajectory file (a restart must not re-truncate or duplicate what the
+/// interrupted run already wrote; anything after the checkpoint's
+/// high-water mark is re-produced bit-identically by the resumed run).
+fn truncate_xyz(path: &str, frames: usize, n_atoms: usize) -> std::io::Result<usize> {
+    let text = std::fs::read_to_string(path)?;
+    let frame_lines = n_atoms + 2;
+    let complete = text.lines().count() / frame_lines;
+    let keep = frames.min(complete);
+    let truncated: String = text
+        .lines()
+        .take(keep * frame_lines)
+        .flat_map(|l| [l, "\n"])
+        .collect();
+    std::fs::write(path, truncated)?;
+    Ok(keep)
+}
 
 /// Summary of a finished run (also printed step-by-step as it goes).
 #[derive(Debug, Clone)]
@@ -85,13 +159,6 @@ pub fn run(cfg: &RunConfig, log: &mut dyn Write) -> std::io::Result<RunReport> {
         if cfg.pme { ", PME on" } else { "" }
     )?;
 
-    let mut xyz = if cfg.output_name.is_empty() {
-        None
-    } else {
-        let file = std::fs::File::create(format!("{}.xyz", cfg.output_name))?;
-        Some(XyzWriter::from_system(std::io::BufWriter::new(file), &system))
-    };
-
     let berendsen = Berendsen { target_k: cfg.temperature, tau_fs: cfg.berendsen_tau };
     let mut langevin = match cfg.thermostat {
         ThermostatKind::Langevin => Some(Langevin::new(
@@ -104,13 +171,22 @@ pub fn run(cfg: &RunConfig, log: &mut dyn Write) -> std::io::Result<RunReport> {
         _ => None,
     };
 
+    let checkpointing = !cfg.checkpoint_dir.is_empty();
+    let restarting = !cfg.restart_from.is_empty();
+    let use_parallel = cfg.threads > 1 || checkpointing || restarting;
+    let mut e_first = f64::NAN;
+    let mut frames = 0usize;
+    let mut start_step = 0usize;
+
     enum Driver {
         Sequential(Simulator),
         Threads(Box<ParallelSim>),
         FullElectro(Box<MtsSimulator>),
     }
     // PME runs use the MTS driver (k = 1 reduces to velocity Verlet);
-    // Langevin runs use the thermostat's own integrator.
+    // Langevin runs use the thermostat's own integrator. Checkpoint and
+    // restart runs always use the parallel driver (even with threads 1):
+    // checkpoints are in-phase barriers of its message protocol.
     let mut driver = if cfg.pme {
         Driver::FullElectro(Box::new(MtsSimulator::new(
             &system,
@@ -118,10 +194,45 @@ pub fn run(cfg: &RunConfig, log: &mut dyn Write) -> std::io::Result<RunReport> {
             cfg.timestep,
             cfg.mts_frequency,
         )))
-    } else if cfg.threads > 1 {
+    } else if use_parallel {
         let mut par = ParallelSim::new(system.clone(), cfg.threads, cfg.timestep)
             .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidInput, e.to_string()))?;
         par.set_pairlist(cfg.pairlist_cache, cfg.pairlist_margin);
+        if !cfg.fault_plan.is_empty() {
+            let plan = charmrt::FaultPlan::parse(&cfg.fault_plan)
+                .expect("validated by config::parse");
+            par.set_fault_plan(Some(plan));
+        }
+        if cfg.schedule != "fifo" {
+            let policy = charmrt::SchedulePolicy::parse(&cfg.schedule, cfg.schedule_seed)
+                .expect("validated by config::parse");
+            par.set_schedule(policy);
+        }
+        if checkpointing {
+            par.migrate_every = migrate_cadence(cfg.checkpoint_interval);
+        }
+        if restarting {
+            let (snap, from) = load_snapshot(&cfg.restart_from)?;
+            if let Some((ef, fr, me)) = decode_extra(&snap.extra) {
+                e_first = ef;
+                frames = fr as usize;
+                if !checkpointing && me > 0 {
+                    par.migrate_every = me as usize;
+                }
+            }
+            par.restore(&snap).map_err(ckpt_io_err)?;
+            if snap.step > 0 && cfg.thermostat == ThermostatKind::Berendsen {
+                // The snapshot holds the barrier state, taken before that
+                // step's thermostat rescale; apply it once to land on the
+                // exact state the uninterrupted run continued from.
+                berendsen.apply(&mut par.system_mut(), cfg.timestep);
+            }
+            start_step = snap.step as usize;
+            writeln!(log, "restarted from {from} at step {start_step}")?;
+        }
+        if checkpointing {
+            par.set_checkpointing(&cfg.checkpoint_dir, cfg.checkpoint_interval);
+        }
         Driver::Threads(Box::new(par))
     } else if cfg.pairlist_cache && cfg.pairlist_margin > 0.0 {
         // Sequential analogue of the engine's pair-list cache: a Verlet list
@@ -131,12 +242,44 @@ pub fn run(cfg: &RunConfig, log: &mut dyn Write) -> std::io::Result<RunReport> {
         Driver::Sequential(Simulator::new(&system, cfg.timestep))
     };
 
+    let every = cfg.trajectory_every.max(1);
+    let mut xyz = if cfg.output_name.is_empty() {
+        None
+    } else {
+        let path = format!("{}.xyz", cfg.output_name);
+        let file = if restarting && Path::new(&path).exists() {
+            frames = truncate_xyz(&path, frames, n_atoms)?;
+            std::fs::OpenOptions::new().append(true).open(&path)?
+        } else {
+            frames = 0;
+            std::fs::File::create(&path)?
+        };
+        Some(XyzWriter::from_system(std::io::BufWriter::new(file), &system))
+    };
+
+    // Baseline snapshot: a crash before the first checkpoint barrier must
+    // still have something to roll back to.
+    if checkpointing {
+        if let Driver::Threads(par) = &mut driver {
+            if par.steps_done() == 0 {
+                par.set_ckpt_extra(encode_extra(
+                    e_first,
+                    frames as u64,
+                    par.migrate_every as u64,
+                ));
+                let dir =
+                    ckpt::CheckpointDir::create(&cfg.checkpoint_dir).map_err(ckpt_io_err)?;
+                dir.write(&par.snapshot()).map_err(ckpt_io_err)?;
+            }
+        }
+    }
+
     writeln!(log, "step      potential        kinetic          total     temp(K)")?;
     let start = std::time::Instant::now();
-    let mut e_first = f64::NAN;
     let mut e_last = f64::NAN;
-    let mut frames = 0usize;
-    for step in 0..cfg.steps {
+    let mut recoveries = 0u32;
+    let mut step = start_step;
+    while step < cfg.steps {
         let (potential, kinetic) = match &mut driver {
             Driver::Sequential(sim) => {
                 let e = if let Some(l) = &mut langevin {
@@ -151,11 +294,57 @@ pub fn run(cfg: &RunConfig, log: &mut dyn Write) -> std::io::Result<RunReport> {
                 (e.potential(), e.kinetic)
             }
             Driver::Threads(par) => {
-                let e = par.step();
-                if cfg.thermostat == ThermostatKind::Berendsen {
-                    berendsen.apply(&mut par.system_mut(), cfg.timestep);
+                if checkpointing {
+                    // The barrier inside this step snapshots state mid-step;
+                    // record the frame high-water mark *including* the frame
+                    // this iteration will write, since a restart resumes
+                    // after it.
+                    let will_write =
+                        xyz.is_some() && step % every == 0 && step / every >= frames;
+                    par.set_ckpt_extra(encode_extra(
+                        e_first,
+                        (frames + will_write as usize) as u64,
+                        par.migrate_every as u64,
+                    ));
                 }
-                (e.potential(), e.kinetic)
+                match par.try_step() {
+                    Ok(e) => {
+                        if cfg.thermostat == ThermostatKind::Berendsen {
+                            berendsen.apply(&mut par.system_mut(), cfg.timestep);
+                        }
+                        (e.potential(), e.kinetic)
+                    }
+                    Err(crash) => {
+                        // Crash-recovery loop: strip the (one-shot) kill,
+                        // back off, reload the newest valid checkpoint, and
+                        // rewind the step counter to it.
+                        recoveries += 1;
+                        if recoveries > MAX_RECOVERIES {
+                            return Err(std::io::Error::other(format!(
+                                "giving up after {recoveries} crash recoveries: {crash}"
+                            )));
+                        }
+                        writeln!(log, "{crash}; recovering (attempt {recoveries})")?;
+                        par.strip_kills();
+                        std::thread::sleep(std::time::Duration::from_millis(
+                            10u64 << (recoveries - 1),
+                        ));
+                        let dir = ckpt::CheckpointDir::create(&cfg.checkpoint_dir)
+                            .map_err(ckpt_io_err)?;
+                        let (snap, path) = dir.latest_valid().map_err(ckpt_io_err)?;
+                        par.restore(&snap).map_err(ckpt_io_err)?;
+                        if snap.step > 0 && cfg.thermostat == ThermostatKind::Berendsen {
+                            berendsen.apply(&mut par.system_mut(), cfg.timestep);
+                        }
+                        step = snap.step as usize;
+                        writeln!(
+                            log,
+                            "resumed from {} at step {step}",
+                            path.display()
+                        )?;
+                        continue;
+                    }
+                }
             }
             Driver::FullElectro(mts) => {
                 let e = mts.outer_step(&mut system);
@@ -176,7 +365,10 @@ pub fn run(cfg: &RunConfig, log: &mut dyn Write) -> std::io::Result<RunReport> {
         };
         writeln!(log, "{step:>4} {potential:>14.2} {kinetic:>14.2} {total:>14.2} {temp:>10.1}")?;
         if let Some(w) = &mut xyz {
-            if step % cfg.trajectory_every.max(1) == 0 {
+            // The index guard makes frame writing idempotent across
+            // crash-recovery rewinds and restarts: a frame already on disk
+            // (it is bit-identical) is never written twice.
+            if step % every == 0 && step / every >= frames {
                 let label = format!("step {step}");
                 match &driver {
                     Driver::Threads(par) => w.write_frame(&par.system().positions, &label)?,
@@ -185,6 +377,7 @@ pub fn run(cfg: &RunConfig, log: &mut dyn Write) -> std::io::Result<RunReport> {
                 frames += 1;
             }
         }
+        step += 1;
     }
     let wall = start.elapsed().as_secs_f64();
     let final_temperature = match &driver {
@@ -283,6 +476,136 @@ mod tests {
         assert!(report.e_last.is_finite());
         let text = String::from_utf8(log).unwrap();
         assert!(text.contains("PME on"));
+    }
+
+    fn tmp(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("namd_rs_test_{tag}_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    const CKPT_BASE: &str = "system water\natoms 300\nboxSize 20\ncutoff 6\ntimestep 0.5\n\
+                             steps 12\nthreads 2\nthermostat berendsen\ntrajectoryEvery 2\n";
+
+    #[test]
+    fn killed_checkpointed_run_recovers_bit_identically() {
+        let dir = tmp("kill");
+        let ref_cfg = parse(&format!(
+            "{CKPT_BASE}checkpointDir {}\ncheckpointInterval 4\noutputName {}\n",
+            dir.join("ck_ref").display(),
+            dir.join("ref").display()
+        ))
+        .unwrap();
+        let mut log = Vec::new();
+        run(&ref_cfg, &mut log).unwrap();
+
+        let kill_cfg = parse(&format!(
+            "{CKPT_BASE}checkpointDir {}\ncheckpointInterval 4\noutputName {}\n\
+             faultPlan kill:entry=PatchRecvForces:dst=1:skip=30\n",
+            dir.join("ck_kill").display(),
+            dir.join("kill").display()
+        ))
+        .unwrap();
+        let mut log = Vec::new();
+        run(&kill_cfg, &mut log).unwrap();
+        let text = String::from_utf8(log).unwrap();
+        assert!(text.contains("recovering"), "kill never fired:\n{text}");
+        assert!(text.contains("resumed from"), "{text}");
+
+        let a = std::fs::read(dir.join("ref.xyz")).unwrap();
+        let b = std::fs::read(dir.join("kill.xyz")).unwrap();
+        assert!(!a.is_empty());
+        assert_eq!(a, b, "recovered trajectory differs from uninterrupted one");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn restart_resumes_bit_identically() {
+        let dir = tmp("restart");
+        let ref_cfg = parse(&format!(
+            "{CKPT_BASE}checkpointDir {}\ncheckpointInterval 4\noutputName {}\n",
+            dir.join("ck_ref").display(),
+            dir.join("ref").display()
+        ))
+        .unwrap();
+        let mut log = Vec::new();
+        run(&ref_cfg, &mut log).unwrap();
+
+        // "Interrupted" run: stop exactly at a checkpoint step, then resume
+        // from the directory's newest snapshot and finish.
+        let ck = dir.join("ck_part");
+        let part_cfg = parse(&format!(
+            "{CKPT_BASE}checkpointDir {}\ncheckpointInterval 4\noutputName {}\nsteps 8\n",
+            ck.display(),
+            dir.join("part").display()
+        ))
+        .unwrap();
+        let mut log = Vec::new();
+        run(&part_cfg, &mut log).unwrap();
+
+        let resume_cfg = parse(&format!(
+            "{CKPT_BASE}checkpointDir {}\ncheckpointInterval 4\noutputName {}\n\
+             restartFrom {}\n",
+            ck.display(),
+            dir.join("part").display(),
+            ck.display()
+        ))
+        .unwrap();
+        let mut log = Vec::new();
+        run(&resume_cfg, &mut log).unwrap();
+        let text = String::from_utf8(log).unwrap();
+        assert!(text.contains("restarted from"), "{text}");
+        assert!(text.contains(" 8 "), "resume should log step 8 first:\n{text}");
+
+        let a = std::fs::read(dir.join("ref.xyz")).unwrap();
+        let b = std::fs::read(dir.join("part.xyz")).unwrap();
+        assert_eq!(a, b, "restarted trajectory differs from uninterrupted one");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn restart_refuses_mismatched_and_corrupt_snapshots() {
+        let dir = tmp("refuse");
+        let ck = dir.join("ck");
+        let cfg = parse(&format!(
+            "{CKPT_BASE}checkpointDir {}\ncheckpointInterval 4\n",
+            ck.display()
+        ))
+        .unwrap();
+        let mut log = Vec::new();
+        run(&cfg, &mut log).unwrap();
+
+        // Different topology (atom count) must be refused with a clear error.
+        let other = parse(&format!(
+            "system water\natoms 600\nboxSize 20\ncutoff 6\ntimestep 0.5\nsteps 4\n\
+             threads 2\nthermostat berendsen\nrestartFrom {}\n",
+            ck.display()
+        ))
+        .unwrap();
+        let err = run(&other, &mut Vec::new()).unwrap_err().to_string();
+        assert!(
+            err.contains("different system") || err.contains("mismatch"),
+            "unexpected refusal message: {err}"
+        );
+
+        // A corrupted snapshot file named directly must be refused too.
+        let file = ckpt::CheckpointDir::create(&ck).unwrap().file_for_step(4);
+        let mut bytes = std::fs::read(&file).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0xff;
+        std::fs::write(&file, &bytes).unwrap();
+        let broken = parse(&format!(
+            "{CKPT_BASE}restartFrom {}\nsteps 12\n",
+            file.display()
+        ))
+        .unwrap();
+        let err = run(&broken, &mut Vec::new()).unwrap_err().to_string();
+        assert!(
+            err.contains("checksum") || err.contains("truncated") || err.contains("corrupt"),
+            "unexpected refusal message: {err}"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -47,6 +47,21 @@ use std::sync::Arc;
 /// destination patch, in `decomp.grid.atoms[patch]` order.
 pub type ForceBlock = Vec<Vec3>;
 
+/// A force block tagged with the sending object's id. Receivers buffer the
+/// tagged blocks and fold them in ascending-sender order once the step's
+/// set is complete, so the accumulated force is a pure function of the
+/// positions and the decomposition — independent of message arrival order.
+/// That makes threads-backend trajectories bitwise reproducible, which is
+/// what lets a checkpoint-resumed run reproduce an uninterrupted one bit
+/// for bit. (Energies keep order-dependent accumulation: they are
+/// observables, not trajectory state.)
+pub struct ForceMsg {
+    /// `ObjId.0` of the sender (unique per step: each compute/proxy sends a
+    /// given patch at most one block per step).
+    pub from: u32,
+    pub block: ForceBlock,
+}
+
 /// Entry-method ids shared by all chares, registered once per engine run.
 #[derive(Debug, Clone, Copy)]
 pub struct Entries {
@@ -76,6 +91,10 @@ pub struct Entries {
     pub slab_charge: EntryId,
     /// PME slab: a transpose block arrived from another slab.
     pub slab_transpose: EntryId,
+    /// Checkpoint chare: a patch reached the checkpoint barrier.
+    pub ckpt_ready: EntryId,
+    /// Home patch: the checkpoint was written, finish the step.
+    pub ckpt_resume: EntryId,
 }
 
 impl Entries {
@@ -95,6 +114,10 @@ impl Entries {
             done: rt.register_entry("Done"),
             slab_charge: rt.register_entry("PmeSlabCharges"),
             slab_transpose: rt.register_entry("PmeSlabFft"),
+            // Appended after the pre-existing entries so their ids (and any
+            // fault-plan/trace references to them) stay stable.
+            ckpt_ready: rt.register_entry("CkptReady"),
+            ckpt_resume: rt.register_entry("CkptResume"),
         }
     }
 
@@ -125,6 +148,13 @@ pub struct RunParams {
     /// Candidate-list margin beyond the cutoff, Å (NAMD's `pairlistdist`
     /// minus the cutoff).
     pub pairlist_margin: f64,
+    /// In-phase checkpoint cadence in *global* steps (0 = off): patches
+    /// pause at the barrier on steps where
+    /// `(step_offset + step) % checkpoint_every == 0`.
+    pub checkpoint_every: usize,
+    /// Global position updates completed before this phase started, so the
+    /// checkpoint cadence survives phase chaining and resume.
+    pub step_offset: usize,
 }
 
 /// A home patch: owns a cube of space and its atoms; integrates them.
@@ -142,14 +172,20 @@ pub struct HomePatch {
     expected: usize,
     received: usize,
     /// Per-atom force accumulator for the current step, in
-    /// `decomp.grid.atoms[patch]` order (filled from message payloads).
+    /// `decomp.grid.atoms[patch]` order (filled from `pending` at
+    /// integration).
     accum: Vec<Vec3>,
+    /// Tagged force blocks received this step, folded into `accum` in
+    /// ascending-sender order at integration (see [`ForceMsg`]).
+    pending: Vec<(u32, ForceBlock)>,
     step: usize,
     reducer: ObjId,
     /// Whether the velocity half-kick from the previous step is pending.
     started: bool,
     /// PME: the slab object this patch contributes charges to.
     slab: Option<ObjId>,
+    /// Checkpointing: the checkpoint chare to report to at barriers.
+    ckpt: Option<ObjId>,
 }
 
 impl HomePatch {
@@ -164,6 +200,7 @@ impl HomePatch {
         expected: usize,
         reducer: ObjId,
         slab: Option<ObjId>,
+        ckpt: Option<ObjId>,
     ) -> Self {
         let n_atoms = shared.decomp.grid.atoms[patch].len();
         HomePatch {
@@ -176,10 +213,12 @@ impl HomePatch {
             expected,
             received: 0,
             accum: vec![Vec3::ZERO; n_atoms],
+            pending: Vec::new(),
             step: 0,
             reducer,
             started: false,
             slab,
+            ckpt,
         }
     }
 
@@ -228,12 +267,33 @@ impl HomePatch {
         }
     }
 
-    /// Velocity-Verlet update for this patch's atoms (Real mode), from the
-    /// payload-accumulated forces of the step. Write lock: the protocol
-    /// guarantees no compute is reading while a patch integrates — every
-    /// compute needing these atoms has already sent its forces.
-    fn integrate_real(&mut self) {
+    /// Fold the step's buffered force blocks into `accum` in ascending
+    /// sender order. Sender ids are unique per step, so the fold order —
+    /// and therefore every rounding decision — is deterministic no matter
+    /// how the messages were scheduled.
+    fn fold_pending(&mut self) {
+        self.pending.sort_by_key(|&(from, _)| from);
+        for (_, block) in self.pending.drain(..) {
+            debug_assert_eq!(block.len(), self.accum.len());
+            for (acc, f) in self.accum.iter_mut().zip(block.iter()) {
+                *acc += *f;
+            }
+        }
+    }
+
+    /// First half of the step's velocity-Verlet update (Real mode): fold
+    /// the pending force payloads, complete the previous step's second
+    /// half-kick, and record kinetic energy. Leaves the step's total force
+    /// in the shared force array so [`HomePatch::integrate_second_half`]
+    /// re-derives the bitwise-identical acceleration — which is what lets a
+    /// checkpoint barrier split the step without changing any bits.
+    ///
+    /// Write lock: the protocol guarantees no compute is reading while a
+    /// patch integrates — every compute needing these atoms has already
+    /// sent its forces.
+    fn integrate_first_half(&mut self) {
         let shared = self.shared.clone();
+        self.fold_pending();
         let mut guard = shared.state.write().unwrap();
         let st = &mut *guard;
         // Lock order: state → pme_real. Reciprocal-space forces are folded
@@ -245,7 +305,6 @@ impl HomePatch {
         };
         let atoms = &self.shared.decomp.grid.atoms[self.patch];
         let dt = self.params.dt_fs;
-        let last = self.step + 1 == self.params.n_steps;
 
         let mut kinetic = 0.0;
         for (slot, &a) in atoms.iter().enumerate() {
@@ -256,7 +315,8 @@ impl HomePatch {
             }
             self.accum[slot] = Vec3::ZERO;
             // Keep the shared force array current for observers
-            // (`Engine`-level force queries read it after a phase).
+            // (`Engine`-level force queries read it after a phase) and for
+            // the second half's acceleration.
             st.forces[i] = f;
             let m = st.system.topology.atoms[i].mass;
             let acc = f * (units::ACCEL / m);
@@ -266,12 +326,6 @@ impl HomePatch {
             }
             let v = st.system.velocities[i];
             kinetic += 0.5 * m * v.norm2() * units::KE;
-            if !last {
-                // First half-kick and drift of the next step.
-                st.system.velocities[i] += acc * (0.5 * dt);
-                let vnew = st.system.velocities[i];
-                st.system.positions[i] = st.system.cell.wrap(st.system.positions[i] + vnew * dt);
-            }
         }
         drop(pme);
         drop(guard);
@@ -281,14 +335,67 @@ impl HomePatch {
         }
     }
 
-    /// Fold a force payload (if any) into the step accumulator. Signal-only
-    /// messages (Counted mode, PME potential blocks) carry no forces.
+    /// Second half of the step (Real mode): first half-kick and drift into
+    /// the next configuration. The acceleration is recomputed from the
+    /// force saved by the first half — an exact f64 round trip, so the
+    /// split step is bitwise identical to the unsplit one. The phase's
+    /// final step evaluates forces but does not move, exactly as before.
+    fn integrate_second_half(&mut self) {
+        if self.step + 1 == self.params.n_steps {
+            return;
+        }
+        let shared = self.shared.clone();
+        let mut guard = shared.state.write().unwrap();
+        let st = &mut *guard;
+        let atoms = &self.shared.decomp.grid.atoms[self.patch];
+        let dt = self.params.dt_fs;
+        for &a in atoms.iter() {
+            let i = a as usize;
+            let f = st.forces[i];
+            let m = st.system.topology.atoms[i].mass;
+            let acc = f * (units::ACCEL / m);
+            st.system.velocities[i] += acc * (0.5 * dt);
+            let vnew = st.system.velocities[i];
+            st.system.positions[i] = st.system.cell.wrap(st.system.positions[i] + vnew * dt);
+        }
+    }
+
+    /// Does the *current* step pause at the checkpoint barrier after its
+    /// first integration half? Gated on the global step so the cadence
+    /// survives phase chaining; step 0 is excluded because chained phases
+    /// repeat the boundary force evaluation (the previous phase's final
+    /// step already checkpointed this state).
+    fn checkpoint_now(&self) -> bool {
+        self.ckpt.is_some()
+            && self.params.checkpoint_every > 0
+            && self.step > 0
+            && (self.params.step_offset + self.step) % self.params.checkpoint_every == 0
+    }
+
+    /// Complete the current step after the (possible) checkpoint barrier:
+    /// drift into the next configuration, advance the step counter, and
+    /// publish the next coordinates or report completion to the reducer.
+    fn finish_step(&mut self, ctx: &mut Ctx) {
+        if self.params.force_mode == ForceMode::Real {
+            self.integrate_second_half();
+        }
+        self.started = true;
+        self.step += 1;
+        if self.step < self.params.n_steps {
+            self.publish(ctx);
+        } else {
+            ctx.signal(self.reducer, self.entries.done, PRIO_NORMAL);
+        }
+    }
+
+    /// Buffer a force payload (if any) for the step's ordered fold.
+    /// Signal-only messages (Counted mode, PME potential blocks) carry no
+    /// forces.
     fn absorb(&mut self, payload: Payload) {
-        if let Ok(block) = payload.downcast::<ForceBlock>() {
-            debug_assert_eq!(block.len(), self.accum.len());
-            for (acc, f) in self.accum.iter_mut().zip(block.iter()) {
-                *acc += *f;
-            }
+        if let Ok(msg) = payload.downcast::<ForceMsg>() {
+            debug_assert_eq!(msg.block.len(), self.accum.len());
+            let msg = *msg;
+            self.pending.push((msg.from, msg.block));
         }
     }
 }
@@ -315,15 +422,19 @@ impl Chare for HomePatch {
                 ctx.add_work(self.n_atoms() as f64 * costmodel::WORK_PME_PER_ATOM * 0.5);
             }
             if self.params.force_mode == ForceMode::Real {
-                self.integrate_real();
+                self.integrate_first_half();
+                if self.checkpoint_now() {
+                    // In-phase checkpoint barrier: pause at the clean
+                    // post-half-kick state (x_k, v_k); the checkpoint chare
+                    // resumes every patch once the snapshot is on disk.
+                    let ckpt = self.ckpt.expect("checkpoint_now implies a ckpt chare");
+                    ctx.signal(ckpt, self.entries.ckpt_ready, PRIO_HIGH);
+                    return;
+                }
             }
-            self.started = true;
-            self.step += 1;
-            if self.step < self.params.n_steps {
-                self.publish(ctx);
-            } else {
-                ctx.signal(self.reducer, self.entries.done, PRIO_NORMAL);
-            }
+            self.finish_step(ctx);
+        } else if entry == self.entries.ckpt_resume {
+            self.finish_step(ctx);
         } else {
             unreachable!("HomePatch got unexpected entry {entry:?}");
         }
@@ -343,8 +454,9 @@ pub struct ProxyPatch {
     received: usize,
     /// Element-wise combination of the received force payloads.
     accum: Vec<Vec3>,
-    /// Whether any payload this step actually carried forces (Real mode).
-    got_forces: bool,
+    /// Tagged force blocks received this step, folded into `accum` in
+    /// ascending-sender order before forwarding (see [`ForceMsg`]).
+    pending: Vec<(u32, ForceBlock)>,
     /// Bytes of a combined force message (patch atoms × per-atom bytes).
     force_bytes: usize,
     /// Unpacking cost per coordinate message, work units.
@@ -368,7 +480,7 @@ impl ProxyPatch {
             expected,
             received: 0,
             accum: vec![Vec3::ZERO; n_atoms],
-            got_forces: false,
+            pending: Vec::new(),
             force_bytes: n_atoms * costmodel::BYTES_PER_ATOM,
             unpack_work: n_atoms as f64 * 0.3,
         }
@@ -383,24 +495,32 @@ impl Chare for ProxyPatch {
                 ctx.signal(c, self.entries.ready, PRIO_NORMAL);
             }
         } else if entry == self.entries.proxy_forces {
-            if let Ok(block) = payload.downcast::<ForceBlock>() {
-                debug_assert_eq!(block.len(), self.accum.len());
-                for (acc, f) in self.accum.iter_mut().zip(block.iter()) {
-                    *acc += *f;
-                }
-                self.got_forces = true;
+            if let Ok(msg) = payload.downcast::<ForceMsg>() {
+                debug_assert_eq!(msg.block.len(), self.accum.len());
+                let msg = *msg;
+                self.pending.push((msg.from, msg.block));
             }
             self.received += 1;
             debug_assert!(self.received <= self.expected);
             if self.received == self.expected {
                 self.received = 0;
                 ctx.add_work(self.unpack_work);
-                let payload: Payload = if self.got_forces {
-                    self.got_forces = false;
-                    let n = self.accum.len();
-                    Box::new(std::mem::replace(&mut self.accum, vec![Vec3::ZERO; n]))
-                } else {
+                let payload: Payload = if self.pending.is_empty() {
                     empty_payload()
+                } else {
+                    // Combine in ascending-sender order (see ForceMsg), then
+                    // forward one tagged block to the home patch.
+                    self.pending.sort_by_key(|&(from, _)| from);
+                    for (_, block) in self.pending.drain(..) {
+                        for (acc, f) in self.accum.iter_mut().zip(block.iter()) {
+                            *acc += *f;
+                        }
+                    }
+                    let n = self.accum.len();
+                    Box::new(ForceMsg {
+                        from: ctx.this().0,
+                        block: std::mem::replace(&mut self.accum, vec![Vec3::ZERO; n]),
+                    })
                 };
                 ctx.send(self.home, self.entries.patch_forces, self.force_bytes, PRIO_HIGH, payload);
             }
@@ -698,7 +818,10 @@ impl Chare for ComputeChare {
             self.step += 1;
             for (k, &(target, entry, bytes)) in self.targets.iter().enumerate() {
                 let payload: Payload = match &mut blocks {
-                    Some(b) => Box::new(std::mem::take(&mut b[k])),
+                    Some(b) => Box::new(ForceMsg {
+                        from: ctx.this().0,
+                        block: std::mem::take(&mut b[k]),
+                    }),
                     None => empty_payload(),
                 };
                 ctx.send(target, entry, bytes, PRIO_HIGH, payload);
@@ -858,6 +981,90 @@ impl Chare for Reducer {
         self.received += 1;
         if self.received == self.expected {
             ctx.stop();
+        }
+    }
+}
+
+/// Coordinates the in-phase checkpoint barrier. On a checkpoint step every
+/// home patch pauses after its first integration half and signals
+/// `ckpt_ready`; once all patches are paused the simulation state is clean
+/// — positions and velocities are exactly the (x_k, v_k) a phase boundary
+/// would produce — so this chare snapshots it under the state read lock,
+/// writes the snapshot atomically via [`ckpt::CheckpointDir`], and resumes
+/// every patch. A write failure is reported and counted but does not kill
+/// the run: the simulation stays correct, it just has one fewer recovery
+/// point.
+pub struct CkptChare {
+    shared: Arc<Shared>,
+    entries: Entries,
+    /// All home patch objects — the barrier membership and the resume
+    /// multicast.
+    patches: Vec<ObjId>,
+    received: usize,
+    /// Global step of each barrier this phase will reach, in firing order.
+    steps: Vec<u64>,
+    round: usize,
+    dir: ckpt::CheckpointDir,
+    /// Everything in the snapshot that is not live per-atom state (step and
+    /// positions/velocities are overwritten per barrier).
+    template: ckpt::Snapshot,
+    /// Snapshot write failures so far (non-fatal).
+    pub write_errors: u64,
+}
+
+impl CkptChare {
+    pub fn new(
+        shared: Arc<Shared>,
+        entries: Entries,
+        patches: Vec<ObjId>,
+        steps: Vec<u64>,
+        dir: ckpt::CheckpointDir,
+        template: ckpt::Snapshot,
+    ) -> Self {
+        CkptChare {
+            shared,
+            entries,
+            patches,
+            received: 0,
+            steps,
+            round: 0,
+            dir,
+            template,
+            write_errors: 0,
+        }
+    }
+}
+
+impl Chare for CkptChare {
+    fn receive(&mut self, entry: EntryId, _payload: Payload, ctx: &mut Ctx) {
+        if entry != self.entries.ckpt_ready {
+            unreachable!("CkptChare got unexpected entry {entry:?}");
+        }
+        self.received += 1;
+        debug_assert!(self.received <= self.patches.len());
+        if self.received < self.patches.len() {
+            return;
+        }
+        self.received = 0;
+        let mut snap = self.template.clone();
+        snap.step = self.steps[self.round];
+        self.round += 1;
+        {
+            let st = self.shared.state.read().unwrap();
+            snap.positions =
+                st.system.positions.iter().map(|p| [p.x, p.y, p.z]).collect();
+            snap.velocities =
+                st.system.velocities.iter().map(|v| [v.x, v.y, v.z]).collect();
+        }
+        // Serialization touches every atom once — model it like an
+        // integration pass so the DES timeline charges the barrier.
+        ctx.add_work(snap.positions.len() as f64 * costmodel::WORK_PER_ATOM_INTEGRATION);
+        if let Err(e) = self.dir.write(&snap) {
+            self.write_errors += 1;
+            eprintln!("checkpoint write failed at step {}: {e}", snap.step);
+        }
+        for &p in &self.patches {
+            ctx.signal(p, self.entries.ckpt_resume, PRIO_HIGH);
         }
     }
 }

@@ -147,6 +147,15 @@ pub struct SimConfig {
     /// into each phase's runtime. Dropped messages are repaired by the
     /// engine's retry loop (timeout re-send) instead of wedging quiescence.
     pub fault_plan: Option<charmrt::FaultPlan>,
+    /// Write a checkpoint every this many velocity-Verlet updates (Real
+    /// mode only; 0 = off). The interval is counted on the *global* step
+    /// counter (`Engine::steps_done`), so it survives phase boundaries.
+    /// Checkpoints are in-phase barriers: every home patch pauses at the
+    /// step, a checkpoint chare snapshots state, and the protocol resumes.
+    pub checkpoint_interval: usize,
+    /// Directory checkpoints are written into (atomic write-then-rename).
+    /// `None` disables checkpointing even when the interval is set.
+    pub checkpoint_dir: Option<std::path::PathBuf>,
 }
 
 impl SimConfig {
@@ -177,6 +186,8 @@ impl SimConfig {
             load_drift: 0.0,
             schedule: charmrt::SchedulePolicy::default(),
             fault_plan: None,
+            checkpoint_interval: 0,
+            checkpoint_dir: None,
         }
     }
 

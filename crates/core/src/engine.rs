@@ -15,7 +15,7 @@
 //! deterministic DES (modeled loads) or on real worker threads (measured
 //! wall-clock loads).
 
-use crate::chares::{ComputeChare, Entries, HomePatch, ProxyPatch, Reducer, RunParams};
+use crate::chares::{CkptChare, ComputeChare, Entries, HomePatch, ProxyPatch, Reducer, RunParams};
 use crate::config::{Backend, ForceMode, LbStrategy, SimConfig};
 use crate::costmodel;
 use crate::decomp::{self, Decomposition};
@@ -25,6 +25,103 @@ use charmrt::{empty_payload, Des, ObjId, Pe, Runtime, SummaryStats, Trace, PRIO_
 use mdcore::prelude::*;
 use std::collections::BTreeMap;
 use std::sync::Arc;
+
+/// A phase ended by a kill fault instead of completing: a PE died, the
+/// protocol can never reach quiescence, and — unlike a dropped message —
+/// redelivery cannot repair it. Recover from a checkpoint instead
+/// ([`crate::recovery::run_with_recovery`]).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PhaseCrash {
+    /// The PE the fault plan killed.
+    pub pe: Pe,
+    /// Makespan up to crash detection, seconds.
+    pub makespan: f64,
+}
+
+impl std::fmt::Display for PhaseCrash {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "phase crashed: PE {} was killed by the fault plan after {:.6}s",
+            self.pe, self.makespan
+        )
+    }
+}
+
+impl std::error::Error for PhaseCrash {}
+
+/// A stable structural fingerprint of a system: FNV-1a over the topology's
+/// term parameters (bit patterns), counts, and the box geometry.
+/// Checkpoint compatibility checks use it to refuse restarting into a
+/// different molecular system. Deliberately not `DefaultHasher`, whose
+/// output is not stable across Rust releases — this hash is persisted.
+pub fn topology_hash(system: &System) -> u64 {
+    struct Fnv(u64);
+    impl Fnv {
+        fn eat(&mut self, x: u64) {
+            for b in x.to_le_bytes() {
+                self.0 = (self.0 ^ b as u64).wrapping_mul(0x0000_0100_0000_01b3);
+            }
+        }
+        fn eat_f(&mut self, x: f64) {
+            self.eat(x.to_bits());
+        }
+    }
+    let mut h = Fnv(0xcbf2_9ce4_8422_2325);
+    let topo = &system.topology;
+    h.eat(topo.atoms.len() as u64);
+    for a in &topo.atoms {
+        h.eat_f(a.mass);
+        h.eat_f(a.charge);
+        h.eat(a.lj_type as u64);
+    }
+    h.eat(topo.bonds.len() as u64);
+    for b in &topo.bonds {
+        h.eat(b.a as u64);
+        h.eat(b.b as u64);
+        h.eat_f(b.k);
+        h.eat_f(b.r0);
+    }
+    h.eat(topo.angles.len() as u64);
+    for t in &topo.angles {
+        h.eat(t.a as u64);
+        h.eat(t.b as u64);
+        h.eat(t.c as u64);
+        h.eat_f(t.k);
+        h.eat_f(t.theta0);
+    }
+    h.eat(topo.dihedrals.len() as u64);
+    for d in &topo.dihedrals {
+        h.eat(d.a as u64);
+        h.eat(d.b as u64);
+        h.eat(d.c as u64);
+        h.eat(d.d as u64);
+        h.eat_f(d.k);
+        h.eat(d.n as u64);
+        h.eat_f(d.delta);
+    }
+    h.eat(topo.impropers.len() as u64);
+    for d in &topo.impropers {
+        h.eat(d.a as u64);
+        h.eat(d.b as u64);
+        h.eat(d.c as u64);
+        h.eat(d.d as u64);
+        h.eat_f(d.k);
+        h.eat_f(d.psi0);
+    }
+    h.eat(topo.restraints.len() as u64);
+    for r in &topo.restraints {
+        h.eat(r.atom as u64);
+        h.eat_f(r.k);
+        h.eat_f(r.target.x);
+        h.eat_f(r.target.y);
+        h.eat_f(r.target.z);
+    }
+    h.eat_f(system.cell.lengths.x);
+    h.eat_f(system.cell.lengths.y);
+    h.eat_f(system.cell.lengths.z);
+    h.0
+}
 
 /// Measurements from one phase.
 #[derive(Debug, Clone)]
@@ -86,6 +183,20 @@ pub struct Engine {
     pub drift: Vec<f64>,
     /// Deterministic RNG state for the drift random walk.
     drift_rng: u64,
+    /// Global completed position updates across all Real-mode phases (a
+    /// phase of `n` timesteps completes `n - 1` updates). This is the step
+    /// counter checkpoints capture and the checkpoint/migration cadences
+    /// key on.
+    pub steps_done: usize,
+    /// Measured per-compute loads from the last phase harvest, stored into
+    /// snapshots so the load balancer does not restart cold after recovery.
+    last_loads: Vec<f64>,
+    /// Measured per-PE background loads from the last phase harvest.
+    last_background: Vec<f64>,
+    /// Opaque caller payload carried in snapshots (the CLI stashes
+    /// thermostat parameters here so a restart refuses a changed
+    /// thermostat).
+    pub ckpt_extra: Vec<u8>,
 }
 
 impl Engine {
@@ -148,6 +259,10 @@ impl Engine {
             placement,
             drift: vec![1.0; n_computes],
             drift_rng: 0x5EED_5EED,
+            steps_done: 0,
+            last_loads: Vec::new(),
+            last_background: Vec::new(),
+            ckpt_extra: Vec::new(),
         }
     }
 
@@ -208,9 +323,105 @@ impl Engine {
         // buffer is indexed by stale atom slots, so drop the whole cache.
         // Entries re-prime (gather + list build) on the next step.
         shared.nb_cache = PairlistCache::new(shared.decomp.computes.len());
+        // The compute count can change with the new binning; keep the drift
+        // multipliers index-aligned (new computes start at nominal load).
+        self.drift.resize(shared.decomp.computes.len(), 1.0);
         let (patch_pe, placement) = Self::static_placement(&shared.decomp, self.config.n_pes);
         self.patch_pe = patch_pe;
         self.placement = placement;
+    }
+
+    /// Capture the engine's complete resumable state as a checkpoint
+    /// snapshot: live positions/velocities (read under the state lock), the
+    /// global step counter, the drift RNG stream, the last measured loads,
+    /// and the caller's extra payload.
+    pub fn snapshot(&self) -> ckpt::Snapshot {
+        let st = self.shared.state.read().expect("state lock poisoned");
+        ckpt::Snapshot {
+            step: self.steps_done as u64,
+            topo_hash: topology_hash(&st.system),
+            cutoff: st.system.forcefield.cutoff,
+            dt_fs: self.config.dt_fs,
+            n_pes: self.config.n_pes as u64,
+            box_lengths: [
+                st.system.cell.lengths.x,
+                st.system.cell.lengths.y,
+                st.system.cell.lengths.z,
+            ],
+            positions: st.system.positions.iter().map(|p| [p.x, p.y, p.z]).collect(),
+            velocities: st.system.velocities.iter().map(|v| [v.x, v.y, v.z]).collect(),
+            drift_rng: self.drift_rng,
+            drift: self.drift.clone(),
+            loads: self.last_loads.clone(),
+            background: self.last_background.clone(),
+            extra: self.ckpt_extra.clone(),
+        }
+    }
+
+    /// Restore the engine to a snapshot's state. Refuses (with a named
+    /// error) a snapshot taken of a different system or run configuration.
+    /// Rebuilds the decomposition and pair-list caches from the restored
+    /// positions — checkpoints are taken at atom-migration boundaries, so
+    /// this rebuild reproduces exactly the decomposition the uninterrupted
+    /// run built at the same global step, which is what makes the resumed
+    /// trajectory bit-identical. Must run between phases (no live runtime).
+    pub fn restore(&mut self, snap: &ckpt::Snapshot) -> Result<(), ckpt::CkptError> {
+        {
+            let st = self.shared.state.read().expect("state lock poisoned");
+            snap.check_compatible(
+                topology_hash(&st.system),
+                st.system.forcefield.cutoff,
+                self.config.dt_fs,
+                self.config.n_pes,
+                [
+                    st.system.cell.lengths.x,
+                    st.system.cell.lengths.y,
+                    st.system.cell.lengths.z,
+                ],
+            )?;
+            if snap.positions.len() != st.system.n_atoms()
+                || snap.velocities.len() != st.system.n_atoms()
+            {
+                return Err(ckpt::CkptError::ConfigMismatch(format!(
+                    "atom count: snapshot has {} positions / {} velocities, system has {}",
+                    snap.positions.len(),
+                    snap.velocities.len(),
+                    st.system.n_atoms()
+                )));
+            }
+        }
+        let shared = Arc::get_mut(&mut self.shared)
+            .expect("restore must run between phases (no live engine objects)");
+        {
+            let st = shared.state.get_mut().expect("state lock poisoned");
+            for (p, s) in st.system.positions.iter_mut().zip(&snap.positions) {
+                *p = Vec3::new(s[0], s[1], s[2]);
+            }
+            for (v, s) in st.system.velocities.iter_mut().zip(&snap.velocities) {
+                *v = Vec3::new(s[0], s[1], s[2]);
+            }
+            // Forces are re-evaluated by the next phase's bootstrap step.
+            for f in &mut st.forces {
+                *f = Vec3::ZERO;
+            }
+        }
+        let decomp = decomp::build(
+            &shared.state.get_mut().expect("state lock poisoned").system,
+            &self.config,
+        );
+        shared.decomp = decomp;
+        shared.nb_cache = PairlistCache::new(shared.decomp.computes.len());
+        let (patch_pe, placement) = Self::static_placement(&shared.decomp, self.config.n_pes);
+        self.patch_pe = patch_pe;
+        self.placement = placement;
+        self.drift_rng = snap.drift_rng;
+        self.drift = snap.drift.clone();
+        self.drift.resize(self.shared.decomp.computes.len(), 1.0);
+        self.steps_done = snap.step as usize;
+        self.last_loads = snap.loads.clone();
+        self.last_background = snap.background.clone();
+        self.ckpt_extra = snap.extra.clone();
+        Ok(())
     }
 
     /// The decomposition (read-only).
@@ -219,17 +430,27 @@ impl Engine {
     }
 
     /// Run one phase of `n_steps` timesteps under the current placement, on
-    /// the backend selected by [`SimConfig::backend`].
+    /// the backend selected by [`SimConfig::backend`]. Panics if a kill
+    /// fault crashes the phase — use [`Engine::try_run_phase`] to recover.
     pub fn run_phase(&mut self, n_steps: usize) -> PhaseResult {
+        self.try_run_phase(n_steps)
+            .unwrap_or_else(|crash| panic!("unrecovered crash: {crash}"))
+    }
+
+    /// Like [`Engine::run_phase`], but a kill fault surfaces as
+    /// [`PhaseCrash`] instead of panicking. The crashed runtime is
+    /// abandoned; the shared state may hold a partially integrated step —
+    /// recover with [`Engine::restore`].
+    pub fn try_run_phase(&mut self, n_steps: usize) -> Result<PhaseResult, PhaseCrash> {
         match self.config.backend {
             Backend::Des => {
                 let mut rt = Des::new(self.config.n_pes, self.config.machine);
-                self.run_phase_on(&mut rt, n_steps)
+                self.try_run_phase_on(&mut rt, n_steps)
             }
             #[cfg(feature = "threads")]
             Backend::Threads => {
                 let mut rt = charmrt::ThreadRuntime::new(self.config.n_pes);
-                self.run_phase_on(&mut rt, n_steps)
+                self.try_run_phase_on(&mut rt, n_steps)
             }
             #[cfg(not(feature = "threads"))]
             Backend::Threads => panic!(
@@ -239,11 +460,22 @@ impl Engine {
         }
     }
 
+    /// Run one phase on a caller-provided (fresh) runtime backend,
+    /// panicking on a crash. See [`Engine::try_run_phase_on`].
+    pub fn run_phase_on<R: Runtime>(&mut self, rt: &mut R, n_steps: usize) -> PhaseResult {
+        self.try_run_phase_on(rt, n_steps)
+            .unwrap_or_else(|crash| panic!("unrecovered crash: {crash}"))
+    }
+
     /// Run one phase on a caller-provided (fresh) runtime backend. The
     /// whole protocol — registration at the current placement, the timestep
     /// messages, measurement harvest — is backend-agnostic; only the
     /// meaning of a second (virtual vs wall-clock) differs.
-    pub fn run_phase_on<R: Runtime>(&mut self, rt: &mut R, n_steps: usize) -> PhaseResult {
+    pub fn try_run_phase_on<R: Runtime>(
+        &mut self,
+        rt: &mut R,
+        n_steps: usize,
+    ) -> Result<PhaseResult, PhaseCrash> {
         assert!(n_steps > 0);
         let cfg = &self.config;
         let decomp = &self.shared.decomp;
@@ -269,6 +501,19 @@ impl Engine {
         }
 
         assert!(cfg.pairlist_margin >= 0.0, "pairlist_margin must be non-negative");
+        // In-phase checkpointing: Real mode with an interval and a target
+        // directory. Refused alongside modeled PME — the slab round
+        // counters are not captured by snapshots.
+        let ckpt_dir = if cfg.force_mode == ForceMode::Real && cfg.checkpoint_interval > 0 {
+            cfg.checkpoint_dir.clone()
+        } else {
+            None
+        };
+        assert!(
+            ckpt_dir.is_none() || cfg.pme.is_none(),
+            "in-phase checkpointing is incompatible with modeled PME \
+             (slab round state is not captured in snapshots)"
+        );
         let params = RunParams {
             n_steps,
             dt_fs: cfg.dt_fs,
@@ -277,6 +522,8 @@ impl Engine {
             pme_every: cfg.pme.map_or(0, |p| p.every.max(1)),
             pairlist_cache: cfg.pairlist_cache,
             pairlist_margin: cfg.pairlist_margin,
+            checkpoint_every: if ckpt_dir.is_some() { cfg.checkpoint_interval } else { 0 },
+            step_offset: self.steps_done,
         };
         let pairlist_before = self.shared.nb_cache.totals();
 
@@ -345,6 +592,11 @@ impl Engine {
                 .as_ref()
                 .map(|sp| ObjId((sp.id_base + p % sp.n_slabs) as u32))
         };
+        // The checkpoint chare takes the next dense id after the slabs.
+        let n_slabs = slab_plan.as_ref().map_or(0, |sp| sp.n_slabs);
+        let ckpt_id = ckpt_dir
+            .as_ref()
+            .map(|_| ObjId((1 + n_patches + n_proxies + n_computes + n_slabs) as u32));
 
         // ---- Register objects in id order ---------------------------------
         let reg = rt.register(Box::new(Reducer::new(n_patches)), 0, false);
@@ -364,6 +616,7 @@ impl Engine {
                 expected,
                 reducer_id,
                 slab_of_patch(p),
+                ckpt_id,
             );
             let id = rt.register(Box::new(obj), home_pe, false);
             assert_eq!(id, patch_id(p));
@@ -451,6 +704,30 @@ impl Engine {
             }
         }
 
+        // ---- Checkpoint chare (after the slabs) ---------------------------
+        if let Some(dir_path) = &ckpt_dir {
+            let dir = ckpt::CheckpointDir::create(dir_path)
+                .unwrap_or_else(|e| panic!("checkpoint directory: {e}"));
+            // Global steps at which this phase's barriers fire, in order.
+            // s = 0 is excluded (chained phases repeat the boundary force
+            // evaluation; the previous phase already snapshotted it).
+            let steps: Vec<u64> = (1..n_steps)
+                .filter(|s| (self.steps_done + s) % cfg.checkpoint_interval == 0)
+                .map(|s| (self.steps_done + s) as u64)
+                .collect();
+            let template = self.snapshot();
+            let obj = CkptChare::new(
+                self.shared.clone(),
+                entries,
+                (0..n_patches).map(patch_id).collect(),
+                steps,
+                dir,
+                template,
+            );
+            let id = rt.register(Box::new(obj), 0, false);
+            assert_eq!(Some(id), ckpt_id);
+        }
+
         // ---- Bootstrap and run --------------------------------------------
         for p in 0..n_patches {
             rt.inject(patch_id(p), entries.start, 0, PRIO_NORMAL, empty_payload());
@@ -470,6 +747,15 @@ impl Engine {
                 Err(stall) => stall.makespan,
             };
             total_time = total_time.max(t);
+            if let Some(pe) = rt.crashed() {
+                // A PE kill is not a delivery fault: no amount of re-sending
+                // heals it. Surface the crash so a recovery driver can roll
+                // back to the latest checkpoint.
+                return Err(PhaseCrash {
+                    pe,
+                    makespan: total_time,
+                });
+            }
             if rt.stats().entry_count[entries.done.idx()] >= done_target {
                 break;
             }
@@ -498,7 +784,18 @@ impl Engine {
             Vec::new()
         };
 
-        PhaseResult {
+        // Remember harvest + progress for checkpoint snapshots: a snapshot
+        // taken after this phase must carry the measured loads the LB would
+        // have seen, and the global step counter advances by the number of
+        // velocity-Verlet updates completed (n_steps evaluations chain with
+        // the next phase's boundary evaluation, hence n_steps - 1 updates).
+        self.last_loads = compute_loads.clone();
+        self.last_background = snapshot.background.clone();
+        if cfg.force_mode == ForceMode::Real {
+            self.steps_done += n_steps - 1;
+        }
+
+        Ok(PhaseResult {
             time_per_step: total_time / n_steps as f64,
             total_time,
             n_steps,
@@ -509,7 +806,7 @@ impl Engine {
             energies,
             pairlist: self.shared.nb_cache.totals().delta_since(&pairlist_before),
             entries,
-        }
+        })
     }
 
     /// Build the LB problem from a phase's measurements. Returns the problem

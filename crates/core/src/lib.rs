@@ -63,6 +63,7 @@ pub mod oracle;
 #[cfg(feature = "threads")]
 pub mod parallel;
 pub mod patchgrid;
+pub mod recovery;
 #[cfg(test)]
 mod scenario_tests;
 pub mod state;
@@ -72,9 +73,12 @@ pub mod prelude {
     pub use crate::audit::{audit, Audit, AuditRow};
     pub use crate::config::{Backend, ForceMode, LbStrategy, PmeSimConfig, SimConfig};
     pub use crate::decomp::{build as build_decomposition, ComputeKind, Decomposition};
-    pub use crate::engine::{BenchmarkRun, Engine, PhaseResult};
+    pub use crate::engine::{topology_hash, BenchmarkRun, Engine, PhaseCrash, PhaseResult};
     pub use crate::nbcache::{PairlistCache, PairlistStats};
     pub use crate::oracle::{check_phase, check_phase_with, OracleParams, OracleReport};
+    pub use crate::recovery::{
+        run_with_recovery, RecoveryError, RecoveryPolicy, RecoveryReport,
+    };
     #[cfg(feature = "threads")]
     pub use crate::parallel::{ParallelSim, ParallelSimError};
     pub use crate::patchgrid::{PatchGrid, PatchId};

@@ -119,6 +119,7 @@ pub fn check_phase_with(engine: &Engine, r: &PhaseResult, params: OracleParams) 
     };
 
     check_quiescence(engine, r, &mut report);
+    check_crash_free(r, &mut report);
     check_conservation(r, &mut report);
     if engine.config.force_mode == ForceMode::Real {
         check_newton(engine, params, &mut report);
@@ -148,6 +149,25 @@ fn check_quiescence(engine: &Engine, r: &PhaseResult, report: &mut OracleReport)
             detail: format!(
                 "{integrations} integrations, expected {expected} ({n_patches} patches x {} steps)",
                 r.n_steps
+            ),
+        });
+    }
+}
+
+/// A *completed* phase must not have lost a PE: crashes surface as
+/// [`crate::engine::PhaseCrash`] errors, never as a phase that quietly
+/// finished with a dead worker (which would mean its chares' work was
+/// silently skipped).
+fn check_crash_free(r: &PhaseResult, report: &mut OracleReport) {
+    report.checks_run.push("crash-free");
+    if r.stats.pes_killed != 0 {
+        report.violations.push(Violation {
+            check: "crash-free",
+            step: None,
+            detail: format!(
+                "phase completed with {} PE(s) killed — a crashed phase must \
+                 surface as PhaseCrash, not finish",
+                r.stats.pes_killed
             ),
         });
     }

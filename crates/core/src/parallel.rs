@@ -20,7 +20,7 @@
 
 use crate::config::{Backend, ForceMode, SimConfig};
 use crate::decomp::Decomposition;
-use crate::engine::Engine;
+use crate::engine::{Engine, PhaseCrash};
 use crate::state::{SimState, StepAcc};
 use mdcore::prelude::*;
 use std::ops::{Deref, DerefMut};
@@ -88,8 +88,11 @@ pub struct ParallelSim {
     /// Timestep, fs. May be changed between steps.
     pub dt: f64,
     /// Rebuild the patch assignment every this many steps (atom migration).
+    /// Migration fires when the *global* step counter reaches a multiple,
+    /// so the cadence is a property of the trajectory, not of how the run
+    /// was sliced into `step`/`run` calls — and it survives checkpoint
+    /// restore (the counter is part of the snapshot).
     pub migrate_every: usize,
-    steps_since_migrate: usize,
     forces: Vec<Vec3>,
 }
 
@@ -114,7 +117,6 @@ impl ParallelSim {
             engine: Engine::new(system, cfg),
             dt,
             migrate_every: 20,
-            steps_since_migrate: 0,
             forces: vec![Vec3::ZERO; n],
         })
     }
@@ -178,40 +180,124 @@ impl ParallelSim {
         self.advance(1).pop().expect("one step requested")
     }
 
+    /// Crash-aware [`ParallelSim::step`]: surfaces a PE kill from the fault
+    /// plan instead of panicking, so a recovery driver can restore.
+    pub fn try_step(&mut self) -> Result<StepAcc, PhaseCrash> {
+        Ok(self.try_advance(1)?.pop().expect("one step requested"))
+    }
+
     /// Run `n` steps; returns per-step energies.
     pub fn run(&mut self, n: usize) -> Vec<StepAcc> {
         self.advance(n)
     }
 
-    /// Advance `n` velocity-Verlet steps in engine phases, migrating atoms
-    /// every `migrate_every` steps. A phase of `c + 1` timesteps yields `c`
-    /// completed updates (the first timestep is the bootstrap force
-    /// evaluation); its `energies[1..=c]` are the per-step records.
     fn advance(&mut self, n: usize) -> Vec<StepAcc> {
+        self.try_advance(n)
+            .unwrap_or_else(|crash| panic!("unrecovered PE crash: {crash}"))
+    }
+
+    /// Advance `n` velocity-Verlet steps in engine phases, migrating atoms
+    /// whenever the global step counter reaches a multiple of
+    /// `migrate_every`. A phase of `c + 1` timesteps yields `c` completed
+    /// updates (the first timestep is the bootstrap force evaluation); its
+    /// `energies[1..=c]` are the per-step records.
+    ///
+    /// On `Err`, atoms completed before the crashed phase are still applied;
+    /// the caller is expected to restore from a checkpoint (the crashed
+    /// phase's partial state is discarded by [`ParallelSim::restore`]).
+    pub fn try_advance(&mut self, n: usize) -> Result<Vec<StepAcc>, PhaseCrash> {
         let mut out = Vec::with_capacity(n);
         let mut remaining = n;
         while remaining > 0 {
             let until_migrate =
-                self.migrate_every.saturating_sub(self.steps_since_migrate).max(1);
+                self.migrate_every - self.engine.steps_done % self.migrate_every;
             let c = remaining.min(until_migrate);
             self.engine.config.dt_fs = self.dt;
-            let phase = self.engine.run_phase(c + 1);
+            let phase = self.engine.try_run_phase(c + 1)?;
             out.extend_from_slice(&phase.energies[1..=c]);
             self.cache_forces();
-            self.steps_since_migrate += c;
             remaining -= c;
-            if self.steps_since_migrate >= self.migrate_every {
+            if self.engine.steps_done % self.migrate_every == 0 {
                 self.migrate_atoms();
             }
         }
-        out
+        Ok(out)
     }
 
     /// Re-bin atoms into patches and rebuild the compute set — the analogue
     /// of NAMD's atom migration at pairlist updates.
     pub fn migrate_atoms(&mut self) {
         self.engine.migrate_atoms();
-        self.steps_since_migrate = 0;
+    }
+
+    /// Completed velocity-Verlet updates since construction (or since the
+    /// state restored by [`ParallelSim::restore`]).
+    pub fn steps_done(&self) -> usize {
+        self.engine.steps_done
+    }
+
+    /// Enable periodic in-phase checkpoints: a snapshot is written into
+    /// `dir` every `interval` global steps. The interval must be a multiple
+    /// of `migrate_every` so that every checkpoint lands on a phase-final
+    /// step at an atom-migration boundary — the alignment that makes a
+    /// restored run bit-identical to an uninterrupted one (the restore's
+    /// decomposition rebuild reproduces exactly what the reference run
+    /// builds at the same step).
+    pub fn set_checkpointing(&mut self, dir: impl Into<std::path::PathBuf>, interval: usize) {
+        assert!(interval > 0, "checkpoint interval must be positive");
+        assert_eq!(
+            interval % self.migrate_every,
+            0,
+            "checkpoint interval ({interval}) must be a multiple of \
+             migrate_every ({}) for bit-identical restore",
+            self.migrate_every
+        );
+        self.engine.config.checkpoint_interval = interval;
+        self.engine.config.checkpoint_dir = Some(dir.into());
+    }
+
+    /// Take a snapshot of the current state (between steps).
+    pub fn snapshot(&self) -> ckpt::Snapshot {
+        self.engine.snapshot()
+    }
+
+    /// Opaque application payload carried inside every snapshot this
+    /// simulator writes (e.g. thermostat or output-file state).
+    pub fn set_ckpt_extra(&mut self, extra: Vec<u8>) {
+        self.engine.ckpt_extra = extra;
+    }
+
+    /// Restore positions, velocities, the step counter, and the RNG/load
+    /// state from `snap`, rebuilding the decomposition. Refuses snapshots
+    /// from a different topology or configuration.
+    pub fn restore(&mut self, snap: &ckpt::Snapshot) -> Result<(), ckpt::CkptError> {
+        self.engine.restore(snap)?;
+        self.cache_forces();
+        Ok(())
+    }
+
+    /// Opaque payload restored by the last [`ParallelSim::restore`] (or set
+    /// by [`ParallelSim::set_ckpt_extra`]).
+    pub fn ckpt_extra(&self) -> &[u8] {
+        &self.engine.ckpt_extra
+    }
+
+    /// Install a fault plan (exercised fresh each phase).
+    pub fn set_fault_plan(&mut self, plan: Option<charmrt::FaultPlan>) {
+        self.engine.config.fault_plan = plan;
+    }
+
+    /// Drop any PE-kill rules from the installed fault plan, keeping the
+    /// message-level faults. A recovery driver calls this before resuming so
+    /// the same kill does not re-fire forever.
+    pub fn strip_kills(&mut self) {
+        self.engine.config.fault_plan =
+            self.engine.config.fault_plan.take().and_then(|p| p.without_kills());
+    }
+
+    /// Install a message dequeue-order policy (exercised fresh each phase).
+    pub fn set_schedule(&mut self, policy: charmrt::SchedulePolicy) {
+        self.engine.config.schedule = policy;
     }
 
     /// The most recently evaluated force on each atom.

@@ -19,6 +19,12 @@ cargo test -q || status=1
 echo "==> schedule fuzz soak (SCHEDULE_FUZZ_CASES=25)"
 SCHEDULE_FUZZ_CASES=25 cargo test -q --test schedule_fuzz || status=1
 
+# Checkpoint → PE-kill → recover round trip at the soak case count.
+# Blocking — a recovered run that is not bit-identical to the clean run
+# breaks the restart guarantee.
+echo "==> checkpoint kill/recover soak (SCHEDULE_FUZZ_CASES=25)"
+SCHEDULE_FUZZ_CASES=25 cargo test -q --test checkpoint_restart || status=1
+
 echo "==> cargo clippy (non-blocking)"
 if ! cargo clippy --workspace --all-targets -- -D warnings; then
   echo "WARNING: clippy reported lints (non-blocking)"

@@ -8,6 +8,7 @@
 #![allow(clippy::needless_range_loop, clippy::too_many_arguments)]
 #![allow(clippy::field_reassign_with_default)]
 pub use charmrt;
+pub use ckpt;
 pub use lb;
 pub use machine;
 pub use mdcore;
