@@ -27,8 +27,10 @@ fn bench_decomposition_build(c: &mut Criterion) {
         b.iter(|| black_box(build_decomposition(&sys, &cfg).computes.len()));
     });
     c.bench_function("decomp/build_real_6k", |b| {
-        let mut cfg = SimConfig::new(16, machine);
-        cfg.force_mode = ForceMode::Real;
+        let cfg = SimConfig::builder(16, machine)
+            .force_mode(ForceMode::Real)
+            .build()
+            .unwrap();
         b.iter(|| black_box(build_decomposition(&sys, &cfg).computes.len()));
     });
 }
@@ -50,8 +52,7 @@ fn bench_des_phase(c: &mut Criterion) {
     let decomp = build_decomposition(&sys, &SimConfig::new(1, machine));
     c.bench_function("des/phase_2steps_64pe", |b| {
         b.iter(|| {
-            let mut cfg = SimConfig::new(64, machine);
-            cfg.steps_per_phase = 2;
+            let cfg = SimConfig::builder(64, machine).steps_per_phase(2).build().unwrap();
             let mut engine =
                 Engine::with_decomposition(sys.clone(), decomp.clone(), cfg);
             black_box(engine.run_phase(2).time_per_step)

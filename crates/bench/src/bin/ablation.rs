@@ -36,9 +36,11 @@ fn main() {
             ("greedy (paper)", LbStrategy::Greedy),
             ("greedy + refine (paper)", LbStrategy::GreedyRefine),
         ] {
-            let mut cfg = SimConfig::new(pes, machine);
-            cfg.lb = lb;
-            cfg.steps_per_phase = 3;
+            let cfg = SimConfig::builder(pes, machine)
+                .lb(lb)
+                .steps_per_phase(3)
+                .build()
+                .unwrap();
             let (t, proxies) = bench_with(cfg, &sys, &base_decomp);
             println!("{name:<26} {:>9.2} ms/step   {proxies:>6} proxies", t * 1e3);
         }
@@ -52,8 +54,9 @@ fn main() {
             ("non-migratable bonded", Box::new(|c| c.migratable_bonded = false)),
         ];
         for (name, tweak) in features {
-            let mut cfg = SimConfig::new(pes, machine);
-            cfg.steps_per_phase = 3;
+            // Tweaks mutate the built config directly: the struct-literal
+            // path stays supported, and the engine re-validates per phase.
+            let mut cfg = SimConfig::builder(pes, machine).steps_per_phase(3).build().unwrap();
             tweak(&mut cfg);
             // Splitting and bonded migratability change the decomposition.
             let decomp = build_decomposition(&sys, &cfg);

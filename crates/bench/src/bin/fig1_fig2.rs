@@ -8,10 +8,12 @@ use namd_core::prelude::*;
 
 fn histogram(split: bool, sys: &mdcore::system::System) {
     let machine = machine::presets::asci_red();
-    let mut cfg = SimConfig::new(1024, machine);
-    cfg.split_face_pairs = split;
-    cfg.tracing = true;
-    cfg.steps_per_phase = 3;
+    let cfg = SimConfig::builder(1024, machine)
+        .grainsize(160, split, 112)
+        .tracing(true)
+        .steps_per_phase(3)
+        .build()
+        .unwrap();
     let mut engine = Engine::new(sys.clone(), cfg);
     let run = engine.run_benchmark();
     let last = run.phases.last().unwrap();

@@ -7,10 +7,12 @@ use namd_core::prelude::*;
 
 fn timeline(mode: MulticastMode, sys: &mdcore::system::System) {
     let machine = machine::presets::asci_red();
-    let mut cfg = SimConfig::new(1024, machine);
-    cfg.multicast = mode;
-    cfg.tracing = true;
-    cfg.steps_per_phase = 4;
+    let cfg = SimConfig::builder(1024, machine)
+        .multicast(mode)
+        .tracing(true)
+        .steps_per_phase(4)
+        .build()
+        .unwrap();
     let mut engine = Engine::new(sys.clone(), cfg);
     let run = engine.run_benchmark();
     let last = run.phases.last().unwrap();

@@ -88,13 +88,13 @@ fn apoa1_small(scale: f64) -> System {
 }
 
 fn config(backend: Backend, pes: usize, cached: bool, margin: f64) -> SimConfig {
-    let mut cfg = SimConfig::new(pes, machine::presets::generic_cluster());
-    cfg.force_mode = ForceMode::Real;
-    cfg.backend = backend;
-    cfg.dt_fs = 1.0;
-    cfg.pairlist_cache = cached;
-    cfg.pairlist_margin = margin;
-    cfg
+    SimConfig::builder(pes, machine::presets::generic_cluster())
+        .force_mode(ForceMode::Real)
+        .backend(backend)
+        .dt_fs(1.0)
+        .pairlist(cached, margin)
+        .build()
+        .expect("hotpath config is validated by parse_opts")
 }
 
 struct RunResult {
@@ -122,9 +122,9 @@ impl RunResult {
 
 /// Time `steps` updates the way `ParallelSim::advance` runs them: phases of
 /// `c + 1` evaluations (bootstrap + `c` updates), atom migration every
-/// `migrate_every` completed updates. Per-phase `PhaseResult::pairlist`
-/// deltas are summed *before* migration resets the cache, so the counters
-/// are exact even across migrations.
+/// `migrate_every` completed updates. Per-phase `PhaseResult::metrics`
+/// pair-list deltas are summed *before* migration resets the cache, so the
+/// counters are exact even across migrations.
 fn run_backend(
     sys: &System,
     backend: Backend,
@@ -148,8 +148,8 @@ fn run_backend(
     while remaining > 0 {
         let c = remaining.min((migrate_every - since_migrate).max(1));
         let r = engine.run_phase(c + 1);
-        stats.builds += r.pairlist.builds;
-        stats.hits += r.pairlist.hits;
+        stats.builds += r.metrics.pairlist.builds;
+        stats.hits += r.metrics.pairlist.hits;
         for e in &r.energies {
             total_pairs += e.pairs;
         }

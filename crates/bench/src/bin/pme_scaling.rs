@@ -24,9 +24,11 @@ fn main() {
     for pes in [1usize, 64, 256, 1024, 2048] {
         let mut row = format!("{pes:>4}");
         for pme in variants {
-            let mut cfg = SimConfig::new(pes, machine);
-            cfg.pme = pme;
-            cfg.steps_per_phase = 4;
+            let cfg = SimConfig::builder(pes, machine)
+                .pme(pme)
+                .steps_per_phase(4)
+                .build()
+                .unwrap();
             let mut engine = Engine::with_decomposition(sys.clone(), decomp.clone(), cfg);
             let t = engine.run_benchmark().final_time_per_step();
             row.push_str(&format!("  {t:>14.4}"));
@@ -39,9 +41,11 @@ fn main() {
     for pes in [1usize, 64, 256, 1024, 2048] {
         let mut row = format!("{pes:>4}");
         for (v, pme) in variants.iter().enumerate() {
-            let mut cfg = SimConfig::new(pes, machine);
-            cfg.pme = *pme;
-            cfg.steps_per_phase = 4;
+            let cfg = SimConfig::builder(pes, machine)
+                .pme(pme.clone())
+                .steps_per_phase(4)
+                .build()
+                .unwrap();
             let mut engine = Engine::with_decomposition(sys.clone(), decomp.clone(), cfg);
             let t = engine.run_benchmark().final_time_per_step();
             if pes == 1 {

@@ -10,9 +10,11 @@ use namd_core::prelude::*;
 
 fn run(multicast: MulticastMode, label: &str, sys: &mdcore::system::System) {
     let machine = machine::presets::asci_red();
-    let mut cfg = SimConfig::new(1024, machine);
-    cfg.multicast = multicast;
-    cfg.steps_per_phase = 3;
+    let cfg = SimConfig::builder(1024, machine)
+        .multicast(multicast)
+        .steps_per_phase(3)
+        .build()
+        .unwrap();
     let mut engine = Engine::new(sys.clone(), cfg);
     let bench = engine.run_benchmark();
     let last = bench.phases.last().unwrap();

@@ -31,8 +31,10 @@ pub fn run_speedup_table(
 
     let mut rows = Vec::new();
     for &pes in pe_counts {
-        let mut cfg = SimConfig::new(pes, machine);
-        cfg.steps_per_phase = steps_per_phase;
+        let cfg = SimConfig::builder(pes, machine)
+            .steps_per_phase(steps_per_phase)
+            .build()
+            .expect("valid sweep config");
         let mut engine = Engine::with_decomposition(system.clone(), decomp.clone(), cfg);
         let run = engine.run_benchmark();
         let t = run.final_time_per_step();

@@ -37,6 +37,9 @@ struct QMsg {
     entry: EntryId,
     bytes: usize,
     payload: Payload,
+    /// Length of the dependency chain (sum of handler costs, virtual
+    /// seconds) that produced this message — the critical-path accumulator.
+    path: f64,
 }
 
 impl PartialEq for QMsg {
@@ -307,6 +310,7 @@ impl Des {
                 entry: dl.entry,
                 bytes: dl.bytes,
                 payload: dl.payload,
+                path: dl.path,
             };
             let t = self.now;
             self.push_event(t, EventKind::Deliver { pe, msg });
@@ -335,6 +339,7 @@ impl Des {
             entry,
             bytes,
             payload,
+            path: 0.0,
         };
         self.stats.msgs_injected += 1;
         let t = self.now;
@@ -454,9 +459,16 @@ impl Des {
         self.stats.pack_time += pack_cpu;
 
         let end = start + cpu;
+        // Critical path: the longest dependency chain ending at this
+        // handler is whatever chain produced the triggering message plus
+        // this handler's own cost. Sends below inherit it.
+        let end_path = msg.path + cpu;
+        self.stats.critical_path = self.stats.critical_path.max(end_path);
         self.pes[pe].busy_until = end;
         self.last_activity = self.last_activity.max(end);
         self.stats.pe_busy[pe] += cpu;
+        self.stats.pe_overhead[pe] +=
+            (self.machine.recv_time() + send_cpu + pack_cpu) / self.pe_speed[pe];
         self.stats.entry_time[msg.entry.idx()] += cpu;
         self.stats.entry_count[msg.entry.idx()] += 1;
         self.stats.msgs_sent += ctx.sends.len() as u64;
@@ -498,6 +510,7 @@ impl Des {
                         bytes: s.bytes,
                         priority: s.priority,
                         payload: s.payload,
+                        path: end_path,
                     });
                     continue;
                 }
@@ -514,6 +527,7 @@ impl Des {
                         entry: s.entry,
                         bytes: s.bytes,
                         payload: crate::msg::empty_payload(),
+                        path: end_path,
                     };
                     self.push_event(arrive, EventKind::Deliver { pe: dest_pe, msg: dup });
                 }
@@ -552,6 +566,7 @@ impl Des {
                 entry: s.entry,
                 bytes: s.bytes,
                 payload: s.payload,
+                path: end_path,
             };
             self.push_event(arrive, EventKind::Deliver { pe: dest_pe, msg: q });
         }
@@ -863,6 +878,46 @@ mod tests {
         des.run();
         // Newest-injected first, regardless of priority.
         assert_eq!(*order.lock().unwrap(), vec![0, 2, 3, 1]);
+    }
+
+    #[test]
+    fn critical_path_is_the_longest_dependency_chain() {
+        let mut des = Des::new(2, presets::ideal());
+        let ping = des.register_entry("ping");
+        let b = des.register(Box::new(Node { work: 100.0, ..Node::new() }), 1, true);
+        let a = des.register(
+            Box::new(Node { forward: Some((b, ping)), work: 50.0, ..Node::new() }),
+            0,
+            true,
+        );
+        // An independent heavy task, off the chain.
+        let c = des.register(Box::new(Node { work: 120.0, ..Node::new() }), 0, true);
+        des.inject(a, ping, 0, PRIO_NORMAL, empty_payload());
+        des.inject(c, ping, 0, PRIO_NORMAL, empty_payload());
+        des.run();
+        // The a→b chain (50 + 100 µs) dominates the independent 120 µs task.
+        assert!(
+            (des.stats.critical_path - 150e-6).abs() < 1e-12,
+            "critical path {}",
+            des.stats.critical_path
+        );
+    }
+
+    #[test]
+    fn pe_overhead_is_the_messaging_share_of_busy() {
+        let mut des = Des::new(2, presets::asci_red());
+        let e = des.register_entry("x");
+        let b = des.register(Box::new(Node::new()), 1, true);
+        let a =
+            des.register(Box::new(Node { forward: Some((b, e)), ..Node::new() }), 0, true);
+        des.inject(a, e, 0, PRIO_NORMAL, empty_payload());
+        des.run();
+        // a declares no work: its whole handler cost is messaging overhead.
+        assert!(des.stats.pe_overhead[0] > 0.0);
+        assert!((des.stats.pe_overhead[0] - des.stats.pe_busy[0]).abs() < 1e-15);
+        for pe in 0..2 {
+            assert!(des.stats.pe_overhead[pe] <= des.stats.pe_busy[pe] + 1e-15);
+        }
     }
 
     #[test]

@@ -190,6 +190,10 @@ pub(crate) struct DeadLetter {
     pub bytes: usize,
     pub priority: Priority,
     pub payload: Payload,
+    /// Dependency-chain length the message carried when it was dropped,
+    /// preserved across redelivery so critical-path accounting survives
+    /// the retransmission.
+    pub path: f64,
 }
 
 /// An installed plan: rules with entry names resolved to ids, plus

@@ -20,6 +20,18 @@ pub struct SummaryStats {
     pub entry_count: Vec<u64>,
     /// Busy (handler-executing) time per PE, seconds.
     pub pe_busy: Vec<f64>,
+    /// Messaging overhead per PE (receive + send + packing attributed to
+    /// the handlers that ran there), seconds. A subset of `pe_busy`, so
+    /// `pe_busy - pe_overhead` is pure application work. Filled by the DES
+    /// backend, whose cost model separates the components; the threads
+    /// backend measures handlers whole and leaves this zero.
+    pub pe_overhead: Vec<f64>,
+    /// Longest dependency chain through the message graph, seconds: the
+    /// maximum over all executed handlers of (path length carried by the
+    /// triggering message + that handler's cost). Virtual time on the DES,
+    /// measured wall time on threads. With unbounded PEs no schedule can
+    /// finish the window faster than this.
+    pub critical_path: f64,
     /// Total sender-side message overhead (send + per-byte packing), seconds.
     pub send_overhead: f64,
     /// Total user-level allocation/packing time (the multicast cost the
@@ -55,7 +67,11 @@ pub struct SummaryStats {
 
 impl SummaryStats {
     pub(crate) fn new(n_pes: usize) -> Self {
-        SummaryStats { pe_busy: vec![0.0; n_pes], ..Default::default() }
+        SummaryStats {
+            pe_busy: vec![0.0; n_pes],
+            pe_overhead: vec![0.0; n_pes],
+            ..Default::default()
+        }
     }
 
     pub(crate) fn register_entry(&mut self, name: &str) -> EntryId {
@@ -72,6 +88,8 @@ impl SummaryStats {
         self.entry_time.iter_mut().for_each(|t| *t = 0.0);
         self.entry_count.iter_mut().for_each(|c| *c = 0);
         self.pe_busy.iter_mut().for_each(|t| *t = 0.0);
+        self.pe_overhead.iter_mut().for_each(|t| *t = 0.0);
+        self.critical_path = 0.0;
         self.send_overhead = 0.0;
         self.pack_time = 0.0;
         self.recv_overhead = 0.0;

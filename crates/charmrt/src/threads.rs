@@ -49,6 +49,9 @@ struct TMsg {
     to: ObjId,
     entry: EntryId,
     payload: Payload,
+    /// Length of the dependency chain (sum of measured handler seconds)
+    /// that produced this message — the critical-path accumulator.
+    path: f64,
 }
 
 impl PartialEq for TMsg {
@@ -160,6 +163,8 @@ struct WorkerMetrics {
     trace: Vec<TraceEvent>,
     /// Latest handler end time (epoch-relative seconds).
     last_end: f64,
+    /// Longest dependency chain ending at a handler this worker ran.
+    critical_path: f64,
 }
 
 /// Real-threads [`Runtime`] backend. See the module docs.
@@ -183,13 +188,14 @@ pub struct ThreadRuntime {
     n_pes: usize,
     objects: Vec<Option<Box<dyn Chare>>>,
     obj_pe: Vec<Pe>,
-    /// Bootstrap messages queued by `inject` until the next `run`.
-    injected: Vec<(ObjId, EntryId, usize, Priority, Payload)>,
+    /// Bootstrap messages queued by `inject` until the next `run`. The
+    /// trailing f64 is the carried critical-path length (0 for bootstraps).
+    injected: Vec<(ObjId, EntryId, usize, Priority, Payload, f64)>,
     /// Messages queued for a repair re-run (redelivered dead letters and
     /// messages still queued when a stall ended the previous run). Unlike
     /// `injected` these are *not* new entries into the system, so draining
     /// them does not bump `msgs_injected`.
-    requeued: Vec<(ObjId, EntryId, usize, Priority, Payload)>,
+    requeued: Vec<(ObjId, EntryId, usize, Priority, Payload, f64)>,
     tracing: bool,
     /// Dequeue-order perturbation (default: native FIFO).
     policy: SchedulePolicy,
@@ -270,7 +276,7 @@ impl ThreadRuntime {
         let letters = std::mem::take(&mut self.dead_letters);
         let n = letters.len();
         for dl in letters {
-            self.requeued.push((dl.to, dl.entry, dl.bytes, dl.priority, dl.payload));
+            self.requeued.push((dl.to, dl.entry, dl.bytes, dl.priority, dl.payload, dl.path));
         }
         self.stats.msgs_redelivered += n as u64;
         n
@@ -292,6 +298,7 @@ impl ThreadRuntime {
             obj_secs: Vec::new(),
             trace: Vec::new(),
             last_end: 0.0,
+            critical_path: 0.0,
         };
         let q = &sched.queues[pe];
         loop {
@@ -334,6 +341,8 @@ impl ThreadRuntime {
             let end = sched.epoch.elapsed().as_secs_f64();
 
             let secs = end - start;
+            let end_path = msg.path + secs;
+            metrics.critical_path = metrics.critical_path.max(end_path);
             metrics.busy += secs;
             metrics.entry_time[msg.entry.idx()] += secs;
             metrics.entry_count[msg.entry.idx()] += 1;
@@ -371,6 +380,7 @@ impl ThreadRuntime {
                             bytes: s.bytes,
                             priority: s.priority,
                             payload: s.payload,
+                            path: end_path,
                         });
                         continue;
                     }
@@ -407,6 +417,7 @@ impl ThreadRuntime {
                                 to: s.to,
                                 entry: s.entry,
                                 payload: crate::msg::empty_payload(),
+                                path: end_path,
                             },
                         );
                     }
@@ -431,6 +442,7 @@ impl ThreadRuntime {
                         to: s.to,
                         entry: s.entry,
                         payload: s.payload,
+                        path: end_path,
                     },
                 );
             }
@@ -493,13 +505,13 @@ impl ThreadRuntime {
             pes_killed: AtomicU64::new(0),
         };
         self.stats.msgs_injected += self.injected.len() as u64;
-        for (to, entry, bytes, priority, payload) in
+        for (to, entry, bytes, priority, payload, path) in
             self.injected.drain(..).chain(self.requeued.drain(..))
         {
             let pe = sched.obj_pe[to.idx()];
             let seq = sched.next_seq();
             let key = sched.policy.key(priority, seq);
-            sched.enqueue(pe, TMsg { key, seq, priority, bytes, to, entry, payload });
+            sched.enqueue(pe, TMsg { key, seq, priority, bytes, to, entry, payload, path });
         }
 
         // Partition object ownership: each worker gets a dense table with
@@ -583,7 +595,7 @@ impl ThreadRuntime {
                     // Preserve for the repair re-run (no counter: the send
                     // was already counted; the receive is still to come).
                     undelivered += 1;
-                    self.requeued.push((m.to, m.entry, m.bytes, m.priority, m.payload));
+                    self.requeued.push((m.to, m.entry, m.bytes, m.priority, m.payload, m.path));
                 } else {
                     // `Ctx::stop` discards whatever was still queued.
                     self.stats.msgs_discarded += 1;
@@ -596,6 +608,7 @@ impl ThreadRuntime {
         let mut makespan = 0.0f64;
         for m in worker_metrics {
             self.stats.pe_busy[m.pe] += m.busy;
+            self.stats.critical_path = self.stats.critical_path.max(m.critical_path);
             for (i, (&t, &c)) in m.entry_time.iter().zip(&m.entry_count).enumerate() {
                 self.stats.entry_time[i] += t;
                 self.stats.entry_count[i] += c;
@@ -657,7 +670,7 @@ impl Runtime for ThreadRuntime {
         priority: Priority,
         payload: Payload,
     ) {
-        self.injected.push((to, entry, bytes, priority, payload));
+        self.injected.push((to, entry, bytes, priority, payload, 0.0));
     }
 
     fn run(&mut self) -> f64 {

@@ -72,11 +72,14 @@ impl Histogram {
     /// figures' presentation.
     pub fn render(&self, max_width: usize) -> String {
         let peak = self.bins.iter().copied().max().unwrap_or(0).max(1);
+        // Render up to the last non-zero bin; computing it once keeps the
+        // render linear in the bin count even for sparse histograms.
+        let last = match self.bins.iter().rposition(|&c| c > 0) {
+            Some(i) => i,
+            None => return String::new(),
+        };
         let mut s = String::new();
-        for (i, &c) in self.bins.iter().enumerate() {
-            if c == 0 && self.bins[i..].iter().all(|&x| x == 0) {
-                break;
-            }
+        for (i, &c) in self.bins.iter().enumerate().take(last + 1) {
             let lo_ms = i as f64 * self.bin_width * 1e3;
             let bar = "#".repeat(((c as f64 / peak as f64) * max_width as f64).round() as usize);
             s.push_str(&format!("{lo_ms:>7.1} ms | {bar} {c}\n"));
@@ -284,6 +287,27 @@ mod tests {
             assert!(line.contains("\"wall\":"));
         }
         assert!(lines[3].contains("integrate"));
+    }
+
+    #[test]
+    fn render_large_sparse_histogram_is_linear_and_complete() {
+        // A histogram with one task in bin 0 and one far out: the render
+        // must cover every bin up to the last non-zero one, include both
+        // counts, and not take quadratic time doing so.
+        let n = 200_000;
+        let mut bins = vec![0u64; n];
+        bins[0] = 1;
+        bins[n - 1] = 3;
+        let h = Histogram { bin_width: 0.001, bins };
+        let t0 = std::time::Instant::now();
+        let r = h.render(10);
+        assert!(t0.elapsed().as_secs_f64() < 5.0, "render took too long");
+        assert_eq!(r.lines().count(), n);
+        assert!(r.lines().next().unwrap().ends_with(" 1"));
+        assert!(r.lines().last().unwrap().ends_with(" 3"));
+        // Trailing zero bins past the last populated one are not rendered.
+        let h2 = Histogram { bin_width: 0.001, bins: vec![2, 0, 0, 0] };
+        assert_eq!(h2.render(10).lines().count(), 1);
     }
 
     #[test]

@@ -107,6 +107,13 @@ pub struct RunConfig {
     /// Message dequeue-order policy: fifo | shuffle | lifo | jitter.
     pub schedule: String,
     pub schedule_seed: u64,
+    /// Directory for profiling output (empty = profiling off). Runs on the
+    /// parallel threads driver; writes Chrome-trace JSON files loadable in
+    /// Perfetto plus `phases.jsonl` / `lb_audit.jsonl` summaries.
+    pub profile_dir: String,
+    /// Phases (steps) between full trace captures; summary lines are
+    /// written every phase regardless.
+    pub profile_interval: usize,
 }
 
 impl Default for RunConfig {
@@ -141,6 +148,8 @@ impl Default for RunConfig {
             fault_plan: String::new(),
             schedule: String::from("fifo"),
             schedule_seed: 0,
+            profile_dir: String::new(),
+            profile_interval: 10,
         }
     }
 }
@@ -224,6 +233,8 @@ pub fn parse(text: &str) -> Result<RunConfig, String> {
             "faultplan" => cfg.fault_plan = value,
             "schedule" => cfg.schedule = value.to_ascii_lowercase(),
             "scheduleseed" => cfg.schedule_seed = parse_usize(&value)? as u64,
+            "profiledir" => cfg.profile_dir = value,
+            "profileinterval" => cfg.profile_interval = parse_usize(&value)?,
             other => return Err(err(&format!("unknown key '{other}'"))),
         }
     }
@@ -311,6 +322,23 @@ pub fn validate(cfg: &RunConfig) -> Result<(), String> {
                 .into(),
         );
     }
+    if !cfg.profile_dir.is_empty() {
+        if cfg.profile_interval == 0 {
+            return Err("profileInterval must be at least 1".into());
+        }
+        if cfg.pme {
+            return Err(
+                "profileDir runs on the parallel cutoff driver; pme is not supported".into(),
+            );
+        }
+        if cfg.threads <= 1 && !ckpt_active {
+            return Err(
+                "profileDir applies to the parallel driver only; set threads > 1 \
+                 or enable checkpointing"
+                    .into(),
+            );
+        }
+    }
     Ok(())
 }
 
@@ -392,6 +420,20 @@ mod tests {
         let cfg = parse("SYSTEM BR\nTimeStep 2.0 # big\n").unwrap();
         assert_eq!(cfg.system, SystemKind::Br);
         assert_eq!(cfg.timestep, 2.0);
+    }
+
+    #[test]
+    fn profile_keys_parse_and_validate() {
+        let cfg = parse("threads 2\nprofileDir prof\nprofileInterval 5\n").unwrap();
+        assert_eq!(cfg.profile_dir, "prof");
+        assert_eq!(cfg.profile_interval, 5);
+        // Profiling instruments the parallel driver; sequential-only
+        // combinations are rejected rather than silently de-configured.
+        assert!(parse("profileDir prof\n").unwrap_err().contains("parallel"));
+        assert!(parse("threads 2\nprofileDir prof\nprofileInterval 0\n")
+            .unwrap_err()
+            .contains("profileInterval"));
+        assert!(parse("pme on\nprofileDir prof\n").unwrap_err().contains("pme"));
     }
 
     #[test]

@@ -4,6 +4,8 @@
 //! namd-rs run <config-file> [opts] run an MD simulation from a config file
 //!     --checkpoint-dir DIR         periodic checkpoints (overrides config)
 //!     --restart-from PATH          resume from a checkpoint file/directory
+//!     --profile-dir DIR            Perfetto traces + phase/LB summaries
+//!     --profile-interval N         steps between full trace captures
 //! namd-rs info <config-file>       parse + describe a config without running
 //! namd-rs bench <system> [opts]    DES scaling benchmark (virtual PEs)
 //!     --machine asci_red|t3e|origin|cluster
@@ -12,6 +14,7 @@
 //!     --schedule fifo|shuffle|lifo|jitter   dequeue-order perturbation
 //!     --schedule-seed N                     seed for the perturbation
 //!     --fault-plan "drop:entry=PatchRecvForces;..."  message faults
+//!     --profile-dir DIR            per-PE-count Perfetto traces + summaries
 //! namd-rs sample-config            print an annotated example config
 //! ```
 
@@ -69,6 +72,8 @@ seed          42
 #faultPlan    kill:entry=PatchRecvForces:dst=1:skip=40  # crash drill
 #schedule     shuffle    # fifo | shuffle | lifo | jitter (parallel driver)
 #scheduleSeed 1
+#profileDir   prof       # Perfetto-loadable traces + phase/LB summaries
+#profileInterval 10      # steps between full trace captures
 ";
 
 fn load(path: &str) -> Result<namd_cli::config::RunConfig, String> {
@@ -79,7 +84,8 @@ fn load(path: &str) -> Result<namd_cli::config::RunConfig, String> {
 fn cmd_run(args: &[String]) -> i32 {
     let Some(path) = args.first() else {
         eprintln!(
-            "usage: namd-rs run <config-file> [--checkpoint-dir DIR] [--restart-from PATH]"
+            "usage: namd-rs run <config-file> [--checkpoint-dir DIR] [--restart-from PATH] \
+             [--profile-dir DIR] [--profile-interval N]"
         );
         return 2;
     };
@@ -104,6 +110,20 @@ fn cmd_run(args: &[String]) -> i32 {
                 Some(p) => cfg.restart_from = p.clone(),
                 None => {
                     eprintln!("--restart-from needs a checkpoint file or directory");
+                    return 2;
+                }
+            },
+            "--profile-dir" => match it.next() {
+                Some(d) => cfg.profile_dir = d.clone(),
+                None => {
+                    eprintln!("--profile-dir needs a directory");
+                    return 2;
+                }
+            },
+            "--profile-interval" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(n) => cfg.profile_interval = n,
+                None => {
+                    eprintln!("--profile-interval needs a step count");
                     return 2;
                 }
             },
@@ -170,7 +190,7 @@ fn cmd_bench(args: &[String]) -> i32 {
         eprintln!(
             "usage: namd-rs bench <apoa1|bc1|br> [--machine M] [--pes LIST] [--steps N] \
              [--scale F] [--schedule fifo|shuffle|lifo|jitter] [--schedule-seed N] \
-             [--fault-plan SPEC]"
+             [--fault-plan SPEC] [--profile-dir DIR]"
         );
         return 2;
     };
@@ -181,6 +201,7 @@ fn cmd_bench(args: &[String]) -> i32 {
     let mut schedule_name = String::from("fifo");
     let mut schedule_seed = 0u64;
     let mut fault_plan: Option<charmrt::FaultPlan> = None;
+    let mut profile_dir: Option<String> = None;
     let mut it = args[1..].iter();
     while let Some(a) = it.next() {
         let value = |it: &mut std::slice::Iter<String>| -> Option<String> {
@@ -249,6 +270,13 @@ fn cmd_bench(args: &[String]) -> i32 {
                     return 2;
                 }
             },
+            "--profile-dir" => match value(&mut it) {
+                Some(d) => profile_dir = Some(d),
+                None => {
+                    eprintln!("--profile-dir needs a directory");
+                    return 2;
+                }
+            },
             other => {
                 eprintln!("unknown option {other}");
                 return 2;
@@ -292,14 +320,36 @@ fn cmd_bench(args: &[String]) -> i32 {
     println!("PEs      s/step   speedup");
     let mut base: Option<f64> = None;
     for &p in &pes {
-        let mut cfg = SimConfig::new(p, machine);
-        cfg.steps_per_phase = steps;
-        cfg.schedule = schedule;
-        cfg.fault_plan = fault_plan.clone();
+        let cfg = match SimConfig::builder(p, machine)
+            .steps_per_phase(steps)
+            .schedule(schedule)
+            .fault_plan(fault_plan.clone())
+            .build()
+        {
+            Ok(cfg) => cfg,
+            Err(e) => {
+                eprintln!("bad configuration for {p} PEs: {e}");
+                return 1;
+            }
+        };
         let mut e = Engine::with_decomposition(sys.clone(), decomp.clone(), cfg);
+        if let Some(dir) = &profile_dir {
+            // One registry per PE count: phase indices restart for each
+            // engine, so each sweep point gets its own subdirectory.
+            match MetricsRegistry::with_dir(format!("{dir}/pes{p:03}"), 1) {
+                Ok(reg) => e.set_metrics(Some(reg)),
+                Err(err) => {
+                    eprintln!("cannot open profile dir {dir}: {err}");
+                    return 1;
+                }
+            }
+        }
         let t = e.run_benchmark().final_time_per_step();
         let b = *base.get_or_insert(t * pes[0] as f64);
         println!("{p:>4} {t:>11.4} {:>9.1}", b / t);
+    }
+    if let Some(dir) = &profile_dir {
+        println!("profiles written under {dir}/ (load trace_*.json in ui.perfetto.dev)");
     }
     0
 }

@@ -208,6 +208,13 @@ pub fn run(cfg: &RunConfig, log: &mut dyn Write) -> std::io::Result<RunReport> {
                 .expect("validated by config::parse");
             par.set_schedule(policy);
         }
+        if !cfg.profile_dir.is_empty() {
+            let reg = namd_core::prelude::MetricsRegistry::with_dir(
+                cfg.profile_dir.clone(),
+                cfg.profile_interval,
+            )?;
+            par.set_metrics(Some(reg));
+        }
         if checkpointing {
             par.migrate_every = migrate_cadence(cfg.checkpoint_interval);
         }
@@ -391,6 +398,19 @@ pub fn run(cfg: &RunConfig, log: &mut dyn Write) -> std::io::Result<RunReport> {
         wall / cfg.steps.max(1) as f64 * 1e3,
         if frames > 0 { format!(", {frames} trajectory frames") } else { String::new() }
     )?;
+    if let Driver::Threads(par) = &driver {
+        if let Some(reg) = par.metrics() {
+            if let Some(dir) = reg.dir() {
+                writeln!(
+                    log,
+                    "profiles: {} phase record(s) under {} (open trace_*.json in \
+                     ui.perfetto.dev)",
+                    reg.phases.len(),
+                    dir.display()
+                )?;
+            }
+        }
+    }
     Ok(RunReport {
         n_atoms,
         steps: cfg.steps,
@@ -605,6 +625,38 @@ mod tests {
             err.contains("checksum") || err.contains("truncated") || err.contains("corrupt"),
             "unexpected refusal message: {err}"
         );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn profiled_run_writes_perfetto_trace_and_summaries() {
+        let dir = tmp("profile");
+        let prof = dir.join("prof");
+        let cfg = parse(&format!(
+            "system water\natoms 300\nboxSize 20\ncutoff 6\ntimestep 0.5\nsteps 6\n\
+             threads 2\nprofileDir {}\nprofileInterval 3\n",
+            prof.display()
+        ))
+        .unwrap();
+        let mut log = Vec::new();
+        run(&cfg, &mut log).unwrap();
+        let text = String::from_utf8(log).unwrap();
+        assert!(text.contains("profiles:"), "{text}");
+
+        let summaries = std::fs::read_to_string(prof.join("phases.jsonl")).unwrap();
+        assert_eq!(summaries.lines().count(), 6, "one summary line per step");
+        // Interval 3 over 6 phases captures phases 0 and 3.
+        let traces: Vec<_> = std::fs::read_dir(&prof)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .map(|e| e.file_name().into_string().unwrap())
+            .filter(|n| n.starts_with("trace_") && n.ends_with(".json"))
+            .collect();
+        assert_eq!(traces.len(), 2, "{traces:?}");
+        let body = std::fs::read_to_string(prof.join(&traces[0])).unwrap();
+        assert!(body.starts_with("[\n"), "not a trace-event array: {body:.40}");
+        assert!(body.contains("\"ph\":\"X\""), "no complete events");
+        assert!(body.trim_end().ends_with("]"), "unterminated JSON");
         let _ = std::fs::remove_dir_all(&dir);
     }
 

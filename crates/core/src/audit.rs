@@ -154,8 +154,10 @@ mod tests {
             seed: 21,
         })
         .build();
-        let mut cfg = SimConfig::new(n_pes, presets::asci_red());
-        cfg.steps_per_phase = 2;
+        let cfg = SimConfig::builder(n_pes, presets::asci_red())
+            .steps_per_phase(2)
+            .build()
+            .unwrap();
         let mut eng = Engine::new(sys, cfg);
         let r = eng.run_phase(2);
         (audit(eng.decomp(), &presets::asci_red(), &r, n_pes), r.time_per_step)

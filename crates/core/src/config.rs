@@ -1,4 +1,12 @@
 //! Simulation configuration for the parallel engine.
+//!
+//! [`SimConfig`] remains a plain struct (struct-literal construction keeps
+//! compiling), but the supported construction path is
+//! [`SimConfig::builder`]: the builder validates at [`build`] time and
+//! returns a typed [`ConfigError`] instead of the asserts that used to be
+//! scattered through the engine.
+//!
+//! [`build`]: SimConfigBuilder::build
 
 use charmrt::MulticastMode;
 use machine::MachineModel;
@@ -201,6 +209,276 @@ impl SimConfig {
             ..SimConfig::new(n_pes, machine)
         }
     }
+
+    /// Start a validated configuration: `SimConfig::builder(n, m)...build()?`.
+    pub fn builder(n_pes: usize, machine: MachineModel) -> SimConfigBuilder {
+        SimConfigBuilder { cfg: SimConfig::new(n_pes, machine) }
+    }
+
+    /// Check every invariant the engine relies on. The builder calls this
+    /// at [`SimConfigBuilder::build`]; the engine also re-checks before
+    /// each phase so struct-literal (or post-hoc mutated) configurations
+    /// fail with the same typed message instead of a scattered assert.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.n_pes == 0 {
+            return Err(ConfigError::NoPes);
+        }
+        if !(self.dt_fs > 0.0 && self.dt_fs.is_finite()) {
+            return Err(ConfigError::BadTimestep(self.dt_fs));
+        }
+        if !(self.patch_margin >= 0.0 && self.patch_margin.is_finite()) {
+            return Err(ConfigError::BadMargin { which: "patch_margin", value: self.patch_margin });
+        }
+        if !(self.pairlist_margin >= 0.0 && self.pairlist_margin.is_finite()) {
+            return Err(ConfigError::BadMargin {
+                which: "pairlist_margin",
+                value: self.pairlist_margin,
+            });
+        }
+        if self.self_split_atoms == 0 {
+            return Err(ConfigError::BadSplit { which: "self_split_atoms", value: 0 });
+        }
+        if self.pair_split_atoms == 0 {
+            return Err(ConfigError::BadSplit { which: "pair_split_atoms", value: 0 });
+        }
+        if !(self.target_grain_work > 0.0 && self.target_grain_work.is_finite()) {
+            return Err(ConfigError::BadGrainTarget(self.target_grain_work));
+        }
+        if self.steps_per_phase == 0 {
+            return Err(ConfigError::NoSteps);
+        }
+        if !(self.load_drift >= 0.0 && self.load_drift.is_finite()) {
+            return Err(ConfigError::BadLoadDrift(self.load_drift));
+        }
+        if !self.pe_speeds.is_empty() {
+            if self.pe_speeds.len() != self.n_pes {
+                return Err(ConfigError::BadPeSpeeds(format!(
+                    "{} speeds for {} PEs",
+                    self.pe_speeds.len(),
+                    self.n_pes
+                )));
+            }
+            if let Some(s) = self.pe_speeds.iter().find(|s| !(**s > 0.0 && s.is_finite())) {
+                return Err(ConfigError::BadPeSpeeds(format!("speed {s} is not positive")));
+            }
+        }
+        if let Some(p) = &self.pme {
+            if !(p.mesh_spacing > 0.0 && p.mesh_spacing.is_finite()) {
+                return Err(ConfigError::BadPme(format!("mesh_spacing {}", p.mesh_spacing)));
+            }
+            if p.slabs == 0 {
+                return Err(ConfigError::BadPme("slabs must be at least 1".into()));
+            }
+        }
+        if self.checkpoint_dir.is_some() {
+            if self.checkpoint_interval == 0 {
+                return Err(ConfigError::BadCheckpoint(
+                    "checkpoint_dir set but checkpoint_interval is 0".into(),
+                ));
+            }
+            if self.force_mode == ForceMode::Real && self.pme.is_some() {
+                return Err(ConfigError::BadCheckpoint(
+                    "in-phase checkpointing is incompatible with modeled PME \
+                     (slab round state is not captured in snapshots)"
+                        .into(),
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Why a [`SimConfigBuilder::build`] (or the engine's own re-validation)
+/// rejected a configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ConfigError {
+    /// `n_pes` was zero.
+    NoPes,
+    /// `steps_per_phase` was zero.
+    NoSteps,
+    /// `dt_fs` was not a positive finite number.
+    BadTimestep(f64),
+    /// A margin (`patch_margin`/`pairlist_margin`) was negative or non-finite.
+    BadMargin { which: &'static str, value: f64 },
+    /// A split budget (`self_split_atoms`/`pair_split_atoms`) was zero.
+    BadSplit { which: &'static str, value: usize },
+    /// `target_grain_work` was not a positive finite number.
+    BadGrainTarget(f64),
+    /// `load_drift` was negative or non-finite.
+    BadLoadDrift(f64),
+    /// `pe_speeds` was non-empty but mismatched `n_pes` or held a
+    /// non-positive speed.
+    BadPeSpeeds(String),
+    /// An invalid PME configuration.
+    BadPme(String),
+    /// An inconsistent checkpoint configuration.
+    BadCheckpoint(String),
+}
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ConfigError::NoPes => write!(f, "n_pes must be at least 1"),
+            ConfigError::NoSteps => write!(f, "steps_per_phase must be at least 1"),
+            ConfigError::BadTimestep(dt) => {
+                write!(f, "dt_fs must be positive and finite, got {dt}")
+            }
+            ConfigError::BadMargin { which, value } => {
+                write!(f, "{which} must be non-negative and finite, got {value}")
+            }
+            ConfigError::BadSplit { which, value } => {
+                write!(f, "{which} must be at least 1, got {value}")
+            }
+            ConfigError::BadGrainTarget(v) => {
+                write!(f, "target_grain_work must be positive and finite, got {v}")
+            }
+            ConfigError::BadLoadDrift(v) => {
+                write!(f, "load_drift must be non-negative and finite, got {v}")
+            }
+            ConfigError::BadPeSpeeds(msg) => write!(f, "pe_speeds: {msg}"),
+            ConfigError::BadPme(msg) => write!(f, "pme: {msg}"),
+            ConfigError::BadCheckpoint(msg) => write!(f, "checkpointing: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+/// Builder for [`SimConfig`] with build-time validation. Starts from
+/// [`SimConfig::new`]'s defaults (every paper optimization on); each
+/// setter overrides one knob; [`build`](SimConfigBuilder::build) validates
+/// the whole configuration and returns a typed [`ConfigError`] on any
+/// inconsistency.
+#[derive(Debug, Clone)]
+pub struct SimConfigBuilder {
+    cfg: SimConfig,
+}
+
+impl SimConfigBuilder {
+    /// Switch to the pre-§4.2 "unoptimized" baseline (no face-pair
+    /// splitting, naive multicast, non-migratable bonded work).
+    pub fn unoptimized(mut self) -> Self {
+        self.cfg.split_face_pairs = false;
+        self.cfg.multicast = MulticastMode::Naive;
+        self.cfg.migratable_bonded = false;
+        self
+    }
+
+    pub fn backend(mut self, backend: Backend) -> Self {
+        self.cfg.backend = backend;
+        self
+    }
+
+    pub fn force_mode(mut self, mode: ForceMode) -> Self {
+        self.cfg.force_mode = mode;
+        self
+    }
+
+    /// Timestep for Real mode, fs.
+    pub fn dt_fs(mut self, dt: f64) -> Self {
+        self.cfg.dt_fs = dt;
+        self
+    }
+
+    /// Patch side margin beyond the cutoff, Å.
+    pub fn patch_margin(mut self, margin: f64) -> Self {
+        self.cfg.patch_margin = margin;
+        self
+    }
+
+    /// Enable/disable the pair-list cache and set its margin, Å.
+    pub fn pairlist(mut self, cache: bool, margin: f64) -> Self {
+        self.cfg.pairlist_cache = cache;
+        self.cfg.pairlist_margin = margin;
+        self
+    }
+
+    /// Grainsize control: self piece budget, face-pair splitting, pair
+    /// piece budget.
+    pub fn grainsize(mut self, self_atoms: usize, split_faces: bool, pair_atoms: usize) -> Self {
+        self.cfg.self_split_atoms = self_atoms;
+        self.cfg.split_face_pairs = split_faces;
+        self.cfg.pair_split_atoms = pair_atoms;
+        self
+    }
+
+    /// Counted-mode grainsize target (work units per piece).
+    pub fn target_grain_work(mut self, work: f64) -> Self {
+        self.cfg.target_grain_work = work;
+        self
+    }
+
+    pub fn multicast(mut self, mode: MulticastMode) -> Self {
+        self.cfg.multicast = mode;
+        self
+    }
+
+    pub fn prioritize_remote(mut self, on: bool) -> Self {
+        self.cfg.prioritize_remote = on;
+        self
+    }
+
+    pub fn migratable_bonded(mut self, on: bool) -> Self {
+        self.cfg.migratable_bonded = on;
+        self
+    }
+
+    pub fn lb(mut self, strategy: LbStrategy) -> Self {
+        self.cfg.lb = strategy;
+        self
+    }
+
+    pub fn steps_per_phase(mut self, steps: usize) -> Self {
+        self.cfg.steps_per_phase = steps;
+        self
+    }
+
+    /// Record full Projections-style traces.
+    pub fn tracing(mut self, on: bool) -> Self {
+        self.cfg.tracing = on;
+        self
+    }
+
+    pub fn pme(mut self, pme: Option<PmeSimConfig>) -> Self {
+        self.cfg.pme = pme;
+        self
+    }
+
+    /// Per-PE speed factors (must match `n_pes` in length when non-empty).
+    pub fn pe_speeds(mut self, speeds: Vec<f64>) -> Self {
+        self.cfg.pe_speeds = speeds;
+        self
+    }
+
+    /// Slow load drift per phase (Counted mode).
+    pub fn load_drift(mut self, sigma: f64) -> Self {
+        self.cfg.load_drift = sigma;
+        self
+    }
+
+    pub fn schedule(mut self, policy: charmrt::SchedulePolicy) -> Self {
+        self.cfg.schedule = policy;
+        self
+    }
+
+    pub fn fault_plan(mut self, plan: Option<charmrt::FaultPlan>) -> Self {
+        self.cfg.fault_plan = plan;
+        self
+    }
+
+    /// Periodic in-phase checkpoints into `dir` every `interval` global
+    /// steps (Real mode).
+    pub fn checkpoint(mut self, dir: impl Into<std::path::PathBuf>, interval: usize) -> Self {
+        self.cfg.checkpoint_dir = Some(dir.into());
+        self.cfg.checkpoint_interval = interval;
+        self
+    }
+
+    /// Validate and produce the configuration.
+    pub fn build(self) -> Result<SimConfig, ConfigError> {
+        self.cfg.validate()?;
+        Ok(self.cfg)
+    }
 }
 
 #[cfg(test)]
@@ -223,5 +501,70 @@ mod tests {
         assert!(!c.split_face_pairs);
         assert_eq!(c.multicast, MulticastMode::Naive);
         assert!(!c.migratable_bonded);
+    }
+
+    #[test]
+    fn builder_matches_struct_construction() {
+        let b = SimConfig::builder(16, presets::asci_red())
+            .steps_per_phase(2)
+            .tracing(true)
+            .build()
+            .unwrap();
+        let mut s = SimConfig::new(16, presets::asci_red());
+        s.steps_per_phase = 2;
+        s.tracing = true;
+        assert_eq!(format!("{b:?}"), format!("{s:?}"));
+        let u = SimConfig::builder(8, presets::asci_red()).unoptimized().build().unwrap();
+        let v = SimConfig::unoptimized(8, presets::asci_red());
+        assert_eq!(format!("{u:?}"), format!("{v:?}"));
+    }
+
+    #[test]
+    fn builder_rejects_invalid_configurations() {
+        let m = presets::asci_red();
+        assert_eq!(SimConfig::builder(0, m).build().unwrap_err(), ConfigError::NoPes);
+        assert_eq!(
+            SimConfig::builder(4, m).dt_fs(0.0).build().unwrap_err(),
+            ConfigError::BadTimestep(0.0)
+        );
+        assert_eq!(
+            SimConfig::builder(4, m).pairlist(true, -1.0).build().unwrap_err(),
+            ConfigError::BadMargin { which: "pairlist_margin", value: -1.0 }
+        );
+        assert_eq!(
+            SimConfig::builder(4, m).steps_per_phase(0).build().unwrap_err(),
+            ConfigError::NoSteps
+        );
+        assert!(matches!(
+            SimConfig::builder(4, m).pe_speeds(vec![1.0, 1.0]).build(),
+            Err(ConfigError::BadPeSpeeds(_))
+        ));
+        assert!(matches!(
+            SimConfig::builder(4, m).checkpoint("/tmp/x", 0).build(),
+            Err(ConfigError::BadCheckpoint(_))
+        ));
+        assert!(matches!(
+            SimConfig::builder(4, m)
+                .force_mode(ForceMode::Real)
+                .pme(Some(PmeSimConfig::default()))
+                .checkpoint("/tmp/x", 10)
+                .build(),
+            Err(ConfigError::BadCheckpoint(_))
+        ));
+        // Errors render a actionable message.
+        let e = SimConfig::builder(0, m).build().unwrap_err();
+        assert!(e.to_string().contains("n_pes"));
+    }
+
+    #[test]
+    fn validate_accepts_every_preset_shape() {
+        SimConfig::new(64, presets::asci_red()).validate().unwrap();
+        SimConfig::unoptimized(64, presets::asci_red()).validate().unwrap();
+        SimConfig::builder(4, presets::asci_red())
+            .pe_speeds(vec![1.0, 0.5, 1.0, 2.0])
+            .pme(Some(PmeSimConfig::default()))
+            .load_drift(0.05)
+            .build()
+            .unwrap();
     }
 }

@@ -526,9 +526,11 @@ mod tests {
     #[test]
     fn fourteen_computes_per_patch_before_splitting() {
         let sys = tiny_system();
-        let mut cfg = SimConfig::new(4, presets::ideal());
-        cfg.self_split_atoms = usize::MAX; // no self splitting
-        cfg.split_face_pairs = false;
+        // No self splitting, no face-pair splitting.
+        let cfg = SimConfig::builder(4, presets::ideal())
+            .grainsize(usize::MAX, false, 112)
+            .build()
+            .unwrap();
         let d = build(&sys, &cfg);
         let n_patches = d.grid.n_patches();
         let nb = d
@@ -547,9 +549,10 @@ mod tests {
     #[test]
     fn splitting_multiplies_compute_count() {
         let sys = tiny_system();
-        let mut cfg = SimConfig::new(4, presets::ideal());
-        cfg.self_split_atoms = usize::MAX;
-        cfg.split_face_pairs = false;
+        let cfg = SimConfig::builder(4, presets::ideal())
+            .grainsize(usize::MAX, false, 112)
+            .build()
+            .unwrap();
         let before = build(&sys, &cfg).computes.len();
         let cfg2 = SimConfig::new(4, presets::ideal()); // defaults split
         let after = build(&sys, &cfg2).computes.len();
@@ -559,9 +562,10 @@ mod tests {
     #[test]
     fn split_pieces_conserve_pair_counts() {
         let sys = tiny_system();
-        let mut cfg = SimConfig::new(4, presets::ideal());
-        cfg.self_split_atoms = usize::MAX;
-        cfg.split_face_pairs = false;
+        let cfg = SimConfig::builder(4, presets::ideal())
+            .grainsize(usize::MAX, false, 112)
+            .build()
+            .unwrap();
         let unsplit = build(&sys, &cfg);
         let cfg2 = SimConfig::new(4, presets::ideal());
         let split = build(&sys, &cfg2);
@@ -572,9 +576,10 @@ mod tests {
     #[test]
     fn splitting_reduces_max_grainsize() {
         let sys = tiny_system();
-        let mut cfg = SimConfig::new(4, presets::ideal());
-        cfg.self_split_atoms = usize::MAX;
-        cfg.split_face_pairs = false;
+        let cfg = SimConfig::builder(4, presets::ideal())
+            .grainsize(usize::MAX, false, 112)
+            .build()
+            .unwrap();
         let unsplit = build(&sys, &cfg);
         let cfg2 = SimConfig::new(4, presets::ideal());
         let split = build(&sys, &cfg2);
@@ -638,8 +643,10 @@ mod tests {
     #[test]
     fn migratable_bonded_flag_respected() {
         let sys = tiny_system();
-        let mut cfg = SimConfig::new(4, presets::ideal());
-        cfg.migratable_bonded = false;
+        let cfg = SimConfig::builder(4, presets::ideal())
+            .migratable_bonded(false)
+            .build()
+            .unwrap();
         let d = build(&sys, &cfg);
         for c in &d.computes {
             if matches!(c.kind, ComputeKind::BondedIntra { .. }) {

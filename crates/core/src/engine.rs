@@ -145,7 +145,13 @@ pub struct PhaseResult {
     pub energies: Vec<StepAcc>,
     /// Pair-list cache counters accumulated during this phase (zero when
     /// the cache is disabled or in Counted mode).
+    #[deprecated(note = "use `PhaseResult::metrics.pairlist` (builds/hits/executions)")]
     pub pairlist: PairlistStats,
+    /// Every per-phase counter in one place: pair-list cache activity,
+    /// the message-conservation ledger, checkpoint barriers, and the
+    /// critical path. Replaces the scattered `pairlist` field and direct
+    /// `stats` ledger reads.
+    pub metrics: profile::PhaseMetrics,
     /// Entry ids for interpreting `stats`/`trace`.
     pub entries: Entries,
 }
@@ -197,6 +203,12 @@ pub struct Engine {
     /// thermostat parameters here so a restart refuses a changed
     /// thermostat).
     pub ckpt_extra: Vec<u8>,
+    /// Observability registry (`None` = profiling off, the default). When
+    /// attached, every phase records a [`profile::PhaseProfile`] (tracing
+    /// is force-enabled for captured phases) and every load-balancer
+    /// decision an [`profile::LbAudit`]; with a directory attached the
+    /// registry streams Perfetto-loadable trace files and JSONL reports.
+    pub metrics: Option<profile::MetricsRegistry>,
 }
 
 impl Engine {
@@ -218,6 +230,9 @@ impl Engine {
         config: SimConfig,
     ) -> Engine {
         assert!(decomp.grid.n_patches() > 0, "decomposition must cover the system");
+        // Struct-literal configurations get the same typed diagnostics as
+        // the builder, just as a panic instead of a Result.
+        config.validate().unwrap_or_else(|e| panic!("invalid SimConfig: {e}"));
         let (patch_pe, placement) = Self::static_placement(&decomp, config.n_pes);
         let n = system.n_atoms();
         // Real force mode + full electrostatics: the slab chares evaluate
@@ -263,7 +278,14 @@ impl Engine {
             last_loads: Vec::new(),
             last_background: Vec::new(),
             ckpt_extra: Vec::new(),
+            metrics: None,
         }
+    }
+
+    /// Attach (or detach) the observability registry. See
+    /// [`Engine::metrics`].
+    pub fn set_metrics(&mut self, metrics: Option<profile::MetricsRegistry>) {
+        self.metrics = metrics;
     }
 
     /// Advance the slow load drift by one phase: every compute's work
@@ -477,6 +499,11 @@ impl Engine {
         n_steps: usize,
     ) -> Result<PhaseResult, PhaseCrash> {
         assert!(n_steps > 0);
+        // Re-validate each phase: the config is a public field, so a
+        // caller may have mutated it since construction.
+        self.config.validate().unwrap_or_else(|e| panic!("invalid SimConfig: {e}"));
+        // Profiled phases need the trace even when `cfg.tracing` is off.
+        let profiling = self.metrics.as_ref().is_some_and(|m| m.wants_trace());
         let cfg = &self.config;
         let decomp = &self.shared.decomp;
         let n_patches = decomp.grid.n_patches();
@@ -491,7 +518,7 @@ impl Engine {
         }
 
         let entries = Entries::register(rt);
-        rt.set_tracing(cfg.tracing);
+        rt.set_tracing(cfg.tracing || profiling);
         if !cfg.pe_speeds.is_empty() {
             rt.set_pe_speeds(cfg.pe_speeds.clone());
         }
@@ -500,7 +527,6 @@ impl Engine {
             rt.set_fault_plan(plan.clone());
         }
 
-        assert!(cfg.pairlist_margin >= 0.0, "pairlist_margin must be non-negative");
         // In-phase checkpointing: Real mode with an interval and a target
         // directory. Refused alongside modeled PME — the slab round
         // counters are not captured by snapshots.
@@ -795,18 +821,55 @@ impl Engine {
             self.steps_done += n_steps - 1;
         }
 
-        Ok(PhaseResult {
+        let stats = rt.stats().clone();
+        let pairlist = self.shared.nb_cache.totals().delta_since(&pairlist_before);
+        let metrics = profile::PhaseMetrics {
+            pairlist: profile::PairlistCounters {
+                builds: pairlist.builds,
+                hits: pairlist.hits,
+            },
+            messages: profile::MessageCounters::from(&stats),
+            // Each barrier collects one CkptReady per patch.
+            checkpoints: stats.entry_count[entries.ckpt_ready.idx()] / n_patches.max(1) as u64,
+            critical_path: stats.critical_path,
+        };
+        #[allow(deprecated)]
+        let result = PhaseResult {
             time_per_step: total_time / n_steps as f64,
             total_time,
             n_steps,
-            stats: rt.stats().clone(),
-            trace: if cfg.tracing { Some(rt.trace().clone()) } else { None },
+            trace: if cfg.tracing || profiling {
+                Some(rt.trace().clone())
+            } else {
+                None
+            },
+            stats,
             compute_loads,
             background: snapshot.background,
             energies,
-            pairlist: self.shared.nb_cache.totals().delta_since(&pairlist_before),
+            pairlist,
+            metrics,
             entries,
-        })
+        };
+        if let Some(reg) = self.metrics.as_mut() {
+            let backend = match self.config.backend {
+                Backend::Des => "des",
+                Backend::Threads => "threads",
+            };
+            if let Err(e) = reg.record_phase(
+                backend,
+                &result.stats,
+                result.trace.as_ref(),
+                total_time,
+                n_steps,
+                result.metrics,
+            ) {
+                // A full disk must not kill the simulation; the in-memory
+                // profile is still intact.
+                eprintln!("profile: failed to stream phase records: {e}");
+            }
+        }
+        Ok(result)
     }
 
     /// Build the LB problem from a phase's measurements. Returns the problem
@@ -847,6 +910,56 @@ impl Engine {
             }
         }
         moved
+    }
+
+    /// Record a load-balancer decision into the attached registry (no-op
+    /// without one): predicted per-PE loads under the old and new
+    /// placement, plus the exact migration list.
+    fn audit_lb(
+        &mut self,
+        strategy: &str,
+        problem: &lb::LbProblem,
+        map: &[usize],
+        current: &[Pe],
+        assignment: &[Pe],
+    ) {
+        let Some(reg) = self.metrics.as_mut() else { return };
+        let predicted = |asg: &[Pe]| {
+            let mut loads = problem.background.clone();
+            for (k, c) in problem.computes.iter().enumerate() {
+                loads[asg[k]] += c.load;
+            }
+            loads
+        };
+        let migrations = current
+            .iter()
+            .zip(assignment)
+            .enumerate()
+            .filter(|(_, (from, to))| from != to)
+            .map(|(k, (&from, &to))| profile::Migration { compute: map[k], from, to })
+            .collect();
+        let audit = profile::LbAudit {
+            phase: reg.phases.len().saturating_sub(1),
+            strategy: strategy.to_string(),
+            before: predicted(current),
+            after: predicted(assignment),
+            migrations,
+        };
+        if let Err(e) = reg.record_lb(audit) {
+            eprintln!("profile: failed to stream LB audit: {e}");
+        }
+    }
+
+    /// Audit-log name of the configured strategy's first decision.
+    fn lb_strategy_name(&self) -> &'static str {
+        match self.config.lb {
+            LbStrategy::None => "none",
+            LbStrategy::Random => "random",
+            LbStrategy::RoundRobin => "round-robin",
+            LbStrategy::GreedyNoProxy => "greedy-no-proxy",
+            LbStrategy::Greedy | LbStrategy::GreedyRefine => "greedy",
+            LbStrategy::Diffusion => "diffusion",
+        }
     }
 
     /// The greedy strategy's assignment for the measured loads, per the
@@ -896,6 +1009,7 @@ impl Engine {
         let (problem, map) = self.lb_problem(phases.last().unwrap());
         let current: Vec<Pe> = map.iter().map(|&j| self.placement[j]).collect();
         if let Some(assignment) = self.strategy_assignment(&problem, &current) {
+            self.audit_lb(self.lb_strategy_name(), &problem, &map, &current, &assignment);
             migrations.push(self.apply_assignment(&map, &assignment));
             phases.push(self.run_phase(steps));
         }
@@ -905,6 +1019,7 @@ impl Engine {
             let (problem, map) = self.lb_problem(phases.last().unwrap());
             let current: Vec<Pe> = map.iter().map(|&j| self.placement[j]).collect();
             let (refined, _) = lb::refine(&problem, &current, lb::RefineParams::default());
+            self.audit_lb("refine", &problem, &map, &current, &refined);
             migrations.push(self.apply_assignment(&map, &refined));
             phases.push(self.run_phase(steps));
         }
@@ -926,6 +1041,7 @@ impl Engine {
                 let (problem, map) = self.lb_problem(&r);
                 let current: Vec<Pe> = map.iter().map(|&j| self.placement[j]).collect();
                 let (refined, _) = lb::refine(&problem, &current, lb::RefineParams::default());
+                self.audit_lb("refine", &problem, &map, &current, &refined);
                 self.apply_assignment(&map, &refined);
                 // The refined placement's steady-state time.
                 let r2 = self.run_phase(self.config.steps_per_phase);
@@ -984,8 +1100,7 @@ mod tests {
 
     #[test]
     fn phase_runs_and_measures() {
-        let mut cfg = SimConfig::new(8, presets::asci_red());
-        cfg.steps_per_phase = 2;
+        let cfg = SimConfig::builder(8, presets::asci_red()).steps_per_phase(2).build().unwrap();
         let mut eng = Engine::new(small_system(), cfg);
         let r = eng.run_phase(2);
         assert!(r.time_per_step > 0.0 && r.time_per_step.is_finite());
@@ -1005,8 +1120,7 @@ mod tests {
 
     #[test]
     fn single_pe_time_matches_ideal_plus_overhead() {
-        let mut cfg = SimConfig::new(1, presets::asci_red());
-        cfg.steps_per_phase = 1;
+        let cfg = SimConfig::builder(1, presets::asci_red()).steps_per_phase(1).build().unwrap();
         let mut eng = Engine::new(small_system(), cfg);
         let ideal = eng.decomp().ideal_step_time(&presets::asci_red());
         let r = eng.run_phase(1);
@@ -1026,8 +1140,7 @@ mod tests {
         let sys = small_system();
         let mut times = Vec::new();
         for n_pes in [1usize, 4, 16] {
-            let mut cfg = SimConfig::new(n_pes, presets::asci_red());
-            cfg.steps_per_phase = 2;
+            let cfg = SimConfig::builder(n_pes, presets::asci_red()).steps_per_phase(2).build().unwrap();
             let mut eng = Engine::new(sys.clone(), cfg);
             let run = eng.run_benchmark();
             times.push(run.final_time_per_step());
@@ -1038,8 +1151,7 @@ mod tests {
 
     #[test]
     fn load_balancing_improves_step_time() {
-        let mut cfg = SimConfig::new(12, presets::asci_red());
-        cfg.steps_per_phase = 2;
+        let cfg = SimConfig::builder(12, presets::asci_red()).steps_per_phase(2).build().unwrap();
         let mut eng = Engine::new(small_system(), cfg);
         let run = eng.run_benchmark();
         assert_eq!(run.phases.len(), 3); // initial, greedy, refine
@@ -1054,8 +1166,7 @@ mod tests {
     #[test]
     fn deterministic_benchmark() {
         let run = |seed_sys: System| {
-            let mut cfg = SimConfig::new(6, presets::asci_red());
-            cfg.steps_per_phase = 2;
+            let cfg = SimConfig::builder(6, presets::asci_red()).steps_per_phase(2).build().unwrap();
             Engine::new(seed_sys, cfg).run_benchmark().final_time_per_step()
         };
         let a = run(small_system());
@@ -1067,9 +1178,11 @@ mod tests {
     fn real_mode_conserves_energy() {
         let mut sys = small_system();
         sys.thermalize(100.0, 3);
-        let mut cfg = SimConfig::new(4, presets::ideal());
-        cfg.force_mode = ForceMode::Real;
-        cfg.dt_fs = 0.5;
+        let cfg = SimConfig::builder(4, presets::ideal())
+            .force_mode(ForceMode::Real)
+            .dt_fs(0.5)
+            .build()
+            .unwrap();
         let mut eng = Engine::new(sys, cfg);
         let r = eng.run_phase(40);
         assert_eq!(r.energies.len(), 40);
@@ -1086,9 +1199,11 @@ mod tests {
         let seq_sys = sys.clone();
 
         // Parallel: 3 steps of velocity Verlet on the DES.
-        let mut cfg = SimConfig::new(5, presets::ideal());
-        cfg.force_mode = ForceMode::Real;
-        cfg.dt_fs = 1.0;
+        let cfg = SimConfig::builder(5, presets::ideal())
+            .force_mode(ForceMode::Real)
+            .dt_fs(1.0)
+            .build()
+            .unwrap();
         let mut eng = Engine::new(sys, cfg);
         let r = eng.run_phase(3);
 
@@ -1123,8 +1238,7 @@ mod tests {
 
     #[test]
     fn gflops_is_sane() {
-        let mut cfg = SimConfig::new(4, presets::asci_red());
-        cfg.steps_per_phase = 1;
+        let cfg = SimConfig::builder(4, presets::asci_red()).steps_per_phase(1).build().unwrap();
         let mut eng = Engine::new(small_system(), cfg);
         let r = eng.run_phase(1);
         let g = eng.gflops(r.time_per_step);

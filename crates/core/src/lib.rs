@@ -68,10 +68,20 @@ pub mod recovery;
 mod scenario_tests;
 pub mod state;
 
-/// Convenient import surface.
+/// Convenient import surface: the stable entry points — [`Engine`],
+/// [`ParallelSim`], [`SimConfig`] and its builder, the per-phase
+/// [`PhaseMetrics`], the oracle check functions, and the observability
+/// registry.
+///
+/// [`Engine`]: crate::engine::Engine
+/// [`ParallelSim`]: crate::parallel::ParallelSim
+/// [`SimConfig`]: crate::config::SimConfig
+/// [`PhaseMetrics`]: profile::PhaseMetrics
 pub mod prelude {
     pub use crate::audit::{audit, Audit, AuditRow};
-    pub use crate::config::{Backend, ForceMode, LbStrategy, PmeSimConfig, SimConfig};
+    pub use crate::config::{
+        Backend, ConfigError, ForceMode, LbStrategy, PmeSimConfig, SimConfig, SimConfigBuilder,
+    };
     pub use crate::decomp::{build as build_decomposition, ComputeKind, Decomposition};
     pub use crate::engine::{topology_hash, BenchmarkRun, Engine, PhaseCrash, PhaseResult};
     pub use crate::nbcache::{PairlistCache, PairlistStats};
@@ -83,4 +93,8 @@ pub mod prelude {
     pub use crate::parallel::{ParallelSim, ParallelSimError};
     pub use crate::patchgrid::{PatchGrid, PatchId};
     pub use crate::state::StepAcc;
+    pub use profile::{
+        ChromeTraceWriter, CriticalPathReport, GrainsizeReport, LbAudit, MemorySink,
+        MetricsRegistry, PhaseMetrics, PhaseProfile, TraceSink, UtilizationReport,
+    };
 }

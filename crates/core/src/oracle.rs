@@ -26,7 +26,7 @@
 //! * **momentum (net force)** — Real mode on an unrestrained topology:
 //!   the integrated total force over all atoms vanishes.
 
-use crate::config::ForceMode;
+use crate::config::{Backend, ForceMode};
 use crate::decomp::{ComputeKind, PatchArrays};
 use crate::engine::{Engine, PhaseResult};
 use mdcore::nonbonded::{nb_pair_ranged, nb_self_ranged};
@@ -121,6 +121,9 @@ pub fn check_phase_with(engine: &Engine, r: &PhaseResult, params: OracleParams) 
     check_quiescence(engine, r, &mut report);
     check_crash_free(r, &mut report);
     check_conservation(r, &mut report);
+    if engine.config.backend == Backend::Des {
+        check_utilization(r, &mut report);
+    }
     if engine.config.force_mode == ForceMode::Real {
         check_newton(engine, params, &mut report);
         check_energy_drift(r, params, &mut report);
@@ -170,6 +173,56 @@ fn check_crash_free(r: &PhaseResult, report: &mut OracleReport) {
                 r.stats.pes_killed
             ),
         });
+    }
+}
+
+/// The DES utilization decomposition must tile the phase span on every
+/// PE: work + overhead + idle == makespan, with overhead a subset of
+/// busy and idle never negative. On a virtual-time backend these hold to
+/// roundoff; an accounting bug (double-counted handler, overhead
+/// attributed past the span, busy time beyond the makespan) breaks one
+/// of them. When a trace was captured, the per-PE busy time derived from
+/// trace events must also agree with the summary counters.
+fn check_utilization(r: &PhaseResult, report: &mut OracleReport) {
+    report.checks_run.push("utilization");
+    let span = r.total_time;
+    let tol = 1e-9 * span.max(1e-12) * (1.0 + r.stats.msgs_received as f64);
+    for (pe, &busy) in r.stats.pe_busy.iter().enumerate() {
+        let overhead = r.stats.pe_overhead.get(pe).copied().unwrap_or(0.0);
+        let idle = span - busy;
+        let residual = (busy - overhead) + overhead + idle - span;
+        let mut fail = |detail: String| {
+            report.violations.push(Violation { check: "utilization", step: None, detail });
+        };
+        if !(busy.is_finite() && overhead.is_finite()) {
+            fail(format!("PE {pe}: non-finite busy {busy} / overhead {overhead}"));
+            continue;
+        }
+        if overhead < -tol || overhead > busy + tol {
+            fail(format!(
+                "PE {pe}: overhead {overhead:.6e}s outside [0, busy {busy:.6e}s]"
+            ));
+        }
+        if idle < -tol {
+            fail(format!(
+                "PE {pe}: busy {busy:.6e}s exceeds phase span {span:.6e}s"
+            ));
+        }
+        if residual.abs() > tol {
+            fail(format!(
+                "PE {pe}: work+overhead+idle misses span by {residual:.3e}s"
+            ));
+        }
+        if let Some(trace) = &r.trace {
+            let traced: f64 =
+                trace.events.iter().filter(|e| e.pe == pe).map(|e| e.duration()).sum();
+            if (traced - busy).abs() > tol {
+                fail(format!(
+                    "PE {pe}: traced busy {traced:.6e}s disagrees with summary \
+                     busy {busy:.6e}s"
+                ));
+            }
+        }
     }
 }
 
@@ -338,10 +391,11 @@ mod tests {
     }
 
     fn real_cfg(n_pes: usize) -> SimConfig {
-        let mut cfg = SimConfig::new(n_pes, presets::generic_cluster());
-        cfg.force_mode = ForceMode::Real;
-        cfg.backend = Backend::Des;
-        cfg
+        SimConfig::builder(n_pes, presets::generic_cluster())
+            .force_mode(ForceMode::Real)
+            .backend(Backend::Des)
+            .build()
+            .expect("valid test config")
     }
 
     #[test]

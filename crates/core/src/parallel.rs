@@ -108,10 +108,12 @@ impl ParallelSim {
         if system.n_atoms() == 0 {
             return Err(ParallelSimError::EmptySystem);
         }
-        let mut cfg = SimConfig::new(n_threads, machine::presets::generic_cluster());
-        cfg.force_mode = ForceMode::Real;
-        cfg.backend = Backend::Threads;
-        cfg.dt_fs = dt;
+        let cfg = SimConfig::builder(n_threads, machine::presets::generic_cluster())
+            .force_mode(ForceMode::Real)
+            .backend(Backend::Threads)
+            .dt_fs(dt)
+            .build()
+            .expect("facade arguments validated above");
         let n = system.n_atoms();
         Ok(ParallelSim {
             engine: Engine::new(system, cfg),
@@ -162,6 +164,18 @@ impl ParallelSim {
     /// or the last atom migration (migration resets the cache).
     pub fn pairlist_stats(&self) -> crate::nbcache::PairlistStats {
         self.engine.shared.nb_cache.totals()
+    }
+
+    /// Attach an observability registry: every engine phase driven by this
+    /// simulator records a profile (and streams Perfetto trace files when
+    /// the registry has a directory). Pass `None` to turn profiling off.
+    pub fn set_metrics(&mut self, metrics: Option<profile::MetricsRegistry>) {
+        self.engine.set_metrics(metrics);
+    }
+
+    /// The attached observability registry, if any.
+    pub fn metrics(&self) -> Option<&profile::MetricsRegistry> {
+        self.engine.metrics.as_ref()
     }
 
     /// Evaluate all forces on the worker threads without moving any atom.

@@ -184,11 +184,12 @@ mod tests {
         })
         .build();
         sys.thermalize(150.0, 7);
-        let mut cfg = SimConfig::new(2, machine::presets::generic_cluster());
-        cfg.force_mode = ForceMode::Real;
-        cfg.backend = backend;
-        cfg.checkpoint_interval = 4;
-        cfg.checkpoint_dir = Some(dir.to_path_buf());
+        let cfg = SimConfig::builder(2, machine::presets::generic_cluster())
+            .force_mode(ForceMode::Real)
+            .backend(backend)
+            .checkpoint(dir, 4)
+            .build()
+            .expect("valid test config");
         Engine::new(sys, cfg)
     }
 

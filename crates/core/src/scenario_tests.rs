@@ -26,9 +26,7 @@ fn pme_protocol_completes_and_costs_time() {
     let sys = system();
     let machine = presets::asci_red();
     let time_with = |pme: Option<PmeSimConfig>| {
-        let mut cfg = SimConfig::new(16, machine);
-        cfg.pme = pme;
-        cfg.steps_per_phase = 4;
+        let cfg = SimConfig::builder(16, machine).pme(pme).steps_per_phase(4).build().unwrap();
         let mut e = Engine::new(sys.clone(), cfg);
         e.run_phase(4).time_per_step
     };
@@ -50,9 +48,11 @@ fn pme_protocol_completes_and_costs_time() {
 #[test]
 fn pme_entries_show_up_in_the_profile() {
     let sys = system();
-    let mut cfg = SimConfig::new(8, presets::asci_red());
-    cfg.pme = Some(PmeSimConfig { every: 2, slabs: 8, ..Default::default() });
-    cfg.steps_per_phase = 4;
+    let cfg = SimConfig::builder(8, presets::asci_red())
+        .pme(Some(PmeSimConfig { every: 2, slabs: 8, ..Default::default() }))
+        .steps_per_phase(4)
+        .build()
+        .unwrap();
     let mut e = Engine::new(sys, cfg);
     let r = e.run_phase(4);
     // 4 steps at every=2 → PME fired on steps 0 and 2: slabs got charges
@@ -67,9 +67,11 @@ fn pme_entries_show_up_in_the_profile() {
 #[test]
 fn pme_run_is_deterministic_and_lb_compatible() {
     let run = || {
-        let mut cfg = SimConfig::new(12, presets::t3e_900());
-        cfg.pme = Some(PmeSimConfig::default());
-        cfg.steps_per_phase = 4;
+        let cfg = SimConfig::builder(12, presets::t3e_900())
+            .pme(Some(PmeSimConfig::default()))
+            .steps_per_phase(4)
+            .build()
+            .unwrap();
         let mut e = Engine::new(system(), cfg);
         e.run_benchmark().final_time_per_step().to_bits()
     };
@@ -78,9 +80,11 @@ fn pme_run_is_deterministic_and_lb_compatible() {
 
 #[test]
 fn single_slab_degenerate_case_works() {
-    let mut cfg = SimConfig::new(4, presets::ideal());
-    cfg.pme = Some(PmeSimConfig { slabs: 1, every: 1, ..Default::default() });
-    cfg.steps_per_phase = 2;
+    let cfg = SimConfig::builder(4, presets::ideal())
+        .pme(Some(PmeSimConfig { slabs: 1, every: 1, ..Default::default() }))
+        .steps_per_phase(2)
+        .build()
+        .unwrap();
     let mut e = Engine::new(system(), cfg);
     let r = e.run_phase(2);
     assert!(r.time_per_step.is_finite() && r.time_per_step > 0.0);
@@ -100,10 +104,12 @@ fn lb_adapts_to_straggler_pes() {
         *s = 0.5;
     }
     let run_with = |lb: LbStrategy| {
-        let mut cfg = SimConfig::new(n_pes, machine);
-        cfg.pe_speeds = speeds.clone();
-        cfg.lb = lb;
-        cfg.steps_per_phase = 3;
+        let cfg = SimConfig::builder(n_pes, machine)
+            .pe_speeds(speeds.clone())
+            .lb(lb)
+            .steps_per_phase(3)
+            .build()
+            .unwrap();
         let mut e = Engine::new(sys.clone(), cfg);
         e.run_benchmark().final_time_per_step()
     };
@@ -120,9 +126,11 @@ fn diffusion_strategy_runs_and_helps() {
     use crate::config::LbStrategy;
     let sys = system();
     let run_with = |lb: LbStrategy| {
-        let mut cfg = SimConfig::new(16, presets::asci_red());
-        cfg.lb = lb;
-        cfg.steps_per_phase = 3;
+        let cfg = SimConfig::builder(16, presets::asci_red())
+            .lb(lb)
+            .steps_per_phase(3)
+            .build()
+            .unwrap();
         let mut e = Engine::new(sys.clone(), cfg);
         e.run_benchmark().final_time_per_step()
     };
@@ -142,9 +150,11 @@ fn atom_migration_between_phases_preserves_physics() {
     // the energy continuous across the migration.
     let mut sys = system();
     sys.thermalize(300.0, 23);
-    let mut cfg = SimConfig::new(6, presets::ideal());
-    cfg.force_mode = ForceMode::Real;
-    cfg.dt_fs = 1.0;
+    let cfg = SimConfig::builder(6, presets::ideal())
+        .force_mode(ForceMode::Real)
+        .dt_fs(1.0)
+        .build()
+        .unwrap();
     let mut engine = Engine::new(sys, cfg);
 
     let r1 = engine.run_phase(10);
@@ -169,9 +179,11 @@ fn periodic_refinement_tracks_slow_load_drift() {
     // step time near its post-LB level while a frozen placement degrades.
     let sys = system();
     let run_with = |refine: bool| {
-        let mut cfg = SimConfig::new(16, presets::asci_red());
-        cfg.steps_per_phase = 2;
-        cfg.load_drift = 0.25;
+        let cfg = SimConfig::builder(16, presets::asci_red())
+            .steps_per_phase(2)
+            .load_drift(0.25)
+            .build()
+            .unwrap();
         let mut e = Engine::new(sys.clone(), cfg);
         e.run_long(6, refine)
     };
@@ -195,8 +207,7 @@ fn periodic_refinement_tracks_slow_load_drift() {
 #[test]
 fn load_drift_is_deterministic_and_bounded() {
     let sys = system();
-    let mut cfg = SimConfig::new(4, presets::ideal());
-    cfg.load_drift = 0.5;
+    let cfg = SimConfig::builder(4, presets::ideal()).load_drift(0.5).build().unwrap();
     let mut a = Engine::new(sys.clone(), cfg.clone());
     let mut b = Engine::new(sys, cfg);
     for _ in 0..20 {
@@ -216,9 +227,11 @@ fn remote_priority_helps_at_scale() {
     // prioritization should not hurt and typically helps.
     let sys = system();
     let time_with = |on: bool| {
-        let mut cfg = SimConfig::new(48, presets::asci_red());
-        cfg.prioritize_remote = on;
-        cfg.steps_per_phase = 3;
+        let cfg = SimConfig::builder(48, presets::asci_red())
+            .prioritize_remote(on)
+            .steps_per_phase(3)
+            .build()
+            .unwrap();
         let mut e = Engine::new(sys.clone(), cfg);
         e.run_benchmark().final_time_per_step()
     };
@@ -257,9 +270,11 @@ fn real_mode_pme_matches_sequential_full_electrostatics() {
     let e_ref = full.compute_forces(&sys, &mut f);
 
     // DES engine, Real mode, PME every step, 4 slabs.
-    let mut cfg = SimConfig::new(4, presets::ideal());
-    cfg.force_mode = ForceMode::Real;
-    cfg.pme = Some(crate::config::PmeSimConfig { every: 1, slabs: 4, mesh_spacing: 1.0 });
+    let cfg = SimConfig::builder(4, presets::ideal())
+        .force_mode(ForceMode::Real)
+        .pme(Some(crate::config::PmeSimConfig { every: 1, slabs: 4, mesh_spacing: 1.0 }))
+        .build()
+        .unwrap();
     let mut engine = Engine::new(sys, cfg);
     let r = engine.run_phase(2);
 

@@ -36,8 +36,7 @@ fn main() {
         if full { &[1, 8, 64, 256, 512, 1024, 2048] } else { &[1, 4, 16, 64, 128, 256] };
     let mut t1 = 0.0;
     for &pes in pe_counts {
-        let mut cfg = SimConfig::new(pes, machine);
-        cfg.steps_per_phase = 3;
+        let cfg = SimConfig::builder(pes, machine).steps_per_phase(3).build().unwrap();
         let mut engine = Engine::with_decomposition(system.clone(), decomp.clone(), cfg);
         let run = engine.run_benchmark();
         let t = run.final_time_per_step();

@@ -41,10 +41,12 @@ fn main() {
         *s = 0.5;
     }
     for (label, lb) in [("static placement", LbStrategy::None), ("greedy + refine", LbStrategy::GreedyRefine)] {
-        let mut cfg = SimConfig::new(n_pes, machine);
-        cfg.pe_speeds = speeds.clone();
-        cfg.lb = lb;
-        cfg.steps_per_phase = 3;
+        let cfg = SimConfig::builder(n_pes, machine)
+            .pe_speeds(speeds.clone())
+            .lb(lb)
+            .steps_per_phase(3)
+            .build()
+            .unwrap();
         let mut engine = Engine::new(sys.clone(), cfg);
         let run = engine.run_benchmark();
         println!("{label:<22} {:.2} ms/step", run.final_time_per_step() * 1e3);
@@ -53,9 +55,11 @@ fn main() {
     // --- Scenario 2: slow load drift ------------------------------------
     println!("\n=== slow load drift (σ = 20% per cycle, 8 cycles) ===");
     let run_with = |refine: bool| {
-        let mut cfg = SimConfig::new(n_pes, machine);
-        cfg.steps_per_phase = 3;
-        cfg.load_drift = 0.20;
+        let cfg = SimConfig::builder(n_pes, machine)
+            .steps_per_phase(3)
+            .load_drift(0.20)
+            .build()
+            .unwrap();
         let mut engine = Engine::new(sys.clone(), cfg);
         engine.run_long(8, refine)
     };

@@ -32,8 +32,7 @@ fn main() {
     let machine = namd_repro::machine::presets::asci_red();
     let n_pes = 64;
 
-    let mut cfg = SimConfig::new(n_pes, machine);
-    cfg.steps_per_phase = 3;
+    let cfg = SimConfig::builder(n_pes, machine).steps_per_phase(3).build().unwrap();
     let mut engine = Engine::new(system.clone(), cfg);
     println!(
         "{} atoms in {} patches, {} compute objects, {n_pes} PEs\n",
@@ -81,9 +80,7 @@ fn main() {
         ("round-robin", LbStrategy::RoundRobin),
         ("greedy, proxy-unaware", LbStrategy::GreedyNoProxy),
     ] {
-        let mut cfg = SimConfig::new(n_pes, machine);
-        cfg.lb = strat;
-        cfg.steps_per_phase = 3;
+        let cfg = SimConfig::builder(n_pes, machine).lb(strat).steps_per_phase(3).build().unwrap();
         let mut e = Engine::new(system.clone(), cfg);
         let run = e.run_benchmark();
         let r = run.phases.last().unwrap();

@@ -28,9 +28,11 @@ fn main() {
     sys.thermalize(300.0, 1);
     println!("system: {} ({} atoms), {n_pes} worker threads", bench.name, sys.n_atoms());
 
-    let mut cfg = SimConfig::new(n_pes, namd_repro::machine::presets::generic_cluster());
-    cfg.force_mode = ForceMode::Real;
-    cfg.backend = Backend::Threads;
+    let cfg = SimConfig::builder(n_pes, namd_repro::machine::presets::generic_cluster())
+        .force_mode(ForceMode::Real)
+        .backend(Backend::Threads)
+        .build()
+        .unwrap();
     let mut engine = Engine::new(sys, cfg);
 
     // Sabotage the placement: all migratable computes on worker 0.

@@ -17,9 +17,11 @@ fn main() {
     let machine = namd_repro::machine::presets::asci_red();
     let n_pes = 64;
 
-    let mut cfg = SimConfig::new(n_pes, machine);
-    cfg.tracing = true;
-    cfg.steps_per_phase = 4;
+    let cfg = SimConfig::builder(n_pes, machine)
+        .tracing(true)
+        .steps_per_phase(4)
+        .build()
+        .unwrap();
     let mut engine = Engine::new(system, cfg);
     let run = engine.run_benchmark();
     let phase = run.phases.last().unwrap();

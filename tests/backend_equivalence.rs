@@ -124,10 +124,11 @@ fn threads_forces_match_along_a_langevin_trajectory() {
 }
 
 fn real_mode_config(n_pes: usize, backend: Backend) -> SimConfig {
-    let mut cfg = SimConfig::new(n_pes, namd_repro::machine::presets::generic_cluster());
-    cfg.force_mode = ForceMode::Real;
-    cfg.backend = backend;
-    cfg
+    SimConfig::builder(n_pes, namd_repro::machine::presets::generic_cluster())
+        .force_mode(ForceMode::Real)
+        .backend(backend)
+        .build()
+        .expect("valid test config")
 }
 
 #[test]

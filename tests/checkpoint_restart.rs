@@ -62,13 +62,14 @@ fn tempdir(tag: &str) -> std::path::PathBuf {
 }
 
 fn make_engine(backend: Backend, policy: SchedulePolicy, dir: &std::path::Path) -> Engine {
-    let mut cfg = SimConfig::new(2, namd_repro::machine::presets::generic_cluster());
-    cfg.force_mode = ForceMode::Real;
-    cfg.backend = backend;
-    cfg.dt_fs = 1.0;
-    cfg.schedule = policy;
-    cfg.checkpoint_interval = INTERVAL;
-    cfg.checkpoint_dir = Some(dir.to_path_buf());
+    let cfg = SimConfig::builder(2, namd_repro::machine::presets::generic_cluster())
+        .force_mode(ForceMode::Real)
+        .backend(backend)
+        .dt_fs(1.0)
+        .schedule(policy)
+        .checkpoint(dir, INTERVAL)
+        .build()
+        .expect("valid test config");
     Engine::new(small_system(), cfg)
 }
 
@@ -192,9 +193,11 @@ fn mismatched_snapshots_are_refused() {
     })
     .build();
     other_sys.thermalize(200.0, 14);
-    let mut cfg = SimConfig::new(2, namd_repro::machine::presets::generic_cluster());
-    cfg.force_mode = ForceMode::Real;
-    cfg.dt_fs = 1.0;
+    let cfg = SimConfig::builder(2, namd_repro::machine::presets::generic_cluster())
+        .force_mode(ForceMode::Real)
+        .dt_fs(1.0)
+        .build()
+        .unwrap();
     let mut other = Engine::new(other_sys, cfg);
     let err = other.restore(&snap).unwrap_err();
     assert!(
@@ -204,9 +207,11 @@ fn mismatched_snapshots_are_refused() {
     assert!(err.to_string().contains("topology hash"), "{err}");
 
     // Same topology, different run configuration (PE count, timestep).
-    let mut cfg = SimConfig::new(3, namd_repro::machine::presets::generic_cluster());
-    cfg.force_mode = ForceMode::Real;
-    cfg.dt_fs = 1.0;
+    let cfg = SimConfig::builder(3, namd_repro::machine::presets::generic_cluster())
+        .force_mode(ForceMode::Real)
+        .dt_fs(1.0)
+        .build()
+        .unwrap();
     let mut wrong_pes = Engine::new(small_system(), cfg);
     let err = wrong_pes.restore(&snap).unwrap_err();
     assert!(
@@ -214,9 +219,11 @@ fn mismatched_snapshots_are_refused() {
         "expected ConfigMismatch for n_pes, got {err}"
     );
 
-    let mut cfg = SimConfig::new(2, namd_repro::machine::presets::generic_cluster());
-    cfg.force_mode = ForceMode::Real;
-    cfg.dt_fs = 0.5;
+    let cfg = SimConfig::builder(2, namd_repro::machine::presets::generic_cluster())
+        .force_mode(ForceMode::Real)
+        .dt_fs(0.5)
+        .build()
+        .unwrap();
     let mut wrong_dt = Engine::new(small_system(), cfg);
     let err = wrong_dt.restore(&snap).unwrap_err();
     assert!(

@@ -28,8 +28,7 @@ fn full_pipeline_improves_with_lb_and_scale() {
 
     let mut last = f64::INFINITY;
     for pes in [1usize, 8, 32] {
-        let mut cfg = SimConfig::new(pes, machine);
-        cfg.steps_per_phase = 2;
+        let cfg = SimConfig::builder(pes, machine).steps_per_phase(2).build().unwrap();
         let mut engine = Engine::with_decomposition(sys.clone(), decomp.clone(), cfg);
         let run = engine.run_benchmark();
         let t = run.final_time_per_step();
@@ -49,8 +48,7 @@ fn full_pipeline_improves_with_lb_and_scale() {
 fn whole_pipeline_is_deterministic() {
     let run_once = || {
         let sys = test_system(7);
-        let mut cfg = SimConfig::new(16, presets::t3e_900());
-        cfg.steps_per_phase = 2;
+        let cfg = SimConfig::builder(16, presets::t3e_900()).steps_per_phase(2).build().unwrap();
         let mut engine = Engine::new(sys, cfg);
         let run = engine.run_benchmark();
         (
@@ -67,8 +65,7 @@ fn machine_models_order_single_pe_times() {
     // Origin (112 MFLOPS) < T3E (64) < ASCI-Red (48) in step time.
     let sys = test_system(3);
     let time_on = |m: machine::MachineModel| {
-        let mut cfg = SimConfig::new(1, m);
-        cfg.steps_per_phase = 1;
+        let cfg = SimConfig::builder(1, m).steps_per_phase(1).build().unwrap();
         let mut e = Engine::new(sys.clone(), cfg);
         e.run_phase(1).time_per_step
     };
@@ -87,14 +84,15 @@ fn counted_and_real_modes_agree_on_structure() {
     let sys = test_system(5);
     let machine = presets::ideal();
 
-    let mut cfg_counted = SimConfig::new(4, machine);
-    cfg_counted.steps_per_phase = 2;
+    let cfg_counted = SimConfig::builder(4, machine).steps_per_phase(2).build().unwrap();
     let mut eng_counted = Engine::new(sys.clone(), cfg_counted);
     let rc = eng_counted.run_phase(2);
 
-    let mut cfg_real = SimConfig::new(4, machine);
-    cfg_real.force_mode = ForceMode::Real;
-    cfg_real.steps_per_phase = 2;
+    let cfg_real = SimConfig::builder(4, machine)
+        .force_mode(ForceMode::Real)
+        .steps_per_phase(2)
+        .build()
+        .unwrap();
     let mut eng_real = Engine::new(sys, cfg_real);
     let rr = eng_real.run_phase(2);
 
@@ -116,8 +114,7 @@ fn audit_identity_holds_across_machines_and_scales() {
         (presets::t3e_900(), 8),
         (presets::origin2000(), 32),
     ] {
-        let mut cfg = SimConfig::new(pes, machine);
-        cfg.steps_per_phase = 2;
+        let cfg = SimConfig::builder(pes, machine).steps_per_phase(2).build().unwrap();
         let mut engine = Engine::new(sys.clone(), cfg);
         let r = engine.run_phase(2);
         let a = audit(engine.decomp(), &machine, &r, pes);

@@ -1,0 +1,66 @@
+//! Compatibility shims for the PR 5 metrics consolidation: the deprecated
+//! `PhaseResult::pairlist` field must keep compiling and agree with the
+//! consolidated `PhaseResult::metrics`. This file is the one place the
+//! deprecated surface is exercised, so deprecation warnings stay confined
+//! to it.
+
+use namd_repro::machine::presets;
+use namd_repro::mdcore::prelude::*;
+use namd_repro::molgen::{SystemBuilder, SystemSpec};
+use namd_repro::namd_core::prelude::*;
+
+fn small_system() -> System {
+    SystemBuilder::new(SystemSpec {
+        name: "compat",
+        box_lengths: Vec3::new(30.0, 30.0, 30.0),
+        target_atoms: 1_500,
+        protein_chains: 0,
+        protein_chain_len: 0,
+        lipid_slab: None,
+        cutoff: 8.0,
+        seed: 9,
+    })
+    .build()
+}
+
+#[test]
+fn deprecated_pairlist_field_matches_consolidated_metrics() {
+    let cfg = SimConfig::builder(2, presets::generic_cluster())
+        .force_mode(ForceMode::Real)
+        .dt_fs(1.0)
+        .pairlist(true, 2.5)
+        .build()
+        .unwrap();
+    let mut engine = Engine::new(small_system(), cfg);
+    let r = engine.run_phase(3);
+
+    // The old per-field counters are shimmed onto the new struct; both
+    // views must agree exactly.
+    #[allow(deprecated)]
+    let legacy = r.pairlist;
+    assert_eq!(legacy.builds, r.metrics.pairlist.builds);
+    assert_eq!(legacy.hits, r.metrics.pairlist.hits);
+    assert_eq!(legacy.executions(), r.metrics.pairlist.executions());
+    assert!(r.metrics.pairlist.builds > 0, "cached phase must build lists");
+
+    // The consolidated message ledger reproduces the stats-level residual.
+    assert_eq!(
+        r.metrics.messages.residual(),
+        r.stats.conservation_residual(),
+        "PhaseMetrics message ledger diverges from SummaryStats"
+    );
+    assert_eq!(r.metrics.messages.sent, r.stats.msgs_sent);
+    assert_eq!(r.metrics.messages.received, r.stats.msgs_received);
+    assert_eq!(r.metrics.checkpoints, 0, "no checkpointing configured");
+}
+
+/// Struct-literal configuration stays supported for downstream code that
+/// has not migrated to the builder: the engine re-validates per phase.
+#[test]
+fn struct_literal_config_path_still_works() {
+    let mut cfg = SimConfig::new(2, presets::generic_cluster());
+    cfg.steps_per_phase = 2;
+    let mut engine = Engine::new(small_system(), cfg);
+    let r = engine.run_phase(2);
+    assert!(r.time_per_step > 0.0 && r.time_per_step.is_finite());
+}

@@ -79,12 +79,11 @@ fn seq_ref() -> &'static SeqRef {
     })
 }
 
-fn real_des_cfg(n_pes: usize) -> SimConfig {
-    let mut cfg = SimConfig::new(n_pes, presets::generic_cluster());
-    cfg.force_mode = ForceMode::Real;
-    cfg.backend = Backend::Des;
-    cfg.dt_fs = 1.0;
-    cfg
+fn real_des_cfg(n_pes: usize) -> SimConfigBuilder {
+    SimConfig::builder(n_pes, presets::generic_cluster())
+        .force_mode(ForceMode::Real)
+        .backend(Backend::Des)
+        .dt_fs(1.0)
 }
 
 fn arb_policy() -> impl Strategy<Value = SchedulePolicy> {
@@ -109,10 +108,11 @@ fn n_nonbonded_computes(engine: &Engine) -> u64 {
 fn check_cached_phase(policy: SchedulePolicy, n_pes: usize, margin: f64) -> Result<(), String> {
     let reference = seq_ref();
     let run = |cached: bool| {
-        let mut cfg = real_des_cfg(n_pes);
-        cfg.schedule = policy;
-        cfg.pairlist_cache = cached;
-        cfg.pairlist_margin = margin;
+        let cfg = real_des_cfg(n_pes)
+            .schedule(policy)
+            .pairlist(cached, margin)
+            .build()
+            .expect("valid test config");
         let mut engine = Engine::new(restrained_apoa1_small(), cfg);
         let r = engine.run_phase(PHASE_STEPS);
         let pos = engine.shared.state.read().unwrap().system.positions.clone();
@@ -150,24 +150,24 @@ fn check_cached_phase(policy: SchedulePolicy, n_pes: usize, margin: f64) -> Resu
 
     // Cache accounting: every non-bonded compute executed each evaluation.
     let expect = {
-        let cfg = real_des_cfg(n_pes);
+        let cfg = real_des_cfg(n_pes).build().expect("valid test config");
         let engine = Engine::new(restrained_apoa1_small(), cfg);
         n_nonbonded_computes(&engine) * PHASE_STEPS as u64
     };
-    if rc.pairlist.executions() != expect {
+    if rc.metrics.pairlist.executions() != expect {
         return Err(format!(
             "cached executions ({ctx}): builds {} + hits {} != {expect}",
-            rc.pairlist.builds, rc.pairlist.hits
+            rc.metrics.pairlist.builds, rc.metrics.pairlist.hits
         ));
     }
-    if rc.pairlist.builds == 0 {
+    if rc.metrics.pairlist.builds == 0 {
         return Err(format!("no list builds recorded ({ctx})"));
     }
 
     // The uncached engine must land on the same trajectory.
     let (ru, pos_u, _) = run(false);
-    if ru.pairlist.executions() != 0 {
-        return Err(format!("uncached run touched the cache ({ctx}): {:?}", ru.pairlist));
+    if ru.metrics.pairlist.executions() != 0 {
+        return Err(format!("uncached run touched the cache ({ctx}): {:?}", ru.metrics.pairlist));
     }
     let dp = (rc.energies[0].potential() - ru.energies[0].potential()).abs();
     if dp >= tol {
@@ -206,9 +206,10 @@ proptest! {
 fn mid_phase_invalidation_rebuilds_and_stays_exact() {
     let steps = 7;
     let run = |cached: bool| {
-        let mut cfg = real_des_cfg(2);
-        cfg.pairlist_cache = cached;
-        cfg.pairlist_margin = 0.25;
+        let cfg = real_des_cfg(2)
+            .pairlist(cached, 0.25)
+            .build()
+            .expect("valid test config");
         let mut engine = Engine::new(restrained_apoa1_small(), cfg);
         let r = engine.run_phase(steps);
         let n_nb = n_nonbonded_computes(&engine);
@@ -217,13 +218,13 @@ fn mid_phase_invalidation_rebuilds_and_stays_exact() {
     };
     let (rc, n_nb, pos_c) = run(true);
     assert!(
-        rc.pairlist.builds > n_nb,
+        rc.metrics.pairlist.builds > n_nb,
         "margin 0.25 over {steps} evaluations must force mid-phase rebuilds: \
          {} builds for {n_nb} non-bonded computes",
-        rc.pairlist.builds
+        rc.metrics.pairlist.builds
     );
-    assert!(rc.pairlist.hits > 0, "even a tiny margin serves the no-motion bootstrap step");
-    assert_eq!(rc.pairlist.executions(), n_nb * steps as u64);
+    assert!(rc.metrics.pairlist.hits > 0, "even a tiny margin serves the no-motion bootstrap step");
+    assert_eq!(rc.metrics.pairlist.executions(), n_nb * steps as u64);
 
     let (ru, _, pos_u) = run(false);
     let tol = 1e-8 * ru.energies[0].potential().abs().max(1.0);
@@ -303,8 +304,10 @@ fn migration_boundary_resets_cache_and_preserves_trajectory() {
 #[test]
 fn des_virtual_time_rewards_cache_hits() {
     let total_time = |cached: bool| {
-        let mut cfg = real_des_cfg(2);
-        cfg.pairlist_cache = cached;
+        let cfg = real_des_cfg(2)
+            .pairlist(cached, 2.5)
+            .build()
+            .expect("valid test config");
         let mut engine = Engine::new(restrained_apoa1_small(), cfg);
         engine.run_phase(PHASE_STEPS).total_time
     };

@@ -28,9 +28,10 @@ fn slab_system() -> System {
 #[test]
 fn hybrid_decomposition_multiplies_parallelism() {
     let sys = slab_system();
-    let mut cfg = SimConfig::new(8, presets::ideal());
-    cfg.self_split_atoms = usize::MAX;
-    cfg.split_face_pairs = false;
+    let cfg = SimConfig::builder(8, presets::ideal())
+        .grainsize(usize::MAX, false, 112)
+        .build()
+        .unwrap();
     let d = build_decomposition(&sys, &cfg);
     let n_patches = d.grid.n_patches();
     let nonbonded = d
@@ -50,9 +51,10 @@ fn hybrid_decomposition_multiplies_parallelism() {
 fn splitting_cuts_the_largest_task() {
     let sys = slab_system();
     let machine = presets::asci_red();
-    let mut unsplit_cfg = SimConfig::new(8, machine);
-    unsplit_cfg.self_split_atoms = usize::MAX;
-    unsplit_cfg.split_face_pairs = false;
+    let unsplit_cfg = SimConfig::builder(8, machine)
+        .grainsize(usize::MAX, false, 112)
+        .build()
+        .unwrap();
     let unsplit = build_decomposition(&sys, &unsplit_cfg);
     let split = build_decomposition(&sys, &SimConfig::new(8, machine));
 
@@ -86,9 +88,11 @@ fn optimized_multicast_shortens_integration() {
     let sys = slab_system();
     let machine = presets::asci_red();
     let integrate_time = |mode: MulticastMode| {
-        let mut cfg = SimConfig::new(16, machine);
-        cfg.multicast = mode;
-        cfg.steps_per_phase = 2;
+        let cfg = SimConfig::builder(16, machine)
+            .multicast(mode)
+            .steps_per_phase(2)
+            .build()
+            .unwrap();
         let mut engine = Engine::new(sys.clone(), cfg);
         let run = engine.run_benchmark();
         let last = run.phases.last().unwrap();
@@ -111,9 +115,7 @@ fn measurement_based_lb_beats_static() {
     let machine = presets::asci_red();
 
     let with_lb = |lb: LbStrategy| {
-        let mut cfg = SimConfig::new(24, machine);
-        cfg.lb = lb;
-        cfg.steps_per_phase = 2;
+        let cfg = SimConfig::builder(24, machine).lb(lb).steps_per_phase(2).build().unwrap();
         let mut engine = Engine::new(sys.clone(), cfg);
         engine.run_benchmark()
     };
@@ -143,9 +145,7 @@ fn proxy_awareness_reduces_communication() {
     let sys = slab_system();
     let machine = presets::asci_red();
     let proxies_with = |lb: LbStrategy| {
-        let mut cfg = SimConfig::new(24, machine);
-        cfg.lb = lb;
-        cfg.steps_per_phase = 2;
+        let cfg = SimConfig::builder(24, machine).lb(lb).steps_per_phase(2).build().unwrap();
         let mut engine = Engine::new(sys.clone(), cfg);
         engine.run_benchmark();
         engine.proxy_count()
@@ -176,8 +176,7 @@ fn small_systems_saturate() {
     let machine = presets::asci_red();
     let decomp = build_decomposition(&sys, &SimConfig::new(1, machine));
     let time_at = |pes: usize| {
-        let mut cfg = SimConfig::new(pes, machine);
-        cfg.steps_per_phase = 2;
+        let cfg = SimConfig::builder(pes, machine).steps_per_phase(2).build().unwrap();
         let mut e = Engine::with_decomposition(sys.clone(), decomp.clone(), cfg);
         e.run_benchmark().final_time_per_step()
     };
@@ -197,8 +196,7 @@ fn small_systems_saturate() {
 #[test]
 fn object_loads_persist_across_phases() {
     let sys = slab_system();
-    let mut cfg = SimConfig::new(12, presets::asci_red());
-    cfg.steps_per_phase = 2;
+    let cfg = SimConfig::builder(12, presets::asci_red()).steps_per_phase(2).build().unwrap();
     let mut engine = Engine::new(sys, cfg);
     let r1 = engine.run_phase(2);
     let r2 = engine.run_phase(2);

@@ -38,8 +38,10 @@ fn three_backends_agree_on_forces() {
 
     // Backend 3: the DES in Real mode. Forces are zeroed after integration,
     // so compare via the step-0 potential energy instead.
-    let mut cfg = SimConfig::new(3, presets::ideal());
-    cfg.force_mode = ForceMode::Real;
+    let cfg = SimConfig::builder(3, presets::ideal())
+        .force_mode(ForceMode::Real)
+        .build()
+        .unwrap();
     let mut engine = Engine::new(sys.clone(), cfg);
     let r = engine.run_phase(1);
 
@@ -79,9 +81,11 @@ fn trajectories_track_for_several_steps() {
     }
 
     // DES-Real trajectory: 5 force evaluations = 4 position updates.
-    let mut cfg = SimConfig::new(4, presets::ideal());
-    cfg.force_mode = ForceMode::Real;
-    cfg.dt_fs = 0.5;
+    let cfg = SimConfig::builder(4, presets::ideal())
+        .force_mode(ForceMode::Real)
+        .dt_fs(0.5)
+        .build()
+        .unwrap();
     let mut engine = Engine::new(sys.clone(), cfg);
     engine.run_phase(5);
     let des_pos = engine.shared.state.read().unwrap().system.positions.clone();
@@ -115,9 +119,11 @@ fn all_backends_conserve_energy() {
     assert!(drift(&es) < 1e-2, "sequential drift {}", drift(&es));
 
     // DES Real mode.
-    let mut cfg = SimConfig::new(4, presets::ideal());
-    cfg.force_mode = ForceMode::Real;
-    cfg.dt_fs = 0.5;
+    let cfg = SimConfig::builder(4, presets::ideal())
+        .force_mode(ForceMode::Real)
+        .dt_fs(0.5)
+        .build()
+        .unwrap();
     let mut engine = Engine::new(sys.clone(), cfg);
     let r = engine.run_phase(25);
     let ed: Vec<f64> = r.energies.iter().map(|e| e.total()).collect();

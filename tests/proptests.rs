@@ -343,8 +343,10 @@ proptest! {
         })
         .build();
         let n_pes = 7;
-        let mut cfg = SimConfig::new(n_pes, presets::asci_red());
-        cfg.steps_per_phase = 2;
+        let cfg = SimConfig::builder(n_pes, presets::asci_red())
+            .steps_per_phase(2)
+            .build()
+            .unwrap();
         let mut engine = Engine::new(sys, cfg);
 
         // Scramble the placement of migratable computes deterministically.

@@ -79,12 +79,11 @@ fn seq_ref() -> &'static SeqRef {
     })
 }
 
-fn real_des_cfg(n_pes: usize) -> SimConfig {
-    let mut cfg = SimConfig::new(n_pes, presets::generic_cluster());
-    cfg.force_mode = ForceMode::Real;
-    cfg.backend = Backend::Des;
-    cfg.dt_fs = 1.0;
-    cfg
+fn real_des_cfg(n_pes: usize) -> SimConfigBuilder {
+    SimConfig::builder(n_pes, presets::generic_cluster())
+        .force_mode(ForceMode::Real)
+        .backend(Backend::Des)
+        .dt_fs(1.0)
 }
 
 /// Run one Real-mode phase under `policy` and assert it reproduces the
@@ -92,8 +91,7 @@ fn real_des_cfg(n_pes: usize) -> SimConfig {
 /// for any extra assertions the caller wants.
 fn check_policy_preserves_physics(policy: SchedulePolicy, n_pes: usize) -> Result<(), String> {
     let reference = seq_ref();
-    let mut cfg = real_des_cfg(n_pes);
-    cfg.schedule = policy;
+    let cfg = real_des_cfg(n_pes).schedule(policy).build().expect("valid test config");
     let mut engine = Engine::new(restrained_apoa1_small(), cfg);
     let r = engine.run_phase(PHASE_STEPS);
 
@@ -170,9 +168,11 @@ proptest! {
 #[test]
 fn same_seed_replays_bit_identical_traces() {
     let run = || {
-        let mut cfg = real_des_cfg(3);
-        cfg.schedule = SchedulePolicy::random_shuffle(0xDEAD_BEEF);
-        cfg.tracing = true;
+        let cfg = real_des_cfg(3)
+            .schedule(SchedulePolicy::random_shuffle(0xDEAD_BEEF))
+            .tracing(true)
+            .build()
+            .expect("valid test config");
         let mut engine = Engine::new(restrained_apoa1_small(), cfg);
         engine.run_phase(PHASE_STEPS)
     };
@@ -191,9 +191,11 @@ fn different_seeds_change_the_interleaving() {
     // The fuzzer is only exploring schedules if distinct seeds actually
     // produce distinct interleavings.
     let trace_for = |seed: u64| {
-        let mut cfg = real_des_cfg(3);
-        cfg.schedule = SchedulePolicy::random_shuffle(seed);
-        cfg.tracing = true;
+        let cfg = real_des_cfg(3)
+            .schedule(SchedulePolicy::random_shuffle(seed))
+            .tracing(true)
+            .build()
+            .expect("valid test config");
         let mut engine = Engine::new(restrained_apoa1_small(), cfg);
         engine.run_phase(PHASE_STEPS).trace.expect("tracing on")
     };
@@ -205,11 +207,12 @@ fn different_seeds_change_the_interleaving() {
 /// incomplete phase and re-sends the dead letter — and the oracles must
 /// all stay green.
 fn check_drop_repair(backend: Backend) {
-    let mut cfg = real_des_cfg(2);
-    cfg.backend = backend;
-    cfg.schedule = SchedulePolicy::random_shuffle(7);
-    cfg.fault_plan =
-        Some(FaultPlan::parse("drop:entry=PatchRecvForces:limit=1").expect("valid plan"));
+    let cfg = real_des_cfg(2)
+        .backend(backend)
+        .schedule(SchedulePolicy::random_shuffle(7))
+        .fault_plan(Some(FaultPlan::parse("drop:entry=PatchRecvForces:limit=1").expect("valid plan")))
+        .build()
+        .expect("valid test config");
     let mut engine = Engine::new(restrained_apoa1_small(), cfg);
     let r = engine.run_phase(2);
 
