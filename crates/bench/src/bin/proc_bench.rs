@@ -1,0 +1,190 @@
+//! proc_bench — compares the `proc` (one OS process per PE, Unix-socket
+//! wire) and `threads` (one OS thread per PE, shared memory) backends on
+//! the apoa1-small system.
+//!
+//! ```text
+//! proc_bench [--steps N] [--warmup N] [--scale F] [--pes N] [--out PATH]
+//! ```
+//!
+//! Drives `Engine::run_phase` directly on both backends for the same
+//! number of velocity-Verlet updates and reports throughput (steps/sec)
+//! and wire traffic (packed payload bytes per step, from the per-entry
+//! `SummaryStats` counters). On the threads backend the same packed bytes
+//! cross the in-process queues, so the bytes/step column is directly
+//! comparable; the steps/sec ratio is the cost of real process isolation
+//! (fork + socket framing + CRC + kernel round-trips).
+//!
+//! Non-blocking: the bench never fails CI on a slow ratio — it only
+//! writes the machine-readable report (`--out`, default `BENCH_proc.json`).
+//! No serde in the workspace: the JSON is assembled by hand.
+
+use mdcore::prelude::*;
+use namd_core::prelude::*;
+use std::time::Instant;
+
+struct Opts {
+    steps: usize,
+    warmup: usize,
+    scale: f64,
+    pes: usize,
+    out: String,
+}
+
+fn parse_opts() -> Result<Opts, String> {
+    let mut o = Opts {
+        steps: 60,
+        warmup: 5,
+        scale: 0.04,
+        pes: 3,
+        out: "BENCH_proc.json".to_string(),
+    };
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let mut val = |name: &str| -> Result<String, String> {
+            it.next().cloned().ok_or_else(|| format!("{name} needs a value"))
+        };
+        match a.as_str() {
+            "--steps" => o.steps = val("--steps")?.parse().map_err(|e| format!("--steps: {e}"))?,
+            "--warmup" => {
+                o.warmup = val("--warmup")?.parse().map_err(|e| format!("--warmup: {e}"))?
+            }
+            "--scale" => o.scale = val("--scale")?.parse().map_err(|e| format!("--scale: {e}"))?,
+            "--pes" => o.pes = val("--pes")?.parse().map_err(|e| format!("--pes: {e}"))?,
+            "--out" => o.out = val("--out")?,
+            other => return Err(format!("unknown option {other}")),
+        }
+    }
+    if o.steps == 0 {
+        return Err("--steps must be at least 1".into());
+    }
+    if o.pes == 0 {
+        return Err("--pes must be at least 1".into());
+    }
+    Ok(o)
+}
+
+/// Same construction as `hotpath`/`ckpt_overhead`: apoa1-like, protein
+/// restrained, thermalized, pre-stepped so the restraints are strained.
+fn apoa1_small(scale: f64) -> System {
+    let bench = molgen::apoa1_like().scaled(scale);
+    let mut sys = molgen::SystemBuilder::new(bench.spec().clone()).build_restrained();
+    sys.thermalize(300.0, 11);
+    let mut sim = Simulator::new(&sys, 1.0);
+    for _ in 0..5 {
+        sim.step(&mut sys);
+    }
+    sys
+}
+
+struct RunResult {
+    backend: &'static str,
+    wall_s: f64,
+    steps: usize,
+    wire_msgs: u64,
+    wire_bytes: u64,
+    final_energy: f64,
+}
+
+impl RunResult {
+    fn steps_per_sec(&self) -> f64 {
+        self.steps as f64 / self.wall_s
+    }
+    fn bytes_per_step(&self) -> f64 {
+        self.wire_bytes as f64 / self.steps as f64
+    }
+}
+
+fn run_backend(sys: &System, o: &Opts, backend: Backend, label: &'static str) -> RunResult {
+    let cfg = SimConfig::builder(o.pes, machine::presets::generic_cluster())
+        .force_mode(ForceMode::Real)
+        .backend(backend)
+        .build()
+        .expect("valid bench config");
+    let mut engine = Engine::new(sys.clone(), cfg);
+    if o.warmup > 0 {
+        engine.run_phase(o.warmup);
+    }
+    let t0 = Instant::now();
+    let r = engine.run_phase(o.steps);
+    let wall_s = t0.elapsed().as_secs_f64();
+    RunResult {
+        backend: label,
+        wall_s,
+        steps: o.steps,
+        wire_msgs: r.stats.entry_wire_msgs.iter().sum(),
+        wire_bytes: r.stats.entry_wire_bytes.iter().sum(),
+        final_energy: r.energies.last().map(|e| e.total()).unwrap_or(f64::NAN),
+    }
+}
+
+fn json_run(r: &RunResult) -> String {
+    format!(
+        "    {{\"backend\": \"{}\", \"wall_s\": {:.6}, \"steps\": {}, \
+         \"steps_per_sec\": {:.3}, \"wire_msgs\": {}, \"wire_bytes\": {}, \
+         \"wire_bytes_per_step\": {:.1}, \"final_energy\": {:.6}}}",
+        r.backend,
+        r.wall_s,
+        r.steps,
+        r.steps_per_sec(),
+        r.wire_msgs,
+        r.wire_bytes,
+        r.bytes_per_step(),
+        r.final_energy,
+    )
+}
+
+fn main() {
+    let o = match parse_opts() {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("proc_bench: {e}");
+            eprintln!(
+                "usage: proc_bench [--steps N] [--warmup N] [--scale F] [--pes N] [--out PATH]"
+            );
+            std::process::exit(2);
+        }
+    };
+    let sys = apoa1_small(o.scale);
+    eprintln!(
+        "proc_bench: apoa1-small scale {} ({} atoms), {} PEs, {} warmup + {} timed steps",
+        o.scale,
+        sys.n_atoms(),
+        o.pes,
+        o.warmup,
+        o.steps
+    );
+
+    let threads = run_backend(&sys, &o, Backend::Threads, "threads");
+    let proc = run_backend(&sys, &o, Backend::Proc, "proc");
+    for r in [&threads, &proc] {
+        eprintln!(
+            "  {:>7}  {:>7.2} steps/s  {:>9.0} wire B/step  ({} msgs)",
+            r.backend,
+            r.steps_per_sec(),
+            r.bytes_per_step(),
+            r.wire_msgs,
+        );
+    }
+    let slowdown = threads.steps_per_sec() / proc.steps_per_sec();
+    eprintln!("  proc is {slowdown:.2}x slower than threads (process isolation cost)");
+
+    let json = format!(
+        "{{\n  \"benchmark\": \"proc_bench\",\n  \"system\": \"apoa1-small\",\n  \
+         \"scale\": {},\n  \"atoms\": {},\n  \"pes\": {},\n  \
+         \"warmup_steps\": {},\n  \"timed_steps\": {},\n  \"runs\": [\n{}\n  ],\n  \
+         \"proc_slowdown_vs_threads\": {:.4}\n}}\n",
+        o.scale,
+        sys.n_atoms(),
+        o.pes,
+        o.warmup,
+        o.steps,
+        [&threads, &proc].iter().map(|r| json_run(r)).collect::<Vec<_>>().join(",\n"),
+        slowdown,
+    );
+    if let Err(e) = std::fs::write(&o.out, &json) {
+        eprintln!("proc_bench: cannot write {}: {e}", o.out);
+        std::process::exit(1);
+    }
+    eprintln!("proc_bench: wrote {}", o.out);
+}

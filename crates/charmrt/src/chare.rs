@@ -1,7 +1,8 @@
 //! The data-driven object (chare) abstraction and the execution context
 //! handed to entry methods.
 
-use crate::msg::{empty_payload, ObjId, Payload, Pe, Priority};
+use crate::msg::{ObjId, Payload, Pe, Priority};
+use crate::wire::WireError;
 
 /// A data-driven object. All computation happens inside [`Chare::receive`],
 /// triggered by message delivery — the runtime's per-PE scheduler picks the
@@ -13,9 +14,30 @@ use crate::msg::{empty_payload, ObjId, Payload, Pe, Priority};
 /// concurrent sharing of a chare, only transfer of ownership.
 pub trait Chare: Send {
     /// Handle one message. `entry` selects the method, `payload` carries the
-    /// data; use `ctx` to send messages, declare modeled work, and query the
-    /// runtime.
+    /// packed wire bytes (unpack with the message type's
+    /// [`WireCodec`](crate::wire::WireCodec)); use `ctx` to send messages,
+    /// declare modeled work, and query the runtime.
     fn receive(&mut self, entry: crate::msg::EntryId, payload: Payload, ctx: &mut Ctx);
+
+    /// Pack the state this chare mutated during the run that the *parent*
+    /// address space needs back when PEs are separate OS processes (the
+    /// `proc` backend). Default: nothing — most chares are pure protocol
+    /// actors whose results leave via messages or the checkpoint directory.
+    fn harvest_state(&self) -> Payload {
+        Vec::new()
+    }
+
+    /// Apply bytes produced by [`Chare::harvest_state`] in a worker process
+    /// to this (parent-resident) instance. Must accept exactly what
+    /// `harvest_state` produces. Default: reject non-empty payloads, so a
+    /// chare that harvests but forgets to merge fails loudly.
+    fn merge_state(&mut self, bytes: &[u8]) -> Result<(), WireError> {
+        if bytes.is_empty() {
+            Ok(())
+        } else {
+            Err(WireError("chare harvested state but implements no merge_state".into()))
+        }
+    }
 }
 
 /// How a coordinate-style multicast is costed (§4.2.3 of the paper):
@@ -59,6 +81,11 @@ pub struct Ctx {
     pub(crate) sends: Vec<OutMsg>,
     pub(crate) work: f64,
     pub(crate) stop: bool,
+    /// True when PEs are separate OS processes (the `proc` backend): a
+    /// handler cannot see state written on other PEs, so chares that rely
+    /// on shared memory for cross-PE data (e.g. proxies reading home-patch
+    /// coordinates) must instead apply the payload bytes they received.
+    pub(crate) distributed: bool,
     pe: Pe,
     now: f64,
     this: ObjId,
@@ -67,7 +94,7 @@ pub struct Ctx {
 
 impl Ctx {
     pub(crate) fn new(pe: Pe, now: f64, this: ObjId, n_pes: usize) -> Self {
-        Ctx { sends: Vec::new(), work: 0.0, stop: false, pe, now, this, n_pes }
+        Ctx { sends: Vec::new(), work: 0.0, stop: false, distributed: false, pe, now, this, n_pes }
     }
 
     /// Send a message of `bytes` bytes to another object. The payload is
@@ -86,14 +113,16 @@ impl Ctx {
 
     /// Send a signal-only message (no payload bytes beyond a header).
     pub fn signal(&mut self, to: ObjId, entry: crate::msg::EntryId, priority: Priority) {
-        self.send(to, entry, 32, priority, empty_payload());
+        self.send(to, entry, 32, priority, Vec::new());
     }
 
-    /// Multicast identical data to several destinations. With
-    /// [`MulticastMode::Naive`], every destination pays the full user-level
-    /// allocation and packing cost; with [`MulticastMode::Optimized`] the
-    /// packing is done once (the optimization of §4.2.3). Payloads are
-    /// produced per-destination by `payload` (the DES cannot clone `Any`).
+    /// Multicast identical data to several destinations: one packed
+    /// payload, cloned per destination (the last destination takes the
+    /// original, so an N-way multicast costs N−1 clones). With
+    /// [`MulticastMode::Naive`], every destination pays the full
+    /// user-level allocation and packing cost in the *cost model*; with
+    /// [`MulticastMode::Optimized`] the packing is costed once — §4.2.3's
+    /// optimization, which the one-buffer API now realizes for real.
     pub fn multicast(
         &mut self,
         dests: &[ObjId],
@@ -101,22 +130,22 @@ impl Ctx {
         bytes: usize,
         priority: Priority,
         mode: MulticastMode,
-        mut payload: impl FnMut(usize) -> Payload,
+        payload: Payload,
     ) {
+        let mut payload = Some(payload);
+        let last = dests.len().wrapping_sub(1);
         for (k, &to) in dests.iter().enumerate() {
             let pack = match mode {
                 MulticastMode::Naive => PackCost::Single,
                 MulticastMode::Optimized if k == 0 => PackCost::McFirst,
                 MulticastMode::Optimized => PackCost::McRest,
             };
-            self.sends.push(OutMsg {
-                to,
-                entry,
-                bytes,
-                priority,
-                payload: payload(k),
-                pack,
-            });
+            let body = if k == last {
+                payload.take().unwrap_or_default()
+            } else {
+                payload.clone().unwrap_or_default()
+            };
+            self.sends.push(OutMsg { to, entry, bytes, priority, payload: body, pack });
         }
     }
 
@@ -146,6 +175,13 @@ impl Ctx {
     /// Number of PEs in the run.
     pub fn n_pes(&self) -> usize {
         self.n_pes
+    }
+
+    /// True when PEs are separate OS processes (the `proc` backend): no
+    /// shared address space, so cross-PE data exists only in the payload
+    /// bytes this handler received.
+    pub fn distributed(&self) -> bool {
+        self.distributed
     }
 
     /// Request that the engine stop after this handler (end of simulation).
@@ -184,24 +220,19 @@ mod tests {
             1000,
             PRIO_NORMAL,
             MulticastMode::Optimized,
-            |_| crate::msg::empty_payload(),
+            vec![7, 8, 9],
         );
         let packs: Vec<_> = ctx.sends.iter().map(|s| s.pack).collect();
         assert_eq!(packs, vec![PackCost::McFirst, PackCost::McRest, PackCost::McRest]);
+        // Every destination receives the same bytes.
+        assert!(ctx.sends.iter().all(|s| s.payload == vec![7, 8, 9]));
     }
 
     #[test]
     fn naive_multicast_packs_every_message() {
         let mut ctx = Ctx::new(0, 0.0, ObjId(0), 4);
         let dests = [ObjId(1), ObjId(2)];
-        ctx.multicast(
-            &dests,
-            EntryId(1),
-            1000,
-            PRIO_NORMAL,
-            MulticastMode::Naive,
-            |_| crate::msg::empty_payload(),
-        );
+        ctx.multicast(&dests, EntryId(1), 1000, PRIO_NORMAL, MulticastMode::Naive, Vec::new());
         assert!(ctx.sends.iter().all(|s| s.pack == PackCost::Single));
     }
 }

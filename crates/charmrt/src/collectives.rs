@@ -14,7 +14,7 @@
 //! signal-style (payload-free) use, as the engine's completion barrier.
 
 use crate::chare::{Chare, Ctx};
-use crate::msg::{empty_payload, EntryId, ObjId, Payload, Priority};
+use crate::msg::{EntryId, ObjId, Payload, Priority};
 
 /// Children of tree node `i` (0-rooted, k-ary, heap layout): nodes
 /// `k·i + 1 ..= k·i + k` that exist.
@@ -100,12 +100,12 @@ impl Chare for TreeNode {
                             self.reduce_entry,
                             32,
                             self.priority,
-                            empty_payload(),
+                            Vec::new(),
                         );
                     }
                     None => {
                         let (obj, e) = self.target;
-                        ctx.send(obj, e, 32, self.priority, empty_payload());
+                        ctx.send(obj, e, 32, self.priority, Vec::new());
                     }
                 }
             }
@@ -116,7 +116,7 @@ impl Chare for TreeNode {
                     self.broadcast_entry,
                     32,
                     self.priority,
-                    empty_payload(),
+                    Vec::new(),
                 );
             }
         } else {
@@ -202,7 +202,7 @@ mod tests {
         let (base, reduce, _b, hits) = build_tree(&mut des, n, 4, 16);
         // Every node contributes once (self-contribution message).
         for i in 0..n {
-            des.inject(ObjId(base.0 + i as u32), reduce, 32, PRIO_NORMAL, empty_payload());
+            des.inject(ObjId(base.0 + i as u32), reduce, 32, PRIO_NORMAL, Vec::new());
         }
         des.run();
         assert_eq!(*hits.lock().unwrap(), 1);
@@ -215,7 +215,7 @@ mod tests {
         let (base, reduce, _b, hits) = build_tree(&mut des, n, 3, 8);
         for _round in 0..3 {
             for i in 0..n {
-                des.inject(ObjId(base.0 + i as u32), reduce, 32, PRIO_NORMAL, empty_payload());
+                des.inject(ObjId(base.0 + i as u32), reduce, 32, PRIO_NORMAL, Vec::new());
             }
             des.run();
         }
@@ -229,7 +229,7 @@ mod tests {
         let mut des = Des::new(8, presets::ideal());
         let n = 64;
         let (base, _r, broadcast, _hits) = build_tree(&mut des, n, 4, 8);
-        des.inject(base, broadcast, 32, PRIO_NORMAL, empty_payload());
+        des.inject(base, broadcast, 32, PRIO_NORMAL, Vec::new());
         des.run();
         // Every non-root node received exactly one broadcast message:
         // n-1 sends plus the injected one = n executions of the entry.
@@ -250,7 +250,7 @@ mod tests {
         let hits = Arc::new(Mutex::new(0));
         let sink = flat.register(Box::new(Flag(hits.clone())), 0, false);
         for _ in 0..n {
-            flat.inject(sink, e, 32, PRIO_NORMAL, empty_payload());
+            flat.inject(sink, e, 32, PRIO_NORMAL, Vec::new());
         }
         let t_flat = flat.run();
 
@@ -258,7 +258,7 @@ mod tests {
         let mut tree = Des::new(n, machine);
         let (base, reduce, _b, thits) = build_tree(&mut tree, n, 4, n);
         for i in 0..n {
-            tree.inject(ObjId(base.0 + i as u32), reduce, 32, PRIO_NORMAL, empty_payload());
+            tree.inject(ObjId(base.0 + i as u32), reduce, 32, PRIO_NORMAL, Vec::new());
         }
         let t_tree = tree.run();
         assert_eq!(*thits.lock().unwrap(), 1);

@@ -37,6 +37,9 @@ struct QMsg {
     entry: EntryId,
     bytes: usize,
     payload: Payload,
+    /// Payload CRC stamped at send time (only when a corrupt fault rule is
+    /// installed); delivery verifies it and rejects damaged payloads.
+    crc: Option<u64>,
     /// Length of the dependency chain (sum of handler costs, virtual
     /// seconds) that produced this message — the critical-path accumulator.
     path: f64,
@@ -109,7 +112,7 @@ struct PeState {
 /// The engine. See the module docs for the execution model.
 ///
 /// ```
-/// use charmrt::{Chare, Ctx, Des, EntryId, Payload, PRIO_NORMAL, empty_payload};
+/// use charmrt::{Chare, Ctx, Des, EntryId, Payload, PRIO_NORMAL};
 ///
 /// // A chare that does 1000 work units when poked.
 /// struct Worker;
@@ -122,7 +125,7 @@ struct PeState {
 /// let mut des = Des::new(4, machine::presets::asci_red());
 /// let poke = des.register_entry("poke");
 /// let w = des.register(Box::new(Worker), 2, true);
-/// des.inject(w, poke, 0, PRIO_NORMAL, empty_payload());
+/// des.inject(w, poke, 0, PRIO_NORMAL, Vec::new());
 /// let makespan = des.run();
 /// assert!(makespan > 0.0);
 /// assert_eq!(des.stats.entry_count[poke.idx()], 1);
@@ -310,6 +313,7 @@ impl Des {
                 entry: dl.entry,
                 bytes: dl.bytes,
                 payload: dl.payload,
+                crc: None, // the retransmission arrives clean
                 path: dl.path,
             };
             let t = self.now;
@@ -339,6 +343,7 @@ impl Des {
             entry,
             bytes,
             payload,
+            crc: None,
             path: 0.0,
         };
         self.stats.msgs_injected += 1;
@@ -430,6 +435,19 @@ impl Des {
             return;
         }
 
+        // Verify the payload CRC stamped at send time (corrupt-fault runs
+        // only): a damaged payload is rejected here — counted as dropped so
+        // the conservation ledger balances — and never reaches the handler.
+        // The clean dead-lettered copy repairs delivery later.
+        if let Some(stamped) = msg.crc {
+            if ckpt::crc64(&msg.payload) != stamped {
+                self.stats.msgs_crc_rejected += 1;
+                self.stats.msgs_dropped += 1;
+                self.reschedule(pe);
+                return;
+            }
+        }
+
         // Run the handler.
         let mut obj = self.objects[msg.to.idx()].take().expect("re-entrant object execution");
         let mut ctx = Ctx::new(pe, start, msg.to, self.n_pes);
@@ -489,12 +507,17 @@ impl Des {
 
         // Dispatch the sends: they leave the sender when the handler ends.
         let stop = ctx.stop;
-        for s in ctx.sends.drain(..) {
+        let stamp_crc = self.fault.as_ref().is_some_and(|f| f.has_corruption());
+        for mut s in ctx.sends.drain(..) {
             self.stats.bytes_sent += s.bytes as u64;
+            self.stats.count_wire(s.entry, s.payload.len());
             self.ldb.on_message(msg.to, s.to, s.bytes);
             let dest_pe = self.obj_pe[s.to.idx()];
             let mut arrive =
                 if dest_pe == pe { end } else { end + self.machine.wire_time(s.bytes) };
+            // Stamp the payload CRC before the "network" can touch the
+            // bytes (only worth the cycles when corruption is possible).
+            let mut crc = stamp_crc.then(|| ckpt::crc64(&s.payload));
             let fate = self
                 .fault
                 .as_mut()
@@ -516,7 +539,9 @@ impl Des {
                 }
                 Some(FaultAction::Duplicate) => {
                     // An extra copy arrives alongside the original; its
-                    // payload is an empty header re-send (Any can't clone).
+                    // payload is an empty header re-send (delivering the
+                    // body twice would double-apply it — the protocol only
+                    // has to tolerate the spurious wakeup).
                     self.stats.msgs_duplicated += 1;
                     let seq = self.next_seq();
                     let dup = QMsg {
@@ -526,7 +551,8 @@ impl Des {
                         to: s.to,
                         entry: s.entry,
                         bytes: s.bytes,
-                        payload: crate::msg::empty_payload(),
+                        payload: Vec::new(),
+                        crc: None,
                         path: end_path,
                     };
                     self.push_event(arrive, EventKind::Deliver { pe: dest_pe, msg: dup });
@@ -534,6 +560,29 @@ impl Des {
                 Some(FaultAction::Delay(d)) => {
                     self.stats.msgs_delayed += 1;
                     arrive += d;
+                }
+                Some(FaultAction::Corrupt(n)) => {
+                    // Keep a clean copy for repair, then flip bytes in the
+                    // copy that travels. Empty payloads have no bytes to
+                    // flip, so damage the stamped CRC instead — either way
+                    // delivery must reject the message.
+                    self.stats.msgs_corrupted += 1;
+                    self.dead_letters.push(DeadLetter {
+                        to: s.to,
+                        entry: s.entry,
+                        bytes: s.bytes,
+                        priority: s.priority,
+                        payload: s.payload.clone(),
+                        path: end_path,
+                    });
+                    if s.payload.is_empty() {
+                        crc = crc.map(|c| !c);
+                    } else {
+                        let flip = (n as usize).min(s.payload.len());
+                        for b in &mut s.payload[..flip] {
+                            *b ^= 0xFF;
+                        }
+                    }
                 }
                 Some(FaultAction::Kill) => {
                     // The destination machine dies at delivery time; the
@@ -566,6 +615,7 @@ impl Des {
                 entry: s.entry,
                 bytes: s.bytes,
                 payload: s.payload,
+                crc,
                 path: end_path,
             };
             self.push_event(arrive, EventKind::Deliver { pe: dest_pe, msg: q });
@@ -595,10 +645,15 @@ impl Des {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::msg::{empty_payload, PRIO_HIGH, PRIO_LOW, PRIO_NORMAL};
+    use crate::msg::{PRIO_HIGH, PRIO_LOW, PRIO_NORMAL};
     use machine::presets;
 
     use std::sync::{Arc, Mutex};
+
+    /// An i32 order tag packed as 4 LE bytes — the tests' one wire format.
+    fn tag(v: i32) -> Payload {
+        v.to_le_bytes().to_vec()
+    }
 
     /// A chare that counts invocations and optionally forwards to a peer
     /// with declared work. Tagged payloads are appended to a shared order
@@ -619,8 +674,8 @@ mod tests {
     impl Chare for Node {
         fn receive(&mut self, _entry: EntryId, payload: Payload, ctx: &mut Ctx) {
             self.hits += 1;
-            if let Ok(tag) = payload.downcast::<i32>() {
-                self.order.lock().unwrap().push(*tag);
+            if let Ok(bytes) = <[u8; 4]>::try_from(payload.as_slice()) {
+                self.order.lock().unwrap().push(i32::from_le_bytes(bytes));
             }
             ctx.add_work(self.work);
             if let Some((to, e)) = self.forward {
@@ -639,7 +694,7 @@ mod tests {
             0,
             true,
         );
-        des.inject(a, ping, 0, PRIO_NORMAL, empty_payload());
+        des.inject(a, ping, 0, PRIO_NORMAL, Vec::new());
         let t = des.run();
         // a: 50 µs, then b: 100 µs (ideal machine: 1 µs per work unit).
         assert!((t - 150e-6).abs() < 1e-12, "final time {t}");
@@ -663,10 +718,10 @@ mod tests {
         // All four are delivered (in injection order) before the scheduler
         // first wakes, so execution orders purely by (priority, arrival):
         // high first, then the two normals in arrival order, then low.
-        des.inject(sink, e, 0, PRIO_NORMAL, Box::new(1i32));
-        des.inject(sink, e, 0, PRIO_LOW, Box::new(3i32));
-        des.inject(sink, e, 0, PRIO_NORMAL, Box::new(2i32));
-        des.inject(sink, e, 0, PRIO_HIGH, Box::new(0i32));
+        des.inject(sink, e, 0, PRIO_NORMAL, tag(1));
+        des.inject(sink, e, 0, PRIO_LOW, tag(3));
+        des.inject(sink, e, 0, PRIO_NORMAL, tag(2));
+        des.inject(sink, e, 0, PRIO_HIGH, tag(0));
         des.run();
         assert_eq!(*order.lock().unwrap(), vec![0, 1, 2, 3]);
     }
@@ -677,7 +732,7 @@ mod tests {
             let mut des = Des::new(1, m);
             let e = des.register_entry("w");
             let o = des.register(Box::new(Node { work: 1e6, ..Node::new() }), 0, true);
-            des.inject(o, e, 0, PRIO_NORMAL, empty_payload());
+            des.inject(o, e, 0, PRIO_NORMAL, Vec::new());
             let t = des.run();
             let expect = m.recv_time() + m.task_time(1e6);
             assert!((t - expect).abs() < 1e-12, "{}: {t} vs {expect}", m.name);
@@ -692,7 +747,7 @@ mod tests {
         let b = des.register(Box::new(Node::new()), 1, true);
         let a =
             des.register(Box::new(Node { forward: Some((b, e)), ..Node::new() }), 0, true);
-        des.inject(a, e, 0, PRIO_NORMAL, empty_payload());
+        des.inject(a, e, 0, PRIO_NORMAL, Vec::new());
         let t = des.run();
         // a's handler: recv + send of 32B; then wire; then b's handler: recv.
         let a_cpu = m.recv_time() + m.pack_overhead_s + m.send_time(32);
@@ -705,12 +760,12 @@ mod tests {
         let mut des = Des::new(2, presets::ideal());
         let e = des.register_entry("m");
         let o = des.register(Box::new(Node { work: 5.0, ..Node::new() }), 0, true);
-        des.inject(o, e, 0, PRIO_NORMAL, empty_payload());
+        des.inject(o, e, 0, PRIO_NORMAL, Vec::new());
         des.run();
         assert!(des.stats.pe_busy[0] > 0.0);
         des.migrate(o, 1);
         let before = des.stats.pe_busy[1];
-        des.inject(o, e, 0, PRIO_NORMAL, empty_payload());
+        des.inject(o, e, 0, PRIO_NORMAL, Vec::new());
         des.run();
         assert!(des.stats.pe_busy[1] > before, "work should land on PE 1 after migration");
     }
@@ -721,8 +776,8 @@ mod tests {
         let e = des.register_entry("l");
         let mig = des.register(Box::new(Node { work: 100.0, ..Node::new() }), 0, true);
         let fixed = des.register(Box::new(Node { work: 200.0, ..Node::new() }), 1, false);
-        des.inject(mig, e, 0, PRIO_NORMAL, empty_payload());
-        des.inject(fixed, e, 0, PRIO_NORMAL, empty_payload());
+        des.inject(mig, e, 0, PRIO_NORMAL, Vec::new());
+        des.inject(fixed, e, 0, PRIO_NORMAL, Vec::new());
         des.run();
         let snap = des.ldb.snapshot(des.placement());
         assert!((snap.objects[mig.idx()].load - 100e-6).abs() < 1e-12);
@@ -736,7 +791,7 @@ mod tests {
         let e = des.register_entry("t");
         let o = des.register(Box::new(Node { work: 50.0, ..Node::new() }), 0, true);
         des.set_tracing(true);
-        des.inject(o, e, 0, PRIO_NORMAL, empty_payload());
+        des.inject(o, e, 0, PRIO_NORMAL, Vec::new());
         des.run();
         assert_eq!(des.trace.events.len(), 1);
         let ev = des.trace.events[0];
@@ -756,8 +811,8 @@ mod tests {
         let e = des.register_entry("s");
         let o = des.register(Box::new(Stopper), 0, true);
         let n = des.register(Box::new(Node { work: 1e9, ..Node::new() }), 0, true);
-        des.inject(o, e, 0, PRIO_HIGH, empty_payload());
-        des.inject(n, e, 0, PRIO_LOW, empty_payload());
+        des.inject(o, e, 0, PRIO_HIGH, Vec::new());
+        des.inject(n, e, 0, PRIO_LOW, Vec::new());
         des.run();
         // The big task never ran.
         assert_eq!(des.stats.entry_count[e.idx()], 1);
@@ -773,7 +828,7 @@ mod tests {
                 let node = Node { forward: last.map(|o| (o, e)), work: 33.0, ..Node::new() };
                 last = Some(des.register(Box::new(node), pe, true));
             }
-            des.inject(last.unwrap(), e, 64, PRIO_NORMAL, empty_payload());
+            des.inject(last.unwrap(), e, 64, PRIO_NORMAL, Vec::new());
             des.run()
         };
         assert_eq!(build().to_bits(), build().to_bits());
@@ -800,7 +855,7 @@ mod tests {
     fn dropped_message_dead_letters_then_redelivers() {
         let (mut des, e, a, _b) = forward_pair();
         des.set_fault_plan(FaultPlan::parse("drop:entry=ping").unwrap());
-        des.inject(a, e, 0, PRIO_NORMAL, empty_payload());
+        des.inject(a, e, 0, PRIO_NORMAL, Vec::new());
         des.run();
         // b never ran; the drop is accounted, so conservation still holds.
         assert_eq!(des.stats.entry_count[e.idx()], 1);
@@ -818,7 +873,7 @@ mod tests {
     fn duplicate_fault_delivers_an_extra_copy() {
         let (mut des, e, a, _b) = forward_pair();
         des.set_fault_plan(FaultPlan::parse("dup:entry=ping").unwrap());
-        des.inject(a, e, 0, PRIO_NORMAL, empty_payload());
+        des.inject(a, e, 0, PRIO_NORMAL, Vec::new());
         des.run();
         // a once, b twice (original + empty-payload copy).
         assert_eq!(des.stats.entry_count[e.idx()], 3);
@@ -830,7 +885,7 @@ mod tests {
     fn delay_fault_postpones_delivery_in_virtual_time() {
         let (mut des, e, a, _b) = forward_pair();
         des.set_fault_plan(FaultPlan::parse("delay:secs=1.0:entry=ping").unwrap());
-        des.inject(a, e, 0, PRIO_NORMAL, empty_payload());
+        des.inject(a, e, 0, PRIO_NORMAL, Vec::new());
         let t = des.run();
         assert!(t >= 1.0, "delayed delivery should dominate the makespan, got {t}");
         assert_eq!(des.stats.msgs_delayed, 1);
@@ -841,7 +896,7 @@ mod tests {
     fn kill_fault_fells_the_destination_pe() {
         let (mut des, e, a, b) = forward_pair();
         des.set_fault_plan(FaultPlan::parse("kill:entry=ping:dst=1").unwrap());
-        des.inject(a, e, 0, PRIO_NORMAL, empty_payload());
+        des.inject(a, e, 0, PRIO_NORMAL, Vec::new());
         des.run();
         // a ran; b's PE died before the forward arrived.
         assert_eq!(des.stats.entry_count[e.idx()], 1);
@@ -854,9 +909,61 @@ mod tests {
         assert_eq!(des.stats.conservation_residual(), 0);
         // Injections into the dead PE are discarded, not executed.
         let before = des.stats.entry_count[e.idx()];
-        des.inject(b, e, 0, PRIO_NORMAL, empty_payload());
+        des.inject(b, e, 0, PRIO_NORMAL, Vec::new());
         des.run();
         assert_eq!(des.stats.entry_count[e.idx()], before);
+        assert_eq!(des.stats.conservation_residual(), 0);
+    }
+
+    /// Forwards one tagged (non-empty) payload to a peer on first receipt.
+    struct TagSender {
+        to: ObjId,
+        entry: EntryId,
+    }
+
+    impl Chare for TagSender {
+        fn receive(&mut self, _e: EntryId, _p: Payload, ctx: &mut Ctx) {
+            ctx.send(self.to, self.entry, 64, PRIO_NORMAL, tag(7));
+        }
+    }
+
+    #[test]
+    fn corrupt_fault_is_rejected_by_crc_then_repaired() {
+        let mut des = Des::new(2, presets::ideal());
+        let e = des.register_entry("tagged");
+        let order = Arc::new(Mutex::new(Vec::new()));
+        let b = des.register(Box::new(Node { order: order.clone(), ..Node::new() }), 1, true);
+        let a = des.register(Box::new(TagSender { to: b, entry: e }), 0, true);
+        des.set_fault_plan(FaultPlan::parse("corrupt:entry=tagged:bytes=1").unwrap());
+        des.inject(a, e, 0, PRIO_NORMAL, Vec::new());
+        des.run();
+        // The flipped payload failed its CRC at delivery: b never saw it.
+        assert!(order.lock().unwrap().is_empty());
+        assert_eq!(des.stats.msgs_corrupted, 1);
+        assert_eq!(des.stats.msgs_crc_rejected, 1);
+        assert_eq!(des.stats.msgs_dropped, 1);
+        assert_eq!(des.stats.conservation_residual(), 0);
+        // The clean copy was dead-lettered; the retransmission arrives
+        // intact and delivers the original bytes.
+        assert_eq!(des.redeliver_dead_letters(), 1);
+        des.run();
+        assert_eq!(*order.lock().unwrap(), vec![7]);
+        assert_eq!(des.stats.conservation_residual(), 0);
+    }
+
+    #[test]
+    fn corrupting_an_empty_payload_still_trips_the_crc() {
+        let (mut des, e, a, _b) = forward_pair();
+        des.set_fault_plan(FaultPlan::parse("corrupt:entry=ping").unwrap());
+        des.inject(a, e, 0, PRIO_NORMAL, Vec::new());
+        des.run();
+        // There are no payload bytes to flip, so the fault inverts the
+        // stored checksum instead — the receiver must still reject it.
+        assert_eq!(des.stats.entry_count[e.idx()], 1, "only the sender ran");
+        assert_eq!((des.stats.msgs_corrupted, des.stats.msgs_crc_rejected), (1, 1));
+        assert_eq!(des.redeliver_dead_letters(), 1);
+        des.run();
+        assert_eq!(des.stats.entry_count[e.idx()], 2);
         assert_eq!(des.stats.conservation_residual(), 0);
     }
 
@@ -871,10 +978,10 @@ mod tests {
             true,
         );
         des.set_schedule_policy(SchedulePolicy::adversarial_lifo());
-        des.inject(sink, e, 0, PRIO_NORMAL, Box::new(1i32));
-        des.inject(sink, e, 0, PRIO_LOW, Box::new(3i32));
-        des.inject(sink, e, 0, PRIO_NORMAL, Box::new(2i32));
-        des.inject(sink, e, 0, PRIO_HIGH, Box::new(0i32));
+        des.inject(sink, e, 0, PRIO_NORMAL, tag(1));
+        des.inject(sink, e, 0, PRIO_LOW, tag(3));
+        des.inject(sink, e, 0, PRIO_NORMAL, tag(2));
+        des.inject(sink, e, 0, PRIO_HIGH, tag(0));
         des.run();
         // Newest-injected first, regardless of priority.
         assert_eq!(*order.lock().unwrap(), vec![0, 2, 3, 1]);
@@ -892,8 +999,8 @@ mod tests {
         );
         // An independent heavy task, off the chain.
         let c = des.register(Box::new(Node { work: 120.0, ..Node::new() }), 0, true);
-        des.inject(a, ping, 0, PRIO_NORMAL, empty_payload());
-        des.inject(c, ping, 0, PRIO_NORMAL, empty_payload());
+        des.inject(a, ping, 0, PRIO_NORMAL, Vec::new());
+        des.inject(c, ping, 0, PRIO_NORMAL, Vec::new());
         des.run();
         // The a→b chain (50 + 100 µs) dominates the independent 120 µs task.
         assert!(
@@ -910,7 +1017,7 @@ mod tests {
         let b = des.register(Box::new(Node::new()), 1, true);
         let a =
             des.register(Box::new(Node { forward: Some((b, e)), ..Node::new() }), 0, true);
-        des.inject(a, e, 0, PRIO_NORMAL, empty_payload());
+        des.inject(a, e, 0, PRIO_NORMAL, Vec::new());
         des.run();
         // a declares no work: its whole handler cost is messaging overhead.
         assert!(des.stats.pe_overhead[0] > 0.0);
@@ -933,7 +1040,7 @@ mod tests {
                 last = Some(des.register(Box::new(node), pe, true));
             }
             for _ in 0..3 {
-                des.inject(last.unwrap(), e, 64, PRIO_NORMAL, empty_payload());
+                des.inject(last.unwrap(), e, 64, PRIO_NORMAL, Vec::new());
             }
             let t = des.run();
             (t.to_bits(), des.trace.clone())

@@ -12,8 +12,14 @@
 //!   retransmission after a timeout.
 //! * **Duplicate** — the destination receives the original plus one extra
 //!   copy with an empty payload (a re-sent header whose body the protocol
-//!   must treat idempotently; payloads are `Box<dyn Any>` and cannot be
-//!   cloned).
+//!   must treat idempotently; delivering the body twice would double-fold
+//!   force contributions, which is not the failure mode modeled here).
+//! * **Corrupt** — flip N payload bytes in flight. The runtime stamps a
+//!   payload CRC on the message at send time whenever a corrupt rule is
+//!   installed; delivery verifies it and *rejects* the damaged copy
+//!   (`msgs_crc_rejected`, counted as dropped), while a clean copy is
+//!   retained as a dead letter so the repair loop re-sends it — the same
+//!   end-to-end story the `proc` backend's frame CRC enforces for real.
 //! * **Delay** — delivery is postponed by a fixed virtual latency on the
 //!   DES; the threads backend (which cannot delay wall-clock delivery)
 //!   demotes the message behind all normal-priority work instead.
@@ -31,6 +37,7 @@
 //! feeding the message-conservation oracle.
 
 use crate::msg::{EntryId, ObjId, Payload, Pe, Priority};
+use crate::wire::EntryTable;
 
 /// What to do to a matching message.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -44,6 +51,10 @@ pub enum FaultAction {
     /// Kill the destination PE at delivery time (process death; the
     /// message dies with it).
     Kill,
+    /// Flip this many payload bytes in flight (each XOR 0xFF). The payload
+    /// CRC rejects the damaged copy at delivery; a clean copy is retained
+    /// as a dead letter for repair.
+    Corrupt(u32),
 }
 
 /// One fault rule: an action plus a predicate over
@@ -125,12 +136,13 @@ impl FaultPlan {
 
     /// Parse a plan from the CLI grammar: semicolon-separated rules, each
     /// `action[:key=value]*` with keys `entry`, `src`, `dst`, `skip`,
-    /// `limit`, and (for delay) `secs`. Examples:
+    /// `limit`, (for delay) `secs`, and (for corrupt) `bytes`. Examples:
     ///
     /// ```text
     /// drop:entry=PatchRecvForces:limit=1
     /// delay:secs=1e-4:dst=2 ; dup:entry=Done
     /// kill:entry=PatchRecvForces:dst=1:skip=40
+    /// corrupt:entry=PatchRecvForces:bytes=3
     /// ```
     pub fn parse(spec: &str) -> Result<Self, String> {
         let mut rules = Vec::new();
@@ -142,11 +154,13 @@ impl FaultPlan {
             let mut parts = rule_text.split(':').map(str::trim);
             let action_name = parts.next().unwrap_or_default();
             let mut secs: Option<f64> = None;
+            let mut flip_bytes: Option<u32> = None;
             let mut rule = match action_name {
                 "drop" => FaultRule::new(FaultAction::Drop),
                 "dup" | "duplicate" => FaultRule::new(FaultAction::Duplicate),
                 "delay" => FaultRule::new(FaultAction::Delay(0.0)),
                 "kill" => FaultRule::new(FaultAction::Kill),
+                "corrupt" => FaultRule::new(FaultAction::Corrupt(1)),
                 other => return Err(format!("unknown fault action '{other}'")),
             };
             for kv in parts {
@@ -161,6 +175,7 @@ impl FaultPlan {
                     "skip" => rule.skip = v.parse().map_err(|_| bad("skip"))?,
                     "limit" => rule.limit = v.parse().map_err(|_| bad("limit"))?,
                     "secs" => secs = Some(v.parse().map_err(|_| bad("secs"))?),
+                    "bytes" => flip_bytes = Some(v.parse().map_err(|_| bad("bytes"))?),
                     other => return Err(format!("unknown fault rule key '{other}'")),
                 }
             }
@@ -171,6 +186,16 @@ impl FaultPlan {
                 }
             } else if secs.is_some() {
                 return Err(format!("secs= only applies to delay rules ('{rule_text}')"));
+            }
+            if let FaultAction::Corrupt(ref mut n) = rule.action {
+                if let Some(b) = flip_bytes {
+                    if b == 0 {
+                        return Err(format!("corrupt bytes must be >= 1 ('{rule_text}')"));
+                    }
+                    *n = b;
+                }
+            } else if flip_bytes.is_some() {
+                return Err(format!("bytes= only applies to corrupt rules ('{rule_text}')"));
             }
             rules.push(rule);
         }
@@ -205,18 +230,16 @@ pub(crate) struct FaultState {
 }
 
 impl FaultState {
-    /// Resolve a plan against the runtime's entry registry. Unknown entry
+    /// Resolve a plan against the runtime's [`EntryTable`]. Unknown entry
     /// names are an installation error — a plan that can never match is a
     /// harness bug, not a no-op.
-    pub fn install(plan: FaultPlan, entry_names: &[String]) -> Result<Self, String> {
+    pub fn install(plan: FaultPlan, entries: &EntryTable) -> Result<Self, String> {
         let mut rules = Vec::with_capacity(plan.rules.len());
         for r in plan.rules {
             let id = match &r.entry {
                 Some(name) => Some(
-                    entry_names
-                        .iter()
-                        .position(|n| n == name)
-                        .map(|i| EntryId(i as u16))
+                    entries
+                        .lookup(name)
                         .ok_or_else(|| format!("fault rule names unknown entry '{name}'"))?,
                 ),
                 None => None,
@@ -225,6 +248,12 @@ impl FaultState {
         }
         let n = rules.len();
         Ok(FaultState { rules, matched: vec![0; n] })
+    }
+
+    /// Does any installed rule corrupt payloads? When true, backends stamp
+    /// a payload CRC on every queued message so delivery can verify it.
+    pub fn has_corruption(&self) -> bool {
+        self.rules.iter().any(|(r, _)| matches!(r.action, FaultAction::Corrupt(_)))
     }
 
     /// Decide the fate of one outgoing message. The first rule whose
@@ -252,8 +281,12 @@ impl FaultState {
 mod tests {
     use super::*;
 
-    fn names() -> Vec<String> {
-        vec!["PatchStart".into(), "PatchRecvForces".into(), "Done".into()]
+    fn names() -> EntryTable {
+        let mut t = EntryTable::new();
+        t.register("PatchStart");
+        t.register("PatchRecvForces");
+        t.register("Done");
+        t
     }
 
     #[test]
@@ -295,6 +328,23 @@ mod tests {
         let only_kill = FaultPlan::parse("kill:dst=0").unwrap();
         assert!(only_kill.without_kills().is_none());
         assert!(FaultPlan::parse("kill:secs=1").is_err(), "secs is delay-only");
+    }
+
+    #[test]
+    fn parse_corrupt_rules() {
+        let p = FaultPlan::parse("corrupt:entry=PatchRecvForces:bytes=3:limit=2").unwrap();
+        assert_eq!(p.rules[0].action, FaultAction::Corrupt(3));
+        assert_eq!(p.rules[0].limit, 2);
+        // bytes defaults to 1 and is corrupt-only.
+        let p = FaultPlan::parse("corrupt").unwrap();
+        assert_eq!(p.rules[0].action, FaultAction::Corrupt(1));
+        assert!(FaultPlan::parse("corrupt:bytes=0").is_err());
+        assert!(FaultPlan::parse("drop:bytes=1").is_err());
+        assert!(FaultPlan::parse("corrupt:secs=1").is_err());
+        let st = FaultState::install(FaultPlan::parse("corrupt").unwrap(), &names()).unwrap();
+        assert!(st.has_corruption());
+        let st = FaultState::install(FaultPlan::parse("drop").unwrap(), &names()).unwrap();
+        assert!(!st.has_corruption());
     }
 
     #[test]

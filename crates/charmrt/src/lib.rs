@@ -10,7 +10,7 @@
 //! ## Execution backends
 //!
 //! The original ran on real MPPs. Here a single backend-agnostic contract,
-//! [`Runtime`], has two implementations:
+//! [`Runtime`], has three implementations:
 //!
 //! * [`Des`] — a deterministic **discrete-event simulator**: handlers run
 //!   immediately (real Rust code mutating real data), while their *cost* —
@@ -25,6 +25,15 @@
 //!   handler cost is *measured* wall-clock time, fed into the identical
 //!   instrumentation so the measurement-based load balancer runs from real
 //!   durations.
+//! * [`ProcRuntime`] — **real OS processes**, one per PE, exchanging
+//!   length-prefixed, CRC-checked frames of packed message bytes over Unix
+//!   domain sockets through a thin Converse-style comm layer. The closest
+//!   shape to the paper's multi-node deployments: PEs share nothing but
+//!   the wire (and the checkpoint directory), and a killed worker is a
+//!   real process failure the recovery path must survive.
+//!
+//! Payloads are owned wire bytes on every backend (see [`wire`]): one
+//! pack/unpack boundary, bit-identical trajectories across all three.
 //!
 //! ## Pieces
 //!
@@ -53,22 +62,24 @@ pub mod des;
 pub mod fault;
 pub mod ldb;
 pub mod msg;
+pub mod proc;
 pub mod runtime;
 pub mod sched;
 pub mod stats;
 pub mod threads;
 pub mod trace;
+pub mod wire;
 
 pub use chare::{Chare, Ctx, MulticastMode};
 pub use collectives::{tree_children, tree_depth, tree_parent, TreeNode};
 pub use des::Des;
 pub use fault::{FaultAction, FaultPlan, FaultRule};
 pub use ldb::{LdbDatabase, LdbSnapshot, ObjLoad};
-pub use msg::{
-    empty_payload, EntryId, ObjId, Payload, Pe, Priority, PRIO_HIGH, PRIO_LOW, PRIO_NORMAL,
-};
+pub use msg::{EntryId, ObjId, Payload, Pe, Priority, PRIO_HIGH, PRIO_LOW, PRIO_NORMAL};
+pub use proc::ProcRuntime;
 pub use runtime::{RunStall, Runtime};
 pub use sched::{SchedulePolicy, SchedulePolicyKind};
 pub use stats::SummaryStats;
 pub use threads::ThreadRuntime;
 pub use trace::{Histogram, Trace, TraceEvent};
+pub use wire::{Dec, Enc, EntryTable, WireCodec, WireError, WireMsg};

@@ -41,15 +41,12 @@ pub const PRIO_HIGH: Priority = -10;
 /// Priority for background/bookkeeping messages.
 pub const PRIO_LOW: Priority = 10;
 
-/// Opaque message payload: a boxed `Any` value the receiver downcasts.
-/// `Send` so the same payloads cross worker threads on the real-threads
-/// backend; the DES backend delivers them in-process.
-pub type Payload = Box<dyn std::any::Any + Send>;
-
-/// An empty payload for signal-only messages.
-pub fn empty_payload() -> Payload {
-    Box::new(())
-}
+/// Message payload: owned wire bytes. Message types implement
+/// [`WireCodec`](crate::wire::WireCodec) (`pack`/`unpack` on the `ckpt`
+/// little-endian codec), so the *same* bytes flow through the DES backend,
+/// the threads backend, and — framed over Unix domain sockets — the
+/// multi-process backend. Signal-only messages carry `Vec::new()`.
+pub type Payload = Vec<u8>;
 
 #[cfg(test)]
 mod tests {
@@ -69,8 +66,8 @@ mod tests {
     }
 
     #[test]
-    fn empty_payload_downcasts() {
-        let p = empty_payload();
-        assert!(p.downcast::<()>().is_ok());
+    fn signal_payloads_are_empty_byte_vectors() {
+        let p: Payload = Vec::new();
+        assert!(p.is_empty());
     }
 }

@@ -1,0 +1,1426 @@
+//! Multi-process execution backend: one OS process per PE, exchanging
+//! length-prefixed, CRC-checked frames of packed message bytes over Unix
+//! domain sockets.
+//!
+//! This is the closest shape in the repo to the paper's real deployments:
+//! PEs share *nothing* but the wire (and the filesystem), so every byte a
+//! handler consumes arrived as a packed [`WireMsg`] and every result the
+//! parent reads back crossed the process boundary explicitly — via
+//! [`Chare::harvest_state`] per object, or the runtime-level shared hooks
+//! ([`crate::Runtime::set_shared_hooks`]) for process-global accumulators.
+//!
+//! ## Topology and lifecycle
+//!
+//! The parent binds one `UnixListener` per PE *before* forking (no
+//! bind/connect race) and creates one socketpair control channel per
+//! child. Each child `p` connects to every lower-numbered peer's listener
+//! (announcing itself with a `Hello` frame) and accepts one connection
+//! from every higher-numbered peer — a full mesh of n−1 streams. After
+//! the mesh is up the child reports `Ready`; once all are ready the
+//! parent broadcasts `Go` with the pid map (kill faults need real pids).
+//! Bootstrap messages are inherited through `fork` — injection is
+//! parent-side by definition — and enqueued when `Go` arrives.
+//!
+//! A child runs one scheduler thread (prioritized heap, same dequeue key
+//! as the other backends) plus one reader thread per peer stream and one
+//! control-reader thread — a miniature Converse comm layer.
+//!
+//! ## Quiescence
+//!
+//! The parent runs a Mattern-style double poll over the control channels:
+//! it probes every child for `(idle, frames sent, frames received,
+//! handlers executed)` and declares quiescence only after two consecutive
+//! rounds that are identical, all-idle, and channel-balanced
+//! (Σsent = Σreceived). It then broadcasts `Drain`: each child discards
+//! whatever is still queued (counted as discarded), writes a `FlushMark`
+//! on every peer stream, waits until the matching `FlushMark` has arrived
+//! from each peer (counting stragglers as discarded too), ships its
+//! measurements and harvested state back in a `Results` frame, and
+//! `_exit`s. `Ctx::stop` short-circuits the poll: the stopping child
+//! reports `Stopped` and the parent drains everyone immediately.
+//!
+//! ## Failure semantics
+//!
+//! A [`FaultAction::Kill`] rule maps to a real `SIGKILL` of the
+//! destination child, delivered by the *sending* child (it has the pid
+//! map). The parent observes the death — a `Killed` control frame from
+//! the sender, the victim's control-stream EOF, and `waitpid` — fells the
+//! remaining children, and returns [`RunStall`] with
+//! [`ProcRuntime::crashed`] set, exactly the contract the
+//! checkpoint/recovery layer expects. A crashed run's statistics are
+//! necessarily partial: the dead processes take their counters with
+//! them. Other fault actions (drop/dup/delay/corrupt) are rejected at
+//! plan installation — they are exercised on the DES and threads
+//! backends, and wire corruption is already covered end-to-end by the
+//! frame CRC. Fault occurrence counters are per-process here, so scope
+//! rules with `src=` when exact occurrence windows matter.
+//!
+//! ## State return
+//!
+//! Handlers mutate memory owned by a *child*; the parent's copies are
+//! untouched (copy-on-write). After a clean drain each child harvests
+//! every object it owns ([`Chare::harvest_state`]) plus the shared hook,
+//! and the parent applies the bytes in PE order
+//! ([`Chare::merge_state`] / the merge hook) — so `Runtime::object` reads
+//! the post-run state just as on the shared-memory backends, provided the
+//! chare implements the pair. Filesystem effects (checkpoints) need no
+//! harvesting: children write them durably in place.
+
+use crate::chare::{Chare, Ctx};
+use crate::fault::{FaultAction, FaultPlan, FaultState};
+use crate::ldb::LdbDatabase;
+use crate::msg::{EntryId, ObjId, Payload, Pe, Priority};
+use crate::runtime::{RunStall, Runtime};
+use crate::sched::SchedulePolicy;
+use crate::stats::SummaryStats;
+use crate::trace::{Trace, TraceEvent};
+use crate::wire::{read_frame, write_frame, Dec, Enc, WireCodec, WireError, WireMsg};
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+use std::io::Write as _;
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering as AtOrd};
+use std::sync::mpsc;
+use std::sync::{Condvar, Mutex};
+use std::time::{Duration, Instant, SystemTime, UNIX_EPOCH};
+
+// ---------------------------------------------------------------------------
+// Minimal libc surface. The build has no `libc` crate; these five calls
+// are all the process management the backend needs.
+extern "C" {
+    fn fork() -> i32;
+    fn waitpid(pid: i32, status: *mut i32, options: i32) -> i32;
+    fn kill(pid: i32, sig: i32) -> i32;
+    fn getpid() -> i32;
+    fn _exit(code: i32) -> !;
+}
+
+const WNOHANG: i32 = 1;
+const SIGKILL: i32 = 9;
+
+/// `WIFSIGNALED` without libc: low 7 bits are the terminating signal and
+/// the value is neither "exited" (0) nor "stopped" (0x7f).
+fn term_signal(status: i32) -> Option<i32> {
+    let sig = status & 0x7f;
+    if sig != 0 && sig != 0x7f {
+        Some(sig)
+    } else {
+        None
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Frame tags. Control frames flow on the per-child socketpair; peer
+// frames on the mesh streams. One tag byte, then a tag-specific body.
+const TAG_GO: u8 = 0;
+const TAG_PROBE: u8 = 1;
+const TAG_DRAIN: u8 = 2;
+const TAG_READY: u8 = 3;
+const TAG_STATUS: u8 = 4;
+const TAG_STOPPED: u8 = 5;
+const TAG_KILLED: u8 = 6;
+const TAG_RESULTS: u8 = 7;
+const TAG_MSG: u8 = 8;
+const TAG_FLUSH: u8 = 9;
+const TAG_HELLO: u8 = 10;
+
+/// A queued message awaiting execution inside a worker process. Identical
+/// ordering contract to the threads backend's queue entry.
+struct PMsg {
+    key: (i64, u64),
+    seq: u64,
+    priority: Priority,
+    bytes: usize,
+    to: ObjId,
+    entry: EntryId,
+    payload: Payload,
+    path: f64,
+}
+
+impl PartialEq for PMsg {
+    fn eq(&self, other: &Self) -> bool {
+        self.key == other.key && self.seq == other.seq
+    }
+}
+impl Eq for PMsg {}
+impl PartialOrd for PMsg {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for PMsg {
+    // Max-heap → invert for smallest (key, seq) first.
+    fn cmp(&self, other: &Self) -> Ordering {
+        (other.key, other.seq).cmp(&(self.key, self.seq))
+    }
+}
+
+/// State shared between a child's scheduler, its peer readers, and its
+/// control reader.
+struct ChildShared {
+    heap: Mutex<BinaryHeap<PMsg>>,
+    available: Condvar,
+    seq: AtomicU64,
+    /// Scheduler is between a dequeue and finishing that handler's sends.
+    /// Set while the heap lock is held at dequeue, so `idle` can never
+    /// observe "empty heap, not busy" mid-handler.
+    busy: AtomicBool,
+    /// Parent ordered a drain (quiescence or stop).
+    drain: AtomicBool,
+    /// `FlushMark` received from this peer (self slot starts true).
+    flush_seen: Vec<AtomicBool>,
+    /// Cross-process message frames written to / read from peers.
+    sent_x: AtomicU64,
+    recv_x: AtomicU64,
+    /// Handler executions completed.
+    executed: AtomicU64,
+    policy: SchedulePolicy,
+}
+
+impl ChildShared {
+    fn enqueue(
+        &self,
+        priority: Priority,
+        bytes: usize,
+        to: ObjId,
+        entry: EntryId,
+        payload: Payload,
+        path: f64,
+    ) {
+        let seq = self.seq.fetch_add(1, AtOrd::SeqCst);
+        let key = self.policy.key(priority, seq);
+        let mut heap = self.heap.lock().unwrap();
+        heap.push(PMsg { key, seq, priority, bytes, to, entry, payload, path });
+        self.available.notify_all();
+    }
+
+    fn idle(&self) -> bool {
+        let heap = self.heap.lock().unwrap();
+        heap.is_empty() && !self.busy.load(AtOrd::SeqCst)
+    }
+}
+
+/// One child's measurements and harvested state, decoded from `Results`.
+struct ChildResults {
+    pe: Pe,
+    busy: f64,
+    last_end: f64,
+    critical_path: f64,
+    executed: u64,
+    discarded: u64,
+    msgs_sent: u64,
+    bytes_sent: u64,
+    entry_time: Vec<f64>,
+    entry_count: Vec<u64>,
+    wire_msgs: Vec<u64>,
+    wire_bytes: Vec<u64>,
+    obj_secs: Vec<(ObjId, f64)>,
+    trace: Vec<TraceEvent>,
+    harvests: Vec<(ObjId, Vec<u8>)>,
+    shared: Vec<u8>,
+}
+
+impl ChildResults {
+    fn decode(bytes: &[u8], n_entries: usize) -> Result<ChildResults, WireError> {
+        let mut d = Dec::new(bytes);
+        let pe = d.u32("pe")? as usize;
+        let busy = d.f64("busy")?;
+        let last_end = d.f64("last_end")?;
+        let critical_path = d.f64("critical_path")?;
+        let executed = d.u64("executed")?;
+        let discarded = d.u64("discarded")?;
+        let msgs_sent = d.u64("msgs_sent")?;
+        let bytes_sent = d.u64("bytes_sent")?;
+        let mut entry_time = Vec::with_capacity(n_entries);
+        let mut entry_count = Vec::with_capacity(n_entries);
+        let mut wire_msgs = Vec::with_capacity(n_entries);
+        let mut wire_bytes = Vec::with_capacity(n_entries);
+        for _ in 0..n_entries {
+            entry_time.push(d.f64("entry_time")?);
+            entry_count.push(d.u64("entry_count")?);
+            wire_msgs.push(d.u64("wire_msgs")?);
+            wire_bytes.push(d.u64("wire_bytes")?);
+        }
+        let n_obj = d.u64("n_obj_secs")? as usize;
+        let mut obj_secs = Vec::with_capacity(n_obj);
+        for _ in 0..n_obj {
+            obj_secs.push((ObjId(d.u32("obj")?), d.f64("secs")?));
+        }
+        let n_trace = d.u64("n_trace")? as usize;
+        let mut trace = Vec::with_capacity(n_trace);
+        for _ in 0..n_trace {
+            trace.push(TraceEvent {
+                pe,
+                obj: ObjId(d.u32("t_obj")?),
+                entry: EntryId(d.u16("t_entry")?),
+                start: d.f64("t_start")?,
+                end: d.f64("t_end")?,
+                wall: d.f64("t_wall")?,
+            });
+        }
+        let n_harvest = d.u64("n_harvest")? as usize;
+        let mut harvests = Vec::with_capacity(n_harvest);
+        for _ in 0..n_harvest {
+            harvests.push((ObjId(d.u32("h_obj")?), d.bytes("h_state")?));
+        }
+        let shared = d.bytes("shared")?;
+        if d.remaining() != 0 {
+            return Err(WireError(format!("{} trailing bytes in Results", d.remaining())));
+        }
+        Ok(ChildResults {
+            pe,
+            busy,
+            last_end,
+            critical_path,
+            executed,
+            discarded,
+            msgs_sent,
+            bytes_sent,
+            entry_time,
+            entry_count,
+            wire_msgs,
+            wire_bytes,
+            obj_secs,
+            trace,
+            harvests,
+            shared,
+        })
+    }
+}
+
+/// Events the parent's per-child control readers feed into its main loop.
+enum Event {
+    Ready(Pe),
+    Status { pe: Pe, round: u64, idle: bool, sent: u64, recv: u64, executed: u64 },
+    Stopped(Pe),
+    Killed { dst: Pe },
+    Results(Pe, Vec<u8>),
+    /// Control stream closed or errored before `Results` arrived.
+    Gone(Pe),
+}
+
+/// Multi-process [`Runtime`] backend. See the module docs.
+pub struct ProcRuntime {
+    n_pes: usize,
+    objects: Vec<Option<Box<dyn Chare>>>,
+    obj_pe: Vec<Pe>,
+    injected: Vec<(ObjId, EntryId, usize, Priority, Payload, f64)>,
+    tracing: bool,
+    policy: SchedulePolicy,
+    fault: Option<FaultState>,
+    /// Where the per-PE listener sockets live. Unix socket paths are
+    /// limited to ~107 bytes, so this defaults to a short directory under
+    /// the system temp dir, unique per runtime.
+    socket_dir: PathBuf,
+    /// No-progress window after which the run is declared stalled and the
+    /// children felled. Generous: real processes start slowly.
+    stall_timeout: Duration,
+    harvest_hook: Option<Box<dyn Fn() -> Payload + Send + Sync>>,
+    merge_hook: Option<Box<dyn FnMut(Pe, &[u8]) -> Result<(), WireError> + Send>>,
+    /// Summary-profile instrumentation (measured wall-clock, merged from
+    /// the children's `Results` frames).
+    pub stats: SummaryStats,
+    /// Full event trace (opt-in via `set_tracing`).
+    pub trace: Trace,
+    /// Load-balancing measurement database (measured wall-clock).
+    pub ldb: LdbDatabase,
+    crashed: Option<Pe>,
+}
+
+/// Distinguishes concurrently-constructed runtimes in one parent process.
+static DIR_COUNTER: AtomicU64 = AtomicU64::new(0);
+
+impl ProcRuntime {
+    /// Create a runtime that will fork `n_pes` worker processes per run.
+    pub fn new(n_pes: usize) -> Self {
+        assert!(n_pes > 0, "need at least one worker process");
+        let dir = std::env::temp_dir().join(format!(
+            "namd-proc-{}-{}",
+            unsafe { getpid() },
+            DIR_COUNTER.fetch_add(1, AtOrd::SeqCst)
+        ));
+        ProcRuntime {
+            n_pes,
+            objects: Vec::new(),
+            obj_pe: Vec::new(),
+            injected: Vec::new(),
+            tracing: false,
+            policy: SchedulePolicy::default(),
+            fault: None,
+            socket_dir: dir,
+            stall_timeout: Duration::from_millis(2000),
+            harvest_hook: None,
+            merge_hook: None,
+            stats: SummaryStats::new(n_pes),
+            trace: Trace::default(),
+            ldb: LdbDatabase::new(n_pes),
+            crashed: None,
+        }
+    }
+
+    /// Number of worker processes per run.
+    pub fn n_pes(&self) -> usize {
+        self.n_pes
+    }
+
+    /// Override where the per-PE listener sockets are created. Keep it
+    /// short: Unix socket paths are limited to ~107 bytes.
+    pub fn set_socket_dir(&mut self, dir: PathBuf) {
+        self.socket_dir = dir;
+    }
+
+    /// The PE whose process died during any run of this runtime, if any.
+    pub fn crashed(&self) -> Option<Pe> {
+        self.crashed
+    }
+
+    /// Set the schedule-perturbation policy for subsequent deliveries.
+    pub fn set_schedule_policy(&mut self, policy: SchedulePolicy) {
+        self.policy = policy;
+    }
+
+    /// Install a fault plan. Only [`FaultAction::Kill`] rules are
+    /// supported on this backend (see the module docs); panics on other
+    /// actions or on a rule naming an unregistered entry method.
+    pub fn set_fault_plan(&mut self, plan: FaultPlan) {
+        assert!(
+            plan.rules.iter().all(|r| r.action == FaultAction::Kill),
+            "the proc backend supports kill fault rules only"
+        );
+        self.fault =
+            Some(FaultState::install(plan, &self.stats.entry_names).expect("bad fault plan"));
+    }
+
+    /// Shrink the no-progress watchdog window (tests; default 2 s).
+    pub fn set_stall_timeout(&mut self, timeout: Duration) {
+        self.stall_timeout = timeout;
+    }
+
+    /// Run to quiescence (or `Ctx::stop`) on real worker processes.
+    /// Returns the makespan: the latest handler end time in wall seconds
+    /// from a child epoch. Panics on a stall — use
+    /// [`ProcRuntime::try_run`] when kills are expected.
+    pub fn run(&mut self) -> f64 {
+        self.try_run().expect("quiescence unreachable")
+    }
+
+    /// Like [`ProcRuntime::run`], but a wedged or crashed run is returned
+    /// as [`RunStall`] (check [`ProcRuntime::crashed`] to tell a real
+    /// process death from a stall). Unlike the shared-memory backends, a
+    /// crashed run loses the children's in-memory state — recover from a
+    /// checkpoint, not by redelivery.
+    pub fn try_run(&mut self) -> Result<f64, RunStall> {
+        if self.injected.is_empty() {
+            return Ok(0.0);
+        }
+        std::fs::create_dir_all(&self.socket_dir)
+            .unwrap_or_else(|e| panic!("cannot create socket dir {:?}: {e}", self.socket_dir));
+
+        // Bind every listener and build every control pair *before* the
+        // first fork: children connect to already-bound sockets (the
+        // backlog holds early connects) and inherit their own pair end.
+        let listeners: Vec<UnixListener> = (0..self.n_pes)
+            .map(|p| {
+                let path = self.sock_path(p);
+                let _ = std::fs::remove_file(&path);
+                UnixListener::bind(&path).unwrap_or_else(|e| panic!("cannot bind {path:?}: {e}"))
+            })
+            .collect();
+        let mut pairs: Vec<Option<(UnixStream, UnixStream)>> = (0..self.n_pes)
+            .map(|_| Some(UnixStream::pair().expect("socketpair failed")))
+            .collect();
+
+        // Route bootstrap messages to their destination PE; each child
+        // inherits its slice through fork.
+        let mut bootstrap: Vec<Vec<PMsg>> = (0..self.n_pes).map(|_| Vec::new()).collect();
+        let injected: Vec<_> = self.injected.drain(..).collect();
+        self.stats.msgs_injected += injected.len() as u64;
+        for (to, entry, bytes, priority, payload, path) in injected {
+            let dst = self.obj_pe[to.idx()];
+            // key/seq are assigned at enqueue time in the child.
+            bootstrap[dst].push(PMsg { key: (0, 0), seq: 0, priority, bytes, to, entry, payload, path });
+        }
+
+        // Flush inherited stdio buffers so children don't replay them.
+        let _ = std::io::stdout().flush();
+        let _ = std::io::stderr().flush();
+
+        let mut pids: Vec<i32> = Vec::with_capacity(self.n_pes);
+        for p in 0..self.n_pes {
+            let pid = unsafe { fork() };
+            assert!(pid >= 0, "fork failed");
+            if pid == 0 {
+                // Child: shed every inherited stream that is not ours,
+                // then never return — even on panic — so the parent's
+                // test harness or CLI is never re-entered from here.
+                let my_ctrl = pairs[p].take().map(|(_parent, child)| child).unwrap();
+                drop(pairs);
+                let my_boot = std::mem::take(&mut bootstrap[p]);
+                drop(bootstrap);
+                let my_listener = listeners.into_iter().nth(p).unwrap();
+                let ok = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    self.child_main(p, my_listener, my_ctrl, my_boot)
+                }))
+                .is_ok();
+                let _ = std::io::stderr().flush();
+                unsafe { _exit(if ok { 0 } else { 101 }) }
+            }
+            pids.push(pid);
+        }
+        // Parent: close the children's pair ends and the listeners.
+        drop(listeners);
+        let ctrls: Vec<UnixStream> = pairs.into_iter().map(|pair| pair.unwrap().0).collect();
+        let outcome = self.parent_loop(ctrls, pids);
+        for p in 0..self.n_pes {
+            let _ = std::fs::remove_file(self.sock_path(p));
+        }
+        outcome
+    }
+
+    fn sock_path(&self, pe: Pe) -> PathBuf {
+        self.socket_dir.join(format!("pe{pe}.sock"))
+    }
+
+    // -----------------------------------------------------------------
+    // Parent side.
+
+    fn parent_loop(&mut self, ctrls: Vec<UnixStream>, pids: Vec<i32>) -> Result<f64, RunStall> {
+        let n = self.n_pes;
+        let (tx, rx) = mpsc::channel::<Event>();
+        let mut writers: Vec<UnixStream> = Vec::with_capacity(n);
+        let mut reader_handles = Vec::with_capacity(n);
+        for (pe, ctrl) in ctrls.into_iter().enumerate() {
+            let reader = ctrl.try_clone().expect("ctrl clone failed");
+            writers.push(ctrl);
+            let tx = tx.clone();
+            reader_handles.push(std::thread::spawn(move || parent_reader(pe, reader, tx)));
+        }
+        drop(tx);
+
+        let mut ready = vec![false; n];
+        let mut results: Vec<Option<ChildResults>> = (0..n).map(|_| None).collect();
+        let mut reaped = vec![false; n];
+        let mut run_killed = 0u64;
+        let mut run_dropped = 0u64;
+        let mut crashed: Option<Pe> = None;
+        let mut drain_sent = false;
+        // Double-poll state: the probe round in flight, this round's
+        // statuses, and the last complete round for the stability check.
+        let mut round: u64 = 0;
+        let mut cur: Vec<Option<(bool, u64, u64, u64)>> = vec![None; n];
+        let mut prev_round: Option<Vec<(bool, u64, u64, u64)>> = None;
+        let mut last_progress = Instant::now();
+        let mut last_executed_sum = 0u64;
+        let epoch = Instant::now();
+
+        fn send_all(writers: &mut [UnixStream], body: &[u8]) {
+            for w in writers.iter_mut() {
+                let _ = write_frame(w, body);
+            }
+        }
+
+        loop {
+            // Reap any dead children; a death before Results is a crash.
+            for p in 0..n {
+                if reaped[p] {
+                    continue;
+                }
+                let mut status = 0i32;
+                let r = unsafe { waitpid(pids[p], &mut status, WNOHANG) };
+                if r == pids[p] {
+                    reaped[p] = true;
+                    if term_signal(status).is_some() && results[p].is_none() {
+                        crashed.get_or_insert(p);
+                    }
+                }
+            }
+            if let Some(first_dead) = crashed {
+                // Fell the survivors: without the dead PE quiescence is
+                // unreachable, and the recovery layer restarts from a
+                // checkpoint anyway.
+                for p in 0..n {
+                    if !reaped[p] {
+                        unsafe { kill(pids[p], SIGKILL) };
+                    }
+                }
+                finish_run(&mut reaped, &pids, &mut reader_handles);
+                self.crashed = self.crashed.or(Some(first_dead));
+                self.stats.pes_killed += run_killed.max(1);
+                self.stats.msgs_dropped += run_dropped;
+                return Err(RunStall {
+                    makespan: epoch.elapsed().as_secs_f64(),
+                    in_flight: 1,
+                    undelivered: 0,
+                });
+            }
+
+            match rx.recv_timeout(Duration::from_millis(2)) {
+                Ok(Event::Ready(pe)) => {
+                    ready[pe] = true;
+                    if ready.iter().all(|&r| r) {
+                        // Everyone's mesh is up: release the herd with the
+                        // pid map, then start probing.
+                        let mut e = Enc::new();
+                        e.u8(TAG_GO);
+                        for &pid in &pids {
+                            e.i32(pid);
+                        }
+                        send_all(&mut writers, &e.0);
+                        last_progress = Instant::now();
+                        round = 1;
+                        send_all(&mut writers, &probe_frame(round));
+                    }
+                }
+                Ok(Event::Status { pe, round: r, idle, sent, recv, executed }) => {
+                    if r == round {
+                        cur[pe] = Some((idle, sent, recv, executed));
+                    }
+                    if !drain_sent && cur.iter().all(|s| s.is_some()) {
+                        let snapshot: Vec<_> = cur.iter().map(|s| s.unwrap()).collect();
+                        let executed_sum: u64 = snapshot.iter().map(|s| s.3).sum();
+                        if executed_sum != last_executed_sum {
+                            last_executed_sum = executed_sum;
+                            last_progress = Instant::now();
+                        }
+                        let all_idle = snapshot.iter().all(|s| s.0);
+                        let sent_sum: u64 = snapshot.iter().map(|s| s.1).sum();
+                        let recv_sum: u64 = snapshot.iter().map(|s| s.2).sum();
+                        let stable = prev_round.as_deref() == Some(&snapshot[..]);
+                        if all_idle && sent_sum == recv_sum && stable {
+                            drain_sent = true;
+                            send_all(&mut writers, &[TAG_DRAIN]);
+                        } else {
+                            prev_round = Some(snapshot);
+                            cur.iter_mut().for_each(|s| *s = None);
+                            round += 1;
+                            std::thread::sleep(Duration::from_millis(1));
+                            send_all(&mut writers, &probe_frame(round));
+                        }
+                    }
+                }
+                Ok(Event::Stopped(_pe)) => {
+                    if !drain_sent {
+                        drain_sent = true;
+                        send_all(&mut writers, &[TAG_DRAIN]);
+                    }
+                }
+                Ok(Event::Killed { dst }) => {
+                    run_killed += 1;
+                    run_dropped += 1;
+                    crashed.get_or_insert(dst);
+                }
+                Ok(Event::Results(pe, bytes)) => {
+                    let n_entries = self.stats.entry_names.len();
+                    match ChildResults::decode(&bytes, n_entries) {
+                        Ok(r) => results[pe] = Some(r),
+                        Err(e) => panic!("malformed Results frame from PE {pe}: {e}"),
+                    }
+                    if results.iter().all(|r| r.is_some()) {
+                        finish_run(&mut reaped, &pids, &mut reader_handles);
+                        let makespan = self
+                            .merge_results(results.into_iter().map(Option::unwrap).collect());
+                        return Ok(makespan);
+                    }
+                }
+                Ok(Event::Gone(pe)) => {
+                    if results[pe].is_none() {
+                        crashed.get_or_insert(pe);
+                    }
+                }
+                Err(mpsc::RecvTimeoutError::Timeout) => {}
+                Err(mpsc::RecvTimeoutError::Disconnected) => {
+                    if let Some(first) = results.iter().position(|r| r.is_none()) {
+                        crashed.get_or_insert(first);
+                    }
+                }
+            }
+
+            if last_progress.elapsed() >= self.stall_timeout {
+                for p in 0..n {
+                    if !reaped[p] {
+                        unsafe { kill(pids[p], SIGKILL) };
+                    }
+                }
+                finish_run(&mut reaped, &pids, &mut reader_handles);
+                self.stats.pes_killed += run_killed;
+                self.stats.msgs_dropped += run_dropped;
+                self.crashed = self.crashed.or(crashed);
+                return Err(RunStall {
+                    makespan: epoch.elapsed().as_secs_f64(),
+                    in_flight: 0,
+                    undelivered: 0,
+                });
+            }
+        }
+    }
+
+    /// Fold the children's `Results` frames into the runtime's
+    /// instrumentation, per-object harvested state, and shared hooks.
+    fn merge_results(&mut self, mut results: Vec<ChildResults>) -> f64 {
+        results.sort_by_key(|r| r.pe);
+        let mut makespan = 0.0f64;
+        for r in results {
+            self.stats.pe_busy[r.pe] += r.busy;
+            self.stats.critical_path = self.stats.critical_path.max(r.critical_path);
+            for i in 0..r.entry_time.len() {
+                self.stats.entry_time[i] += r.entry_time[i];
+                self.stats.entry_count[i] += r.entry_count[i];
+                self.stats.entry_wire_msgs[i] += r.wire_msgs[i];
+                self.stats.entry_wire_bytes[i] += r.wire_bytes[i];
+            }
+            self.stats.msgs_sent += r.msgs_sent;
+            self.stats.bytes_sent += r.bytes_sent;
+            self.stats.msgs_received += r.executed;
+            self.stats.msgs_discarded += r.discarded;
+            for (obj, secs) in r.obj_secs {
+                self.ldb.attribute(obj, r.pe, secs);
+            }
+            if self.tracing {
+                for ev in r.trace {
+                    self.trace.record(ev);
+                }
+            }
+            for (obj, bytes) in r.harvests {
+                self.objects[obj.idx()]
+                    .as_deref_mut()
+                    .expect("harvest for unregistered object")
+                    .merge_state(&bytes)
+                    .unwrap_or_else(|e| panic!("merge_state failed for {obj:?}: {e}"));
+            }
+            if let Some(merge) = self.merge_hook.as_mut() {
+                merge(r.pe, &r.shared)
+                    .unwrap_or_else(|e| panic!("shared merge failed for PE {}: {e}", r.pe));
+            }
+            makespan = makespan.max(r.last_end);
+        }
+        makespan
+    }
+
+    // -----------------------------------------------------------------
+    // Child side.
+
+    /// Everything one worker process does, from mesh setup to `Results`.
+    /// The caller `_exit`s when this returns (or panics).
+    fn child_main(
+        &mut self,
+        pe: Pe,
+        listener: UnixListener,
+        ctrl: UnixStream,
+        bootstrap: Vec<PMsg>,
+    ) {
+        // Build the peer mesh: connect downward, accept upward.
+        let mut peers: Vec<Option<UnixStream>> = (0..self.n_pes).map(|_| None).collect();
+        for q in 0..pe {
+            let mut s = UnixStream::connect(self.sock_path(q))
+                .unwrap_or_else(|e| panic!("PE {pe}: connect to {q} failed: {e}"));
+            let mut hello = Enc::new();
+            hello.u8(TAG_HELLO);
+            hello.u32(pe as u32);
+            write_frame(&mut s, &hello.0).expect("hello write failed");
+            peers[q] = Some(s);
+        }
+        for _ in pe + 1..self.n_pes {
+            let (mut s, _) = listener.accept().expect("accept failed");
+            let body = read_frame(&mut s)
+                .expect("hello read failed")
+                .expect("peer closed before hello");
+            let mut d = Dec::new(&body);
+            assert_eq!(d.u8("tag").unwrap(), TAG_HELLO, "expected Hello");
+            let q = d.u32("peer").unwrap() as usize;
+            peers[q] = Some(s);
+        }
+        drop(listener);
+
+        let mut ctrl_write = ctrl.try_clone().expect("ctrl clone failed");
+        let mut ctrl_read = ctrl;
+        write_frame(&mut ctrl_write, &[TAG_READY]).expect("ready write failed");
+
+        // Block until Go: the pid map. Bootstrap messages were inherited.
+        let go = read_frame(&mut ctrl_read)
+            .expect("go read failed")
+            .expect("parent closed before go");
+        let mut d = Dec::new(&go);
+        assert_eq!(d.u8("tag").unwrap(), TAG_GO, "expected Go");
+        let pids: Vec<i32> = (0..self.n_pes).map(|_| d.i32("pid").unwrap()).collect();
+
+        let shared = ChildShared {
+            heap: Mutex::new(BinaryHeap::new()),
+            available: Condvar::new(),
+            seq: AtomicU64::new(0),
+            busy: AtomicBool::new(false),
+            drain: AtomicBool::new(false),
+            flush_seen: (0..self.n_pes).map(|q| AtomicBool::new(q == pe)).collect(),
+            sent_x: AtomicU64::new(0),
+            recv_x: AtomicU64::new(0),
+            executed: AtomicU64::new(0),
+            policy: self.policy,
+        };
+        for m in bootstrap {
+            shared.enqueue(m.priority, m.bytes, m.to, m.entry, m.payload, m.path);
+        }
+
+        let ctrl_mutex = Mutex::new(ctrl_write);
+        std::thread::scope(|scope| {
+            // Peer readers: decode frames into the scheduler heap.
+            for (q, stream) in peers.iter().enumerate() {
+                let Some(stream) = stream.as_ref() else { continue };
+                let mut rd = stream.try_clone().expect("peer clone failed");
+                let shared = &shared;
+                scope.spawn(move || loop {
+                    match read_frame(&mut rd) {
+                        Ok(Some(body)) => match body.first().copied() {
+                            Some(TAG_MSG) => {
+                                let m = WireMsg::unpack(&body[1..]).expect("bad wire msg");
+                                shared.recv_x.fetch_add(1, AtOrd::SeqCst);
+                                shared.enqueue(
+                                    m.priority,
+                                    m.bytes as usize,
+                                    m.to,
+                                    m.entry,
+                                    m.payload,
+                                    m.path,
+                                );
+                            }
+                            Some(TAG_FLUSH) => {
+                                shared.flush_seen[q].store(true, AtOrd::SeqCst);
+                                return;
+                            }
+                            t => panic!("unexpected peer frame tag {t:?}"),
+                        },
+                        // Peer death (or torn stream): no more can arrive.
+                        Ok(None) | Err(_) => {
+                            shared.flush_seen[q].store(true, AtOrd::SeqCst);
+                            return;
+                        }
+                    }
+                });
+            }
+            // Control reader: answer probes, latch the drain flag.
+            {
+                let shared = &shared;
+                let ctrl_mutex = &ctrl_mutex;
+                scope.spawn(move || loop {
+                    match read_frame(&mut ctrl_read) {
+                        Ok(Some(body)) => match body.first().copied() {
+                            Some(TAG_PROBE) => {
+                                let mut d = Dec::new(&body[1..]);
+                                let round = d.u64("round").unwrap_or(0);
+                                let mut e = Enc::new();
+                                e.u8(TAG_STATUS);
+                                e.u64(round);
+                                e.u8(shared.idle() as u8);
+                                e.u64(shared.sent_x.load(AtOrd::SeqCst));
+                                e.u64(shared.recv_x.load(AtOrd::SeqCst));
+                                e.u64(shared.executed.load(AtOrd::SeqCst));
+                                let mut w = ctrl_mutex.lock().unwrap();
+                                if write_frame(&mut *w, &e.0).is_err() {
+                                    return;
+                                }
+                            }
+                            Some(TAG_DRAIN) => {
+                                shared.drain.store(true, AtOrd::SeqCst);
+                                let _guard = shared.heap.lock().unwrap();
+                                shared.available.notify_all();
+                                return;
+                            }
+                            t => panic!("unexpected control frame tag {t:?}"),
+                        },
+                        Ok(None) | Err(_) => return,
+                    }
+                });
+            }
+            // The scheduler runs on this (main) thread.
+            self.child_scheduler(pe, &shared, &mut peers, &pids, &ctrl_mutex);
+        });
+    }
+
+    /// The child's per-PE scheduler: pop, execute, route sends; on drain,
+    /// flush the mesh and ship `Results`.
+    fn child_scheduler(
+        &mut self,
+        pe: Pe,
+        shared: &ChildShared,
+        peers: &mut [Option<UnixStream>],
+        pids: &[i32],
+        ctrl: &Mutex<UnixStream>,
+    ) {
+        let n_entries = self.stats.entry_names.len();
+        let epoch = Instant::now();
+        let epoch_wall = SystemTime::now()
+            .duration_since(UNIX_EPOCH)
+            .map(|d| d.as_secs_f64())
+            .unwrap_or(0.0);
+        let mut busy = 0.0f64;
+        let mut last_end = 0.0f64;
+        let mut critical_path = 0.0f64;
+        let mut entry_time = vec![0.0f64; n_entries];
+        let mut entry_count = vec![0u64; n_entries];
+        let mut wire_msgs = vec![0u64; n_entries];
+        let mut wire_bytes = vec![0u64; n_entries];
+        let mut msgs_sent = 0u64;
+        let mut bytes_sent = 0u64;
+        let mut discarded = 0u64;
+        let mut obj_secs: Vec<(ObjId, f64)> = Vec::new();
+        let mut trace: Vec<TraceEvent> = Vec::new();
+        let mut stopped = false;
+
+        loop {
+            // Dequeue the next message, or learn we must drain. `busy` is
+            // raised under the heap lock so the probe responder can never
+            // see "empty and not busy" while a handler is pending.
+            let msg = {
+                let mut heap = shared.heap.lock().unwrap();
+                loop {
+                    if shared.drain.load(AtOrd::SeqCst) {
+                        discarded += heap.len() as u64;
+                        heap.clear();
+                        break None;
+                    }
+                    if !stopped {
+                        if let Some(m) = heap.pop() {
+                            shared.busy.store(true, AtOrd::SeqCst);
+                            break Some(m);
+                        }
+                    }
+                    let (guard, _) =
+                        shared.available.wait_timeout(heap, Duration::from_millis(50)).unwrap();
+                    heap = guard;
+                }
+            };
+            let Some(msg) = msg else { break };
+
+            let start = epoch.elapsed().as_secs_f64();
+            let mut ctx = Ctx::new(pe, start, msg.to, self.n_pes);
+            ctx.distributed = true;
+            let obj = self.objects[msg.to.idx()]
+                .as_deref_mut()
+                .expect("message routed to a process that does not own the object");
+            obj.receive(msg.entry, msg.payload, &mut ctx);
+            let end = epoch.elapsed().as_secs_f64();
+
+            let secs = end - start;
+            let end_path = msg.path + secs;
+            critical_path = critical_path.max(end_path);
+            busy += secs;
+            entry_time[msg.entry.idx()] += secs;
+            entry_count[msg.entry.idx()] += 1;
+            obj_secs.push((msg.to, secs));
+            last_end = last_end.max(end);
+            if self.tracing {
+                trace.push(TraceEvent {
+                    pe,
+                    obj: msg.to,
+                    entry: msg.entry,
+                    start,
+                    end,
+                    wall: epoch_wall + start,
+                });
+            }
+            shared.executed.fetch_add(1, AtOrd::SeqCst);
+
+            let stop = ctx.stop;
+            for s in ctx.sends.drain(..) {
+                msgs_sent += 1;
+                bytes_sent += s.bytes as u64;
+                wire_msgs[s.entry.idx()] += 1;
+                wire_bytes[s.entry.idx()] += s.payload.len() as u64;
+                let dst = self.obj_pe[s.to.idx()];
+                let fate = self.fault.as_mut().and_then(|f| f.decide(s.entry, pe, dst));
+                if matches!(fate, Some(FaultAction::Kill)) {
+                    // A real process death: SIGKILL the destination; the
+                    // message dies with it. Tell the parent which PE we
+                    // felled *first*, so the crash is attributed even if
+                    // the waitpid race is lost (the Killed frame is
+                    // already buffered when we kill — even ourselves).
+                    let mut e = Enc::new();
+                    e.u8(TAG_KILLED);
+                    e.u32(dst as u32);
+                    {
+                        let mut w = ctrl.lock().unwrap();
+                        let _ = write_frame(&mut *w, &e.0);
+                    }
+                    unsafe { kill(pids[dst], SIGKILL) };
+                    continue;
+                }
+                if dst == pe {
+                    shared.enqueue(s.priority, s.bytes, s.to, s.entry, s.payload, end_path);
+                } else {
+                    let m = WireMsg {
+                        to: s.to,
+                        entry: s.entry,
+                        src: pe,
+                        dst,
+                        priority: s.priority,
+                        bytes: s.bytes as u64,
+                        path: end_path,
+                        payload: s.payload,
+                    };
+                    let mut body = Vec::with_capacity(64 + m.payload.len());
+                    body.push(TAG_MSG);
+                    body.extend_from_slice(&m.pack());
+                    shared.sent_x.fetch_add(1, AtOrd::SeqCst);
+                    let stream = peers[dst].as_mut().expect("no stream to peer");
+                    if write_frame(stream, &body).is_err() {
+                        // Peer died mid-send (a kill rule fired): this
+                        // process can make no further progress.
+                        unsafe { _exit(3) }
+                    }
+                }
+            }
+            shared.busy.store(false, AtOrd::SeqCst);
+            if stop && !stopped {
+                stopped = true;
+                let mut w = ctrl.lock().unwrap();
+                let _ = write_frame(&mut *w, &[TAG_STOPPED]);
+            }
+        }
+
+        // Drain: mark every outgoing stream, then wait until every peer's
+        // mark has arrived — stream FIFO order guarantees no message from
+        // that peer can still be in flight behind its mark.
+        for stream in peers.iter_mut().flatten() {
+            let _ = write_frame(stream, &[TAG_FLUSH]);
+        }
+        while !shared.flush_seen.iter().all(|f| f.load(AtOrd::SeqCst)) {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        {
+            let mut heap = shared.heap.lock().unwrap();
+            discarded += heap.len() as u64;
+            heap.clear();
+        }
+
+        // Ship measurements and harvested state back to the parent.
+        let mut e = Enc::new();
+        e.u8(TAG_RESULTS);
+        e.u32(pe as u32);
+        e.f64(busy);
+        e.f64(last_end);
+        e.f64(critical_path);
+        e.u64(shared.executed.load(AtOrd::SeqCst));
+        e.u64(discarded);
+        e.u64(msgs_sent);
+        e.u64(bytes_sent);
+        for i in 0..n_entries {
+            e.f64(entry_time[i]);
+            e.u64(entry_count[i]);
+            e.u64(wire_msgs[i]);
+            e.u64(wire_bytes[i]);
+        }
+        e.u64(obj_secs.len() as u64);
+        for (o, s) in &obj_secs {
+            e.u32(o.0);
+            e.f64(*s);
+        }
+        e.u64(trace.len() as u64);
+        for ev in &trace {
+            e.u32(ev.obj.0);
+            e.u16(ev.entry.0);
+            e.f64(ev.start);
+            e.f64(ev.end);
+            e.f64(ev.wall);
+        }
+        let mut harvests: Vec<(u32, Payload)> = Vec::new();
+        for (idx, slot) in self.objects.iter().enumerate() {
+            if self.obj_pe[idx] != pe {
+                continue;
+            }
+            if let Some(obj) = slot.as_deref() {
+                let state = obj.harvest_state();
+                if !state.is_empty() {
+                    harvests.push((idx as u32, state));
+                }
+            }
+        }
+        e.u64(harvests.len() as u64);
+        for (o, st) in &harvests {
+            e.u32(*o);
+            e.bytes(st);
+        }
+        let shared_state = self.harvest_hook.as_ref().map(|h| h()).unwrap_or_default();
+        e.bytes(&shared_state);
+        let mut w = ctrl.lock().unwrap();
+        let _ = write_frame(&mut *w, &e.0);
+    }
+}
+
+/// Reap every child and join the parent's reader threads at end of run.
+fn finish_run(reaped: &mut [bool], pids: &[i32], handles: &mut Vec<std::thread::JoinHandle<()>>) {
+    for (p, &pid) in pids.iter().enumerate() {
+        if !reaped[p] {
+            let mut status = 0i32;
+            unsafe { waitpid(pid, &mut status, 0) };
+            reaped[p] = true;
+        }
+    }
+    for h in handles.drain(..) {
+        let _ = h.join();
+    }
+}
+
+fn probe_frame(round: u64) -> Vec<u8> {
+    let mut e = Enc::new();
+    e.u8(TAG_PROBE);
+    e.u64(round);
+    e.0
+}
+
+/// Parent-side per-child control reader: turns frames into [`Event`]s.
+fn parent_reader(pe: Pe, mut stream: UnixStream, tx: mpsc::Sender<Event>) {
+    loop {
+        match read_frame(&mut stream) {
+            Ok(Some(body)) => {
+                let event = match body.first().copied() {
+                    Some(TAG_READY) => Event::Ready(pe),
+                    Some(TAG_STATUS) => {
+                        let mut d = Dec::new(&body[1..]);
+                        Event::Status {
+                            pe,
+                            round: d.u64("round").unwrap_or(0),
+                            idle: d.u8("idle").unwrap_or(0) != 0,
+                            sent: d.u64("sent").unwrap_or(0),
+                            recv: d.u64("recv").unwrap_or(0),
+                            executed: d.u64("executed").unwrap_or(0),
+                        }
+                    }
+                    Some(TAG_STOPPED) => Event::Stopped(pe),
+                    Some(TAG_KILLED) => {
+                        let mut d = Dec::new(&body[1..]);
+                        Event::Killed { dst: d.u32("dst").unwrap_or(0) as usize }
+                    }
+                    Some(TAG_RESULTS) => Event::Results(pe, body[1..].to_vec()),
+                    t => panic!("unexpected child frame tag {t:?}"),
+                };
+                if tx.send(event).is_err() {
+                    return;
+                }
+            }
+            Ok(None) | Err(_) => {
+                let _ = tx.send(Event::Gone(pe));
+                return;
+            }
+        }
+    }
+}
+
+impl Runtime for ProcRuntime {
+    fn n_pes(&self) -> usize {
+        self.n_pes
+    }
+
+    fn register_entry(&mut self, name: &str) -> EntryId {
+        self.stats.register_entry(name)
+    }
+
+    fn register(&mut self, obj: Box<dyn Chare>, pe: Pe, migratable: bool) -> ObjId {
+        assert!(pe < self.n_pes, "PE {pe} out of range ({} processes)", self.n_pes);
+        let id = ObjId(self.objects.len() as u32);
+        self.objects.push(Some(obj));
+        self.obj_pe.push(pe);
+        self.ldb.on_register(migratable);
+        id
+    }
+
+    fn inject(
+        &mut self,
+        to: ObjId,
+        entry: EntryId,
+        bytes: usize,
+        priority: Priority,
+        payload: Payload,
+    ) {
+        self.injected.push((to, entry, bytes, priority, payload, 0.0));
+    }
+
+    fn run(&mut self) -> f64 {
+        Self::run(self)
+    }
+
+    fn try_run(&mut self) -> Result<f64, RunStall> {
+        Self::try_run(self)
+    }
+
+    fn set_schedule_policy(&mut self, policy: SchedulePolicy) {
+        Self::set_schedule_policy(self, policy)
+    }
+
+    fn set_fault_plan(&mut self, plan: FaultPlan) {
+        Self::set_fault_plan(self, plan)
+    }
+
+    fn crashed(&self) -> Option<Pe> {
+        Self::crashed(self)
+    }
+
+    fn stats(&self) -> &SummaryStats {
+        &self.stats
+    }
+
+    fn trace(&self) -> &Trace {
+        &self.trace
+    }
+
+    fn set_tracing(&mut self, on: bool) {
+        self.tracing = on;
+    }
+
+    fn ldb(&self) -> &LdbDatabase {
+        &self.ldb
+    }
+
+    fn placement(&self) -> &[Pe] {
+        &self.obj_pe
+    }
+
+    fn migrate(&mut self, obj: ObjId, pe: Pe) {
+        assert!(pe < self.n_pes);
+        self.obj_pe[obj.idx()] = pe;
+    }
+
+    fn object(&self, obj: ObjId) -> &dyn Chare {
+        self.objects[obj.idx()].as_deref().expect("object missing")
+    }
+
+    fn object_mut(&mut self, obj: ObjId) -> &mut dyn Chare {
+        self.objects[obj.idx()].as_deref_mut().expect("object missing")
+    }
+
+    fn set_shared_hooks(
+        &mut self,
+        harvest: Box<dyn Fn() -> Payload + Send + Sync>,
+        merge: Box<dyn FnMut(Pe, &[u8]) -> Result<(), WireError> + Send>,
+    ) {
+        self.harvest_hook = Some(harvest);
+        self.merge_hook = Some(merge);
+    }
+}
+
+impl Drop for ProcRuntime {
+    fn drop(&mut self) {
+        // Best-effort cleanup of the socket directory.
+        let _ = std::fs::remove_dir_all(&self.socket_dir);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::msg::{PRIO_HIGH, PRIO_LOW, PRIO_NORMAL};
+
+    /// Counts hits in its own state; forwards `hops` more times along
+    /// `next`. State crosses back to the parent via harvest/merge.
+    struct Hopper {
+        next: Option<ObjId>,
+        entry: EntryId,
+        hops: u32,
+        hits: u32,
+    }
+
+    impl Chare for Hopper {
+        fn receive(&mut self, _e: EntryId, _p: Payload, ctx: &mut Ctx) {
+            self.hits += 1;
+            assert!(ctx.distributed(), "proc handlers must see a distributed ctx");
+            if self.hops > 0 {
+                self.hops -= 1;
+                if let Some(next) = self.next {
+                    ctx.signal(next, self.entry, PRIO_NORMAL);
+                }
+            }
+        }
+
+        fn harvest_state(&self) -> Payload {
+            let mut e = Enc::new();
+            e.u32(self.hits);
+            e.into_bytes()
+        }
+
+        fn merge_state(&mut self, bytes: &[u8]) -> Result<(), WireError> {
+            let mut d = Dec::new(bytes);
+            self.hits += d.u32("hits")?;
+            Ok(())
+        }
+    }
+
+    fn hopper_ring(n_pes: usize, n: usize, hops: u32) -> (ProcRuntime, EntryId) {
+        let mut rt = ProcRuntime::new(n_pes);
+        let e = rt.register_entry("hop");
+        for i in 0..n {
+            rt.register(
+                Box::new(Hopper {
+                    next: Some(ObjId(((i + 1) % n) as u32)),
+                    entry: e,
+                    hops,
+                    hits: 0,
+                }),
+                i % n_pes,
+                true,
+            );
+        }
+        (rt, e)
+    }
+
+    #[test]
+    fn ring_hops_across_real_processes() {
+        let (mut rt, e) = hopper_ring(3, 3, 5);
+        rt.inject(ObjId(0), e, 0, PRIO_NORMAL, Vec::new());
+        let t = rt.run();
+        // Bootstrap + each node forwards until its hop budget drains.
+        assert_eq!(rt.stats.entry_count[e.idx()], 16);
+        assert_eq!(rt.stats.msgs_received, 16);
+        assert_eq!(rt.stats.conservation_residual(), 0);
+        assert!(t > 0.0);
+        // Harvested per-object state made it back: total hits = handler
+        // executions.
+        let hits: u32 = (0..3)
+            .map(|i| {
+                // No downcast needed: re-harvest the parent-side state.
+                let state = rt.object(ObjId(i)).harvest_state();
+                let mut d = Dec::new(&state);
+                d.u32("hits").unwrap()
+            })
+            .sum();
+        assert_eq!(hits, 16);
+    }
+
+    #[test]
+    fn payload_bytes_cross_the_process_boundary() {
+        /// Sends its configured bytes to a peer on another PE.
+        struct Sender {
+            to: ObjId,
+            entry: EntryId,
+        }
+        impl Chare for Sender {
+            fn receive(&mut self, _e: EntryId, _p: Payload, ctx: &mut Ctx) {
+                ctx.send(self.to, self.entry, 64, PRIO_NORMAL, vec![0xAB, 0xCD, 0xEF]);
+            }
+        }
+        /// Stores the last payload it received; harvests it verbatim.
+        #[derive(Default)]
+        struct Sink {
+            got: Payload,
+        }
+        impl Chare for Sink {
+            fn receive(&mut self, _e: EntryId, p: Payload, _ctx: &mut Ctx) {
+                self.got = p;
+            }
+            fn harvest_state(&self) -> Payload {
+                self.got.clone()
+            }
+            fn merge_state(&mut self, bytes: &[u8]) -> Result<(), WireError> {
+                self.got = bytes.to_vec();
+                Ok(())
+            }
+        }
+
+        let mut rt = ProcRuntime::new(2);
+        let e = rt.register_entry("bytes");
+        let sink = rt.register(Box::new(Sink::default()), 1, true);
+        let sender = rt.register(Box::new(Sender { to: sink, entry: e }), 0, true);
+        rt.inject(sender, e, 0, PRIO_NORMAL, Vec::new());
+        rt.run();
+        // The exact bytes sent in the child on PE 0 are now readable on
+        // the parent's copy of the sink, via harvest → wire → merge.
+        assert_eq!(rt.object(sink).harvest_state(), vec![0xAB, 0xCD, 0xEF]);
+        assert_eq!(rt.stats.entry_count[e.idx()], 2);
+        // Wire accounting counted the packed payload bytes.
+        assert_eq!(rt.stats.entry_wire_msgs[e.idx()], 1);
+        assert_eq!(rt.stats.entry_wire_bytes[e.idx()], 3);
+    }
+
+    #[test]
+    fn stop_discards_queued_work_exactly() {
+        struct Stopper;
+        impl Chare for Stopper {
+            fn receive(&mut self, _e: EntryId, _p: Payload, ctx: &mut Ctx) {
+                ctx.stop();
+            }
+        }
+        let mut rt = ProcRuntime::new(1);
+        let e = rt.register_entry("s");
+        let o = rt.register(Box::new(Stopper), 0, true);
+        let n = rt.register(
+            Box::new(Hopper { next: None, entry: e, hops: 0, hits: 0 }),
+            0,
+            true,
+        );
+        rt.inject(o, e, 0, PRIO_HIGH, Vec::new());
+        rt.inject(n, e, 0, PRIO_LOW, Vec::new());
+        rt.run();
+        assert_eq!(rt.stats.entry_count[e.idx()], 1);
+        assert_eq!(rt.stats.msgs_discarded, 1);
+        assert_eq!(rt.stats.conservation_residual(), 0);
+    }
+
+    #[test]
+    fn shared_hooks_carry_process_global_state() {
+        use std::sync::atomic::AtomicU32;
+        use std::sync::Arc;
+        // Incremented by handlers *in the children*; the parent's copy
+        // stays zero — only the harvest/merge hook pair moves the total.
+        static CHILD_COUNTER: AtomicU32 = AtomicU32::new(0);
+
+        struct Bumper;
+        impl Chare for Bumper {
+            fn receive(&mut self, _e: EntryId, _p: Payload, _ctx: &mut Ctx) {
+                CHILD_COUNTER.fetch_add(1, AtOrd::SeqCst);
+            }
+        }
+
+        let mut rt = ProcRuntime::new(2);
+        let e = rt.register_entry("bump");
+        for pe in 0..2 {
+            rt.register(Box::new(Bumper), pe, true);
+        }
+        let total = Arc::new(AtomicU32::new(0));
+        let total_in_merge = total.clone();
+        rt.set_shared_hooks(
+            Box::new(|| {
+                let mut enc = Enc::new();
+                enc.u32(CHILD_COUNTER.load(AtOrd::SeqCst));
+                enc.into_bytes()
+            }),
+            Box::new(move |_pe, bytes| {
+                let mut d = Dec::new(bytes);
+                total_in_merge.fetch_add(d.u32("count")?, AtOrd::SeqCst);
+                Ok(())
+            }),
+        );
+        rt.inject(ObjId(0), e, 0, PRIO_NORMAL, Vec::new());
+        rt.inject(ObjId(1), e, 0, PRIO_NORMAL, Vec::new());
+        rt.run();
+        assert_eq!(total.load(AtOrd::SeqCst), 2);
+        assert_eq!(CHILD_COUNTER.load(AtOrd::SeqCst), 0, "parent copy untouched");
+    }
+
+    #[test]
+    fn kill_fault_fells_a_real_process() {
+        let mut rt = ProcRuntime::new(2);
+        rt.set_stall_timeout(Duration::from_millis(3000));
+        let e = rt.register_entry("hop");
+        let a = rt.register(
+            Box::new(Hopper { next: Some(ObjId(1)), entry: e, hops: 1, hits: 0 }),
+            0,
+            true,
+        );
+        rt.register(Box::new(Hopper { next: None, entry: e, hops: 0, hits: 0 }), 1, true);
+        // The first hop into PE 1 SIGKILLs that worker process for real.
+        rt.set_fault_plan(FaultPlan::parse("kill:entry=hop:dst=1").unwrap());
+        rt.inject(a, e, 0, PRIO_NORMAL, Vec::new());
+        let err = rt.try_run().expect_err("a killed process must end the run");
+        assert!(err.makespan >= 0.0);
+        assert_eq!(rt.crashed(), Some(1));
+        assert_eq!(rt.stats.pes_killed, 1);
+    }
+
+    #[test]
+    fn non_kill_fault_rules_are_rejected() {
+        let mut rt = ProcRuntime::new(1);
+        rt.register_entry("hop");
+        let plan = FaultPlan::parse("drop:entry=hop").unwrap();
+        assert!(std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            rt.set_fault_plan(plan);
+        }))
+        .is_err());
+    }
+}

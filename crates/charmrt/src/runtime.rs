@@ -8,7 +8,7 @@
 //! harvest the same three measurement products ([`SummaryStats`],
 //! [`Trace`], [`LdbDatabase`]) regardless of what executed the handlers.
 //!
-//! Two backends implement it:
+//! Three backends implement it:
 //!
 //! * [`crate::Des`] — the deterministic discrete-event simulator. Handler
 //!   *cost* is modeled (declared work + per-message overheads under a
@@ -16,11 +16,15 @@
 //! * [`crate::ThreadRuntime`] — real OS worker threads, one per PE, each
 //!   with a prioritized message queue. Handler cost is *measured*
 //!   wall-clock time; `run` returns wall seconds.
+//! * [`crate::ProcRuntime`] — real OS processes, one per PE, exchanging
+//!   CRC-framed packed messages over Unix domain sockets. Handler cost is
+//!   measured wall-clock time; chare state crosses the process boundary
+//!   via [`Chare::harvest_state`]/[`Chare::merge_state`].
 //!
-//! Because both feed per-object durations into the same [`LdbDatabase`],
-//! the measure → greedy → refine → migrate load-balancing cycle is written
-//! once and works from modeled durations on one backend and measured
-//! durations on the other.
+//! Because all of them feed per-object durations into the same
+//! [`LdbDatabase`], the measure → greedy → refine → migrate load-balancing
+//! cycle is written once and works from modeled durations on one backend
+//! and measured durations on the others.
 
 use crate::chare::Chare;
 use crate::fault::FaultPlan;
@@ -155,6 +159,19 @@ pub trait Runtime {
     /// backends only; real backends run at whatever speed the hardware
     /// delivers and ignore this.
     fn set_pe_speeds(&mut self, _speeds: Vec<f64>) {}
+
+    /// Install hooks for carrying *process-global* shared state (anything
+    /// not owned by a single chare, e.g. accumulated step energies) across
+    /// the process boundary of the `proc` backend: `harvest` packs the
+    /// state inside a worker process after its last handler; `merge` folds
+    /// those bytes back in the parent, called once per PE in PE order.
+    /// Shared-memory backends see every write directly and ignore this.
+    fn set_shared_hooks(
+        &mut self,
+        _harvest: Box<dyn Fn() -> Payload + Send + Sync>,
+        _merge: Box<dyn FnMut(Pe, &[u8]) -> Result<(), crate::wire::WireError> + Send>,
+    ) {
+    }
 }
 
 impl Runtime for crate::Des {
@@ -224,7 +241,7 @@ impl Runtime for crate::Des {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::msg::{empty_payload, PRIO_NORMAL};
+    use crate::msg::PRIO_NORMAL;
     use crate::{Des, ThreadRuntime};
     use machine::presets;
     use std::sync::atomic::{AtomicU32, Ordering};
@@ -269,7 +286,7 @@ mod tests {
             true,
         );
         assert_eq!((id_a, id_b), (a, b));
-        rt.inject(a, e, 0, PRIO_NORMAL, empty_payload());
+        rt.inject(a, e, 0, PRIO_NORMAL, Vec::new());
         let t = rt.run();
         (t, counter.load(Ordering::SeqCst))
     }

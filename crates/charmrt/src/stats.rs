@@ -7,17 +7,26 @@
 //! in the virtual-time model.
 
 use crate::msg::EntryId;
+use crate::wire::EntryTable;
 
 /// Accumulated summary statistics for a run (or a measurement window —
 /// see [`SummaryStats::reset`]).
 #[derive(Debug, Clone, Default)]
 pub struct SummaryStats {
-    /// Registered entry-method names, indexed by `EntryId`.
-    pub entry_names: Vec<String>,
+    /// The wire-stable entry registry, indexed by `EntryId` (derefs to
+    /// `[String]`, so name-slice consumers keep working).
+    pub entry_names: EntryTable,
     /// Total handler CPU time per entry method, seconds.
     pub entry_time: Vec<f64>,
     /// Invocation count per entry method.
     pub entry_count: Vec<u64>,
+    /// Messages sent per entry method (wire accounting: counted once per
+    /// destination, including multicast copies).
+    pub entry_wire_msgs: Vec<u64>,
+    /// *Packed* payload bytes sent per entry method — the actual
+    /// serialized length on the wire, as opposed to `bytes_sent`, which is
+    /// the cost model's modeled message size.
+    pub entry_wire_bytes: Vec<u64>,
     /// Busy (handler-executing) time per PE, seconds.
     pub pe_busy: Vec<f64>,
     /// Messaging overhead per PE (receive + send + packing attributed to
@@ -61,6 +70,12 @@ pub struct SummaryStats {
     /// dying PE are counted in `msgs_dropped` (no dead letter), keeping
     /// the conservation ledger balanced.
     pub pes_killed: u64,
+    /// Messages whose payload bytes were flipped by a `corrupt` fault rule
+    /// (a clean copy is retained as a dead letter for repair).
+    pub msgs_corrupted: u64,
+    /// Corrupted messages the payload CRC rejected at delivery (each is
+    /// also counted in `msgs_dropped`, keeping the ledger balanced).
+    pub msgs_crc_rejected: u64,
     /// Virtual time when the current measurement window began.
     pub window_start: f64,
 }
@@ -75,11 +90,29 @@ impl SummaryStats {
     }
 
     pub(crate) fn register_entry(&mut self, name: &str) -> EntryId {
-        let id = EntryId(self.entry_names.len() as u16);
-        self.entry_names.push(name.to_string());
+        let id = self.entry_names.register(name);
         self.entry_time.push(0.0);
         self.entry_count.push(0);
+        self.entry_wire_msgs.push(0);
+        self.entry_wire_bytes.push(0);
         id
+    }
+
+    /// Account one message entering the wire: `len` packed payload bytes
+    /// bound for one destination.
+    pub(crate) fn count_wire(&mut self, entry: EntryId, len: usize) {
+        self.entry_wire_msgs[entry.idx()] += 1;
+        self.entry_wire_bytes[entry.idx()] += len as u64;
+    }
+
+    /// Total messages across entries, wire accounting.
+    pub fn wire_msgs(&self) -> u64 {
+        self.entry_wire_msgs.iter().sum()
+    }
+
+    /// Total packed payload bytes across entries, wire accounting.
+    pub fn wire_bytes(&self) -> u64 {
+        self.entry_wire_bytes.iter().sum()
     }
 
     /// Zero all counters and restart the measurement window at `now`.
@@ -87,6 +120,8 @@ impl SummaryStats {
     pub fn reset(&mut self, now: f64) {
         self.entry_time.iter_mut().for_each(|t| *t = 0.0);
         self.entry_count.iter_mut().for_each(|c| *c = 0);
+        self.entry_wire_msgs.iter_mut().for_each(|c| *c = 0);
+        self.entry_wire_bytes.iter_mut().for_each(|c| *c = 0);
         self.pe_busy.iter_mut().for_each(|t| *t = 0.0);
         self.pe_overhead.iter_mut().for_each(|t| *t = 0.0);
         self.critical_path = 0.0;
@@ -103,6 +138,8 @@ impl SummaryStats {
         self.msgs_redelivered = 0;
         self.msgs_discarded = 0;
         self.pes_killed = 0;
+        self.msgs_corrupted = 0;
+        self.msgs_crc_rejected = 0;
         self.window_start = now;
     }
 
@@ -209,6 +246,20 @@ mod tests {
         assert_eq!(s.pe_busy[0], 0.0);
         assert_eq!(s.send_overhead, 0.0);
         assert_eq!(s.window_start, 10.0);
+    }
+
+    #[test]
+    fn wire_counters_accumulate_and_reset() {
+        let mut s = SummaryStats::new(1);
+        let a = s.register_entry("x");
+        s.register_entry("y");
+        s.count_wire(a, 100);
+        s.count_wire(a, 28);
+        assert_eq!(s.entry_wire_msgs[a.idx()], 2);
+        assert_eq!(s.entry_wire_bytes[a.idx()], 128);
+        assert_eq!((s.wire_msgs(), s.wire_bytes()), (2, 128));
+        s.reset(0.0);
+        assert_eq!((s.wire_msgs(), s.wire_bytes()), (0, 0));
     }
 
     #[test]

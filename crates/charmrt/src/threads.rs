@@ -49,6 +49,10 @@ struct TMsg {
     to: ObjId,
     entry: EntryId,
     payload: Payload,
+    /// CRC-64 of the payload stamped at send time when the fault plan can
+    /// corrupt messages; verified before the handler runs. `None` when no
+    /// corruption is possible (the common case — checksumming is free then).
+    crc: Option<u64>,
     /// Length of the dependency chain (sum of measured handler seconds)
     /// that produced this message — the critical-path accumulator.
     path: f64,
@@ -100,6 +104,9 @@ struct Sched {
     policy: SchedulePolicy,
     /// Installed fault plan, if any (shared occurrence counters).
     fault: Option<Mutex<FaultState>>,
+    /// True when the fault plan holds a corrupt rule: every send gets a
+    /// payload CRC stamped so flipped bytes are caught at delivery.
+    stamp_crc: bool,
     /// Messages the fault plan dropped, awaiting possible redelivery.
     dead_letters: Mutex<Vec<DeadLetter>>,
     /// Handler executions completed — the watchdog's progress signal.
@@ -117,6 +124,8 @@ struct Sched {
     msgs_duplicated: AtomicU64,
     msgs_delayed: AtomicU64,
     pes_killed: AtomicU64,
+    msgs_corrupted: AtomicU64,
+    msgs_crc_rejected: AtomicU64,
 }
 
 impl Sched {
@@ -158,6 +167,9 @@ struct WorkerMetrics {
     entry_count: Vec<u64>,
     msgs_sent: u64,
     bytes_sent: u64,
+    /// Per-entry wire accounting: messages and packed payload bytes sent.
+    wire_msgs: Vec<u64>,
+    wire_bytes: Vec<u64>,
     /// (object, measured seconds) per handler execution.
     obj_secs: Vec<(ObjId, f64)>,
     trace: Vec<TraceEvent>,
@@ -180,7 +192,7 @@ struct WorkerMetrics {
 /// let mut rt = ThreadRuntime::new(2);
 /// let e = rt.register_entry("echo");
 /// let o = rt.register(Box::new(Echo), 1, true);
-/// rt.inject(o, e, 0, PRIO_NORMAL, charmrt::empty_payload());
+/// rt.inject(o, e, 0, PRIO_NORMAL, Vec::new());
 /// rt.run();
 /// assert_eq!(rt.stats.entry_count[e.idx()], 1);
 /// ```
@@ -295,6 +307,8 @@ impl ThreadRuntime {
             entry_count: vec![0; n_entries],
             msgs_sent: 0,
             bytes_sent: 0,
+            wire_msgs: vec![0; n_entries],
+            wire_bytes: vec![0; n_entries],
             obj_secs: Vec::new(),
             trace: Vec::new(),
             last_end: 0.0,
@@ -332,6 +346,18 @@ impl ThreadRuntime {
                 }
             };
 
+            // Verify the payload checksum before the handler sees the bytes:
+            // a corrupted message is rejected here, exactly as a NIC would
+            // discard a frame with a bad FCS.
+            if let Some(stamped) = msg.crc {
+                if ckpt::crc64(&msg.payload) != stamped {
+                    sched.msgs_crc_rejected.fetch_add(1, AtOrd::SeqCst);
+                    sched.msgs_dropped.fetch_add(1, AtOrd::SeqCst);
+                    sched.finish_message();
+                    continue;
+                }
+            }
+
             let start = sched.epoch.elapsed().as_secs_f64();
             let mut ctx = Ctx::new(pe, start, msg.to, sched.n_pes);
             let obj = objects[msg.to.idx()]
@@ -359,9 +385,12 @@ impl ThreadRuntime {
 
             sched.executed.fetch_add(1, AtOrd::SeqCst);
             let stop = ctx.stop;
-            for s in ctx.sends.drain(..) {
+            for mut s in ctx.sends.drain(..) {
                 metrics.msgs_sent += 1;
                 metrics.bytes_sent += s.bytes as u64;
+                metrics.wire_msgs[s.entry.idx()] += 1;
+                metrics.wire_bytes[s.entry.idx()] += s.payload.len() as u64;
+                let mut crc = sched.stamp_crc.then(|| ckpt::crc64(&s.payload));
                 let dest = sched.obj_pe[s.to.idx()];
                 let fate = sched
                     .fault
@@ -416,10 +445,34 @@ impl ThreadRuntime {
                                 bytes: s.bytes,
                                 to: s.to,
                                 entry: s.entry,
-                                payload: crate::msg::empty_payload(),
+                                payload: Vec::new(),
+                                crc: None,
                                 path: end_path,
                             },
                         );
+                    }
+                    Some(FaultAction::Corrupt(n)) => {
+                        // Flip payload bytes in flight. A clean copy goes to
+                        // the dead-letter queue so the CRC rejection can be
+                        // repaired by retransmission, like a drop.
+                        sched.msgs_corrupted.fetch_add(1, AtOrd::SeqCst);
+                        sched.dead_letters.lock().unwrap().push(DeadLetter {
+                            to: s.to,
+                            entry: s.entry,
+                            bytes: s.bytes,
+                            priority: s.priority,
+                            payload: s.payload.clone(),
+                            path: end_path,
+                        });
+                        if s.payload.is_empty() {
+                            // Nothing to flip: corrupt the checksum instead.
+                            crc = crc.map(|c| !c);
+                        } else {
+                            let flip = (n as usize).min(s.payload.len());
+                            for byte in &mut s.payload[..flip] {
+                                *byte ^= 0xFF;
+                            }
+                        }
                     }
                     _ => {}
                 }
@@ -442,6 +495,7 @@ impl ThreadRuntime {
                         to: s.to,
                         entry: s.entry,
                         payload: s.payload,
+                        crc,
                         path: end_path,
                     },
                 );
@@ -474,6 +528,7 @@ impl ThreadRuntime {
             return Ok(0.0);
         }
         let n_entries = self.stats.entry_names.len();
+        let stamp_crc = self.fault.as_ref().is_some_and(|f| f.has_corruption());
         let sched = Sched {
             queues: (0..self.n_pes)
                 .map(|_| WorkerQueue {
@@ -493,6 +548,7 @@ impl ThreadRuntime {
                 .unwrap_or(0.0),
             policy: self.policy,
             fault: self.fault.take().map(Mutex::new),
+            stamp_crc,
             dead_letters: Mutex::new(Vec::new()),
             executed: AtomicU64::new(0),
             idle: AtomicU64::new(0),
@@ -503,6 +559,8 @@ impl ThreadRuntime {
             msgs_duplicated: AtomicU64::new(0),
             msgs_delayed: AtomicU64::new(0),
             pes_killed: AtomicU64::new(0),
+            msgs_corrupted: AtomicU64::new(0),
+            msgs_crc_rejected: AtomicU64::new(0),
         };
         self.stats.msgs_injected += self.injected.len() as u64;
         for (to, entry, bytes, priority, payload, path) in
@@ -511,7 +569,7 @@ impl ThreadRuntime {
             let pe = sched.obj_pe[to.idx()];
             let seq = sched.next_seq();
             let key = sched.policy.key(priority, seq);
-            sched.enqueue(pe, TMsg { key, seq, priority, bytes, to, entry, payload, path });
+            sched.enqueue(pe, TMsg { key, seq, priority, bytes, to, entry, payload, crc: None, path });
         }
 
         // Partition object ownership: each worker gets a dense table with
@@ -615,6 +673,10 @@ impl ThreadRuntime {
             }
             self.stats.msgs_sent += m.msgs_sent;
             self.stats.bytes_sent += m.bytes_sent;
+            for (i, (&wm, &wb)) in m.wire_msgs.iter().zip(&m.wire_bytes).enumerate() {
+                self.stats.entry_wire_msgs[i] += wm;
+                self.stats.entry_wire_bytes[i] += wb;
+            }
             for (obj, secs) in m.obj_secs {
                 self.ldb.attribute(obj, m.pe, secs);
             }
@@ -630,6 +692,8 @@ impl ThreadRuntime {
         self.stats.msgs_duplicated += sched.msgs_duplicated.load(AtOrd::SeqCst);
         self.stats.msgs_delayed += sched.msgs_delayed.load(AtOrd::SeqCst);
         self.stats.pes_killed += sched.pes_killed.load(AtOrd::SeqCst);
+        self.stats.msgs_corrupted += sched.msgs_corrupted.load(AtOrd::SeqCst);
+        self.stats.msgs_crc_rejected += sched.msgs_crc_rejected.load(AtOrd::SeqCst);
         self.crashed = self.crashed.or(sched.crashed.into_inner().unwrap());
 
         if stalled {
@@ -734,7 +798,7 @@ impl Runtime for ThreadRuntime {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::msg::{empty_payload, PRIO_HIGH, PRIO_NORMAL};
+    use crate::msg::{PRIO_HIGH, PRIO_NORMAL};
     use std::sync::atomic::AtomicU32;
     use std::sync::Arc;
 
@@ -780,7 +844,7 @@ mod tests {
             })
             .collect();
         assert_eq!(ids[1], ObjId(1));
-        rt.inject(ids[0], e, 0, PRIO_NORMAL, empty_payload());
+        rt.inject(ids[0], e, 0, PRIO_NORMAL, Vec::new());
         let t = rt.run();
         // Bootstrap + each node forwards until its own hop budget drains:
         // 1 + 3 × 5 executions in a 3-ring.
@@ -832,7 +896,7 @@ mod tests {
         for (i, _) in leaves.iter().enumerate() {
             rt.register(Box::new(FanLeaf { root, ack }), i % 4, true);
         }
-        rt.inject(root, fan, 0, PRIO_NORMAL, empty_payload());
+        rt.inject(root, fan, 0, PRIO_NORMAL, Vec::new());
         rt.run();
         assert_eq!(rt.stats.entry_count[fan.idx()], 1 + n_leaves as u64);
         assert_eq!(rt.stats.entry_count[ack.idx()], n_leaves as u64);
@@ -869,7 +933,7 @@ mod tests {
             );
         }
         for i in 0..n {
-            rt.inject(ObjId(i as u32), e, 64, PRIO_NORMAL, empty_payload());
+            rt.inject(ObjId(i as u32), e, 64, PRIO_NORMAL, Vec::new());
         }
         rt.run();
         // n bootstraps + n × 40 forwards.
@@ -886,13 +950,13 @@ mod tests {
             0,
             true,
         );
-        rt.inject(o, e, 0, PRIO_NORMAL, empty_payload());
+        rt.inject(o, e, 0, PRIO_NORMAL, Vec::new());
         rt.run();
         let busy0 = rt.stats.pe_busy[0];
         assert!(busy0 > 0.0);
 
         Runtime::migrate(&mut rt, o, 1);
-        rt.inject(o, e, 0, PRIO_NORMAL, empty_payload());
+        rt.inject(o, e, 0, PRIO_NORMAL, Vec::new());
         rt.run();
         assert!(rt.stats.pe_busy[1] > 0.0, "work should land on worker 1 after migration");
         assert_eq!(hits.load(AtOrd::SeqCst), 2);
@@ -916,7 +980,7 @@ mod tests {
         );
         // Drop the one message a sends to b: quiescence is unreachable.
         rt.set_fault_plan(FaultPlan::parse("drop:entry=hop").unwrap());
-        rt.inject(a, e, 0, PRIO_NORMAL, empty_payload());
+        rt.inject(a, e, 0, PRIO_NORMAL, Vec::new());
         let stall = rt.try_run().expect_err("a dropped message must stall, not hang");
         assert_eq!(stall.in_flight, 1);
         assert_eq!(stall.undelivered, 1);
@@ -948,7 +1012,7 @@ mod tests {
         );
         // The first message into PE 1 kills it; the message is lost with it.
         rt.set_fault_plan(FaultPlan::parse("kill:entry=hop:dst=1").unwrap());
-        rt.inject(a, e, 0, PRIO_NORMAL, empty_payload());
+        rt.inject(a, e, 0, PRIO_NORMAL, Vec::new());
         let stall = rt.try_run().expect_err("a killed PE must stall the run, not hang");
         assert!(stall.in_flight >= 1);
         assert_eq!(hits.load(AtOrd::SeqCst), 1, "only the sender ran");
@@ -980,7 +1044,7 @@ mod tests {
             );
         }
         for i in 0..n {
-            rt.inject(ObjId(i as u32), e, 0, PRIO_NORMAL, empty_payload());
+            rt.inject(ObjId(i as u32), e, 0, PRIO_NORMAL, Vec::new());
         }
         rt.run();
         assert_eq!(hits.load(AtOrd::SeqCst), (n + n * 10) as u32);
@@ -1006,8 +1070,8 @@ mod tests {
             0,
             true,
         );
-        rt.inject(o, e, 0, PRIO_HIGH, empty_payload());
-        rt.inject(n, e, 0, crate::msg::PRIO_LOW, empty_payload());
+        rt.inject(o, e, 0, PRIO_HIGH, Vec::new());
+        rt.inject(n, e, 0, crate::msg::PRIO_LOW, Vec::new());
         rt.run();
         assert_eq!(rt.stats.entry_count[e.idx()], 1);
         assert_eq!(hits.load(AtOrd::SeqCst), 0);

@@ -129,26 +129,52 @@ impl fmt::Display for CkptError {
 
 impl std::error::Error for CkptError {}
 
-/// Little-endian payload writer.
-struct Enc(Vec<u8>);
+/// Little-endian payload writer — the one serialization primitive shared
+/// by checkpoint snapshots and (via the `charmrt` wire layer) every
+/// runtime message payload.
+pub struct Enc(pub Vec<u8>);
 
 impl Enc {
-    fn u32(&mut self, v: u32) {
+    /// Start an empty payload.
+    pub fn new() -> Enc {
+        Enc(Vec::new())
+    }
+    /// Start a payload with a capacity hint.
+    pub fn with_capacity(n: usize) -> Enc {
+        Enc(Vec::with_capacity(n))
+    }
+    /// Finish, yielding the encoded bytes.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.0
+    }
+    pub fn u8(&mut self, v: u8) {
+        self.0.push(v);
+    }
+    pub fn u16(&mut self, v: u16) {
         self.0.extend_from_slice(&v.to_le_bytes());
     }
-    fn u64(&mut self, v: u64) {
+    pub fn u32(&mut self, v: u32) {
         self.0.extend_from_slice(&v.to_le_bytes());
     }
-    fn f64(&mut self, v: f64) {
+    pub fn u64(&mut self, v: u64) {
+        self.0.extend_from_slice(&v.to_le_bytes());
+    }
+    pub fn i32(&mut self, v: i32) {
+        self.0.extend_from_slice(&v.to_le_bytes());
+    }
+    pub fn i64(&mut self, v: i64) {
+        self.0.extend_from_slice(&v.to_le_bytes());
+    }
+    pub fn f64(&mut self, v: f64) {
         self.u64(v.to_bits());
     }
-    fn f64s(&mut self, v: &[f64]) {
+    pub fn f64s(&mut self, v: &[f64]) {
         self.u64(v.len() as u64);
         for &x in v {
             self.f64(x);
         }
     }
-    fn triples(&mut self, v: &[[f64; 3]]) {
+    pub fn triples(&mut self, v: &[[f64; 3]]) {
         self.u64(v.len() as u64);
         for t in v {
             for &x in t {
@@ -156,20 +182,36 @@ impl Enc {
             }
         }
     }
-    fn bytes(&mut self, v: &[u8]) {
+    pub fn bytes(&mut self, v: &[u8]) {
         self.u64(v.len() as u64);
         self.0.extend_from_slice(v);
     }
 }
 
-/// Little-endian payload reader over a checksummed slice.
-struct Dec<'a> {
+impl Default for Enc {
+    fn default() -> Self {
+        Enc::new()
+    }
+}
+
+/// Little-endian payload reader over a checksummed slice. Every accessor
+/// is bounds-checked and returns a named [`CkptError::Truncated`] instead
+/// of panicking, so a corrupt payload can never take the process down.
+pub struct Dec<'a> {
     buf: &'a [u8],
     pos: usize,
 }
 
 impl<'a> Dec<'a> {
-    fn take(&mut self, n: usize, what: &str) -> Result<&'a [u8], CkptError> {
+    /// Start reading at the front of `buf`.
+    pub fn new(buf: &'a [u8]) -> Dec<'a> {
+        Dec { buf, pos: 0 }
+    }
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+    pub fn take(&mut self, n: usize, what: &str) -> Result<&'a [u8], CkptError> {
         if self.buf.len() - self.pos < n {
             return Err(CkptError::Truncated(format!(
                 "payload ends inside {what} (need {n} bytes at offset {})",
@@ -180,10 +222,25 @@ impl<'a> Dec<'a> {
         self.pos += n;
         Ok(s)
     }
-    fn u64(&mut self, what: &str) -> Result<u64, CkptError> {
+    pub fn u8(&mut self, what: &str) -> Result<u8, CkptError> {
+        Ok(self.take(1, what)?[0])
+    }
+    pub fn u16(&mut self, what: &str) -> Result<u16, CkptError> {
+        Ok(u16::from_le_bytes(self.take(2, what)?.try_into().unwrap()))
+    }
+    pub fn u32(&mut self, what: &str) -> Result<u32, CkptError> {
+        Ok(u32::from_le_bytes(self.take(4, what)?.try_into().unwrap()))
+    }
+    pub fn u64(&mut self, what: &str) -> Result<u64, CkptError> {
         Ok(u64::from_le_bytes(self.take(8, what)?.try_into().unwrap()))
     }
-    fn f64(&mut self, what: &str) -> Result<f64, CkptError> {
+    pub fn i32(&mut self, what: &str) -> Result<i32, CkptError> {
+        Ok(i32::from_le_bytes(self.take(4, what)?.try_into().unwrap()))
+    }
+    pub fn i64(&mut self, what: &str) -> Result<i64, CkptError> {
+        Ok(i64::from_le_bytes(self.take(8, what)?.try_into().unwrap()))
+    }
+    pub fn f64(&mut self, what: &str) -> Result<f64, CkptError> {
         Ok(f64::from_bits(self.u64(what)?))
     }
     /// Bounded length prefix: a corrupted length must not drive an
@@ -198,11 +255,11 @@ impl<'a> Dec<'a> {
         }
         Ok(n)
     }
-    fn f64s(&mut self, what: &str) -> Result<Vec<f64>, CkptError> {
+    pub fn f64s(&mut self, what: &str) -> Result<Vec<f64>, CkptError> {
         let n = self.len(what)?;
         (0..n).map(|_| self.f64(what)).collect()
     }
-    fn triples(&mut self, what: &str) -> Result<Vec<[f64; 3]>, CkptError> {
+    pub fn triples(&mut self, what: &str) -> Result<Vec<[f64; 3]>, CkptError> {
         let n = self.u64(what)? as usize;
         let remaining = self.buf.len() - self.pos;
         if n.checked_mul(24).map(|b| b > remaining).unwrap_or(true) {
@@ -212,7 +269,7 @@ impl<'a> Dec<'a> {
         }
         (0..n).map(|_| Ok([self.f64(what)?, self.f64(what)?, self.f64(what)?])).collect()
     }
-    fn bytes(&mut self, what: &str) -> Result<Vec<u8>, CkptError> {
+    pub fn bytes(&mut self, what: &str) -> Result<Vec<u8>, CkptError> {
         let n = self.u64(what)? as usize;
         if n > self.buf.len() - self.pos {
             return Err(CkptError::Truncated(format!(

@@ -71,6 +71,17 @@ pub struct RunConfig {
     pub berendsen_tau: f64,
     /// Worker threads (1 = sequential path).
     pub threads: usize,
+    /// Runtime backend for the parallel driver: `threads` (one OS thread
+    /// per PE, the default), `proc` (one OS *process* per PE, exchanging
+    /// packed wire messages over Unix sockets), or `des` (deterministic
+    /// virtual-time execution). Any value other than `threads` forces the
+    /// parallel driver even with `threads 1`.
+    pub backend: String,
+    /// Worker-process count for `backend proc` (0 = one per PE).
+    pub procs: usize,
+    /// Directory for the proc backend's Unix socket mesh (empty = a fresh
+    /// directory under the system temp dir).
+    pub socket_dir: String,
     /// Reuse non-bonded pair lists across steps (NAMD's `pairlistdist`
     /// reuse). Applies to the sequential and threads drivers.
     pub pairlist_cache: bool,
@@ -131,6 +142,9 @@ impl Default for RunConfig {
             langevin_gamma: 0.005,
             berendsen_tau: 100.0,
             threads: 1,
+            backend: String::from("threads"),
+            procs: 0,
+            socket_dir: String::new(),
             pairlist_cache: true,
             pairlist_margin: 2.5,
             output_name: String::new(),
@@ -216,6 +230,9 @@ pub fn parse(text: &str) -> Result<RunConfig, String> {
             "langevingamma" => cfg.langevin_gamma = parse_f64(&value)?,
             "berendsentau" => cfg.berendsen_tau = parse_f64(&value)?,
             "threads" => cfg.threads = parse_usize(&value)?,
+            "backend" => cfg.backend = value.to_ascii_lowercase(),
+            "procs" => cfg.procs = parse_usize(&value)?,
+            "socketdir" => cfg.socket_dir = value,
             "pairlistcache" => cfg.pairlist_cache = parse_bool(&value)?,
             "pairlistmargin" => cfg.pairlist_margin = parse_f64(&value)?,
             "outputname" => cfg.output_name = value,
@@ -298,6 +315,33 @@ pub fn validate(cfg: &RunConfig) -> Result<(), String> {
     if !cfg.checkpoint_dir.is_empty() && cfg.checkpoint_interval == 0 {
         return Err("checkpointInterval must be at least 1".into());
     }
+    match cfg.backend.as_str() {
+        "threads" | "des" | "proc" => {}
+        other => return Err(format!("unknown backend '{other}' (threads, des, or proc)")),
+    }
+    let proc_backend = cfg.backend == "proc";
+    if !proc_backend && (cfg.procs != 0 || !cfg.socket_dir.is_empty()) {
+        return Err("procs/socketDir apply to backend proc only".into());
+    }
+    if proc_backend && cfg.procs != 0 && cfg.procs != cfg.threads {
+        return Err(format!(
+            "procs must be 0 (one per PE) or equal threads ({}), got {}",
+            cfg.threads, cfg.procs
+        ));
+    }
+    if cfg.backend != "threads" && cfg.pme {
+        return Err(format!(
+            "backend {} drives the parallel cutoff path; pme is not supported",
+            cfg.backend
+        ));
+    }
+    if cfg.backend != "threads" && cfg.thermostat == ThermostatKind::Langevin {
+        return Err(format!(
+            "backend {} uses the parallel driver; thermostat langevin is \
+             sequential-only (use berendsen or none)",
+            cfg.backend
+        ));
+    }
     if !cfg.fault_plan.is_empty() {
         let plan = charmrt::FaultPlan::parse(&cfg.fault_plan)
             .map_err(|e| format!("faultPlan: {e}"))?;
@@ -306,16 +350,23 @@ pub fn validate(cfg: &RunConfig) -> Result<(), String> {
                 "faultPlan has kill rules but no checkpointDir to recover from".into(),
             );
         }
+        if proc_backend
+            && plan.rules.iter().any(|r| r.action != charmrt::FaultAction::Kill)
+        {
+            return Err(
+                "backend proc supports kill fault rules only (drop/dup/delay/corrupt \
+                 act on the in-process queue, which proc workers do not share)"
+                    .into(),
+            );
+        }
     }
     charmrt::SchedulePolicy::parse(&cfg.schedule, cfg.schedule_seed)
         .map_err(|e| format!("schedule: {e}"))?;
     // Faults and schedule perturbations exercise the message-driven
     // parallel driver; on the sequential drivers they would be silently
     // ignored — reject rather than de-configure.
-    if (!cfg.fault_plan.is_empty() || cfg.schedule != "fifo")
-        && cfg.threads <= 1
-        && !ckpt_active
-    {
+    let parallel_active = cfg.threads > 1 || ckpt_active || cfg.backend != "threads";
+    if (!cfg.fault_plan.is_empty() || cfg.schedule != "fifo") && !parallel_active {
         return Err(
             "faultPlan/schedule apply to the parallel driver only; set threads > 1 \
              or enable checkpointing"
@@ -331,7 +382,7 @@ pub fn validate(cfg: &RunConfig) -> Result<(), String> {
                 "profileDir runs on the parallel cutoff driver; pme is not supported".into(),
             );
         }
-        if cfg.threads <= 1 && !ckpt_active {
+        if !parallel_active {
             return Err(
                 "profileDir applies to the parallel driver only; set threads > 1 \
                  or enable checkpointing"
@@ -434,6 +485,32 @@ mod tests {
             .unwrap_err()
             .contains("profileInterval"));
         assert!(parse("pme on\nprofileDir prof\n").unwrap_err().contains("pme"));
+    }
+
+    #[test]
+    fn backend_keys_parse_and_validate() {
+        let cfg = parse("threads 3\nbackend proc\nprocs 3\nsocketDir /tmp/mesh\n").unwrap();
+        assert_eq!(cfg.backend, "proc");
+        assert_eq!(cfg.procs, 3);
+        assert_eq!(cfg.socket_dir, "/tmp/mesh");
+        // `backend des` needs no extra knobs and forces the parallel driver.
+        assert_eq!(parse("backend DES\n").unwrap().backend, "des");
+        assert!(parse("backend qemu\n").unwrap_err().contains("unknown backend"));
+        assert!(parse("threads 2\nprocs 2\n").unwrap_err().contains("backend proc"));
+        assert!(parse("threads 4\nbackend proc\nprocs 3\n")
+            .unwrap_err()
+            .contains("equal threads"));
+        assert!(parse("backend proc\npme on\n").unwrap_err().contains("pme"));
+        assert!(parse("backend proc\nthermostat langevin\n")
+            .unwrap_err()
+            .contains("langevin"));
+        // Proc workers exchange packed messages; queue-level faults other
+        // than kills cannot reach them.
+        assert!(parse(
+            "threads 2\nbackend proc\nfaultPlan drop:entry=PatchRecvForces:limit=1\n"
+        )
+        .unwrap_err()
+        .contains("kill fault rules only"));
     }
 
     #[test]

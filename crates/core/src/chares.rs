@@ -30,10 +30,11 @@
 use crate::config::ForceMode;
 use crate::costmodel;
 use crate::decomp::ComputeKind;
+use crate::messages::{CkptMsg, CoordMsg, ForceMsg, PatchStateMsg};
 use crate::patchgrid::PatchId;
 use crate::state::{Shared, StepAcc};
 use charmrt::{
-    empty_payload, Chare, Ctx, EntryId, MulticastMode, ObjId, Payload, Runtime, PRIO_HIGH,
+    Chare, Ctx, EntryId, MulticastMode, ObjId, Payload, Runtime, WireCodec, WireError, PRIO_HIGH,
     PRIO_NORMAL,
 };
 use mdcore::bonded::{angle_force, bond_force, dihedral_force, improper_force, restraint_force};
@@ -47,20 +48,15 @@ use std::sync::Arc;
 /// destination patch, in `decomp.grid.atoms[patch]` order.
 pub type ForceBlock = Vec<Vec3>;
 
-/// A force block tagged with the sending object's id. Receivers buffer the
-/// tagged blocks and fold them in ascending-sender order once the step's
-/// set is complete, so the accumulated force is a pure function of the
-/// positions and the decomposition — independent of message arrival order.
-/// That makes threads-backend trajectories bitwise reproducible, which is
-/// what lets a checkpoint-resumed run reproduce an uninterrupted one bit
-/// for bit. (Energies keep order-dependent accumulation: they are
-/// observables, not trajectory state.)
-pub struct ForceMsg {
-    /// `ObjId.0` of the sender (unique per step: each compute/proxy sends a
-    /// given patch at most one block per step).
-    pub from: u32,
-    pub block: ForceBlock,
-}
+// Force blocks travel as packed [`ForceMsg`] payloads, tagged with the
+// sending object's id (unique per step). Receivers buffer the tagged blocks
+// and fold them in ascending-sender order once the step's set is complete,
+// so the accumulated force is a pure function of the positions and the
+// decomposition — independent of message arrival order. That makes every
+// backend's trajectory bitwise reproducible, which is what lets a
+// checkpoint-resumed run (or a multi-process run) reproduce an
+// uninterrupted DES one bit for bit. (Energies keep order-dependent
+// accumulation: they are observables, not trajectory state.)
 
 /// Entry-method ids shared by all chares, registered once per engine run.
 #[derive(Debug, Clone, Copy)]
@@ -238,6 +234,21 @@ impl HomePatch {
         self.shared.decomp.grid.atoms[self.patch].len()
     }
 
+    /// Pack this step's coordinates for the proxy multicast. Real payloads
+    /// exist only in Real force mode (Counted mode has no live state to
+    /// ship) and only when there are proxies to receive them; the packed
+    /// bytes are what a remote process applies before its computes read
+    /// positions.
+    fn pack_coords(&self) -> Payload {
+        if self.params.force_mode != ForceMode::Real || self.proxies.is_empty() {
+            return Vec::new();
+        }
+        let st = self.shared.state.read().unwrap();
+        let atoms = &self.shared.decomp.grid.atoms[self.patch];
+        let positions = atoms.iter().map(|&a| st.system.positions[a as usize]).collect();
+        CoordMsg { patch: self.patch as u32, positions }.pack()
+    }
+
     /// Send this step's coordinates to proxies and co-located computes; on
     /// PME steps, also spread charges and ship them to this patch's slab.
     fn publish(&self, ctx: &mut Ctx) {
@@ -248,7 +259,7 @@ impl HomePatch {
             bytes,
             PRIO_HIGH,
             self.params.multicast,
-            |_| empty_payload(),
+            self.pack_coords(),
         );
         for &c in &self.local_computes {
             ctx.signal(c, self.entries.ready, PRIO_NORMAL);
@@ -262,7 +273,7 @@ impl HomePatch {
                 self.entries.slab_charge,
                 bytes,
                 PRIO_NORMAL,
-                empty_payload(),
+                Vec::new(),
             );
         }
     }
@@ -390,13 +401,31 @@ impl HomePatch {
 
     /// Buffer a force payload (if any) for the step's ordered fold.
     /// Signal-only messages (Counted mode, PME potential blocks) carry no
-    /// forces.
+    /// forces — an empty payload means "no force data" and every packed
+    /// [`ForceMsg`] is non-empty, so the two cannot collide.
     fn absorb(&mut self, payload: Payload) {
-        if let Ok(msg) = payload.downcast::<ForceMsg>() {
-            debug_assert_eq!(msg.block.len(), self.accum.len());
-            let msg = *msg;
-            self.pending.push((msg.from, msg.block));
+        if payload.is_empty() {
+            return;
         }
+        let msg = ForceMsg::unpack(&payload).expect("malformed ForceMsg payload");
+        debug_assert_eq!(msg.block.len(), self.accum.len());
+        self.pending.push((msg.from, msg.block));
+    }
+
+    /// Snapshot this patch's clean post-half-kick state (x_k, v_k) for the
+    /// checkpoint chare. Shipping the state in the message — instead of
+    /// letting the checkpoint chare read shared memory — keeps one code
+    /// path for every backend, including the one where the checkpoint
+    /// chare lives in a different OS process.
+    fn pack_ckpt(&self) -> Payload {
+        let st = self.shared.state.read().unwrap();
+        let atoms = &self.shared.decomp.grid.atoms[self.patch];
+        CkptMsg {
+            patch: self.patch as u32,
+            positions: atoms.iter().map(|&a| st.system.positions[a as usize]).collect(),
+            velocities: atoms.iter().map(|&a| st.system.velocities[a as usize]).collect(),
+        }
+        .pack()
     }
 }
 
@@ -425,10 +454,11 @@ impl Chare for HomePatch {
                 self.integrate_first_half();
                 if self.checkpoint_now() {
                     // In-phase checkpoint barrier: pause at the clean
-                    // post-half-kick state (x_k, v_k); the checkpoint chare
-                    // resumes every patch once the snapshot is on disk.
+                    // post-half-kick state (x_k, v_k) and ship it to the
+                    // checkpoint chare, which resumes every patch once the
+                    // snapshot is on disk.
                     let ckpt = self.ckpt.expect("checkpoint_now implies a ckpt chare");
-                    ctx.signal(ckpt, self.entries.ckpt_ready, PRIO_HIGH);
+                    ctx.send(ckpt, self.entries.ckpt_ready, 32, PRIO_HIGH, self.pack_ckpt());
                     return;
                 }
             }
@@ -439,12 +469,67 @@ impl Chare for HomePatch {
             unreachable!("HomePatch got unexpected entry {entry:?}");
         }
     }
+
+    /// `proc` backend: ship this patch's end-of-phase atom state (positions,
+    /// velocities, last forces) back to the parent process. Real mode only —
+    /// Counted mode never touches the atom arrays.
+    fn harvest_state(&self) -> Payload {
+        if self.params.force_mode != ForceMode::Real {
+            return Vec::new();
+        }
+        let st = self.shared.state.read().unwrap();
+        let atoms = &self.shared.decomp.grid.atoms[self.patch];
+        PatchStateMsg {
+            patch: self.patch as u32,
+            positions: atoms.iter().map(|&a| st.system.positions[a as usize]).collect(),
+            velocities: atoms.iter().map(|&a| st.system.velocities[a as usize]).collect(),
+            forces: atoms.iter().map(|&a| st.forces[a as usize]).collect(),
+        }
+        .pack()
+    }
+
+    /// Apply a worker process's harvested patch state to the parent's copy.
+    fn merge_state(&mut self, bytes: &[u8]) -> Result<(), WireError> {
+        if bytes.is_empty() {
+            return Ok(());
+        }
+        let msg = PatchStateMsg::unpack(bytes)?;
+        if msg.patch as usize != self.patch {
+            return Err(WireError(format!(
+                "patch state for patch {} merged into patch {}",
+                msg.patch, self.patch
+            )));
+        }
+        let shared = self.shared.clone();
+        let mut guard = shared.state.write().unwrap();
+        let st = &mut *guard;
+        let atoms = &self.shared.decomp.grid.atoms[self.patch];
+        if msg.positions.len() != atoms.len()
+            || msg.velocities.len() != atoms.len()
+            || msg.forces.len() != atoms.len()
+        {
+            return Err(WireError(format!(
+                "patch {} state carries {} atoms, expected {}",
+                self.patch,
+                msg.positions.len(),
+                atoms.len()
+            )));
+        }
+        for (slot, &a) in atoms.iter().enumerate() {
+            let i = a as usize;
+            st.system.positions[i] = msg.positions[slot];
+            st.system.velocities[i] = msg.velocities[slot];
+            st.forces[i] = msg.forces[slot];
+        }
+        Ok(())
+    }
 }
 
 /// A proxy patch: stands in for a remote home patch on this processor,
 /// combining the local computes' force contributions into one message.
 pub struct ProxyPatch {
     pub patch: PatchId,
+    shared: Arc<Shared>,
     entries: Entries,
     home: ObjId,
     /// Computes on this PE that need this patch.
@@ -466,6 +551,7 @@ pub struct ProxyPatch {
 impl ProxyPatch {
     pub fn new(
         patch: PatchId,
+        shared: Arc<Shared>,
         entries: Entries,
         home: ObjId,
         local_computes: Vec<ObjId>,
@@ -474,6 +560,7 @@ impl ProxyPatch {
     ) -> Self {
         ProxyPatch {
             patch,
+            shared,
             entries,
             home,
             local_computes,
@@ -491,13 +578,28 @@ impl Chare for ProxyPatch {
     fn receive(&mut self, entry: EntryId, payload: Payload, ctx: &mut Ctx) {
         if entry == self.entries.proxy_coords {
             ctx.add_work(self.unpack_work);
+            if ctx.distributed() && !payload.is_empty() {
+                // No shared address space: apply the home patch's published
+                // coordinates to this process's copy of the state before the
+                // local computes read positions. On shared-memory backends
+                // the home patch's integration already wrote them.
+                let msg = CoordMsg::unpack(&payload).expect("malformed CoordMsg payload");
+                debug_assert_eq!(msg.patch as usize, self.patch);
+                let shared = self.shared.clone();
+                let mut st = shared.state.write().unwrap();
+                let atoms = &self.shared.decomp.grid.atoms[self.patch];
+                debug_assert_eq!(msg.positions.len(), atoms.len());
+                for (slot, &a) in atoms.iter().enumerate() {
+                    st.system.positions[a as usize] = msg.positions[slot];
+                }
+            }
             for &c in &self.local_computes {
                 ctx.signal(c, self.entries.ready, PRIO_NORMAL);
             }
         } else if entry == self.entries.proxy_forces {
-            if let Ok(msg) = payload.downcast::<ForceMsg>() {
+            if !payload.is_empty() {
+                let msg = ForceMsg::unpack(&payload).expect("malformed ForceMsg payload");
                 debug_assert_eq!(msg.block.len(), self.accum.len());
-                let msg = *msg;
                 self.pending.push((msg.from, msg.block));
             }
             self.received += 1;
@@ -506,7 +608,7 @@ impl Chare for ProxyPatch {
                 self.received = 0;
                 ctx.add_work(self.unpack_work);
                 let payload: Payload = if self.pending.is_empty() {
-                    empty_payload()
+                    Vec::new()
                 } else {
                     // Combine in ascending-sender order (see ForceMsg), then
                     // forward one tagged block to the home patch.
@@ -517,10 +619,11 @@ impl Chare for ProxyPatch {
                         }
                     }
                     let n = self.accum.len();
-                    Box::new(ForceMsg {
+                    ForceMsg {
                         from: ctx.this().0,
                         block: std::mem::replace(&mut self.accum, vec![Vec3::ZERO; n]),
-                    })
+                    }
+                    .pack()
                 };
                 ctx.send(self.home, self.entries.patch_forces, self.force_bytes, PRIO_HIGH, payload);
             }
@@ -818,11 +921,12 @@ impl Chare for ComputeChare {
             self.step += 1;
             for (k, &(target, entry, bytes)) in self.targets.iter().enumerate() {
                 let payload: Payload = match &mut blocks {
-                    Some(b) => Box::new(ForceMsg {
+                    Some(b) => ForceMsg {
                         from: ctx.this().0,
                         block: std::mem::take(&mut b[k]),
-                    }),
-                    None => empty_payload(),
+                    }
+                    .pack(),
+                    None => Vec::new(),
                 };
                 ctx.send(target, entry, bytes, PRIO_HIGH, payload);
             }
@@ -898,7 +1002,7 @@ impl Chare for SlabChare {
                         self.entries.slab_transpose,
                         self.transpose_bytes,
                         PRIO_NORMAL,
-                        empty_payload(),
+                        Vec::new(),
                     );
                 }
                 // A lone slab (n_slabs == 1) has no peers: complete locally.
@@ -959,7 +1063,7 @@ impl SlabChare {
         }
         self.rounds += 1;
         for &(patch, bytes) in &self.patches {
-            ctx.send(patch, self.entries.patch_forces, bytes, PRIO_HIGH, empty_payload());
+            ctx.send(patch, self.entries.patch_forces, bytes, PRIO_HIGH, Vec::new());
         }
     }
 }
@@ -986,14 +1090,14 @@ impl Chare for Reducer {
 }
 
 /// Coordinates the in-phase checkpoint barrier. On a checkpoint step every
-/// home patch pauses after its first integration half and signals
-/// `ckpt_ready`; once all patches are paused the simulation state is clean
-/// — positions and velocities are exactly the (x_k, v_k) a phase boundary
-/// would produce — so this chare snapshots it under the state read lock,
-/// writes the snapshot atomically via [`ckpt::CheckpointDir`], and resumes
-/// every patch. A write failure is reported and counted but does not kill
-/// the run: the simulation stays correct, it just has one fewer recovery
-/// point.
+/// home patch pauses after its first integration half and sends `ckpt_ready`
+/// carrying its (x_k, v_k) atom state; once all patches are paused this
+/// chare assembles the full-system snapshot *from those payloads alone* —
+/// never from shared memory, so the same code path produces byte-identical
+/// checkpoints on the DES, the threads backend, and separate OS processes —
+/// writes it atomically via [`ckpt::CheckpointDir`], and resumes every
+/// patch. A write failure is reported and counted but does not kill the
+/// run: the simulation stays correct, it just has one fewer recovery point.
 pub struct CkptChare {
     shared: Arc<Shared>,
     entries: Entries,
@@ -1001,6 +1105,11 @@ pub struct CkptChare {
     /// multicast.
     patches: Vec<ObjId>,
     received: usize,
+    /// Patch states received for the current barrier, scattered into the
+    /// snapshot once the barrier completes.
+    pending: Vec<CkptMsg>,
+    /// Total atoms in the system (sizes the assembled snapshot).
+    n_atoms: usize,
     /// Global step of each barrier this phase will reach, in firing order.
     steps: Vec<u64>,
     round: usize,
@@ -1021,11 +1130,14 @@ impl CkptChare {
         dir: ckpt::CheckpointDir,
         template: ckpt::Snapshot,
     ) -> Self {
+        let n_atoms = shared.decomp.grid.atoms.iter().map(|a| a.len()).sum();
         CkptChare {
             shared,
             entries,
             patches,
             received: 0,
+            pending: Vec::new(),
+            n_atoms,
             steps,
             round: 0,
             dir,
@@ -1036,9 +1148,12 @@ impl CkptChare {
 }
 
 impl Chare for CkptChare {
-    fn receive(&mut self, entry: EntryId, _payload: Payload, ctx: &mut Ctx) {
+    fn receive(&mut self, entry: EntryId, payload: Payload, ctx: &mut Ctx) {
         if entry != self.entries.ckpt_ready {
             unreachable!("CkptChare got unexpected entry {entry:?}");
+        }
+        if !payload.is_empty() {
+            self.pending.push(CkptMsg::unpack(&payload).expect("malformed CkptMsg payload"));
         }
         self.received += 1;
         debug_assert!(self.received <= self.patches.len());
@@ -1049,12 +1164,19 @@ impl Chare for CkptChare {
         let mut snap = self.template.clone();
         snap.step = self.steps[self.round];
         self.round += 1;
-        {
-            let st = self.shared.state.read().unwrap();
-            snap.positions =
-                st.system.positions.iter().map(|p| [p.x, p.y, p.z]).collect();
-            snap.velocities =
-                st.system.velocities.iter().map(|v| [v.x, v.y, v.z]).collect();
+        // Assemble the snapshot purely from the patches' payloads: scatter
+        // each patch's block through the grid's atom lists.
+        snap.positions = vec![[0.0; 3]; self.n_atoms];
+        snap.velocities = vec![[0.0; 3]; self.n_atoms];
+        for msg in self.pending.drain(..) {
+            let atoms = &self.shared.decomp.grid.atoms[msg.patch as usize];
+            debug_assert_eq!(msg.positions.len(), atoms.len());
+            for (slot, &a) in atoms.iter().enumerate() {
+                let p = msg.positions[slot];
+                let v = msg.velocities[slot];
+                snap.positions[a as usize] = [p.x, p.y, p.z];
+                snap.velocities[a as usize] = [v.x, v.y, v.z];
+            }
         }
         // Serialization touches every atom once — model it like an
         // integration pass so the DES timeline charges the barrier.

@@ -38,6 +38,13 @@ pub enum Backend {
     /// wall-clock handler times. Requires the `threads` cargo feature
     /// (on by default); `Engine::run_phase` panics otherwise.
     Threads,
+    /// Real OS *processes*, one per PE, exchanging framed wire messages
+    /// over Unix domain sockets (`charmrt::ProcRuntime`). No shared
+    /// address space: all cross-PE data travels as packed payload bytes,
+    /// and fault-plan kills terminate real child processes. Linux/Unix
+    /// only. Incompatible with modeled PME (the slab pipeline shares
+    /// memory across PEs) and with non-kill fault rules.
+    Proc,
 }
 
 /// Which load-balancing pipeline the engine runs (§3.2 / ablations).
@@ -164,6 +171,13 @@ pub struct SimConfig {
     /// Directory checkpoints are written into (atomic write-then-rename).
     /// `None` disables checkpointing even when the interval is set.
     pub checkpoint_dir: Option<std::path::PathBuf>,
+    /// `proc` backend: number of worker processes. 0 (the default) means
+    /// one per PE; any non-zero value must equal `n_pes` (PEs *are*
+    /// processes on this backend — there is no multiplexing).
+    pub procs: usize,
+    /// `proc` backend: directory for the per-run Unix domain sockets.
+    /// `None` uses a fresh directory under the system temp dir.
+    pub socket_dir: Option<std::path::PathBuf>,
 }
 
 impl SimConfig {
@@ -196,6 +210,8 @@ impl SimConfig {
             fault_plan: None,
             checkpoint_interval: 0,
             checkpoint_dir: None,
+            procs: 0,
+            socket_dir: None,
         }
     }
 
@@ -270,6 +286,35 @@ impl SimConfig {
                 return Err(ConfigError::BadPme("slabs must be at least 1".into()));
             }
         }
+        if self.backend == Backend::Proc {
+            if self.pme.is_some() {
+                return Err(ConfigError::BadProc(
+                    "modeled PME shares reciprocal-space state across PEs and cannot run \
+                     with PEs in separate processes"
+                        .into(),
+                ));
+            }
+            if self.procs != 0 && self.procs != self.n_pes {
+                return Err(ConfigError::BadProc(format!(
+                    "procs ({}) must be 0 (one per PE) or equal n_pes ({})",
+                    self.procs, self.n_pes
+                )));
+            }
+            if let Some(plan) = &self.fault_plan {
+                if plan.rules.iter().any(|r| r.action != charmrt::FaultAction::Kill) {
+                    return Err(ConfigError::BadProc(
+                        "only kill fault rules map to real process termination; drop/dup/\
+                         delay/corrupt rules need the in-process backends"
+                            .into(),
+                    ));
+                }
+            }
+        } else if self.procs != 0 {
+            return Err(ConfigError::BadProc(format!(
+                "procs ({}) is only meaningful with backend=proc",
+                self.procs
+            )));
+        }
         if self.checkpoint_dir.is_some() {
             if self.checkpoint_interval == 0 {
                 return Err(ConfigError::BadCheckpoint(
@@ -313,6 +358,8 @@ pub enum ConfigError {
     BadPme(String),
     /// An inconsistent checkpoint configuration.
     BadCheckpoint(String),
+    /// An inconsistent multi-process (`backend=proc`) configuration.
+    BadProc(String),
 }
 
 impl std::fmt::Display for ConfigError {
@@ -338,6 +385,7 @@ impl std::fmt::Display for ConfigError {
             ConfigError::BadPeSpeeds(msg) => write!(f, "pe_speeds: {msg}"),
             ConfigError::BadPme(msg) => write!(f, "pme: {msg}"),
             ConfigError::BadCheckpoint(msg) => write!(f, "checkpointing: {msg}"),
+            ConfigError::BadProc(msg) => write!(f, "proc backend: {msg}"),
         }
     }
 }
@@ -474,6 +522,19 @@ impl SimConfigBuilder {
         self
     }
 
+    /// `proc` backend: worker-process count (0 = one per PE; otherwise must
+    /// equal `n_pes`).
+    pub fn procs(mut self, procs: usize) -> Self {
+        self.cfg.procs = procs;
+        self
+    }
+
+    /// `proc` backend: directory for the per-run Unix domain sockets.
+    pub fn socket_dir(mut self, dir: impl Into<std::path::PathBuf>) -> Self {
+        self.cfg.socket_dir = Some(dir.into());
+        self
+    }
+
     /// Validate and produce the configuration.
     pub fn build(self) -> Result<SimConfig, ConfigError> {
         self.cfg.validate()?;
@@ -554,6 +615,42 @@ mod tests {
         // Errors render a actionable message.
         let e = SimConfig::builder(0, m).build().unwrap_err();
         assert!(e.to_string().contains("n_pes"));
+    }
+
+    #[test]
+    fn proc_backend_validations() {
+        let m = presets::asci_red();
+        // PME needs a shared address space.
+        assert!(matches!(
+            SimConfig::builder(4, m)
+                .backend(Backend::Proc)
+                .pme(Some(PmeSimConfig::default()))
+                .build(),
+            Err(ConfigError::BadProc(_))
+        ));
+        // procs must be 0 or n_pes, and is proc-only.
+        assert!(matches!(
+            SimConfig::builder(4, m).backend(Backend::Proc).procs(2).build(),
+            Err(ConfigError::BadProc(_))
+        ));
+        assert!(matches!(
+            SimConfig::builder(4, m).procs(4).build(),
+            Err(ConfigError::BadProc(_))
+        ));
+        // Only kill rules map to real process termination.
+        assert!(matches!(
+            SimConfig::builder(4, m)
+                .backend(Backend::Proc)
+                .fault_plan(Some(charmrt::FaultPlan::parse("drop:entry=Done:limit=1").unwrap()))
+                .build(),
+            Err(ConfigError::BadProc(_))
+        ));
+        SimConfig::builder(4, m)
+            .backend(Backend::Proc)
+            .procs(4)
+            .fault_plan(Some(charmrt::FaultPlan::parse("kill:entry=Done:dst=1").unwrap()))
+            .build()
+            .unwrap();
     }
 
     #[test]

@@ -21,7 +21,7 @@ use crate::costmodel;
 use crate::decomp::{self, Decomposition};
 use crate::nbcache::{PairlistCache, PairlistStats};
 use crate::state::{Shared, SimState, StepAcc};
-use charmrt::{empty_payload, Des, ObjId, Pe, Runtime, SummaryStats, Trace, PRIO_NORMAL};
+use charmrt::{Des, ObjId, Pe, Runtime, SummaryStats, Trace, WireCodec, PRIO_NORMAL};
 use mdcore::prelude::*;
 use std::collections::BTreeMap;
 use std::sync::Arc;
@@ -479,6 +479,13 @@ impl Engine {
                 "Backend::Threads needs namd-core's `threads` feature, \
                  which is disabled in this build"
             ),
+            Backend::Proc => {
+                let mut rt = charmrt::ProcRuntime::new(self.config.n_pes);
+                if let Some(dir) = &self.config.socket_dir {
+                    rt.set_socket_dir(dir.clone());
+                }
+                self.try_run_phase_on(&mut rt, n_steps)
+            }
         }
     }
 
@@ -654,6 +661,7 @@ impl Engine {
             debug_assert!(expected > 0, "proxy with no local computes");
             let obj = ProxyPatch::new(
                 p,
+                self.shared.clone(),
                 entries,
                 patch_id(p),
                 locals,
@@ -754,9 +762,44 @@ impl Engine {
             assert_eq!(Some(id), ckpt_id);
         }
 
+        // ---- Shared-state return hooks (proc backend) ---------------------
+        // Per-step energies accumulate in each worker process's copy of
+        // `Shared::energies`; the parent's copy (zeroed above) never sees a
+        // handler, so merging every worker's block additively reproduces
+        // exactly what the shared-memory backends accumulate in place.
+        // No-ops on the in-process backends.
+        {
+            let shared = self.shared.clone();
+            let harvest = Box::new(move || {
+                let en = shared.energies.lock().unwrap();
+                if en.is_empty() {
+                    Vec::new()
+                } else {
+                    crate::messages::EnergiesMsg { steps: en.clone() }.pack()
+                }
+            });
+            let shared = self.shared.clone();
+            let merge =
+                Box::new(move |_pe: Pe, bytes: &[u8]| -> Result<(), charmrt::WireError> {
+                    if bytes.is_empty() {
+                        return Ok(());
+                    }
+                    let msg = crate::messages::EnergiesMsg::unpack(bytes)?;
+                    let mut en = shared.energies.lock().unwrap();
+                    if en.len() < msg.steps.len() {
+                        en.resize(msg.steps.len(), StepAcc::default());
+                    }
+                    for (dst, src) in en.iter_mut().zip(msg.steps.iter()) {
+                        dst.merge(src);
+                    }
+                    Ok(())
+                });
+            rt.set_shared_hooks(harvest, merge);
+        }
+
         // ---- Bootstrap and run --------------------------------------------
         for p in 0..n_patches {
-            rt.inject(patch_id(p), entries.start, 0, PRIO_NORMAL, empty_payload());
+            rt.inject(patch_id(p), entries.start, 0, PRIO_NORMAL, Vec::new());
         }
         // Delivery-guarantee repair loop: a run may fall short of protocol
         // completion when the fault plan loses messages (the DES drains its
@@ -832,6 +875,8 @@ impl Engine {
             // Each barrier collects one CkptReady per patch.
             checkpoints: stats.entry_count[entries.ckpt_ready.idx()] / n_patches.max(1) as u64,
             critical_path: stats.critical_path,
+            wire_msgs: stats.entry_wire_msgs.iter().sum(),
+            wire_bytes: stats.entry_wire_bytes.iter().sum(),
         };
         #[allow(deprecated)]
         let result = PhaseResult {
@@ -855,6 +900,7 @@ impl Engine {
             let backend = match self.config.backend {
                 Backend::Des => "des",
                 Backend::Threads => "threads",
+                Backend::Proc => "proc",
             };
             if let Err(e) = reg.record_phase(
                 backend,

@@ -59,6 +59,7 @@ pub mod costmodel;
 pub mod decomp;
 pub mod engine;
 pub mod nbcache;
+pub mod messages;
 pub mod oracle;
 #[cfg(feature = "threads")]
 pub mod parallel;

@@ -1,0 +1,307 @@
+//! Wire message types exchanged between chares.
+//!
+//! Every payload that crosses an entry-method boundary is packed through one
+//! of these types via [`charmrt::WireCodec`], so the exact same byte layout
+//! travels through the DES scheduler, the in-process threads backend, and the
+//! Unix-socket frames of the `proc` backend. The codecs are built on the
+//! little-endian primitives shared with the checkpoint format
+//! ([`charmrt::wire::Enc`] / [`charmrt::wire::Dec`]), which keeps the
+//! serialization rules in one place: what a chare packs here is bit-for-bit
+//! what a checkpoint or a socket frame would carry.
+//!
+//! Conventions:
+//! - `Vec<Vec3>` fields are packed as a `u64` count followed by three `f64`
+//!   components per element, in order.
+//! - Every `unpack` rejects trailing bytes, so a framing bug upstream fails
+//!   loudly instead of silently truncating.
+//! - An *empty* payload (zero bytes) is the "no data" signal throughout the
+//!   engine; every packed message below is non-empty by construction, so the
+//!   two cases cannot collide.
+
+use charmrt::wire::{Dec, Enc};
+use charmrt::{Payload, WireCodec, WireError};
+use mdcore::vec3::Vec3;
+
+use crate::state::StepAcc;
+
+fn finish(d: &Dec, what: &str) -> Result<(), WireError> {
+    if d.remaining() != 0 {
+        return Err(WireError(format!("{} trailing bytes after {what}", d.remaining())));
+    }
+    Ok(())
+}
+
+fn put_vecs(e: &mut Enc, vs: &[Vec3]) {
+    e.u64(vs.len() as u64);
+    for v in vs {
+        e.f64(v.x);
+        e.f64(v.y);
+        e.f64(v.z);
+    }
+}
+
+fn take_vecs(d: &mut Dec, label: &'static str) -> Result<Vec<Vec3>, WireError> {
+    let n = d.u64(label)? as usize;
+    let mut out = Vec::with_capacity(n.min(1 << 20));
+    for _ in 0..n {
+        out.push(Vec3::new(d.f64(label)?, d.f64(label)?, d.f64(label)?));
+    }
+    Ok(out)
+}
+
+/// A block of per-atom forces computed by a compute object (or combined by a
+/// proxy patch) for one home patch, tagged with the sender's object id so
+/// the receiver can fold contributions in a deterministic order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ForceMsg {
+    /// Sending object's raw id (`ObjId.0`), used for deterministic folding.
+    pub from: u32,
+    /// One force vector per atom of the destination patch.
+    pub block: Vec<Vec3>,
+}
+
+impl WireCodec for ForceMsg {
+    fn pack(&self) -> Payload {
+        let mut e = Enc::with_capacity(4 + 8 + 24 * self.block.len());
+        e.u32(self.from);
+        put_vecs(&mut e, &self.block);
+        e.into_bytes()
+    }
+
+    fn unpack(bytes: &[u8]) -> Result<Self, WireError> {
+        let mut d = Dec::new(bytes);
+        let from = d.u32("ForceMsg.from")?;
+        let block = take_vecs(&mut d, "ForceMsg.block")?;
+        finish(&d, "ForceMsg")?;
+        Ok(ForceMsg { from, block })
+    }
+}
+
+/// Atom coordinates multicast from a home patch to its proxies at the start
+/// of a step. On shared-memory backends the proxies read positions directly
+/// from [`crate::state::Shared`]; on the `proc` backend the receiving
+/// process applies these bytes to its local copy instead.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CoordMsg {
+    /// Owning patch's raw id (patch index, not ObjId).
+    pub patch: u32,
+    /// Positions of the patch's atoms, in patch-local order.
+    pub positions: Vec<Vec3>,
+}
+
+impl WireCodec for CoordMsg {
+    fn pack(&self) -> Payload {
+        let mut e = Enc::with_capacity(4 + 8 + 24 * self.positions.len());
+        e.u32(self.patch);
+        put_vecs(&mut e, &self.positions);
+        e.into_bytes()
+    }
+
+    fn unpack(bytes: &[u8]) -> Result<Self, WireError> {
+        let mut d = Dec::new(bytes);
+        let patch = d.u32("CoordMsg.patch")?;
+        let positions = take_vecs(&mut d, "CoordMsg.positions")?;
+        finish(&d, "CoordMsg")?;
+        Ok(CoordMsg { patch, positions })
+    }
+}
+
+/// One patch's contribution to a checkpoint: positions and velocities of its
+/// atoms at the checkpoint boundary. Sent from each [`crate::chares::HomePatch`]
+/// to the checkpoint chare, which assembles the full-system snapshot from
+/// these messages alone — no shared-memory reads, so the same path works on
+/// every backend.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CkptMsg {
+    /// Patch index.
+    pub patch: u32,
+    /// Positions of the patch's atoms, in patch-local order.
+    pub positions: Vec<Vec3>,
+    /// Velocities of the patch's atoms, in patch-local order.
+    pub velocities: Vec<Vec3>,
+}
+
+impl WireCodec for CkptMsg {
+    fn pack(&self) -> Payload {
+        let mut e =
+            Enc::with_capacity(4 + 16 + 24 * (self.positions.len() + self.velocities.len()));
+        e.u32(self.patch);
+        put_vecs(&mut e, &self.positions);
+        put_vecs(&mut e, &self.velocities);
+        e.into_bytes()
+    }
+
+    fn unpack(bytes: &[u8]) -> Result<Self, WireError> {
+        let mut d = Dec::new(bytes);
+        let patch = d.u32("CkptMsg.patch")?;
+        let positions = take_vecs(&mut d, "CkptMsg.positions")?;
+        let velocities = take_vecs(&mut d, "CkptMsg.velocities")?;
+        finish(&d, "CkptMsg")?;
+        Ok(CkptMsg { patch, positions, velocities })
+    }
+}
+
+/// End-of-phase state of one home patch, harvested from a worker process of
+/// the `proc` backend and merged back into the parent's [`crate::state::Shared`]:
+/// positions, velocities, and last-computed forces of the patch's atoms.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PatchStateMsg {
+    /// Patch index.
+    pub patch: u32,
+    pub positions: Vec<Vec3>,
+    pub velocities: Vec<Vec3>,
+    pub forces: Vec<Vec3>,
+}
+
+impl WireCodec for PatchStateMsg {
+    fn pack(&self) -> Payload {
+        let n = self.positions.len() + self.velocities.len() + self.forces.len();
+        let mut e = Enc::with_capacity(4 + 24 + 24 * n);
+        e.u32(self.patch);
+        put_vecs(&mut e, &self.positions);
+        put_vecs(&mut e, &self.velocities);
+        put_vecs(&mut e, &self.forces);
+        e.into_bytes()
+    }
+
+    fn unpack(bytes: &[u8]) -> Result<Self, WireError> {
+        let mut d = Dec::new(bytes);
+        let patch = d.u32("PatchStateMsg.patch")?;
+        let positions = take_vecs(&mut d, "PatchStateMsg.positions")?;
+        let velocities = take_vecs(&mut d, "PatchStateMsg.velocities")?;
+        let forces = take_vecs(&mut d, "PatchStateMsg.forces")?;
+        finish(&d, "PatchStateMsg")?;
+        Ok(PatchStateMsg { patch, positions, velocities, forces })
+    }
+}
+
+/// Per-step energy accumulators harvested from a worker process via the
+/// runtime's shared-state hook. The parent starts each `proc` phase with its
+/// accumulators zeroed and merges every worker's block additively, which
+/// reproduces exactly what the shared-memory backends accumulate in place.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EnergiesMsg {
+    pub steps: Vec<StepAcc>,
+}
+
+impl WireCodec for EnergiesMsg {
+    fn pack(&self) -> Payload {
+        let mut e = Enc::with_capacity(8 + 72 * self.steps.len());
+        e.u64(self.steps.len() as u64);
+        for s in &self.steps {
+            e.f64(s.e_lj);
+            e.f64(s.e_elec);
+            e.f64(s.e_bond);
+            e.f64(s.e_angle);
+            e.f64(s.e_dihedral);
+            e.f64(s.e_improper);
+            e.f64(s.e_restraint);
+            e.f64(s.kinetic);
+            e.u64(s.pairs);
+        }
+        e.into_bytes()
+    }
+
+    fn unpack(bytes: &[u8]) -> Result<Self, WireError> {
+        let mut d = Dec::new(bytes);
+        let n = d.u64("EnergiesMsg.len")? as usize;
+        let mut steps = Vec::with_capacity(n.min(1 << 16));
+        for _ in 0..n {
+            steps.push(StepAcc {
+                e_lj: d.f64("EnergiesMsg.e_lj")?,
+                e_elec: d.f64("EnergiesMsg.e_elec")?,
+                e_bond: d.f64("EnergiesMsg.e_bond")?,
+                e_angle: d.f64("EnergiesMsg.e_angle")?,
+                e_dihedral: d.f64("EnergiesMsg.e_dihedral")?,
+                e_improper: d.f64("EnergiesMsg.e_improper")?,
+                e_restraint: d.f64("EnergiesMsg.e_restraint")?,
+                kinetic: d.f64("EnergiesMsg.kinetic")?,
+                pairs: d.u64("EnergiesMsg.pairs")?,
+            });
+        }
+        finish(&d, "EnergiesMsg")?;
+        Ok(EnergiesMsg { steps })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn vecs(seed: u64, n: usize) -> Vec<Vec3> {
+        (0..n)
+            .map(|i| {
+                let b = (seed as f64) * 0.25 + i as f64;
+                Vec3::new(b + 0.125, -b * 3.5, b * b)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn force_msg_round_trips_bit_exactly() {
+        let m = ForceMsg { from: 17, block: vecs(3, 5) };
+        let bytes = m.pack();
+        assert!(!bytes.is_empty());
+        assert_eq!(ForceMsg::unpack(&bytes).unwrap(), m);
+    }
+
+    #[test]
+    fn coord_msg_round_trips_bit_exactly() {
+        let m = CoordMsg { patch: 2, positions: vecs(9, 7) };
+        assert_eq!(CoordMsg::unpack(&m.pack()).unwrap(), m);
+    }
+
+    #[test]
+    fn ckpt_msg_round_trips_bit_exactly() {
+        let m = CkptMsg { patch: 4, positions: vecs(1, 3), velocities: vecs(2, 3) };
+        assert_eq!(CkptMsg::unpack(&m.pack()).unwrap(), m);
+    }
+
+    #[test]
+    fn patch_state_msg_round_trips_bit_exactly() {
+        let m = PatchStateMsg {
+            patch: 8,
+            positions: vecs(5, 4),
+            velocities: vecs(6, 4),
+            forces: vecs(7, 4),
+        };
+        assert_eq!(PatchStateMsg::unpack(&m.pack()).unwrap(), m);
+    }
+
+    #[test]
+    fn energies_msg_round_trips_bit_exactly() {
+        let steps = vec![
+            StepAcc {
+                e_lj: 1.5,
+                e_elec: -2.25,
+                e_bond: 3.0,
+                e_angle: 0.0,
+                e_dihedral: -0.5,
+                e_improper: 0.125,
+                e_restraint: 9.75,
+                kinetic: 4.5,
+                pairs: 1234,
+            },
+            StepAcc::default(),
+        ];
+        let m = EnergiesMsg { steps };
+        assert_eq!(EnergiesMsg::unpack(&m.pack()).unwrap(), m);
+    }
+
+    #[test]
+    fn trailing_bytes_are_rejected() {
+        let mut bytes = ForceMsg { from: 1, block: vecs(0, 2) }.pack();
+        bytes.push(0);
+        assert!(ForceMsg::unpack(&bytes).is_err());
+        let mut bytes = CkptMsg { patch: 0, positions: vec![], velocities: vec![] }.pack();
+        bytes.push(0);
+        assert!(CkptMsg::unpack(&bytes).is_err());
+    }
+
+    #[test]
+    fn truncated_bytes_are_rejected() {
+        let bytes = CoordMsg { patch: 1, positions: vecs(0, 2) }.pack();
+        assert!(CoordMsg::unpack(&bytes[..bytes.len() - 1]).is_err());
+        assert!(CoordMsg::unpack(&[]).is_err());
+    }
+}

@@ -99,7 +99,20 @@ pub struct ParallelSim {
 impl ParallelSim {
     /// Create a simulator using `n_threads` OS threads.
     pub fn new(system: System, n_threads: usize, dt: f64) -> Result<Self, ParallelSimError> {
-        if n_threads == 0 {
+        Self::with_backend(system, n_threads, dt, Backend::Threads)
+    }
+
+    /// Create a simulator on an explicit runtime backend: `Backend::Threads`
+    /// (one OS thread per PE), `Backend::Proc` (one OS *process* per PE),
+    /// or `Backend::Des` (deterministic virtual-time execution of the same
+    /// protocol). All backends produce bit-identical trajectories.
+    pub fn with_backend(
+        system: System,
+        n_pes: usize,
+        dt: f64,
+        backend: Backend,
+    ) -> Result<Self, ParallelSimError> {
+        if n_pes == 0 {
             return Err(ParallelSimError::NoThreads);
         }
         if !(dt > 0.0 && dt.is_finite()) {
@@ -108,9 +121,9 @@ impl ParallelSim {
         if system.n_atoms() == 0 {
             return Err(ParallelSimError::EmptySystem);
         }
-        let cfg = SimConfig::builder(n_threads, machine::presets::generic_cluster())
+        let cfg = SimConfig::builder(n_pes, machine::presets::generic_cluster())
             .force_mode(ForceMode::Real)
-            .backend(Backend::Threads)
+            .backend(backend)
             .dt_fs(dt)
             .build()
             .expect("facade arguments validated above");
@@ -121,6 +134,19 @@ impl ParallelSim {
             migrate_every: 20,
             forces: vec![Vec3::ZERO; n],
         })
+    }
+
+    /// Proc-backend knobs: worker-process count (0 = one per PE; any other
+    /// value must equal the PE count) and the directory for the Unix socket
+    /// mesh (`None` = a fresh directory under the system temp dir).
+    pub fn set_proc_options(&mut self, procs: usize, socket_dir: Option<std::path::PathBuf>) {
+        assert!(
+            procs == 0 || procs == self.engine.config.n_pes,
+            "procs must be 0 or equal the PE count ({}), got {procs}",
+            self.engine.config.n_pes
+        );
+        self.engine.config.procs = procs;
+        self.engine.config.socket_dir = socket_dir;
     }
 
     /// Number of compute objects (parallel tasks per force evaluation).

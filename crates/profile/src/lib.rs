@@ -525,6 +525,12 @@ pub struct PhaseMetrics {
     pub checkpoints: u64,
     /// Longest dependency chain through the phase's message graph, seconds.
     pub critical_path: f64,
+    /// Messages that carried a non-empty packed payload (all backends share
+    /// the wire format; on the `proc` backend these are the bytes that
+    /// actually crossed the socket mesh).
+    pub wire_msgs: u64,
+    /// Total packed payload bytes across those messages.
+    pub wire_bytes: u64,
 }
 
 // ---------------------------------------------------------------------------
@@ -742,10 +748,28 @@ impl MetricsRegistry {
         if captured && self.dir.is_some() {
             io_result = self.write_trace_file(index, backend, stats, trace.unwrap(), span);
         }
+        // Per-entry packed-bytes breakdown: only entries that moved payload
+        // bytes, in registration order.
+        let wire_by_entry: Vec<String> = stats
+            .entry_names
+            .names()
+            .iter()
+            .enumerate()
+            .filter(|&(e, _)| stats.entry_wire_bytes.get(e).is_some_and(|&b| b > 0))
+            .map(|(e, name)| {
+                format!(
+                    "\"{}\":{{\"msgs\":{},\"bytes\":{}}}",
+                    json_escape(name),
+                    stats.entry_wire_msgs[e],
+                    stats.entry_wire_bytes[e]
+                )
+            })
+            .collect();
         let summary = format!(
             "{{\"phase\":{index},\"backend\":\"{}\",\"steps\":{n_steps},\"span\":{span:.9e},\
              \"critical_path\":{:.9e},\"avg_utilization\":{:.6},\"pairlist_builds\":{},\
-             \"pairlist_hits\":{},\"msg_residual\":{},\"checkpoints\":{}}}",
+             \"pairlist_hits\":{},\"msg_residual\":{},\"checkpoints\":{},\
+             \"wire_msgs\":{},\"wire_bytes\":{},\"wire_by_entry\":{{{}}}}}",
             json_escape(backend),
             metrics.critical_path,
             utilization.avg_utilization(),
@@ -753,6 +777,9 @@ impl MetricsRegistry {
             metrics.pairlist.hits,
             metrics.messages.residual(),
             metrics.checkpoints,
+            metrics.wire_msgs,
+            metrics.wire_bytes,
+            wire_by_entry.join(","),
         );
         io_result = io_result.and(self.append_line("phases.jsonl", &summary));
 
@@ -972,7 +999,9 @@ mod tests {
     fn registry_accumulates_phases_and_audits_in_memory() {
         let (t, names) = sample_trace();
         let mut stats = SummaryStats::default();
-        stats.entry_names = names;
+        for n in &names {
+            stats.entry_names.register(n);
+        }
         stats.pe_busy = vec![4.5e-5, 2.5e-5];
         stats.pe_overhead = vec![0.5e-5, 0.2e-5];
         stats.critical_path = 4.0e-5;
@@ -1008,14 +1037,20 @@ mod tests {
         let _ = std::fs::remove_dir_all(&dir);
         let (t, names) = sample_trace();
         let mut stats = SummaryStats::default();
-        stats.entry_names = names;
+        for n in &names {
+            stats.entry_names.register(n);
+        }
         stats.pe_busy = vec![1e-5, 1e-5];
         stats.pe_overhead = vec![0.0, 0.0];
+        stats.entry_wire_msgs = vec![4, 0];
+        stats.entry_wire_bytes = vec![4096, 0];
         let mut reg = MetricsRegistry::with_dir(&dir, 2).unwrap();
         for i in 0..3 {
             assert_eq!(reg.wants_trace(), i % 2 == 0);
             let tr = if reg.wants_trace() { Some(&t) } else { None };
-            reg.record_phase("des", &stats, tr, 1e-4, 2, PhaseMetrics::default()).unwrap();
+            let metrics =
+                PhaseMetrics { wire_msgs: 4, wire_bytes: 4096, ..Default::default() };
+            reg.record_phase("des", &stats, tr, 1e-4, 2, metrics).unwrap();
         }
         let traces: Vec<_> = std::fs::read_dir(&dir)
             .unwrap()
@@ -1027,6 +1062,14 @@ mod tests {
         let summary = std::fs::read_to_string(dir.join("phases.jsonl")).unwrap();
         assert_eq!(summary.lines().count(), 3);
         assert!(summary.lines().all(|l| l.starts_with('{') && l.ends_with('}')));
+        // Packed-payload accounting reaches the summaries, per entry.
+        assert!(summary.contains("\"wire_msgs\":4"), "{summary}");
+        assert!(summary.contains("\"wire_bytes\":4096"), "{summary}");
+        let first_entry = stats.entry_names.names()[0].clone();
+        assert!(
+            summary.contains(&format!("\"{first_entry}\":{{\"msgs\":4,\"bytes\":4096}}")),
+            "{summary}"
+        );
         let _ = std::fs::remove_dir_all(&dir);
     }
 }

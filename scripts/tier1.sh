@@ -25,6 +25,12 @@ SCHEDULE_FUZZ_CASES=25 cargo test -q --test schedule_fuzz || status=1
 echo "==> checkpoint kill/recover soak (SCHEDULE_FUZZ_CASES=25)"
 SCHEDULE_FUZZ_CASES=25 cargo test -q --test checkpoint_restart || status=1
 
+# Proc backend: real OS processes over Unix sockets must stay bit-identical
+# to DES/threads (equivalence tests + the seeds × PE-counts fuzz group), and
+# a SIGKILLed worker must recover through checkpoints. Blocking.
+echo "==> proc backend equivalence + fuzz (SCHEDULE_FUZZ_CASES=25)"
+SCHEDULE_FUZZ_CASES=25 cargo test -q --test proc_backend || status=1
+
 echo "==> cargo clippy (non-blocking)"
 if ! cargo clippy --workspace --all-targets -- -D warnings; then
   echo "WARNING: clippy reported lints (non-blocking)"

@@ -1,0 +1,223 @@
+//! Multi-process backend satellites: the `proc` backend runs the same
+//! chare protocol with one OS *process* per PE, exchanging packed wire
+//! messages over Unix domain sockets.
+//!
+//! * apoa1-small runs to completion on real processes, with forces,
+//!   velocities, and energies harvested back into the parent;
+//! * the DES, threads, and proc backends produce bit-identical
+//!   trajectories from the same seed — the deterministic ascending-sender
+//!   force fold makes the trajectory independent of which substrate
+//!   scheduled the messages;
+//! * a SIGKILLed worker process surfaces as a phase crash, and
+//!   checkpoint-based recovery reproduces the uninterrupted trajectory
+//!   bit for bit.
+
+use namd_repro::mdcore::prelude::*;
+use namd_repro::molgen;
+use namd_repro::namd_core::prelude::*;
+use namd_repro::namd_core::recovery::{run_with_recovery, RecoveryPolicy};
+
+/// A small apoa1-like membrane+protein system with protein restraints,
+/// matching the backend-equivalence suite's workload.
+fn restrained_apoa1_small() -> System {
+    let bench = molgen::apoa1_like().scaled(0.04);
+    let mut sys = molgen::SystemBuilder::new(bench.spec().clone()).build_restrained();
+    sys.thermalize(300.0, 11);
+    let mut sim = Simulator::new(&sys, 1.0);
+    for _ in 0..5 {
+        sim.step(&mut sys);
+    }
+    sys
+}
+
+fn real_mode_config(n_pes: usize, backend: Backend) -> SimConfig {
+    SimConfig::builder(n_pes, namd_repro::machine::presets::generic_cluster())
+        .force_mode(ForceMode::Real)
+        .backend(backend)
+        .build()
+        .expect("valid test config")
+}
+
+fn final_state(engine: &Engine) -> (Vec<Vec3>, Vec<Vec3>, Vec<Vec3>) {
+    let st = engine.shared.state.read().unwrap();
+    (st.system.positions.clone(), st.system.velocities.clone(), st.forces.clone())
+}
+
+#[test]
+fn proc_backend_runs_apoa1_small_on_real_processes() {
+    let sys = restrained_apoa1_small();
+    let before: Vec<Vec3> = sys.positions.clone();
+    let mut engine = Engine::new(sys, real_mode_config(3, Backend::Proc));
+    let r = engine.run_phase(3);
+
+    // Energies were harvested from the worker processes.
+    assert_eq!(r.energies.len(), 3);
+    assert!(r.energies[0].potential() != 0.0, "workers must report energies");
+    assert!(r.energies[0].kinetic > 0.0, "thermalized system has kinetic energy");
+
+    // Real wire traffic crossed the socket mesh, attributed per entry.
+    assert!(r.stats.msgs_sent > 0, "cross-process messages must flow");
+    assert!(r.stats.bytes_sent > 0);
+    assert!(
+        r.stats.entry_wire_bytes.iter().sum::<u64>() > 0,
+        "packed payload bytes must be attributed to entries"
+    );
+    assert_eq!(r.stats.pes_killed, 0);
+
+    // Positions moved and were merged back into the parent process.
+    let (x, _, f) = final_state(&engine);
+    let moved = x.iter().zip(&before).filter(|(a, b)| *a != *b).count();
+    assert!(moved > x.len() / 2, "only {moved}/{} atoms moved", x.len());
+    assert!(f.iter().any(|v| v.norm() > 0.0), "forces must be harvested");
+}
+
+#[test]
+fn des_threads_and_proc_trajectories_are_bit_identical() {
+    let sys = restrained_apoa1_small();
+    let mut des = Engine::new(sys.clone(), real_mode_config(3, Backend::Des));
+    let mut thr = Engine::new(sys.clone(), real_mode_config(3, Backend::Threads));
+    let mut prc = Engine::new(sys, real_mode_config(3, Backend::Proc));
+
+    let r_des = des.run_phase(3);
+    let r_thr = thr.run_phase(3);
+    let r_prc = prc.run_phase(3);
+
+    let (dx, dv, df) = final_state(&des);
+    for (name, engine) in [("threads", &thr), ("proc", &prc)] {
+        let (x, v, f) = final_state(engine);
+        for i in 0..dx.len() {
+            assert_eq!(dx[i].x.to_bits(), x[i].x.to_bits(), "{name} atom {i} x");
+            assert_eq!(dx[i].y.to_bits(), x[i].y.to_bits(), "{name} atom {i} y");
+            assert_eq!(dx[i].z.to_bits(), x[i].z.to_bits(), "{name} atom {i} z");
+            assert_eq!(dv[i].x.to_bits(), v[i].x.to_bits(), "{name} atom {i} vx");
+            assert_eq!(df[i].x.to_bits(), f[i].x.to_bits(), "{name} atom {i} fx");
+        }
+    }
+
+    // Energies are order-dependent observables: equal to rounding, not bits.
+    for (r, name) in [(&r_thr, "threads"), (&r_prc, "proc")] {
+        for (s, (a, b)) in r_des.energies.iter().zip(r.energies.iter()).enumerate() {
+            let tol = 1e-8 * a.total().abs().max(1.0);
+            assert!(
+                (a.total() - b.total()).abs() < tol,
+                "step {s} energy: des {} vs {name} {}",
+                a.total(),
+                b.total()
+            );
+        }
+    }
+}
+
+fn recovery_engine(dir: &std::path::Path, backend: Backend) -> Engine {
+    let mut sys = molgen::SystemBuilder::new(molgen::SystemSpec {
+        name: "proc-recovery-test",
+        box_lengths: Vec3::new(28.0, 28.0, 28.0),
+        target_atoms: 1200,
+        protein_chains: 1,
+        protein_chain_len: 24,
+        lipid_slab: None,
+        cutoff: 8.0,
+        seed: 7,
+    })
+    .build();
+    sys.thermalize(150.0, 7);
+    let cfg = SimConfig::builder(2, namd_repro::machine::presets::generic_cluster())
+        .force_mode(ForceMode::Real)
+        .backend(backend)
+        .checkpoint(dir, 4)
+        .build()
+        .expect("valid test config");
+    Engine::new(sys, cfg)
+}
+
+#[test]
+fn sigkilled_worker_process_recovers_bit_identically() {
+    // Reference: uninterrupted run on the deterministic DES.
+    let tmp_a = tempdir("proc-recovery-ref");
+    let mut reference = recovery_engine(&tmp_a, Backend::Des);
+    run_with_recovery(&mut reference, 8, &RecoveryPolicy::default()).unwrap();
+    let (ref_x, ref_v, _) = final_state(&reference);
+
+    // Killed run: the fault plan SIGKILLs PE 1's real OS process mid-phase;
+    // the parent detects the death, rolls back to the newest checkpoint,
+    // and resumes.
+    let tmp_b = tempdir("proc-recovery-killed");
+    let mut killed = recovery_engine(&tmp_b, Backend::Proc);
+    killed.config.fault_plan = Some(
+        namd_repro::charmrt::FaultPlan::parse("kill:entry=PatchRecvForces:dst=1:skip=6")
+            .unwrap(),
+    );
+    let report = run_with_recovery(&mut killed, 8, &RecoveryPolicy::default()).unwrap();
+    assert!(report.recoveries >= 1, "the kill must have fired");
+    assert_eq!(report.updates, 8);
+    let (x, v, _) = final_state(&killed);
+
+    for i in 0..ref_x.len() {
+        assert_eq!(ref_x[i].x.to_bits(), x[i].x.to_bits(), "atom {i} x");
+        assert_eq!(ref_x[i].y.to_bits(), x[i].y.to_bits(), "atom {i} y");
+        assert_eq!(ref_x[i].z.to_bits(), x[i].z.to_bits(), "atom {i} z");
+        assert_eq!(ref_v[i].x.to_bits(), v[i].x.to_bits(), "atom {i} vx");
+    }
+    std::fs::remove_dir_all(&tmp_a).ok();
+    std::fs::remove_dir_all(&tmp_b).ok();
+}
+
+fn tempdir(tag: &str) -> std::path::PathBuf {
+    let pid = std::process::id();
+    let path = std::env::temp_dir().join(format!("namd-{tag}-{pid}"));
+    std::fs::remove_dir_all(&path).ok();
+    path
+}
+
+/// Case count for the fuzz group below, from the same knob the schedule
+/// fuzzer uses (`SCHEDULE_FUZZ_CASES`, default 4; CI's soak job runs 25).
+fn fuzz_cases() -> u64 {
+    std::env::var("SCHEDULE_FUZZ_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(4)
+}
+
+/// Deterministic equivalence fuzz: across systems (seeds) and PE counts,
+/// the proc backend's trajectory must match the DES bit for bit. Each case
+/// forks a fresh worker mesh, so this also soaks process setup/teardown.
+#[test]
+fn proc_fuzz_matches_des_across_seeds_and_pe_counts() {
+    for case in 0..fuzz_cases() {
+        let seed = 100 + case;
+        let n_pes = 2 + (case % 3) as usize;
+        let build = || {
+            let mut sys = molgen::SystemBuilder::new(molgen::SystemSpec {
+                name: "proc-fuzz",
+                box_lengths: Vec3::new(28.0, 28.0, 28.0),
+                target_atoms: 1200,
+                protein_chains: 1,
+                protein_chain_len: 24,
+                lipid_slab: None,
+                cutoff: 8.0,
+                seed,
+            })
+            .build();
+            sys.thermalize(150.0, seed);
+            sys
+        };
+        let mut des = Engine::new(build(), real_mode_config(n_pes, Backend::Des));
+        let mut prc = Engine::new(build(), real_mode_config(n_pes, Backend::Proc));
+        des.run_phase(3);
+        prc.run_phase(3);
+        let (dx, dv, _) = final_state(&des);
+        let (px, pv, _) = final_state(&prc);
+        for i in 0..dx.len() {
+            assert_eq!(
+                dx[i].x.to_bits(),
+                px[i].x.to_bits(),
+                "case {case} (seed {seed}, {n_pes} PEs): atom {i} x diverged"
+            );
+            assert_eq!(
+                dv[i].x.to_bits(),
+                pv[i].x.to_bits(),
+                "case {case} (seed {seed}, {n_pes} PEs): atom {i} vx diverged"
+            );
+        }
+    }
+}

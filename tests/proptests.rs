@@ -382,6 +382,171 @@ proptest! {
     }
 }
 
+mod wire_roundtrips {
+    //! Pack/unpack round-trips for every wire message type: arbitrary field
+    //! values survive the serialization boundary bit-exactly, and mutated or
+    //! truncated byte streams are rejected rather than misread.
+
+    use super::*;
+    use namd_repro::charmrt::wire::{encode_frame, read_frame};
+    use namd_repro::charmrt::{EntryId, ObjId, WireCodec, WireMsg};
+    use namd_repro::namd_core::messages::{
+        CkptMsg, CoordMsg, EnergiesMsg, ForceMsg, PatchStateMsg,
+    };
+    use namd_repro::namd_core::state::StepAcc;
+
+    /// Finite but otherwise arbitrary coordinates, including negatives,
+    /// zeros, and subnormal-adjacent magnitudes.
+    fn arb_any_vec3() -> impl Strategy<Value = Vec3> {
+        let c = -1e12f64..1e12;
+        (c.clone(), c.clone(), c).prop_map(|(x, y, z)| Vec3::new(x, y, z))
+    }
+
+    fn arb_vecs(max: usize) -> impl Strategy<Value = Vec<Vec3>> {
+        proptest::collection::vec(arb_any_vec3(), 0..max)
+    }
+
+    fn arb_step_acc() -> impl Strategy<Value = StepAcc> {
+        let e = -1e9f64..1e9;
+        (
+            (e.clone(), e.clone(), e.clone(), e.clone()),
+            (e.clone(), e.clone(), e.clone(), e),
+            0u64..=u64::MAX,
+        )
+            .prop_map(|((e_lj, e_elec, e_bond, e_angle), (e_dihedral, e_improper, e_restraint, kinetic), pairs)| {
+                StepAcc {
+                    e_lj,
+                    e_elec,
+                    e_bond,
+                    e_angle,
+                    e_dihedral,
+                    e_improper,
+                    e_restraint,
+                    kinetic,
+                    pairs,
+                }
+            })
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn force_msg_roundtrip(from in 0u32..=u32::MAX, block in arb_vecs(24)) {
+            let m = ForceMsg { from, block };
+            let bytes = m.pack();
+            prop_assert!(!bytes.is_empty(), "packed messages are never empty");
+            prop_assert_eq!(ForceMsg::unpack(&bytes).unwrap(), m);
+        }
+
+        #[test]
+        fn coord_msg_roundtrip(patch in 0u32..=u32::MAX, positions in arb_vecs(24)) {
+            let m = CoordMsg { patch, positions };
+            prop_assert_eq!(CoordMsg::unpack(&m.pack()).unwrap(), m);
+        }
+
+        #[test]
+        fn ckpt_msg_roundtrip(
+            patch in 0u32..=u32::MAX,
+            positions in arb_vecs(16),
+            velocities in arb_vecs(16),
+        ) {
+            let m = CkptMsg { patch, positions, velocities };
+            prop_assert_eq!(CkptMsg::unpack(&m.pack()).unwrap(), m);
+        }
+
+        #[test]
+        fn patch_state_msg_roundtrip(
+            patch in 0u32..=u32::MAX,
+            positions in arb_vecs(12),
+            velocities in arb_vecs(12),
+            forces in arb_vecs(12),
+        ) {
+            let m = PatchStateMsg { patch, positions, velocities, forces };
+            prop_assert_eq!(PatchStateMsg::unpack(&m.pack()).unwrap(), m);
+        }
+
+        #[test]
+        fn energies_msg_roundtrip(
+            steps in proptest::collection::vec(arb_step_acc(), 0..12),
+        ) {
+            let m = EnergiesMsg { steps };
+            prop_assert_eq!(EnergiesMsg::unpack(&m.pack()).unwrap(), m);
+        }
+
+        #[test]
+        fn wire_msg_roundtrip(
+            (to, entry) in (0u32..=u32::MAX, 0u16..=u16::MAX),
+            (src, dst) in (0usize..4096, 0usize..4096),
+            priority in i32::MIN..=i32::MAX,
+            bytes in 0u64..=u64::MAX,
+            path in 0.0f64..1e9,
+            payload in proptest::collection::vec(0u8..=u8::MAX, 0..256),
+        ) {
+            let m = WireMsg {
+                to: ObjId(to),
+                entry: EntryId(entry),
+                src,
+                dst,
+                priority,
+                bytes,
+                path,
+                payload,
+            };
+            prop_assert_eq!(WireMsg::unpack(&m.pack()).unwrap(), m);
+        }
+
+        /// Truncating a packed message at any boundary must error, never
+        /// silently yield a different message.
+        #[test]
+        fn truncation_is_always_rejected(
+            positions in arb_vecs(8),
+            cut in 0usize..=usize::MAX,
+        ) {
+            let bytes = CoordMsg { patch: 3, positions }.pack();
+            let cut = cut % bytes.len(); // strictly shorter than the message
+            prop_assert!(CoordMsg::unpack(&bytes[..cut]).is_err());
+        }
+
+        /// Appending garbage after a packed message must error too.
+        #[test]
+        fn trailing_garbage_is_always_rejected(
+            velocities in arb_vecs(8),
+            extra in proptest::collection::vec(0u8..=u8::MAX, 1..16),
+        ) {
+            let mut bytes =
+                CkptMsg { patch: 0, positions: vec![], velocities }.pack();
+            bytes.extend_from_slice(&extra);
+            prop_assert!(CkptMsg::unpack(&bytes).is_err());
+        }
+
+        /// The socket framing (`u32 len · u64 crc64 · body`) round-trips any
+        /// body and detects any single-byte corruption.
+        #[test]
+        fn frame_roundtrip_and_crc_detection(
+            body in proptest::collection::vec(0u8..=u8::MAX, 0..512),
+            flip_at in 0usize..=usize::MAX,
+            flip_bits in 1u8..=255,
+        ) {
+            let frame = encode_frame(&body);
+            let back = read_frame(&mut &frame[..]).unwrap().expect("one frame");
+            prop_assert_eq!(&back, &body);
+
+            let mut bad = frame.clone();
+            let i = flip_at % bad.len();
+            bad[i] ^= flip_bits;
+            // Any corruption is caught: either the CRC/length check fires, or
+            // the frame is cut short / overlong and the reader errors.
+            match read_frame(&mut &bad[..]) {
+                Err(_) => {}
+                Ok(decoded) => {
+                    prop_assert!(decoded.as_deref() != Some(&body[..]));
+                }
+            }
+        }
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]
 
