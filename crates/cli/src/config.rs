@@ -40,6 +40,9 @@ pub enum SystemKind {
     Bc1,
     /// The bR-like benchmark (optionally scaled).
     Br,
+    /// A scenario-zoo stress system (`atoms`, `seed`, optionally scaled);
+    /// the name is one of [`molgen::zoo::names`], e.g. `vacuum-droplet`.
+    Zoo(&'static str),
 }
 
 /// Thermostat selection.
@@ -209,7 +212,16 @@ pub fn parse(text: &str) -> Result<RunConfig, String> {
                     "apoa1" | "apoa-i" => SystemKind::Apoa1,
                     "bc1" => SystemKind::Bc1,
                     "br" | "bacteriorhodopsin" => SystemKind::Br,
-                    other => return Err(err(&format!("unknown system '{other}'"))),
+                    other => match molgen::zoo::names().iter().find(|n| **n == other) {
+                        Some(name) => SystemKind::Zoo(name),
+                        None => {
+                            return Err(err(&format!(
+                                "unknown system '{other}' (water, apoa1, bc1, br, or a \
+                                 zoo scenario: {})",
+                                molgen::zoo::names().join(", ")
+                            )))
+                        }
+                    },
                 }
             }
             "scale" => cfg.scale = parse_f64(&value)?,
@@ -276,6 +288,13 @@ pub fn validate(cfg: &RunConfig) -> Result<(), String> {
             "pairlistMargin must be non-negative and finite, got {}",
             cfg.pairlist_margin
         ));
+    }
+    if matches!(cfg.system, SystemKind::Zoo(_)) && cfg.restrain_protein {
+        return Err(
+            "restrainProtein applies to the benchmark decks (apoa1/bc1/br), \
+             not zoo scenarios"
+                .into(),
+        );
     }
     if cfg.system == SystemKind::Water && cfg.box_size < 2.0 * cfg.cutoff {
         return Err(format!(
@@ -511,6 +530,22 @@ mod tests {
         )
         .unwrap_err()
         .contains("kill fault rules only"));
+    }
+
+    #[test]
+    fn zoo_scenarios_are_valid_systems() {
+        let cfg = parse("system vacuum-droplet\natoms 1200\nseed 9\n").unwrap();
+        assert_eq!(cfg.system, SystemKind::Zoo("vacuum-droplet"));
+        assert_eq!(cfg.atoms, 1200);
+        let cfg = parse("system MEMBRANE-SLAB\n").unwrap();
+        assert_eq!(cfg.system, SystemKind::Zoo("membrane-slab"));
+        // The unknown-system error now lists the zoo.
+        let e = parse("system no-such-zoo\n").unwrap_err();
+        assert!(e.contains("density-hotspot"), "{e}");
+        // Restraints only make sense on the benchmark decks.
+        assert!(parse("system polymer-melt\nrestrainProtein on\n")
+            .unwrap_err()
+            .contains("zoo"));
     }
 
     #[test]

@@ -14,3 +14,4 @@
 #![allow(clippy::field_reassign_with_default)]
 pub mod config;
 pub mod runner;
+pub mod scaling;

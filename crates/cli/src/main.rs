@@ -45,8 +45,10 @@ fn main() {
 
 const SAMPLE: &str = "\
 # namd-rs sample configuration
-system        water      # water | apoa1 | bc1 | br
-atoms         1500       # water only
+system        water      # water | apoa1 | bc1 | br | a zoo scenario
+#                        # (solvated-box, membrane-slab, polymer-melt,
+#                        #  vacuum-droplet, density-hotspot, ...)
+atoms         1500       # water and zoo scenarios
 boxSize       26.0       # water only, Å
 #scale        0.1        # benchmark systems: fraction of full size
 cutoff        8.0
@@ -188,12 +190,16 @@ fn cmd_info(args: &[String]) -> i32 {
 fn cmd_bench(args: &[String]) -> i32 {
     let Some(system) = args.first() else {
         eprintln!(
-            "usage: namd-rs bench <apoa1|bc1|br> [--machine M] [--pes LIST] [--steps N] \
+            "usage: namd-rs bench <apoa1|bc1|br|scaling> [--machine M] [--pes LIST] [--steps N] \
              [--scale F] [--schedule fifo|shuffle|lifo|jitter] [--schedule-seed N] \
-             [--fault-plan SPEC] [--profile-dir DIR]"
+             [--fault-plan SPEC] [--profile-dir DIR]\n\
+             (`bench scaling` sweeps the scenario zoo; see `namd-rs bench scaling --help`)"
         );
         return 2;
     };
+    if system == "scaling" {
+        return namd_cli::scaling::cmd_bench_scaling(&args[1..]);
+    }
     let mut machine = machine::presets::asci_red();
     let mut pes: Vec<usize> = vec![1, 8, 64, 256];
     let mut steps = 3usize;
@@ -299,7 +305,9 @@ fn cmd_bench(args: &[String]) -> i32 {
             return 2;
         }
     };
-    let bench = if scale < 1.0 { bench.scaled(scale) } else { bench };
+    // `scaled` preserves density in both directions, so --scale can also
+    // grow a deck (e.g. --scale 4 for a weak-scaling point).
+    let bench = if scale != 1.0 { bench.scaled(scale) } else { bench };
     println!("benchmark {} ({} atoms) on {}", bench.name, bench.n_atoms, machine.name);
     if schedule.kind != charmrt::SchedulePolicyKind::Fifo {
         println!("schedule policy {:?}, seed {}", schedule.kind, schedule.seed);

@@ -123,6 +123,9 @@ pub fn build_system(cfg: &RunConfig) -> System {
                 builder.build()
             }
         }
+        SystemKind::Zoo(name) => molgen::zoo::by_name(name, cfg.atoms, cfg.seed)
+            .expect("config validation accepts known zoo names only")
+            .build_scaled(cfg.scale),
     };
     if cfg.pme {
         let beta = if cfg.ewald_beta > 0.0 {

@@ -1,0 +1,495 @@
+//! `namd-rs bench scaling` — the scenario-zoo scaling sweep.
+//!
+//! Sweeps cost-per-step across the zoo's stress scenarios in two modes:
+//!
+//! * **strong** — fixed PE count, system size swept through `--scales`
+//!   fractions of the scenario's base size (cost/step vs atom count);
+//! * **weak** — fixed atoms-per-PE: at `p` PEs the system is rebuilt at
+//!   `p`× the base size, so a flat cost/step line means perfect weak
+//!   scaling.
+//!
+//! Every (scenario × backend × LB strategy × point) runs the engine's
+//! measurement→balance benchmark loop with an in-memory metrics registry,
+//! and the point records the `LbAudit`-derived imbalance of the static RCB
+//! placement and of the final strategy decision, the oracle verdict for
+//! every phase, and whether the scenario's declared [`ImbalanceBudget`]
+//! held. Results land in `BENCH_scaling.json` (`--out` to move it);
+//! `--check` turns budget/oracle violations into a non-zero exit.
+//!
+//! Backends map to force modes the way the engine is honest about: the DES
+//! backend replays counted loads (deterministic, so budgets are *enforced*
+//! there), the threads backend runs the real kernels and measures
+//! wall-clock loads (noisy, so its imbalance numbers are advisory).
+//!
+//! [`ImbalanceBudget`]: molgen::zoo::ImbalanceBudget
+
+use machine::MachineModel;
+use mdcore::prelude::System;
+use molgen::zoo::{self, Scenario};
+use namd_core::prelude::*;
+use std::collections::HashMap;
+
+/// One sweep measurement.
+struct Point {
+    scenario: &'static str,
+    profile: &'static str,
+    mode: &'static str,
+    backend: &'static str,
+    lb: &'static str,
+    pes: usize,
+    frac: f64,
+    atoms: usize,
+    patches: usize,
+    sec_per_step: f64,
+    imb_static: f64,
+    imb_final: f64,
+    migrations: usize,
+    oracle_ok: bool,
+    /// First failing phase + check, empty when the oracle passed.
+    oracle_detail: String,
+    budget_bar: f64,
+    /// Budgets are enforced on the deterministic DES backend only.
+    budget_enforced: bool,
+    budget_ok: bool,
+}
+
+struct Opts {
+    scenarios: Vec<String>,
+    backends: Vec<String>,
+    lb: Vec<String>,
+    modes: Vec<String>,
+    atoms: usize,
+    pes: Vec<usize>,
+    strong_pes: usize,
+    scales: Vec<f64>,
+    steps: usize,
+    seed: u64,
+    machine: MachineModel,
+    out: String,
+    check: bool,
+}
+
+impl Default for Opts {
+    fn default() -> Self {
+        Opts {
+            scenarios: vec![String::from("all")],
+            backends: vec![String::from("des"), String::from("threads")],
+            lb: vec![
+                String::from("rcb-static"),
+                String::from("greedy"),
+                String::from("greedy-refine"),
+                String::from("diffusion"),
+            ],
+            modes: vec![String::from("strong"), String::from("weak")],
+            atoms: 2_500,
+            pes: vec![1, 2, 4],
+            strong_pes: 4,
+            scales: vec![0.5, 1.0],
+            steps: 3,
+            seed: 2024,
+            machine: machine::presets::generic_cluster(),
+            out: String::from("BENCH_scaling.json"),
+            check: false,
+        }
+    }
+}
+
+const USAGE: &str = "usage: namd-rs bench scaling [opts]\n\
+    --scenarios LIST   comma list of zoo scenarios, or 'all' (default all)\n\
+    --backends LIST    des,threads (default both)\n\
+    --lb LIST          rcb-static,greedy,greedy-refine,diffusion (default all)\n\
+    --modes LIST       strong,weak (default both)\n\
+    --atoms N          base atom count (default 2500)\n\
+    --pes LIST         weak-mode PE counts (default 1,2,4)\n\
+    --strong-pes N     strong-mode fixed PE count (default 4)\n\
+    --scales LIST      strong-mode size fractions (default 0.5,1.0)\n\
+    --steps N          steps per measurement phase (default 3)\n\
+    --seed N           zoo generator seed (default 2024)\n\
+    --machine M        asci_red|t3e|origin|cluster (default cluster)\n\
+    --out PATH         output file (default BENCH_scaling.json)\n\
+    --check            exit 1 on any budget or oracle violation";
+
+fn parse_list(v: &str) -> Vec<String> {
+    v.split(',').map(|s| s.trim().to_ascii_lowercase()).filter(|s| !s.is_empty()).collect()
+}
+
+fn parse_opts(args: &[String]) -> Result<Opts, String> {
+    let mut o = Opts::default();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let mut value = || -> Result<String, String> {
+            it.next().cloned().ok_or_else(|| format!("{a} needs a value"))
+        };
+        match a.as_str() {
+            "--scenarios" => o.scenarios = parse_list(&value()?),
+            "--backends" => o.backends = parse_list(&value()?),
+            "--lb" => o.lb = parse_list(&value()?),
+            "--modes" => o.modes = parse_list(&value()?),
+            "--atoms" => {
+                o.atoms = value()?.parse().map_err(|_| "bad --atoms".to_string())?
+            }
+            "--pes" => {
+                o.pes = parse_list(&value()?)
+                    .iter()
+                    .map(|s| s.parse::<usize>())
+                    .collect::<Result<_, _>>()
+                    .map_err(|_| "bad --pes list".to_string())?
+            }
+            "--strong-pes" => {
+                o.strong_pes = value()?.parse().map_err(|_| "bad --strong-pes".to_string())?
+            }
+            "--scales" => {
+                o.scales = parse_list(&value()?)
+                    .iter()
+                    .map(|s| s.parse::<f64>())
+                    .collect::<Result<_, _>>()
+                    .map_err(|_| "bad --scales list".to_string())?
+            }
+            "--steps" => o.steps = value()?.parse().map_err(|_| "bad --steps".to_string())?,
+            "--seed" => o.seed = value()?.parse().map_err(|_| "bad --seed".to_string())?,
+            "--machine" => {
+                o.machine = match value()?.as_str() {
+                    "asci_red" => machine::presets::asci_red(),
+                    "t3e" => machine::presets::t3e_900(),
+                    "origin" => machine::presets::origin2000(),
+                    "cluster" => machine::presets::generic_cluster(),
+                    other => return Err(format!("unknown machine '{other}'")),
+                }
+            }
+            "--out" => o.out = value()?,
+            "--check" => o.check = true,
+            other => return Err(format!("unknown option {other}")),
+        }
+    }
+    if o.scenarios.iter().any(|s| s == "all") {
+        o.scenarios = zoo::names().iter().map(|s| s.to_string()).collect();
+    }
+    for s in &o.scenarios {
+        if !zoo::names().contains(&s.as_str()) {
+            return Err(format!(
+                "unknown scenario '{s}' (have: {})",
+                zoo::names().join(", ")
+            ));
+        }
+    }
+    for b in &o.backends {
+        if b != "des" && b != "threads" {
+            return Err(format!("unknown backend '{b}' (des, threads)"));
+        }
+    }
+    for l in &o.lb {
+        if lb_strategy(l).is_none() {
+            return Err(format!(
+                "unknown lb strategy '{l}' (rcb-static, greedy, greedy-refine, diffusion)"
+            ));
+        }
+    }
+    for m in &o.modes {
+        if m != "strong" && m != "weak" {
+            return Err(format!("unknown mode '{m}' (strong, weak)"));
+        }
+    }
+    if o.atoms < 500 {
+        return Err("--atoms below 500 cannot exercise the balancer".into());
+    }
+    if o.steps == 0 || o.strong_pes == 0 || o.pes.is_empty() || o.scales.is_empty() {
+        return Err("steps/strong-pes must be positive, pes/scales non-empty".into());
+    }
+    Ok(o)
+}
+
+/// Strategy tag → engine strategy. `rcb-static` keeps the initial RCB
+/// placement (the engine audits it under the measured loads either way).
+fn lb_strategy(tag: &str) -> Option<LbStrategy> {
+    match tag {
+        "rcb-static" => Some(LbStrategy::None),
+        "greedy" => Some(LbStrategy::Greedy),
+        "greedy-refine" => Some(LbStrategy::GreedyRefine),
+        "diffusion" => Some(LbStrategy::Diffusion),
+        _ => None,
+    }
+}
+
+/// Run one sweep point. Returns `Err` only for configuration failures.
+#[allow(clippy::too_many_arguments)]
+fn run_point(
+    sc: &Scenario,
+    sys: &System,
+    mode: &'static str,
+    backend_tag: &str,
+    lb_tag: &'static str,
+    pes: usize,
+    frac: f64,
+    o: &Opts,
+) -> Result<Point, String> {
+    let (backend, force_mode, backend_name) = match backend_tag {
+        "des" => (Backend::Des, ForceMode::Counted, "des"),
+        _ => (Backend::Threads, ForceMode::Real, "threads"),
+    };
+    let mut builder = SimConfig::builder(pes, o.machine)
+        .backend(backend)
+        .force_mode(force_mode)
+        .lb(lb_strategy(lb_tag).expect("validated"))
+        .steps_per_phase(o.steps);
+    if force_mode == ForceMode::Real {
+        // Zoo decks are deliberately dense and start from unminimized
+        // lattices; integrate them gently so the energy-drift oracle
+        // measures the runtime, not the deck's relaxation burst.
+        builder = builder.dt_fs(0.25);
+    }
+    let cfg = builder
+        .build()
+        .map_err(|e| format!("{}: bad config for {pes} PEs: {e}", sc.name))?;
+    let mut engine = Engine::new(sys.clone(), cfg);
+    engine.set_metrics(Some(MetricsRegistry::in_memory()));
+    let run = engine.run_benchmark();
+
+    // The sweep's oracle is the message-driven correctness contract:
+    // quiescence, message conservation, Newton's third law, momentum.
+    // Energy drift is excluded on Real-mode points — several zoo decks
+    // start from clashing synthetic lattices whose relaxation burst
+    // measures the deck, not the runtime (scenario_stress.rs and the
+    // end-to-end tests cover physics stability on sane decks).
+    let params =
+        OracleParams { energy_drift_rel: f64::INFINITY, ..OracleParams::default() };
+    let mut oracle_ok = true;
+    let mut oracle_detail = String::new();
+    for (k, phase) in run.phases.iter().enumerate() {
+        let report = check_phase_with(&engine, phase, params);
+        if !report.ok() && oracle_ok {
+            oracle_ok = false;
+            let v = &report.violations[0];
+            oracle_detail = format!("phase {k}: {} — {}", v.check, v.detail);
+        }
+    }
+
+    let reg = engine.metrics.as_ref().expect("registry attached above");
+    let imb_static = reg
+        .lb_audits
+        .iter()
+        .find(|a| a.strategy == "rcb-static")
+        .map(|a| a.imbalance_after())
+        .unwrap_or(f64::NAN);
+    let imb_final =
+        reg.lb_audits.last().map(|a| a.imbalance_after()).unwrap_or(imb_static);
+    let migrations: usize = reg.lb_audits.iter().map(|a| a.migrations.len()).sum();
+
+    let budget_bar = if lb_tag == "rcb-static" {
+        sc.budget.static_max
+    } else {
+        sc.budget.lb_max
+    };
+    // Budgets apply where balancing is meaningful and deterministic:
+    // wall-clock-measured loads (threads) are noise, 1 PE is always
+    // balanced, and a sweep point with fewer than ~2 patches per PE has
+    // no granularity for any strategy to work with (a single patch on 4
+    // PEs is a 4.0 ratio by construction).
+    let patches = engine.decomp().grid.n_patches();
+    let budget_enforced = backend == Backend::Des && pes > 1 && patches >= 2 * pes;
+    let budget_ok = !budget_enforced || imb_final <= budget_bar;
+
+    Ok(Point {
+        scenario: sc.name,
+        profile: sc.profile.as_str(),
+        mode,
+        backend: backend_name,
+        lb: lb_tag,
+        pes,
+        frac,
+        atoms: sys.n_atoms(),
+        patches,
+        sec_per_step: run.final_time_per_step(),
+        imb_static,
+        imb_final,
+        migrations,
+        oracle_ok,
+        oracle_detail,
+        budget_bar,
+        budget_enforced,
+        budget_ok,
+    })
+}
+
+fn json_escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+fn render_json(o: &Opts, scenarios: &[Scenario], points: &[Point]) -> String {
+    let mut out = String::from("{\n");
+    out.push_str("  \"schema\": \"bench-scaling-v1\",\n");
+    out.push_str(&format!("  \"machine\": \"{}\",\n", json_escape(o.machine.name)));
+    out.push_str(&format!("  \"base_atoms\": {},\n", o.atoms));
+    out.push_str(&format!("  \"steps_per_phase\": {},\n", o.steps));
+    out.push_str(&format!("  \"seed\": {},\n", o.seed));
+    out.push_str("  \"scenarios\": [\n");
+    for (i, sc) in scenarios.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"name\": \"{}\", \"profile\": \"{}\", \"budget\": \
+             {{\"static_max\": {}, \"lb_max\": {}, \"expected_static_min\": {}}}}}{}\n",
+            sc.name,
+            sc.profile.as_str(),
+            sc.budget.static_max,
+            sc.budget.lb_max,
+            sc.budget.expected_static_min,
+            if i + 1 < scenarios.len() { "," } else { "" },
+        ));
+    }
+    out.push_str("  ],\n  \"points\": [\n");
+    for (i, p) in points.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"scenario\": \"{}\", \"profile\": \"{}\", \"mode\": \"{}\", \
+             \"backend\": \"{}\", \"lb\": \"{}\", \"pes\": {}, \"frac\": {}, \
+             \"atoms\": {}, \"patches\": {}, \"sec_per_step\": {:.6e}, \
+             \"imb_static\": {:.4}, \"imb_final\": {:.4}, \"migrations\": {}, \
+             \"oracle_ok\": {}, \"oracle_detail\": \"{}\", \"budget_bar\": {}, \
+             \"budget_enforced\": {}, \"budget_ok\": {}}}{}\n",
+            p.scenario,
+            p.profile,
+            p.mode,
+            p.backend,
+            p.lb,
+            p.pes,
+            p.frac,
+            p.atoms,
+            p.patches,
+            p.sec_per_step,
+            p.imb_static,
+            p.imb_final,
+            p.migrations,
+            p.oracle_ok,
+            json_escape(&p.oracle_detail),
+            p.budget_bar,
+            p.budget_enforced,
+            p.budget_ok,
+            if i + 1 < points.len() { "," } else { "" },
+        ));
+    }
+    let bad = points.iter().filter(|p| !p.budget_ok || !p.oracle_ok).count();
+    out.push_str(&format!("  ],\n  \"violations\": {bad}\n}}\n"));
+    out
+}
+
+/// Entry point for `namd-rs bench scaling ...` (args exclude "scaling").
+pub fn cmd_bench_scaling(args: &[String]) -> i32 {
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        println!("{USAGE}");
+        return 0;
+    }
+    let o = match parse_opts(args) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("{e}\n{USAGE}");
+            return 2;
+        }
+    };
+    let scenarios: Vec<Scenario> = o
+        .scenarios
+        .iter()
+        .map(|n| zoo::by_name(n, o.atoms, o.seed).expect("validated"))
+        .collect();
+    println!(
+        "bench scaling: {} scenario(s) x {:?} x {:?}, modes {:?}, machine {}",
+        scenarios.len(),
+        o.backends,
+        o.lb,
+        o.modes,
+        o.machine.name
+    );
+
+    // (scenario index, size fraction) → built system: a build is the
+    // slowest part of a point and is identical across backend × strategy.
+    let mut built: HashMap<(usize, u64), System> = HashMap::new();
+    let mut points: Vec<Point> = Vec::new();
+    for (si, sc) in scenarios.iter().enumerate() {
+        // (mode, pes, frac) sweep points for this scenario.
+        let mut sweep: Vec<(&'static str, usize, f64)> = Vec::new();
+        if o.modes.iter().any(|m| m == "strong") {
+            for &f in &o.scales {
+                sweep.push(("strong", o.strong_pes, f));
+            }
+        }
+        if o.modes.iter().any(|m| m == "weak") {
+            for &p in &o.pes {
+                // Weak scaling: p PEs get a p×-size build — atoms-per-PE
+                // stays at the scenario's base size.
+                sweep.push(("weak", p, p as f64));
+            }
+        }
+        for (mode, pes, frac) in sweep {
+            let sys = built
+                .entry((si, frac.to_bits()))
+                .or_insert_with(|| sc.build_scaled(frac));
+            for backend in &o.backends {
+                for lb_name in &o.lb {
+                    let lb_tag: &'static str = ["rcb-static", "greedy", "greedy-refine", "diffusion"]
+                        .iter()
+                        .find(|t| *t == lb_name)
+                        .expect("validated");
+                    let p = match run_point(sc, sys, mode, backend, lb_tag, pes, frac, &o) {
+                        Ok(p) => p,
+                        Err(e) => {
+                            eprintln!("{e}");
+                            return 1;
+                        }
+                    };
+                    let verdict = if !p.oracle_ok {
+                        "ORACLE-FAIL"
+                    } else if !p.budget_ok {
+                        "OVER-BUDGET"
+                    } else {
+                        "ok"
+                    };
+                    println!(
+                        "{:>16} {:>6} {:>7} {:>13} pes {:>2} atoms {:>6} \
+                         s/step {:>10.4e} imb {:>5.2}->{:<5.2} {}",
+                        p.scenario,
+                        p.mode,
+                        p.backend,
+                        p.lb,
+                        p.pes,
+                        p.atoms,
+                        p.sec_per_step,
+                        p.imb_static,
+                        p.imb_final,
+                        verdict
+                    );
+                    if !p.oracle_ok {
+                        eprintln!(
+                            "oracle violation: scenario {} (seed {}), strategy {}, {}",
+                            p.scenario,
+                            sc.seed(),
+                            p.lb,
+                            p.oracle_detail
+                        );
+                    }
+                    if p.budget_enforced && !p.budget_ok {
+                        eprintln!(
+                            "budget violation: scenario {} (seed {}), strategy {}, \
+                             imbalance {:.3} > budget {:.3} ({} mode, {} PEs)",
+                            p.scenario,
+                            sc.seed(),
+                            p.lb,
+                            p.imb_final,
+                            p.budget_bar,
+                            p.mode,
+                            p.pes
+                        );
+                    }
+                    points.push(p);
+                }
+            }
+        }
+    }
+
+    let json = render_json(&o, &scenarios, &points);
+    if let Err(e) = std::fs::write(&o.out, &json) {
+        eprintln!("cannot write {}: {e}", o.out);
+        return 1;
+    }
+    let bad = points.iter().filter(|p| !p.budget_ok || !p.oracle_ok).count();
+    println!("{} point(s), {} violation(s) -> {}", points.len(), bad, o.out);
+    if o.check && bad > 0 {
+        return 1;
+    }
+    0
+}

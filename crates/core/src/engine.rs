@@ -1045,6 +1045,16 @@ impl Engine {
         let mut migrations = Vec::new();
 
         let r0 = self.run_phase(steps);
+        // Audit the initial static (RCB-derived) placement under the
+        // measured loads, with zero migrations: imbalance budgets and
+        // dashboards read the pre-LB state from the same `LbAudit` stream
+        // as the strategies' decisions, for every strategy including
+        // `LbStrategy::None`.
+        if self.metrics.is_some() {
+            let (problem, map) = self.lb_problem(&r0);
+            let current: Vec<Pe> = map.iter().map(|&j| self.placement[j]).collect();
+            self.audit_lb("rcb-static", &problem, &map, &current, &current);
+        }
         phases.push(r0);
 
         if self.config.lb == LbStrategy::None {

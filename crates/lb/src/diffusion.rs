@@ -147,6 +147,36 @@ mod tests {
     }
 
     #[test]
+    fn hotspot_imbalance_improves_monotonically_across_rounds() {
+        // The zoo's density-hotspot scenario reduced to LB essentials: a
+        // quarter of the patches carry 6x the load, block-placed so the
+        // low PEs start hot. Each diffusion round only ships load from a
+        // heavier PE to a lighter neighbour (bounded by half the
+        // difference), so the max per-PE load — and with constant total,
+        // the max/avg ratio — must never increase as rounds accumulate.
+        let p = crate::testutil::hotspot(8, 64, 6.0);
+        let start: Vec<usize> =
+            p.computes.iter().map(|c| p.patch_home[c.patches[0]]).collect();
+        let mut last = imbalance_ratio(&p, &start);
+        assert!(last > 2.0, "hot-spot start should be badly imbalanced: {last}");
+        let mut improved = false;
+        for rounds in [1, 2, 4, 8, 16, 32] {
+            let a = diffusion(&p, &start, DiffusionParams { rounds, transfer_fraction: 0.5 });
+            let r = imbalance_ratio(&p, &a);
+            assert!(
+                r <= last + 1e-9,
+                "imbalance regressed at {rounds} rounds: {last} -> {r}"
+            );
+            if r < last - 1e-9 {
+                improved = true;
+            }
+            last = r;
+        }
+        assert!(improved, "32 rounds of diffusion never improved the hot-spot");
+        assert!(last < 1.5, "hot-spot still imbalanced after 32 rounds: {last}");
+    }
+
+    #[test]
     fn single_pe_is_identity() {
         let p = synthetic(1, 8);
         let current = vec![0usize; p.computes.len()];

@@ -158,6 +158,79 @@ mod tests {
         }
     }
 
+    /// Max/avg part-weight ratio of a partition.
+    fn part_imbalance(part: &[usize], w: &[f64], n_parts: usize) -> f64 {
+        let mut loads = vec![0.0f64; n_parts];
+        for (i, &p) in part.iter().enumerate() {
+            loads[p] += w[i];
+        }
+        let total: f64 = loads.iter().sum();
+        loads.iter().cloned().fold(0.0, f64::max) * n_parts as f64 / total
+    }
+
+    /// A density hot-spot patch field: a 4x4x4 grid where one corner
+    /// 2x2x2 octant carries `skew`x the weight of the rest.
+    fn hotspot_field(skew: f64) -> (Vec<[f64; 3]>, Vec<f64>) {
+        let pts = grid(4, 4, 4);
+        let w = pts
+            .iter()
+            .map(|p| if p[0] < 2.0 && p[1] < 2.0 && p[2] < 2.0 { skew } else { 1.0 })
+            .collect();
+        (pts, w)
+    }
+
+    #[test]
+    fn hotspot_imbalance_improves_monotonically_across_bisection_rounds() {
+        // Each bisection round doubles the part count by splitting every
+        // part at its weighted median; round k+1 refines round k's
+        // partition, so the heaviest part's load must strictly shrink as
+        // rounds deepen — the recursive "repair" keeps cutting the heavy
+        // octant down. (The max/avg *ratio* is not monotone: 2 parts split
+        // this field perfectly, and granularity then costs a few percent.)
+        let (pts, w) = hotspot_field(8.0);
+        let max_part_load = |n_parts: usize| -> f64 {
+            let part = rcb(&pts, &w, n_parts);
+            let mut loads = vec![0.0f64; n_parts];
+            for (i, &p) in part.iter().enumerate() {
+                loads[p] += w[i];
+            }
+            loads.iter().cloned().fold(0.0, f64::max)
+        };
+        let mut last = f64::INFINITY;
+        for rounds in 1..=3usize {
+            let n_parts = 1 << rounds; // 2, 4, 8
+            let m = max_part_load(n_parts);
+            assert!(
+                m < last,
+                "rcb hot-spot max part load did not improve at {n_parts} parts: {last} -> {m}"
+            );
+            last = m;
+        }
+        // And the final 8-part split beats the naive block split by a wide
+        // margin. (Perfect balance is impossible here: parts are spatially
+        // compact, so a part that touches the hot octant carries at least
+        // one indivisible 8-weight point; the naive split concentrates
+        // four of them — ratio 2.4 — where rcb gets it under 1.8.)
+        let final_ratio = part_imbalance(&rcb(&pts, &w, 8), &w, 8);
+        assert!(final_ratio < 1.8, "rcb left the hot octant concentrated: {final_ratio}");
+    }
+
+    #[test]
+    fn hotspot_weighted_rcb_beats_naive_block_split() {
+        let (pts, w) = hotspot_field(8.0);
+        for n_parts in [2usize, 4, 8] {
+            let rcb_imb = part_imbalance(&rcb(&pts, &w, n_parts), &w, n_parts);
+            // Naive block split: contiguous index ranges, weight-blind.
+            let per = pts.len().div_ceil(n_parts);
+            let naive: Vec<usize> = (0..pts.len()).map(|i| (i / per).min(n_parts - 1)).collect();
+            let naive_imb = part_imbalance(&naive, &w, n_parts);
+            assert!(
+                rcb_imb < naive_imb,
+                "{n_parts} parts: weighted rcb {rcb_imb} not better than naive {naive_imb}"
+            );
+        }
+    }
+
     #[test]
     fn deterministic() {
         let pts = grid(5, 4, 3);

@@ -22,9 +22,11 @@
 #![allow(clippy::field_reassign_with_default)]
 pub mod builders;
 pub mod benchmarks;
+pub mod zoo;
 
 pub use benchmarks::{apoa1_like, bc1_like, br_like, BenchmarkSystem};
 pub use builders::{SystemBuilder, SystemSpec};
+pub use zoo::{ImbalanceBudget, ImbalanceProfile, Scenario};
 
 #[cfg(test)]
 mod tests {

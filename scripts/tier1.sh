@@ -31,6 +31,14 @@ SCHEDULE_FUZZ_CASES=25 cargo test -q --test checkpoint_restart || status=1
 echo "==> proc backend equivalence + fuzz (SCHEDULE_FUZZ_CASES=25)"
 SCHEDULE_FUZZ_CASES=25 cargo test -q --test proc_backend || status=1
 
+# Scenario-zoo LB stress at a reduced scenario count (the zoo is ordered
+# most-stressing first, so the reduced run keeps the hot-spot and droplet
+# scenarios). Blocking — a blown imbalance budget or oracle violation on
+# the deterministic DES backend is a real LB regression; the full matrix
+# runs in CI.
+echo "==> scenario-zoo LB stress (SCENARIO_STRESS_CASES=3)"
+SCENARIO_STRESS_CASES=3 cargo test -q --test scenario_stress || status=1
+
 echo "==> cargo clippy (non-blocking)"
 if ! cargo clippy --workspace --all-targets -- -D warnings; then
   echo "WARNING: clippy reported lints (non-blocking)"
